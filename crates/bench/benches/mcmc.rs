@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the MCMC substrate: potential-energy gradient
+//! evaluation and full HMC/NUTS transitions on the regression BNN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tyxe_prob::dist::{boxed, Normal};
+use tyxe_prob::mcmc::{potential_and_grad, Hmc, Kernel, LatentLayout, Nuts};
+use tyxe_prob::poutine::{observe, sample};
+use tyxe_tensor::Tensor;
+
+fn model() {
+    // A 20-hidden-unit BNN regression joint, written directly as a
+    // probabilistic program.
+    let x = Tensor::linspace(-1.0, 1.0, 32).reshape(&[32, 1]);
+    let y = x.mul_scalar(4.0).add_scalar(0.8).cos();
+    let w1 = sample("w1", boxed(Normal::standard(&[1, 20])));
+    let b1 = sample("b1", boxed(Normal::standard(&[20])));
+    let w2 = sample("w2", boxed(Normal::standard(&[20, 1])));
+    let b2 = sample("b2", boxed(Normal::standard(&[1])));
+    let h = x.matmul(&w1).add(&b1).tanh();
+    let pred = h.matmul(&w2).add(&b2);
+    observe(
+        "obs",
+        boxed(Normal::new(pred, Tensor::full(&[32, 1], 0.1))),
+        &y,
+    );
+}
+
+fn bench_potential(c: &mut Criterion) {
+    let layout = LatentLayout::discover(&model);
+    let q = vec![0.01; layout.len()];
+    c.bench_function("potential_and_grad", |b| {
+        b.iter(|| black_box(potential_and_grad(&model, &layout, &q)))
+    });
+}
+
+fn bench_hmc_transition(c: &mut Criterion) {
+    tyxe_prob::rng::set_seed(0);
+    let layout = LatentLayout::discover(&model);
+    let q0 = layout.initial_values(&model);
+    let mut kernel = Hmc::new(1e-3, 10);
+    c.bench_function("hmc_transition_10_steps", |b| {
+        b.iter(|| {
+            let (q, a) = kernel.transition(&model, &layout, q0.clone());
+            black_box((q, a))
+        })
+    });
+}
+
+fn bench_nuts_transition(c: &mut Criterion) {
+    tyxe_prob::rng::set_seed(1);
+    let layout = LatentLayout::discover(&model);
+    let q0 = layout.initial_values(&model);
+    let mut kernel = Nuts::new(1e-3, 5);
+    c.bench_function("nuts_transition_depth5", |b| {
+        b.iter(|| {
+            let (q, a) = kernel.transition(&model, &layout, q0.clone());
+            black_box((q, a))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_potential, bench_hmc_transition, bench_nuts_transition
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the volume-rendering substrate used by the
+//! Bayesian NeRF experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tyxe_nn::layers::mlp;
+use tyxe_nn::module::Forward;
+use tyxe_render::{Camera, GroundTruthScene, HarmonicEmbedding, RawField, VolumeRenderer};
+use tyxe_tensor::Tensor;
+
+fn bench_rays(c: &mut Criterion) {
+    let cam = Camera::orbit(45.0, 2.8, 16, 16);
+    c.bench_function("camera_rays_16x16", |b| b.iter(|| black_box(cam.rays())));
+}
+
+fn bench_ground_truth_render(c: &mut Criterion) {
+    let cam = Camera::orbit(45.0, 2.8, 10, 10);
+    let renderer = VolumeRenderer::new(20, 1.0, 4.6);
+    let scene = GroundTruthScene::new();
+    c.bench_function("render_gt_10x10_20samples", |b| {
+        b.iter(|| black_box(renderer.render(&cam, &scene)))
+    });
+}
+
+fn bench_nerf_render(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let embed = HarmonicEmbedding::new(3);
+    let net = mlp(&[embed.output_dim(3), 48, 48, 4], true, &mut rng);
+    let cam = Camera::orbit(45.0, 2.8, 10, 10);
+    let renderer = VolumeRenderer::new(20, 1.0, 4.6);
+    let field = RawField::new(|p: &Tensor| net.forward(&embed.embed(p)));
+    c.bench_function("render_nerf_forward_10x10", |b| {
+        b.iter(|| black_box(renderer.render(&cam, &field)))
+    });
+    c.bench_function("render_nerf_with_backward", |b| {
+        b.iter(|| {
+            let out = renderer.render(&cam, &field);
+            out.rgb.sum().add(&out.silhouette.sum()).backward();
+            black_box(())
+        })
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let embed = HarmonicEmbedding::new(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let pts = Tensor::randn(&[2000, 3], &mut rng);
+    c.bench_function("harmonic_embed_2000x3", |b| {
+        b.iter(|| black_box(embed.embed(&pts)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rays, bench_ground_truth_render, bench_nerf_render, bench_embedding
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks for the tensor/autodiff substrate: the op
+//! throughput every experiment in the paper rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tyxe_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    c.bench_function("matmul_64x64", |bch| {
+        bch.iter(|| black_box(a.matmul(&b)))
+    });
+
+    let aw = Tensor::randn(&[64, 64], &mut rng).requires_grad(true);
+    c.bench_function("matmul_64x64_with_backward", |bch| {
+        bch.iter(|| {
+            aw.zero_grad();
+            let y = a.matmul(&aw).sum();
+            y.backward();
+            black_box(aw.grad())
+        })
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let x = Tensor::randn(&[8, 8, 14, 14], &mut rng);
+    let w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+    c.bench_function("conv2d_8x8x14x14_k3", |bch| {
+        bch.iter(|| black_box(x.conv2d(&w, None, 1, 1)))
+    });
+
+    let ww = Tensor::randn(&[8, 8, 3, 3], &mut rng).requires_grad(true);
+    c.bench_function("conv2d_with_backward", |bch| {
+        bch.iter(|| {
+            ww.zero_grad();
+            x.conv2d(&ww, None, 1, 1).sum().backward();
+            black_box(ww.grad())
+        })
+    });
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let x = Tensor::randn(&[4096], &mut rng);
+    c.bench_function("tanh_4096", |bch| bch.iter(|| black_box(x.tanh())));
+    let logits = Tensor::randn(&[128, 10], &mut rng);
+    c.bench_function("log_softmax_128x10", |bch| {
+        bch.iter(|| black_box(logits.log_softmax(1)))
+    });
+}
+
+fn bench_graph_aggregate(c: &mut Criterion) {
+    let ds = tyxe_graph::citation_graph(350, 7, 49, 0.06, 0.004, 20, 70, 140, 0);
+    c.bench_function("gcn_aggregate_350_nodes", |bch| {
+        bch.iter(|| black_box(ds.graph.aggregate(&ds.features)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv, bench_elementwise, bench_graph_aggregate
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates Figure 2: calibration curves and the empirical CDF of the
+//! predictive entropy on test and OOD data, for every inference strategy
+//! of the ResNet experiment.
+//!
+//! Run with: `cargo run --release -p tyxe-bench --bin fig2_calibration`
+
+use tyxe_bench::vision::{Inference, VisionConfig, VisionSetup};
+use tyxe_metrics::ecdf;
+
+fn main() {
+    // Lighter configuration than Table 1: Figure 2's content is the shape
+    // of the calibration curves and entropy ECDFs, which is stable at this
+    // scale (and the single-core CI budget is finite).
+    let cfg = VisionConfig {
+        n_train: 300,
+        n_test: 150,
+        pretrain_epochs: 16,
+        vi_epochs: 8,
+        num_predictions: 8,
+        ..VisionConfig::default()
+    };
+    println!("Figure 2 reproduction: calibration curves + entropy ECDFs\n");
+    println!("pretraining the ML baseline ...");
+    let setup = VisionSetup::prepare(cfg);
+
+    let mut results = Vec::new();
+    for inf in Inference::all() {
+        println!("running {} ...", inf.label());
+        results.push(setup.run(inf));
+    }
+
+    // --- Calibration curves (left column of Figure 2).
+    for r in &results {
+        println!("\ncalibration curve — {} (ECE {:.2}%)", r.inference.label(), 100.0 * r.ece);
+        println!("{:>12} {:>12} {:>8}", "confidence", "accuracy", "count");
+        for bin in &r.calibration {
+            if bin.count == 0 {
+                continue;
+            }
+            let gap = ((bin.accuracy - bin.confidence) * 40.0).abs() as usize;
+            println!(
+                "{:>12.2} {:>12.2} {:>8}  {}",
+                bin.confidence,
+                bin.accuracy,
+                bin.count,
+                if bin.accuracy < bin.confidence { "-".repeat(gap) } else { "+".repeat(gap) }
+            );
+        }
+    }
+
+    // --- Entropy ECDFs (right column of Figure 2).
+    let grid: Vec<f64> = (0..=20).map(|i| i as f64 * (10.0f64.ln()) / 20.0).collect();
+    println!("\nentropy ECDF at H = ln(10)/2 (higher on test, lower on OOD = better separation)");
+    println!("{:<16} {:>10} {:>10} {:>12}", "Inference", "F_test(H)", "F_ood(H)", "separation");
+    let mid = 10;
+    for r in &results {
+        let e_test = ecdf(&r.entropy_test, &grid);
+        let e_ood = ecdf(&r.entropy_ood, &grid);
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>12.2}",
+            r.inference.label(),
+            e_test[mid],
+            e_ood[mid],
+            e_test[mid] - e_ood[mid]
+        );
+    }
+
+    // Shape check: for the best Bayesian method, the OOD entropy
+    // distribution should dominate the test one (ECDF below it).
+    let mf = results
+        .iter()
+        .find(|r| r.inference == Inference::Mf)
+        .expect("MF row");
+    let e_test = ecdf(&mf.entropy_test, &grid);
+    let e_ood = ecdf(&mf.entropy_ood, &grid);
+    let dominated = e_test
+        .iter()
+        .zip(&e_ood)
+        .filter(|(t, o)| t >= o)
+        .count();
+    println!(
+        "\nShape check: MF test-entropy ECDF dominates OOD ECDF at {}/{} grid points {}",
+        dominated,
+        grid.len(),
+        if dominated * 2 >= grid.len() { "[ok]" } else { "[MISMATCH]" }
+    );
+}

@@ -1,0 +1,74 @@
+//! Regenerates Figure 4: mean accuracy on tasks seen so far for VCL and
+//! ML on the Split-MNIST-like and Split-CIFAR-like streams.
+//!
+//! Run with: `cargo run --release -p tyxe-bench --bin fig4_vcl`
+
+use tyxe_bench::vcl_exp::{run, Benchmark, VclConfig};
+use tyxe_metrics::mean_and_2se;
+
+fn panel(benchmark: Benchmark, cfg: &VclConfig, seeds: u64) {
+    let name = match benchmark {
+        Benchmark::SplitMnist => "Split-MNIST (synthetic)",
+        Benchmark::SplitCifar => "Split-CIFAR (synthetic)",
+    };
+    println!("\n=== {name} ===");
+    let mut curves: Vec<(&str, Vec<Vec<f64>>)> = Vec::new();
+    let mut retention: Vec<(&str, Vec<f64>)> = Vec::new();
+    for use_vcl in [true, false] {
+        let runs: Vec<_> = (0..seeds)
+            .map(|s| run(cfg, benchmark, use_vcl, s))
+            .collect();
+        let label = if use_vcl { "VCL" } else { "ML" };
+        retention.push((label, runs.iter().map(|c| c.final_first_task()).collect()));
+        curves.push((label, runs.iter().map(|c| c.mean_curve()).collect()));
+    }
+    println!("{:<6} {}", "", (1..=5).map(|t| format!("{t:>12}")).collect::<String>());
+    for (label, per_seed) in &curves {
+        print!("{label:<6}");
+        for t in 0..5 {
+            let vals: Vec<f64> = per_seed.iter().map(|c| c[t]).collect();
+            let (m, se) = mean_and_2se(&vals);
+            print!(" {:>11}", format!("{:.1}±{:.1}", 100.0 * m, 100.0 * se));
+        }
+        println!();
+    }
+
+    // Shape check: after the final task, VCL's mean accuracy beats ML's.
+    let final_mean = |label: &str| {
+        let per_seed = &curves.iter().find(|(l, _)| *l == label).expect("curve").1;
+        mean_and_2se(&per_seed.iter().map(|c| c[4]).collect::<Vec<_>>()).0
+    };
+    let (vcl, ml) = (final_mean("VCL"), final_mean("ML"));
+    println!(
+        "shape check: VCL final mean accuracy {:.1}% > ML {:.1}% {}",
+        100.0 * vcl,
+        100.0 * ml,
+        if vcl > ml { "[ok]" } else { "[MISMATCH]" }
+    );
+    // The sharper forgetting probe: accuracy on task 1 after the stream.
+    for (label, vals) in &retention {
+        let (m, se) = mean_and_2se(vals);
+        println!("first-task retention {label}: {:.1}±{:.1}%", 100.0 * m, 100.0 * se);
+    }
+    let ret = |l: &str| {
+        mean_and_2se(&retention.iter().find(|(x, _)| *x == l).expect("label").1).0
+    };
+    println!(
+        "shape check: VCL retains the first task better ({:.1}% vs {:.1}%) {}",
+        100.0 * ret("VCL"),
+        100.0 * ret("ML"),
+        if ret("VCL") > ret("ML") { "[ok]" } else { "[MISMATCH]" }
+    );
+}
+
+fn main() {
+    println!("Figure 4 reproduction: variational continual learning vs ML");
+    let mnist_cfg = VclConfig::default();
+    panel(Benchmark::SplitMnist, &mnist_cfg, 3);
+
+    let cifar_cfg = VclConfig {
+        epochs: 25,
+        ..VclConfig::default()
+    };
+    panel(Benchmark::SplitCifar, &cifar_cfg, 2);
+}

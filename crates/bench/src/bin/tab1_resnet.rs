@@ -1,0 +1,72 @@
+//! Regenerates Table 1: Bayesian ResNet predictive performance
+//! (NLL / accuracy / ECE / OOD-AUROC) for the six inference strategies.
+//!
+//! Run with: `cargo run --release -p tyxe-bench --bin tab1_resnet`
+
+use tyxe_bench::report;
+use tyxe_bench::vision::{paper_reference, Inference, VisionConfig, VisionSetup};
+
+fn main() {
+    let cfg = VisionConfig::default();
+    println!("Table 1 reproduction: Bayesian ResNet predictive performance");
+    println!(
+        "(synthetic CIFAR-like {n}x{n}, {tr} train / {te} test / {te} OOD, ResNet width {w})\n",
+        n = cfg.image_size,
+        tr = cfg.n_train,
+        te = cfg.n_test,
+        w = cfg.width
+    );
+    println!("pretraining the ML baseline ...");
+    let setup = VisionSetup::prepare(cfg);
+
+    report::header("Inference", &["NLL", "Acc.(%)", "ECE(%)", "OOD-AUROC"]);
+    let mut rows = Vec::new();
+    for inf in Inference::all() {
+        println!("running {} ...", inf.label());
+        let r = setup.run(inf);
+        report::row(
+            inf.label(),
+            &[
+                format!("{:.2}", r.nll),
+                format!("{:.2}", 100.0 * r.accuracy),
+                format!("{:.2}", 100.0 * r.ece),
+                format!("{:.2}", r.ood_auroc),
+            ],
+        );
+        rows.push(r);
+    }
+
+    println!("\nPaper reference (CIFAR-10 / SVHN, ResNet-18):");
+    report::header("Inference", &["NLL", "Acc.(%)", "ECE(%)", "OOD-AUROC"]);
+    for inf in Inference::all() {
+        let (nll, acc, ece, ood) = paper_reference(inf);
+        report::row(
+            inf.label(),
+            &[
+                format!("{nll:.2}"),
+                format!("{acc:.2}"),
+                format!("{ece:.2}"),
+                format!("{ood:.2}"),
+            ],
+        );
+    }
+
+    // Shape checks against the paper's orderings.
+    let get = |i: Inference| rows.iter().find(|r| r.inference == i).expect("row");
+    let ml = get(Inference::Ml);
+    let mf = get(Inference::Mf);
+    let checks: Vec<(&str, bool)> = vec![
+        ("MF has lower NLL than ML", mf.nll < ml.nll),
+        ("MF has lower ECE than ML", mf.ece < ml.ece),
+        ("MF has the best OOD AUROC of all rows",
+            Inference::all().iter().all(|&i| get(i).ood_auroc <= mf.ood_auroc + 1e-9)),
+        ("every Bayesian row separates OOD at least as well as ML",
+            [Inference::Map, Inference::MfSdOnly, Inference::Mf]
+                .iter()
+                .all(|&i| get(i).ood_auroc >= ml.ood_auroc - 0.05)),
+    ];
+    println!("\nShape checks (paper orderings):");
+    for (name, ok) in checks {
+        println!("  {} {}", if ok { "[ok]      " } else { "[MISMATCH]" }, name);
+    }
+}

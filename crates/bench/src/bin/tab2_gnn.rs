@@ -1,0 +1,58 @@
+//! Regenerates Table 2: deterministic and Bayesian GNNs on the Cora-like
+//! citation network (mean ± 2 s.e. over five runs, validation-selected).
+//!
+//! Run with: `cargo run --release -p tyxe-bench --bin tab2_gnn`
+
+use tyxe_bench::gnn_exp::{paper_reference, run_row, GnnConfig, GnnInference};
+use tyxe_bench::report;
+
+fn main() {
+    let cfg = GnnConfig::default();
+    println!("Table 2 reproduction: GNN node classification (Cora-like)");
+    println!(
+        "({} nodes, {} features, {} labelled, {} seeds)\n",
+        cfg.num_nodes,
+        cfg.feat_dim,
+        7 * cfg.train_per_class,
+        cfg.seeds
+    );
+
+    report::header("Inference", &["NLL", "Acc.(%)", "ECE(%)"]);
+    let mut rows = Vec::new();
+    for inf in GnnInference::all() {
+        println!("running {} over {} seeds ...", inf.label(), cfg.seeds);
+        let row = run_row(&cfg, inf);
+        report::row(
+            inf.label(),
+            &[
+                report::pm(row.nll.0, row.nll.1, 2),
+                report::pm(100.0 * row.accuracy.0, 100.0 * row.accuracy.1, 1),
+                report::pm(100.0 * row.ece.0, 100.0 * row.ece.1, 1),
+            ],
+        );
+        rows.push(row);
+    }
+
+    println!("\nPaper reference (Cora):");
+    report::header("Inference", &["NLL", "Acc.(%)", "ECE(%)"]);
+    for inf in GnnInference::all() {
+        let (nll, acc, ece) = paper_reference(inf);
+        report::row(
+            inf.label(),
+            &[format!("{nll:.2}"), format!("{acc:.1}"), format!("{ece:.1}")],
+        );
+    }
+
+    let get = |i: GnnInference| rows.iter().find(|r| r.inference == i).expect("row");
+    let (ml, map, mf) = (get(GnnInference::Ml), get(GnnInference::Map), get(GnnInference::Mf));
+    println!("\nShape checks (paper orderings):");
+    let checks = [
+        ("MF has the lowest NLL", mf.nll.0 <= ml.nll.0 && mf.nll.0 <= map.nll.0),
+        ("MF has the best ECE", mf.ece.0 <= ml.ece.0 && mf.ece.0 <= map.ece.0),
+        ("MF accuracy is at least ML's", mf.accuracy.0 >= ml.accuracy.0 - 0.02),
+        ("MAP NLL improves on ML", map.nll.0 <= ml.nll.0 + 0.02),
+    ];
+    for (name, ok) in checks {
+        println!("  {} {}", if ok { "[ok]      " } else { "[MISMATCH]" }, name);
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure 1: Bayesian non-linear regression predictive bands under three
+//! inference setups — variational with local reparameterization, variational
+//! with shared weight samples, and HMC.
+
+use rand::SeedableRng;
+use tyxe::guides::AutoNormal;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::{McmcBnn, VariationalBnn};
+use tyxe_datasets::{foong_regression, regression_grid, Regression1d};
+use tyxe_prob::mcmc::Hmc;
+use tyxe_prob::optim::Adam;
+use tyxe_tensor::Tensor;
+
+/// Predictive band: for each grid point, the posterior mean and standard
+/// deviation.
+#[derive(Debug, Clone)]
+pub struct Band {
+    /// Inference label (figure panel).
+    pub label: &'static str,
+    /// Grid inputs.
+    pub xs: Vec<f64>,
+    /// Predictive means.
+    pub means: Vec<f64>,
+    /// Predictive standard deviations.
+    pub sds: Vec<f64>,
+}
+
+impl Band {
+    fn from_aggregate(label: &'static str, grid: &Tensor, agg: &Tensor) -> Band {
+        let n = grid.shape()[0];
+        Band {
+            label,
+            xs: (0..n).map(|i| grid.at(&[i, 0])).collect(),
+            means: (0..n).map(|i| agg.at(&[i, 0, 0])).collect(),
+            sds: (0..n).map(|i| agg.at(&[i, 0, 1])).collect(),
+        }
+    }
+
+    /// Mean sd over grid points with `|x|` above `edge` (extrapolation).
+    pub fn edge_sd(&self, edge: f64) -> f64 {
+        let pts: Vec<f64> = self
+            .xs
+            .iter()
+            .zip(&self.sds)
+            .filter(|(x, _)| x.abs() >= edge)
+            .map(|(_, &s)| s)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len() as f64
+    }
+
+    /// Mean sd over the two data clusters.
+    pub fn data_sd(&self) -> f64 {
+        let pts: Vec<f64> = self
+            .xs
+            .iter()
+            .zip(&self.sds)
+            .filter(|(x, _)| (-1.0..-0.7).contains(*x) || (0.5..1.0).contains(*x))
+            .map(|(_, &s)| s)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len() as f64
+    }
+}
+
+/// Configuration for the Figure 1 reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionConfig {
+    /// Points per input cluster.
+    pub n_per_cluster: usize,
+    /// SVI epochs.
+    pub epochs: usize,
+    /// HMC posterior samples (after equal warmup).
+    pub hmc_samples: usize,
+    /// Prediction samples per grid point.
+    pub num_predictions: usize,
+    /// Grid resolution.
+    pub grid: usize,
+}
+
+impl Default for RegressionConfig {
+    fn default() -> RegressionConfig {
+        RegressionConfig {
+            n_per_cluster: 50,
+            epochs: 3000,
+            hmc_samples: 400,
+            num_predictions: 32,
+            grid: 41,
+        }
+    }
+}
+
+fn dataset(cfg: &RegressionConfig) -> Regression1d {
+    foong_regression(cfg.n_per_cluster, 0.1, 0)
+}
+
+fn variational_band(cfg: &RegressionConfig, local_reparam: bool, label: &'static str) -> Band {
+    tyxe_prob::rng::set_seed(0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let data = dataset(cfg);
+    let net = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
+    let bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+    let batches = [(data.x.clone(), data.y.clone())];
+    if local_reparam {
+        let _g = tyxe::poutine::local_reparameterization();
+        bnn.fit(&batches, &mut optim, cfg.epochs, None);
+    } else {
+        bnn.fit(&batches, &mut optim, cfg.epochs, None);
+    }
+    let grid = regression_grid(-2.0, 2.0, cfg.grid);
+    let agg = bnn.predict(&grid, cfg.num_predictions);
+    Band::from_aggregate(label, &grid, &agg)
+}
+
+/// Figure 1(a): mean-field SVI trained with local reparameterization.
+pub fn fig1a_local_reparam(cfg: &RegressionConfig) -> Band {
+    variational_band(cfg, true, "local reparam")
+}
+
+/// Figure 1(b): the same guide trained with shared weight samples.
+pub fn fig1b_shared_samples(cfg: &RegressionConfig) -> Band {
+    variational_band(cfg, false, "shared samples")
+}
+
+/// Figure 1(c): HMC.
+pub fn fig1c_hmc(cfg: &RegressionConfig) -> Band {
+    tyxe_prob::rng::set_seed(0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let data = foong_regression(cfg.n_per_cluster.min(20), 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 20, 1], false, &mut rng);
+    let mut bnn = McmcBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        Hmc::new(5e-4, 25),
+    );
+    bnn.fit(&data.x, &data.y, cfg.hmc_samples, cfg.hmc_samples);
+    let grid = regression_grid(-2.0, 2.0, cfg.grid);
+    let agg = bnn.predict(&grid, cfg.num_predictions);
+    Band::from_aggregate("HMC", &grid, &agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RegressionConfig {
+        RegressionConfig {
+            n_per_cluster: 20,
+            epochs: 300,
+            hmc_samples: 80,
+            num_predictions: 8,
+            grid: 21,
+        }
+    }
+
+    #[test]
+    fn bands_have_grid_shape() {
+        let band = fig1a_local_reparam(&quick());
+        assert_eq!(band.xs.len(), 21);
+        assert_eq!(band.means.len(), 21);
+        assert!(band.sds.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn extrapolation_sd_exceeds_data_sd() {
+        let band = fig1a_local_reparam(&quick());
+        assert!(
+            band.edge_sd(1.8) > band.data_sd(),
+            "edge {} vs data {}",
+            band.edge_sd(1.8),
+            band.data_sd()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Small table-formatting helpers shared by the experiment binaries.
+
+/// Prints a fixed-width table row.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<16}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Prints a header row followed by a separator.
+pub fn header(label: &str, cols: &[&str]) {
+    row(label, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(16 + 13 * cols.len()));
+}
+
+/// Formats `mean ± 2se`.
+pub fn pm(mean: f64, err: f64, decimals: usize) -> String {
+    format!("{mean:.decimals$}±{err:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(1.234, 0.056, 2), "1.23±0.06");
+        assert_eq!(pm(75.64, 1.28, 1), "75.6±1.3");
+    }
+}

@@ -1,0 +1,355 @@
+//! Table 1 / Figure 2: Bayesian ResNet image classification with six
+//! inference strategies, on the synthetic CIFAR-like dataset with an
+//! SVHN-like OOD set.
+
+use rand::SeedableRng;
+use tyxe::guides::{AutoDelta, AutoLowRankNormal, AutoNormal, InitLoc};
+use tyxe::likelihoods::Categorical;
+use tyxe::priors::{Filter, IIDPrior};
+use tyxe::VariationalBnn;
+use tyxe_datasets::{ImageDataset, ImageGenerator};
+use tyxe_metrics as metrics;
+use tyxe_nn::module::{Forward, Module};
+use tyxe_nn::optim::{Adam, Optimizer};
+use tyxe_nn::resnet::ResNet;
+use tyxe_nn::StateDict;
+use tyxe_tensor::Tensor;
+
+/// The six rows of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inference {
+    /// Maximum likelihood (the pretrained deterministic network).
+    Ml,
+    /// Maximum a-posteriori (Delta guide under the standard normal prior).
+    Map,
+    /// Mean-field with frozen (pretrained) means — "MF (sd only)".
+    MfSdOnly,
+    /// Full mean-field with pretrained-mean initialization and scale cap.
+    Mf,
+    /// Mean-field over the last layer only.
+    LlMf,
+    /// Low-rank-plus-diagonal Gaussian over the last layer only.
+    LlLowRank,
+}
+
+impl Inference {
+    /// All rows in the paper's order.
+    pub fn all() -> [Inference; 6] {
+        [
+            Inference::Ml,
+            Inference::Map,
+            Inference::MfSdOnly,
+            Inference::Mf,
+            Inference::LlMf,
+            Inference::LlLowRank,
+        ]
+    }
+
+    /// Paper row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Inference::Ml => "ML",
+            Inference::Map => "MAP",
+            Inference::MfSdOnly => "MF (sd only)",
+            Inference::Mf => "MF",
+            Inference::LlMf => "LL MF",
+            Inference::LlLowRank => "LL low rank",
+        }
+    }
+}
+
+/// Scale knobs for the experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct VisionConfig {
+    /// Image side length.
+    pub image_size: usize,
+    /// Training set size.
+    pub n_train: usize,
+    /// Test / OOD set sizes.
+    pub n_test: usize,
+    /// ResNet base width.
+    pub width: usize,
+    /// Pretraining (ML) epochs.
+    pub pretrain_epochs: usize,
+    /// Variational fitting epochs.
+    pub vi_epochs: usize,
+    /// Posterior samples for prediction (paper: 32).
+    pub num_predictions: usize,
+    /// Low-rank guide rank (paper: 10).
+    pub rank: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Pixel noise of the image generators (task difficulty).
+    pub noise_sd: f64,
+}
+
+impl Default for VisionConfig {
+    fn default() -> VisionConfig {
+        VisionConfig {
+            image_size: 14,
+            n_train: 400,
+            n_test: 200,
+            width: 8,
+            pretrain_epochs: 22,
+            vi_epochs: 12,
+            num_predictions: 12,
+            rank: 10,
+            batch: 50,
+            noise_sd: 0.85,
+        }
+    }
+}
+
+/// One row of Table 1, plus the raw material for Figure 2.
+#[derive(Debug, Clone)]
+pub struct VisionResult {
+    /// Inference strategy.
+    pub inference: Inference,
+    /// Negative log likelihood on test data.
+    pub nll: f64,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Expected calibration error in `[0, 1]` (10 bins).
+    pub ece: f64,
+    /// AUROC for OOD detection via max predicted probability.
+    pub ood_auroc: f64,
+    /// Calibration curve (Figure 2, left panels).
+    pub calibration: Vec<metrics::CalibrationBin>,
+    /// Predictive entropies on test data (Figure 2 ECDFs).
+    pub entropy_test: Vec<f64>,
+    /// Predictive entropies on OOD data.
+    pub entropy_ood: Vec<f64>,
+}
+
+/// Shared data + pretrained network for all six rows.
+pub struct VisionSetup {
+    cfg: VisionConfig,
+    train: ImageDataset,
+    test: ImageDataset,
+    ood: ImageDataset,
+    pretrained: StateDict,
+}
+
+impl VisionSetup {
+    /// Generates the data and pretrains the ML baseline once.
+    pub fn prepare(cfg: VisionConfig) -> VisionSetup {
+        tyxe_prob::rng::set_seed(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        // In-distribution generator with configurable pixel noise; the OOD
+        // generator uses disjoint prototypes at the same noise level (pure
+        // novelty shift, like SVHN vs a CIFAR-trained model).
+        let gen = ImageGenerator::new(
+            10, 3, cfg.image_size, cfg.image_size, cfg.noise_sd, 1.0, 0.0, 2, true, 0,
+        );
+        let train = gen.sample(cfg.n_train, &[], 1);
+        let test = gen.sample(cfg.n_test, &[], 2);
+        let ood = ImageGenerator::new(
+            10, 3, cfg.image_size, cfg.image_size, cfg.noise_sd, 1.0, 0.0, 1, false, 0xdead_beef,
+        )
+        .sample(cfg.n_test, &[], 3);
+
+        let net = ResNet::new(3, 10, 1, cfg.width, &mut rng);
+        let mut opt = Adam::new(net.parameters(), 1e-3);
+        for _ in 0..cfg.pretrain_epochs {
+            for (x, y) in train.batches(cfg.batch) {
+                let idx: Vec<usize> = y.to_vec().iter().map(|&v| v as usize).collect();
+                let loss = net.forward(&x).log_softmax(1).gather_rows(&idx).mean().neg();
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+            }
+        }
+        net.set_training(false);
+        VisionSetup {
+            cfg,
+            train,
+            test,
+            ood,
+            pretrained: StateDict::from_module(&net),
+        }
+    }
+
+    /// A fresh network loaded with the pretrained weights (eval mode).
+    pub fn fresh_net(&self) -> ResNet {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let net = ResNet::new(3, 10, 1, self.cfg.width, &mut rng);
+        self.pretrained.apply(&net);
+        net.set_training(false);
+        net
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &VisionConfig {
+        &self.cfg
+    }
+
+    fn result_from_probs(&self, inference: Inference, probs: Tensor, probs_ood: Tensor) -> VisionResult {
+        let ood_auroc = metrics::auroc(
+            // Higher max-probability marks in-distribution data; score OOD
+            // as positive with the negated confidence.
+            &metrics::max_probability(&probs).iter().map(|v| -v).collect::<Vec<_>>(),
+            &metrics::max_probability(&probs_ood).iter().map(|v| -v).collect::<Vec<_>>(),
+        );
+        VisionResult {
+            inference,
+            nll: metrics::nll(&probs, &self.test.labels),
+            accuracy: metrics::accuracy(&probs, &self.test.labels),
+            ece: metrics::ece(&probs, &self.test.labels, 10),
+            ood_auroc,
+            calibration: metrics::calibration_curve(&probs, &self.test.labels, 10),
+            entropy_test: metrics::predictive_entropy(&probs),
+            entropy_ood: metrics::predictive_entropy(&probs_ood),
+        }
+    }
+
+    /// Runs one inference strategy end to end.
+    pub fn run(&self, inference: Inference) -> VisionResult {
+        tyxe_prob::rng::set_seed(7);
+        let cfg = self.cfg;
+        let net = self.fresh_net();
+        let batches = self.train.batches(cfg.batch);
+
+        let hide_bn = Filter::all().hide_module_types(&["BatchNorm2d"]);
+        let last_layer = Filter::all().expose(&["fc.weight", "fc.bias"]);
+
+        match inference {
+            Inference::Ml => {
+                // The pretrained network itself.
+                let probs = net.forward(&self.test.images).softmax(1).detach();
+                let probs_ood = net.forward(&self.ood.images).softmax(1).detach();
+                self.result_from_probs(inference, probs, probs_ood)
+            }
+            Inference::Map => {
+                let prior = IIDPrior::standard_normal().with_filter(hide_bn);
+                let bnn = VariationalBnn::new(
+                    net,
+                    &prior,
+                    Categorical::new(cfg.n_train),
+                    AutoDelta::new(),
+                );
+                let mut optim = Adam::new(vec![], 1e-3);
+                bnn.fit(&batches, &mut optim, cfg.vi_epochs, None);
+                let probs = bnn.predict(&self.test.images, 1);
+                let probs_ood = bnn.predict(&self.ood.images, 1);
+                self.result_from_probs(inference, probs, probs_ood)
+            }
+            Inference::MfSdOnly | Inference::Mf => {
+                let prior = IIDPrior::standard_normal().with_filter(hide_bn);
+                let guide = AutoNormal::new()
+                    .init_loc(InitLoc::Pretrained)
+                    .init_scale(1e-4)
+                    .max_scale(0.1)
+                    .train_loc(inference == Inference::Mf);
+                let bnn = VariationalBnn::new(net, &prior, Categorical::new(cfg.n_train), guide);
+                let mut optim = Adam::new(vec![], 1e-3);
+                {
+                    let _lr = tyxe::poutine::local_reparameterization();
+                    bnn.fit(&batches, &mut optim, cfg.vi_epochs, None);
+                }
+                let probs = bnn.predict(&self.test.images, cfg.num_predictions);
+                let probs_ood = bnn.predict(&self.ood.images, cfg.num_predictions);
+                self.result_from_probs(inference, probs, probs_ood)
+            }
+            Inference::LlMf => {
+                let prior = IIDPrior::standard_normal().with_filter(last_layer);
+                let guide = AutoNormal::new()
+                    .init_loc(InitLoc::Pretrained)
+                    .init_scale(1e-4);
+                let bnn = VariationalBnn::new(net, &prior, Categorical::new(cfg.n_train), guide);
+                let mut optim = Adam::new(vec![], 1e-3);
+                {
+                    let _lr = tyxe::poutine::local_reparameterization();
+                    bnn.fit(&batches, &mut optim, cfg.vi_epochs, None);
+                }
+                let probs = bnn.predict(&self.test.images, cfg.num_predictions);
+                let probs_ood = bnn.predict(&self.ood.images, cfg.num_predictions);
+                self.result_from_probs(inference, probs, probs_ood)
+            }
+            Inference::LlLowRank => {
+                let prior = IIDPrior::standard_normal().with_filter(last_layer);
+                let guide = AutoLowRankNormal::new(cfg.rank, 1e-3);
+                let bnn = VariationalBnn::new(net, &prior, Categorical::new(cfg.n_train), guide);
+                let mut optim = Adam::new(vec![], 1e-3);
+                bnn.fit(&batches, &mut optim, cfg.vi_epochs, None);
+                let probs = bnn.predict(&self.test.images, cfg.num_predictions);
+                let probs_ood = bnn.predict(&self.ood.images, cfg.num_predictions);
+                self.result_from_probs(inference, probs, probs_ood)
+            }
+        }
+    }
+}
+
+/// The paper's Table 1 values, for side-by-side reporting.
+#[allow(clippy::approx_constant)] // 3.14 here is the paper's ECE, not pi
+pub fn paper_reference(inference: Inference) -> (f64, f64, f64, f64) {
+    match inference {
+        Inference::Ml => (0.33, 94.29, 4.10, 0.78),
+        Inference::Map => (0.29, 92.14, 4.44, 0.82),
+        Inference::MfSdOnly => (0.27, 93.66, 3.14, 0.93),
+        Inference::Mf => (0.20, 93.28, 0.97, 0.94),
+        Inference::LlMf => (0.35, 93.36, 3.62, 0.89),
+        Inference::LlLowRank => (0.34, 93.31, 3.75, 0.89),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyxe::guides::Guide;
+
+    fn tiny() -> VisionConfig {
+        VisionConfig {
+            image_size: 8,
+            n_train: 100,
+            n_test: 60,
+            width: 4,
+            pretrain_epochs: 6,
+            vi_epochs: 3,
+            num_predictions: 4,
+            rank: 3,
+            batch: 50,
+            noise_sd: 0.35,
+        }
+    }
+
+    #[test]
+    fn all_six_strategies_produce_finite_metrics() {
+        let setup = VisionSetup::prepare(tiny());
+        for inf in Inference::all() {
+            let r = setup.run(inf);
+            assert!(r.nll.is_finite(), "{:?} NLL", inf);
+            assert!((0.0..=1.0).contains(&r.accuracy), "{:?} accuracy", inf);
+            assert!((0.0..=1.0).contains(&r.ece), "{:?} ECE", inf);
+            assert!((0.0..=1.0).contains(&r.ood_auroc), "{:?} AUROC", inf);
+            assert_eq!(r.calibration.len(), 10);
+            assert_eq!(r.entropy_test.len(), 60);
+        }
+    }
+
+    #[test]
+    fn fresh_nets_share_pretrained_weights() {
+        let setup = VisionSetup::prepare(tiny());
+        let a = setup.fresh_net();
+        let b = setup.fresh_net();
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    fn sd_only_guide_means_match_pretrained_exactly() {
+        let setup = VisionSetup::prepare(tiny());
+        let net = setup.fresh_net();
+        let fc_pre = net.fc().weight().leaf().to_vec();
+        let prior = IIDPrior::standard_normal()
+            .with_filter(Filter::all().hide_module_types(&["BatchNorm2d"]));
+        let guide = AutoNormal::new()
+            .init_loc(InitLoc::Pretrained)
+            .init_scale(1e-4)
+            .train_loc(false);
+        let bnn = VariationalBnn::new(net, &prior, Categorical::new(100), guide);
+        let mut optim = Adam::new(vec![], 1e-3);
+        bnn.fit(&setup.train.batches(50), &mut optim, 2, None);
+        let q = bnn.guide().detached_distributions();
+        assert_eq!(q["fc.weight"].mean().to_vec(), fc_pre);
+    }
+}

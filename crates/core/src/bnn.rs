@@ -1,0 +1,703 @@
+//! The top-level BNN classes (TyXe `tyxe/bnn.py`): [`VariationalBnn`],
+//! [`McmcBnn`] and the low-level, likelihood-free [`PytorchBnn`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tyxe_nn::{Forward, Module, Param, ParamInfo};
+use tyxe_prob::dist::{kl_divergence, DynDistribution};
+use tyxe_prob::mcmc::{Kernel, Mcmc, Samples};
+use tyxe_prob::optim::Optimizer;
+use tyxe_prob::poutine::{condition, replay, sample, trace};
+use tyxe_prob::svi::{negative_elbo, ElboEstimator};
+use tyxe_tensor::Tensor;
+
+use crate::guides::Guide;
+use crate::likelihoods::Likelihood;
+use crate::priors::Prior;
+
+/// One Bayesian-treated parameter: a sample site named after the parameter
+/// path, with an updatable prior (updatable to support continual learning).
+#[derive(Debug)]
+pub struct BnnSite {
+    /// Site name == the parameter's dotted path (e.g. `"fc.weight"`).
+    pub name: String,
+    /// Kind of the owning module.
+    pub module_kind: &'static str,
+    /// The parameter slot samples are injected into.
+    pub param: Param,
+    prior: RefCell<DynDistribution>,
+}
+
+impl BnnSite {
+    /// Creates a site.
+    pub fn new(
+        name: String,
+        module_kind: &'static str,
+        param: Param,
+        prior: DynDistribution,
+    ) -> BnnSite {
+        BnnSite {
+            name,
+            module_kind,
+            param,
+            prior: RefCell::new(prior),
+        }
+    }
+
+    /// The current prior distribution.
+    pub fn prior(&self) -> DynDistribution {
+        Rc::clone(&self.prior.borrow())
+    }
+
+    /// Replaces the prior (variational continual learning).
+    pub fn set_prior(&self, dist: DynDistribution) {
+        *self.prior.borrow_mut() = dist;
+    }
+
+    fn as_param_info(&self) -> ParamInfo {
+        ParamInfo {
+            name: self.name.clone(),
+            module_kind: self.module_kind,
+            param: self.param.clone(),
+        }
+    }
+}
+
+/// Restores injected parameter samples back to the deterministic leaves
+/// when dropped.
+struct RestoreGuard<'a> {
+    sites: &'a [BnnSite],
+}
+
+impl Drop for RestoreGuard<'_> {
+    fn drop(&mut self) {
+        for site in self.sites {
+            site.param.restore();
+        }
+    }
+}
+
+/// A Pytorch-style network turned into a probabilistic model: every exposed
+/// parameter becomes a sample site (the paper's `_BNN` base class).
+#[derive(Debug)]
+pub struct BayesianModule<M> {
+    net: M,
+    sites: Vec<BnnSite>,
+    deterministic: Vec<ParamInfo>,
+}
+
+impl<M: Module> BayesianModule<M> {
+    /// Splits the network's parameters into Bayesian sites and hidden
+    /// (deterministic) parameters according to `prior`.
+    pub fn new(net: M, prior: &dyn Prior) -> BayesianModule<M> {
+        let mut sites = Vec::new();
+        let mut deterministic = Vec::new();
+        for info in net.named_parameters() {
+            match prior.apply(&info) {
+                Some(dist) => sites.push(BnnSite::new(
+                    info.name.clone(),
+                    info.module_kind,
+                    info.param.clone(),
+                    dist,
+                )),
+                None => deterministic.push(info),
+            }
+        }
+        BayesianModule {
+            net,
+            sites,
+            deterministic,
+        }
+    }
+
+    /// The wrapped network.
+    pub fn net(&self) -> &M {
+        &self.net
+    }
+
+    /// The Bayesian sample sites.
+    pub fn sites(&self) -> &[BnnSite] {
+        &self.sites
+    }
+
+    /// The prior of a named site, if Bayesian.
+    pub fn site_prior(&self, name: &str) -> Option<DynDistribution> {
+        self.sites.iter().find(|s| s.name == name).map(BnnSite::prior)
+    }
+
+    /// Leaf tensors of the parameters kept deterministic (trained by
+    /// maximum likelihood alongside the ELBO, like BatchNorm in the paper).
+    pub fn deterministic_parameters(&self) -> Vec<Tensor> {
+        self.deterministic.iter().map(|i| i.param.leaf()).collect()
+    }
+
+    /// Replaces site priors using a new [`Prior`] (sites the new prior does
+    /// not cover keep their old distribution).
+    pub fn update_prior(&self, prior: &dyn Prior) {
+        for site in &self.sites {
+            if let Some(d) = prior.apply(&site.as_param_info()) {
+                site.set_prior(d);
+            }
+        }
+    }
+
+    /// Runs the probabilistic forward pass: samples every site (through the
+    /// effect-handler stack, so `replay`/`condition` apply), injects the
+    /// samples into the network, and evaluates it.
+    pub fn sampled_forward<I>(&self, input: &I) -> M::Output
+    where
+        M: Forward<I>,
+    {
+        let _restore = RestoreGuard { sites: &self.sites };
+        for site in &self.sites {
+            let value = sample(&site.name, site.prior());
+            site.param.set_value(value);
+        }
+        self.net.forward(input)
+    }
+}
+
+/// Result of [`VariationalBnn::evaluate`]/[`McmcBnn::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Average predictive log likelihood of the targets.
+    pub log_likelihood: f64,
+    /// Likelihood-specific error (squared error or misclassification rate).
+    pub error: f64,
+}
+
+/// Per-epoch progress passed to fit callbacks.
+pub type FitCallback<'a> = &'a mut dyn FnMut(usize, f64) -> bool;
+
+/// Variational Bayesian neural network for supervised learning
+/// (`tyxe.VariationalBNN`).
+///
+/// Combines a network, a [`Prior`], a [`Likelihood`] and a [`Guide`] and
+/// provides scikit-learn style `fit`/`predict`/`evaluate`.
+#[derive(Debug)]
+pub struct VariationalBnn<M, L, G> {
+    module: BayesianModule<M>,
+    likelihood: L,
+    guide: G,
+    estimator: ElboEstimator,
+}
+
+impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
+    /// Builds the BNN; the guide's variational parameters are initialized
+    /// here from the prior-filtered sites.
+    pub fn new(net: M, prior: &dyn Prior, likelihood: L, mut guide: G) -> VariationalBnn<M, L, G> {
+        let module = BayesianModule::new(net, prior);
+        guide.setup(module.sites());
+        VariationalBnn {
+            module,
+            likelihood,
+            guide,
+            estimator: ElboEstimator::MeanField,
+        }
+    }
+
+    /// Selects the ELBO estimator (defaults to the closed-form-KL
+    /// mean-field estimator; [`ElboEstimator::Trace`] is the pathwise
+    /// single-sample variant).
+    #[must_use]
+    pub fn with_estimator(mut self, estimator: ElboEstimator) -> VariationalBnn<M, L, G> {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The underlying Bayesian module.
+    pub fn module(&self) -> &BayesianModule<M> {
+        &self.module
+    }
+
+    /// The wrapped network.
+    pub fn net(&self) -> &M {
+        self.module.net()
+    }
+
+    /// The guide.
+    pub fn guide(&self) -> &G {
+        &self.guide
+    }
+
+    /// The likelihood.
+    pub fn likelihood(&self) -> &L {
+        &self.likelihood
+    }
+
+    /// All tensors an optimizer should train: variational parameters plus
+    /// the deterministic (hidden) network parameters.
+    pub fn trainable_parameters(&self) -> Vec<Tensor> {
+        let mut params = self.guide.parameters();
+        params.extend(self.module.deterministic_parameters());
+        params
+    }
+
+    /// Replaces site priors (used by variational continual learning).
+    pub fn update_prior(&self, prior: &dyn Prior) {
+        self.module.update_prior(prior);
+    }
+
+    fn register_params(&self, optim: &mut dyn Optimizer) {
+        let existing: std::collections::HashSet<u64> =
+            optim.params().iter().map(Tensor::id).collect();
+        let fresh: Vec<Tensor> = self
+            .trainable_parameters()
+            .into_iter()
+            .filter(|p| !existing.contains(&p.id()))
+            .collect();
+        if !fresh.is_empty() {
+            optim.add_params(fresh);
+        }
+    }
+
+    /// One SVI step on a single batch; returns the negative ELBO.
+    pub fn svi_step<I>(&self, input: &I, targets: &Tensor, optim: &mut dyn Optimizer) -> f64
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        self.register_params(optim);
+        let model = || {
+            let pred = self.module.sampled_forward(input);
+            self.likelihood.observe_data(&pred, targets);
+        };
+        let guide = || self.guide.sample_guide();
+        let (loss, _, _) = negative_elbo(&model, &guide, self.estimator);
+        optim.zero_grad();
+        loss.backward();
+        optim.step();
+        loss.item()
+    }
+
+    /// Runs stochastic variational inference for `num_epochs` passes over
+    /// `data` (an iterable of `(input, targets)` batches).
+    ///
+    /// The optional `callback` receives `(epoch, mean negative ELBO)` after
+    /// every epoch and stops training early by returning `true`. Returns
+    /// the per-epoch mean negative ELBO history.
+    pub fn fit<I>(
+        &self,
+        data: &[(I, Tensor)],
+        optim: &mut dyn Optimizer,
+        num_epochs: usize,
+        mut callback: Option<FitCallback<'_>>,
+    ) -> Vec<f64>
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        assert!(!data.is_empty(), "fit: data must be non-empty");
+        let mut history = Vec::with_capacity(num_epochs);
+        for epoch in 0..num_epochs {
+            let mut total = 0.0;
+            for (x, y) in data {
+                total += self.svi_step(x, y, optim);
+            }
+            let avg = total / data.len() as f64;
+            history.push(avg);
+            if let Some(cb) = callback.as_mut() {
+                if cb(epoch, avg) {
+                    break;
+                }
+            }
+        }
+        history
+    }
+
+    /// Draws `num_predictions` posterior predictive samples (detached),
+    /// one network output per weight sample.
+    pub fn predict_samples<I>(&self, input: &I, num_predictions: usize) -> Vec<Tensor>
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        (0..num_predictions)
+            .map(|_| {
+                let (gtr, ()) = trace(|| self.guide.sample_guide());
+                replay(&gtr, || self.module.sampled_forward(input)).detach()
+            })
+            .collect()
+    }
+
+    /// Aggregated posterior predictive (likelihood-specific: mean class
+    /// probabilities, or stacked mean/sd for Gaussians).
+    pub fn predict<I>(&self, input: &I, num_predictions: usize) -> Tensor
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let samples = self.predict_samples(input, num_predictions);
+        self.likelihood.aggregate_predictions(&samples)
+    }
+
+    /// Predictive log likelihood and error on held-out data.
+    pub fn evaluate<I>(&self, input: &I, targets: &Tensor, num_predictions: usize) -> Evaluation
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let agg = self.predict(input, num_predictions);
+        Evaluation {
+            log_likelihood: self.likelihood.log_likelihood(&agg, targets),
+            error: self.likelihood.error(&agg, targets),
+        }
+    }
+}
+
+/// MCMC-based Bayesian neural network (`tyxe.MCMC_BNN`), parameterized by a
+/// transition kernel ([`tyxe_prob::mcmc::Hmc`] or [`tyxe_prob::mcmc::Nuts`]).
+#[derive(Debug)]
+pub struct McmcBnn<M, L, K> {
+    module: BayesianModule<M>,
+    likelihood: L,
+    kernel: Option<K>,
+    samples: Option<Samples>,
+}
+
+impl<M: Module, L: Likelihood, K: Kernel> McmcBnn<M, L, K> {
+    /// Builds the BNN with the given kernel.
+    pub fn new(net: M, prior: &dyn Prior, likelihood: L, kernel: K) -> McmcBnn<M, L, K> {
+        McmcBnn {
+            module: BayesianModule::new(net, prior),
+            likelihood,
+            kernel: Some(kernel),
+            samples: None,
+        }
+    }
+
+    /// The underlying Bayesian module.
+    pub fn module(&self) -> &BayesianModule<M> {
+        &self.module
+    }
+
+    /// Runs the chain on the **full** dataset (MCMC does not support
+    /// mini-batching, as in Pyro), retaining `num_samples` draws after
+    /// `warmup` adaptation steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice (the kernel is consumed).
+    pub fn fit<I>(&mut self, input: &I, targets: &Tensor, num_samples: usize, warmup: usize)
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let kernel = self.kernel.take().expect("McmcBnn::fit may only be called once");
+        let model = || {
+            let pred = self.module.sampled_forward(input);
+            self.likelihood.observe_data(&pred, targets);
+        };
+        let mut mcmc = Mcmc::new(kernel, num_samples, warmup);
+        self.samples = Some(mcmc.run(&model));
+    }
+
+    /// The retained posterior samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fit` has not been called.
+    pub fn samples(&self) -> &Samples {
+        self.samples.as_ref().expect("call McmcBnn::fit first")
+    }
+
+    /// Posterior predictive samples using `num_predictions` draws spread
+    /// evenly over the chain.
+    pub fn predict_samples<I>(&self, input: &I, num_predictions: usize) -> Vec<Tensor>
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let samples = self.samples();
+        let total = samples.num_samples();
+        assert!(total > 0, "no posterior samples retained");
+        let stride = (total / num_predictions.max(1)).max(1);
+        (0..total)
+            .step_by(stride)
+            .take(num_predictions)
+            .map(|i| {
+                let draw: HashMap<String, Tensor> = samples.draw(i);
+                condition(draw, || self.module.sampled_forward(input)).detach()
+            })
+            .collect()
+    }
+
+    /// Aggregated posterior predictive.
+    pub fn predict<I>(&self, input: &I, num_predictions: usize) -> Tensor
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let preds = self.predict_samples(input, num_predictions);
+        self.likelihood.aggregate_predictions(&preds)
+    }
+
+    /// Predictive log likelihood and error on held-out data.
+    pub fn evaluate<I>(&self, input: &I, targets: &Tensor, num_predictions: usize) -> Evaluation
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let agg = self.predict(input, num_predictions);
+        Evaluation {
+            log_likelihood: self.likelihood.log_likelihood(&agg, targets),
+            error: self.likelihood.error(&agg, targets),
+        }
+    }
+}
+
+/// Low-level, likelihood-free BNN acting as a drop-in replacement for a
+/// deterministic network inside an existing training loop
+/// (`tyxe.PytorchBNN`, used for the Bayesian NeRF experiment).
+///
+/// Each `forward` draws one weight sample from the guide and updates
+/// [`PytorchBnn::cached_kl_loss`], which the caller adds to its custom loss.
+#[derive(Debug)]
+pub struct PytorchBnn<M, G> {
+    module: BayesianModule<M>,
+    guide: G,
+    cached_kl: RefCell<Option<Tensor>>,
+}
+
+impl<M: Module, G: Guide> PytorchBnn<M, G> {
+    /// Builds the wrapper (no likelihood — the caller owns the loss).
+    pub fn new(net: M, prior: &dyn Prior, mut guide: G) -> PytorchBnn<M, G> {
+        let module = BayesianModule::new(net, prior);
+        guide.setup(module.sites());
+        PytorchBnn {
+            module,
+            guide,
+            cached_kl: RefCell::new(None),
+        }
+    }
+
+    /// The underlying Bayesian module.
+    pub fn module(&self) -> &BayesianModule<M> {
+        &self.module
+    }
+
+    /// Stochastic forward pass with a single posterior sample; refreshes
+    /// the cached KL term as a side effect.
+    pub fn forward<I>(&self, input: &I) -> M::Output
+    where
+        M: Forward<I>,
+    {
+        let (gtr, ()) = trace(|| self.guide.sample_guide());
+        // KL(q || p), analytic per site where possible, otherwise the
+        // single-sample estimate log q - log p.
+        let mut kl = Tensor::scalar(0.0);
+        for gsite in gtr.iter().filter(|s| !s.observed) {
+            match self.module.site_prior(&gsite.name) {
+                Some(prior) => match kl_divergence(gsite.dist.as_ref(), prior.as_ref()) {
+                    Some(site_kl) => kl = kl.add(&site_kl.sum()),
+                    None => {
+                        kl = kl
+                            .add(&gsite.log_prob())
+                            .sub(&prior.log_prob(&gsite.value).sum());
+                    }
+                },
+                // Auxiliary guide site (e.g. low-rank joint): log q only.
+                None => kl = kl.add(&gsite.log_prob()),
+            }
+        }
+        *self.cached_kl.borrow_mut() = Some(kl);
+        replay(&gtr, || self.module.sampled_forward(input))
+    }
+
+    /// The KL divergence term from the most recent forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has run yet.
+    pub fn cached_kl_loss(&self) -> Tensor {
+        self.cached_kl
+            .borrow()
+            .clone()
+            .expect("cached_kl_loss: run a forward pass first")
+    }
+
+    /// Collects all optimizable parameters. Mirrors the paper's
+    /// `pytorch_parameters(dummy_data)`: a data batch is required because
+    /// guide parameters are created lazily with respect to the network
+    /// trace (here they exist after construction, but a forward pass is
+    /// still run so that the cached KL term is initialized consistently).
+    pub fn pytorch_parameters<I>(&self, dummy_input: &I) -> Vec<Tensor>
+    where
+        M: Forward<I>,
+    {
+        let _ = self.forward(dummy_input);
+        let mut params = self.guide.parameters();
+        params.extend(self.module.deterministic_parameters());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guides::{AutoDelta, AutoNormal, InitLoc};
+    use crate::likelihoods::HomoskedasticGaussian;
+    use crate::priors::{Filter, IIDPrior};
+    use rand::SeedableRng;
+    use tyxe_nn::layers::mlp;
+    use tyxe_prob::optim::Adam;
+
+    fn toy_net() -> tyxe_nn::layers::Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        mlp(&[1, 8, 1], false, &mut rng)
+    }
+
+    fn toy_data() -> (Tensor, Tensor) {
+        tyxe_prob::rng::set_seed(0);
+        let x = tyxe_prob::rng::rand_uniform(&[32, 1], -1.0, 1.0);
+        let y = x.mul_scalar(2.0);
+        (x, y)
+    }
+
+    #[test]
+    fn bayesian_module_splits_sites_by_filter() {
+        let net = toy_net();
+        let prior =
+            IIDPrior::standard_normal().with_filter(Filter::all().hide_attributes(&["bias"]));
+        let module = BayesianModule::new(net, &prior);
+        assert_eq!(module.sites().len(), 2); // two weights
+        assert_eq!(module.deterministic_parameters().len(), 2); // two biases
+    }
+
+    #[test]
+    fn sampled_forward_restores_params() {
+        let net = toy_net();
+        let before: Vec<Vec<f64>> = net.named_parameters().iter().map(|p| p.param.value().to_vec()).collect();
+        let module = BayesianModule::new(net, &IIDPrior::standard_normal());
+        tyxe_prob::rng::set_seed(1);
+        let _ = module.sampled_forward(&Tensor::zeros(&[2, 1]));
+        let after: Vec<Vec<f64>> = module
+            .net()
+            .named_parameters()
+            .iter()
+            .map(|p| p.param.value().to_vec())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn variational_bnn_fit_reduces_loss() {
+        let (x, y) = toy_data();
+        let bnn = VariationalBnn::new(
+            toy_net(),
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(32, 0.1),
+            AutoNormal::new().init_loc(InitLoc::Pretrained).init_scale(1e-3),
+        );
+        let mut optim = Adam::new(vec![], 1e-2);
+        let history = bnn.fit(&[(x.clone(), y.clone())], &mut optim, 150, None);
+        assert!(history.last().unwrap() < &(history[0] * 0.5), "{history:?}");
+        let eval = bnn.evaluate(&x, &y, 8);
+        assert!(eval.error < 0.05, "error {}", eval.error);
+    }
+
+    #[test]
+    fn fit_callback_can_stop_early() {
+        let (x, y) = toy_data();
+        let bnn = VariationalBnn::new(
+            toy_net(),
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(32, 0.1),
+            AutoNormal::new(),
+        );
+        let mut optim = Adam::new(vec![], 1e-2);
+        let mut epochs_seen = 0;
+        let mut cb = |epoch: usize, _elbo: f64| {
+            epochs_seen = epoch + 1;
+            epoch >= 4
+        };
+        bnn.fit(&[(x, y)], &mut optim, 100, Some(&mut cb));
+        assert_eq!(epochs_seen, 5);
+    }
+
+    #[test]
+    fn predict_samples_vary_and_aggregate() {
+        let (x, y) = toy_data();
+        let bnn = VariationalBnn::new(
+            toy_net(),
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(32, 0.1),
+            AutoNormal::new().init_scale(0.5),
+        );
+        let _ = y;
+        tyxe_prob::rng::set_seed(2);
+        let samples = bnn.predict_samples(&x, 4);
+        assert_eq!(samples.len(), 4);
+        assert_ne!(samples[0].to_vec(), samples[1].to_vec());
+        let agg = bnn.predict(&x, 4);
+        assert_eq!(agg.shape(), &[32, 1, 2]); // mean/sd stacked
+    }
+
+    #[test]
+    fn map_via_autodelta_trains_point_estimate() {
+        let (x, y) = toy_data();
+        let bnn = VariationalBnn::new(
+            toy_net(),
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(32, 0.1),
+            AutoDelta::new(),
+        );
+        let mut optim = Adam::new(vec![], 1e-2);
+        bnn.fit(&[(x.clone(), y.clone())], &mut optim, 200, None);
+        // Deterministic guide: repeated predictions identical.
+        let a = bnn.predict_samples(&x, 1)[0].to_vec();
+        let b = bnn.predict_samples(&x, 1)[0].to_vec();
+        assert_eq!(a, b);
+        assert!(bnn.evaluate(&x, &y, 1).error < 0.05);
+    }
+
+    #[test]
+    fn update_prior_replaces_site_distributions() {
+        let bnn = VariationalBnn::new(
+            toy_net(),
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(32, 0.1),
+            AutoNormal::new(),
+        );
+        bnn.update_prior(&IIDPrior::normal(0.0, 5.0));
+        let prior = bnn.module().site_prior("0.weight").unwrap();
+        assert!((prior.variance().to_vec()[0] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pytorch_bnn_forward_and_kl() {
+        let net = toy_net();
+        let bnn = PytorchBnn::new(
+            net,
+            &IIDPrior::standard_normal(),
+            AutoNormal::new().init_loc(InitLoc::Pretrained).init_scale(1e-2),
+        );
+        let x = Tensor::zeros(&[4, 1]);
+        let params = bnn.pytorch_parameters(&x);
+        assert!(!params.is_empty());
+        let out = bnn.forward(&x);
+        assert_eq!(out.shape(), &[4, 1]);
+        let kl = bnn.cached_kl_loss();
+        assert_eq!(kl.numel(), 1);
+        assert!(kl.item() >= 0.0, "analytic KL must be nonnegative: {}", kl.item());
+        // KL is differentiable w.r.t. guide parameters.
+        kl.backward();
+        assert!(params.iter().any(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn pytorch_bnn_trains_with_external_loop() {
+        let (x, y) = toy_data();
+        let bnn = PytorchBnn::new(
+            toy_net(),
+            &IIDPrior::standard_normal(),
+            AutoNormal::new().init_loc(InitLoc::Pretrained).init_scale(1e-3),
+        );
+        let params = bnn.pytorch_parameters(&x);
+        let mut optim = Adam::new(params, 1e-2);
+        let mut last = f64::INFINITY;
+        for _ in 0..150 {
+            let pred = bnn.forward(&x);
+            let mse = pred.sub(&y).square().mean();
+            let loss = mse.add(&bnn.cached_kl_loss().mul_scalar(1.0 / 3200.0));
+            last = mse.item();
+            optim.zero_grad();
+            loss.backward();
+            optim.step();
+        }
+        assert!(last < 0.05, "final mse {last}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Monte Carlo dropout (Gal & Ghahramani, 2016) — the pragmatic
+//! uncertainty baseline the paper's Appendix D describes, including the
+//! fixed-mask effect handler for visualization ("for visualization
+//! purposes it can be desirable to fix a single sample across batches of
+//! data. Registering Dropout layers as an effect handler could give access
+//! to this functionality").
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tyxe_nn::{Forward, Module};
+use tyxe_prob::poutine::{install, HandlerGuard, Messenger};
+use tyxe_prob::rng;
+use tyxe_tensor::Tensor;
+
+use crate::likelihoods::Likelihood;
+
+// ---------------------------------------------------------------------------
+// Fixed-mask dropout handler
+// ---------------------------------------------------------------------------
+
+/// Effect handler giving every dropout layer a **single feature-wise mask
+/// shared across the batch and across forward passes** for the lifetime of
+/// the guard.
+///
+/// Masks are keyed by the layer's feature shape (all dims after the batch
+/// dim) and drop probability, then broadcast over the batch — so repeated
+/// predictions use one consistent "thinned network" sample.
+pub struct FixedDropoutMessenger {
+    masks: RefCell<HashMap<(Vec<usize>, u64), Tensor>>,
+}
+
+impl Default for FixedDropoutMessenger {
+    fn default() -> FixedDropoutMessenger {
+        FixedDropoutMessenger::new()
+    }
+}
+
+impl FixedDropoutMessenger {
+    /// Creates the handler with an empty mask cache.
+    pub fn new() -> FixedDropoutMessenger {
+        FixedDropoutMessenger {
+            masks: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+impl Messenger for FixedDropoutMessenger {
+    fn intercept_dropout(&self, x: &Tensor, p: f64) -> Option<Tensor> {
+        let feature_shape: Vec<usize> = x.shape()[1..].to_vec();
+        let key = (feature_shape.clone(), p.to_bits());
+        let mut masks = self.masks.borrow_mut();
+        let mask = masks.entry(key).or_insert_with(|| {
+            let keep = 1.0 - p;
+            let mut shape = vec![1];
+            shape.extend(&feature_shape);
+            let u = rng::rand_uniform(&shape, 0.0, 1.0);
+            let data: Vec<f64> = u
+                .data()
+                .iter()
+                .map(|&ui| if ui < keep { 1.0 / keep } else { 0.0 })
+                .collect();
+            Tensor::from_vec(data, &shape)
+        });
+        Some(x.mul(mask))
+    }
+}
+
+/// Installs the fixed-mask dropout handler for the lifetime of the guard.
+pub fn fixed_dropout() -> HandlerGuard {
+    install(Rc::new(FixedDropoutMessenger::new()))
+}
+
+// ---------------------------------------------------------------------------
+// MC-dropout predictor
+// ---------------------------------------------------------------------------
+
+/// Wraps a network containing [`tyxe_nn::layers::Dropout`] layers and
+/// produces Monte Carlo dropout predictive distributions: the network is
+/// put in training mode at prediction time so each forward pass samples a
+/// fresh thinned network.
+#[derive(Debug)]
+pub struct McDropout<M, L> {
+    net: M,
+    likelihood: L,
+}
+
+impl<M: Module, L: Likelihood> McDropout<M, L> {
+    /// Wraps an (already trained) network.
+    pub fn new(net: M, likelihood: L) -> McDropout<M, L> {
+        McDropout { net, likelihood }
+    }
+
+    /// The wrapped network.
+    pub fn net(&self) -> &M {
+        &self.net
+    }
+
+    /// Draws `num_predictions` stochastic forward passes (dropout active).
+    pub fn predict_samples<I>(&self, input: &I, num_predictions: usize) -> Vec<Tensor>
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        self.net.set_training(true);
+        let out = (0..num_predictions)
+            .map(|_| self.net.forward(input).detach())
+            .collect();
+        self.net.set_training(false);
+        out
+    }
+
+    /// Aggregated MC-dropout predictive (likelihood-specific).
+    pub fn predict<I>(&self, input: &I, num_predictions: usize) -> Tensor
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let samples = self.predict_samples(input, num_predictions);
+        self.likelihood.aggregate_predictions(&samples)
+    }
+
+    /// Predictions with one **fixed** dropout mask shared across the batch
+    /// and across all samples (the Appendix D visualization mode); the
+    /// returned samples are identical by construction.
+    pub fn predict_fixed_mask<I>(&self, input: &I) -> Tensor
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let _guard = fixed_dropout();
+        self.net.set_training(true);
+        let out = self.net.forward(input).detach();
+        self.net.set_training(false);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::likelihoods::Categorical;
+    use rand::SeedableRng;
+    use tyxe_nn::layers::{Dropout, Linear, Sequential};
+
+    fn dropout_net() -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        Sequential::new()
+            .add(Linear::new(4, 16, &mut rng))
+            .add(tyxe_nn::layers::Relu::new())
+            .add(Dropout::new(0.5))
+            .add(Linear::new(16, 3, &mut rng))
+    }
+
+    #[test]
+    fn stochastic_passes_differ_but_share_mean() {
+        tyxe_prob::rng::set_seed(0);
+        let mc = McDropout::new(dropout_net(), Categorical::new(10));
+        let x = Tensor::ones(&[2, 4]);
+        let samples = mc.predict_samples(&x, 4);
+        assert_eq!(samples.len(), 4);
+        assert_ne!(samples[0].to_vec(), samples[1].to_vec());
+        let agg = mc.predict(&x, 8);
+        assert_eq!(agg.shape(), &[2, 3]);
+        let row: f64 = (0..3).map(|j| agg.at(&[0, j])).sum();
+        assert!((row - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_mask_is_shared_across_batch_rows() {
+        tyxe_prob::rng::set_seed(1);
+        let mc = McDropout::new(dropout_net(), Categorical::new(10));
+        // Identical rows + shared mask => identical outputs.
+        let x = Tensor::ones(&[3, 4]);
+        let out = mc.predict_fixed_mask(&x);
+        assert_eq!(out.slice(0, 0, 1).to_vec(), out.slice(0, 1, 2).to_vec());
+        assert_eq!(out.slice(0, 1, 2).to_vec(), out.slice(0, 2, 3).to_vec());
+    }
+
+    #[test]
+    fn fixed_mask_persists_across_forward_passes() {
+        tyxe_prob::rng::set_seed(2);
+        let net = dropout_net();
+        net.set_training(true);
+        let x = Tensor::ones(&[1, 4]);
+        let _guard = fixed_dropout();
+        let a = tyxe_nn::Forward::forward(&net, &x).to_vec();
+        let b = tyxe_nn::Forward::forward(&net, &x).to_vec();
+        assert_eq!(a, b, "mask must be cached across calls under the guard");
+    }
+
+    #[test]
+    fn without_handler_masks_resample() {
+        tyxe_prob::rng::set_seed(3);
+        let net = dropout_net();
+        net.set_training(true);
+        let x = Tensor::ones(&[1, 4]);
+        let a = tyxe_nn::Forward::forward(&net, &x).to_vec();
+        let b = tyxe_nn::Forward::forward(&net, &x).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mc = McDropout::new(dropout_net(), Categorical::new(10));
+        mc.net().set_training(false);
+        let x = Tensor::ones(&[1, 4]);
+        let a = tyxe_nn::Forward::forward(mc.net(), &x).to_vec();
+        let b = tyxe_nn::Forward::forward(mc.net(), &x).to_vec();
+        assert_eq!(a, b);
+    }
+}

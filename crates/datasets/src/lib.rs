@@ -1,0 +1,20 @@
+//! `tyxe-datasets`: synthetic stand-ins for the datasets used in the TyXe
+//! paper's evaluation.
+//!
+//! Real CIFAR-10, SVHN and MNIST cannot be shipped offline, so this crate
+//! generates synthetic datasets preserving the structure the experiments
+//! depend on:
+//!
+//! * [`regression`] — the Foong et al. (2019) two-cluster 1-D regression
+//!   problem used in the paper's §2 (Figure 1), generated exactly as
+//!   specified.
+//! * [`images`] — class-prototype image generators for the CIFAR-like
+//!   in-distribution set and an SVHN-like out-of-distribution set
+//!   (Table 1 / Figure 2), plus Split-task continual learning streams
+//!   (Figure 4).
+
+pub mod images;
+pub mod regression;
+
+pub use images::{ImageDataset, ImageGenerator, SplitTask};
+pub use regression::{foong_regression, regression_grid, Regression1d};

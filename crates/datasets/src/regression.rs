@@ -1,0 +1,116 @@
+//! The Foong et al. (2019) "in-between uncertainty" regression dataset,
+//! used by the paper's non-linear regression example (Figure 1).
+//!
+//! Inputs come from two clusters, `x1 ~ U[-1, -0.7]` and `x2 ~ U[0.5, 1]`,
+//! and targets are `y ~ N(cos(4x + 0.8), 0.1^2)`. A well-calibrated BNN
+//! shows inflated predictive variance in the gap between the clusters.
+
+use rand::Rng;
+use rand::SeedableRng;
+use tyxe_tensor::Tensor;
+
+/// A 1-D regression dataset with inputs of shape `[n, 1]` and targets of
+/// shape `[n, 1]`.
+#[derive(Debug, Clone)]
+pub struct Regression1d {
+    /// Inputs `[n, 1]`.
+    pub x: Tensor,
+    /// Targets `[n, 1]`.
+    pub y: Tensor,
+}
+
+impl Regression1d {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.shape()[0]
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The noiseless target function `cos(4x + 0.8)`.
+pub fn true_function(x: f64) -> f64 {
+    (4.0 * x + 0.8).cos()
+}
+
+/// Generates the two-cluster dataset with `n_per_cluster` points per
+/// cluster and observation noise `noise_sd` (0.1 in the paper).
+pub fn foong_regression(n_per_cluster: usize, noise_sd: f64, seed: u64) -> Regression1d {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(2 * n_per_cluster);
+    for _ in 0..n_per_cluster {
+        xs.push(rng.gen_range(-1.0..-0.7));
+    }
+    for _ in 0..n_per_cluster {
+        xs.push(rng.gen_range(0.5..1.0));
+    }
+    let noise = Tensor::randn(&[2 * n_per_cluster], &mut rng).mul_scalar(noise_sd);
+    let ys: Vec<f64> = xs
+        .iter()
+        .zip(noise.to_vec())
+        .map(|(&x, e)| true_function(x) + e)
+        .collect();
+    let n = xs.len();
+    Regression1d {
+        x: Tensor::from_vec(xs, &[n, 1]),
+        y: Tensor::from_vec(ys, &[n, 1]),
+    }
+}
+
+/// An evenly spaced evaluation grid `[n, 1]` (for plotting predictive
+/// bands across the in-between region).
+pub fn regression_grid(lo: f64, hi: f64, n: usize) -> Tensor {
+    Tensor::linspace(lo, hi, n).reshape(&[n, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_lie_in_specified_ranges() {
+        let data = foong_regression(50, 0.1, 0);
+        let xs = data.x.to_vec();
+        for &x in &xs[..50] {
+            assert!((-1.0..-0.7).contains(&x), "first-cluster x {x}");
+        }
+        for &x in &xs[50..] {
+            assert!((0.5..1.0).contains(&x), "second-cluster x {x}");
+        }
+        assert_eq!(data.len(), 100);
+        assert!(!data.is_empty());
+    }
+
+    #[test]
+    fn targets_follow_cosine_up_to_noise() {
+        let data = foong_regression(200, 0.1, 1);
+        let xs = data.x.to_vec();
+        let ys = data.y.to_vec();
+        let resid_var: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (y - true_function(x)).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!((resid_var - 0.01).abs() < 0.005, "residual variance {resid_var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = foong_regression(10, 0.1, 7);
+        let b = foong_regression(10, 0.1, 7);
+        assert_eq!(a.x.to_vec(), b.x.to_vec());
+        assert_eq!(a.y.to_vec(), b.y.to_vec());
+    }
+
+    #[test]
+    fn grid_shape_and_range() {
+        let g = regression_grid(-2.0, 2.0, 101);
+        assert_eq!(g.shape(), &[101, 1]);
+        assert_eq!(g.at(&[0, 0]), -2.0);
+        assert_eq!(g.at(&[100, 0]), 2.0);
+    }
+}

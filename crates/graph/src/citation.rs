@@ -1,0 +1,250 @@
+//! Synthetic Cora-like citation network: a homophilous stochastic block
+//! model with class-correlated bag-of-words features and Planetoid-style
+//! sparse train/val/test masks.
+
+use rand::Rng;
+use rand::SeedableRng;
+use tyxe_tensor::Tensor;
+
+use crate::graph::Graph;
+
+/// A semi-supervised node classification dataset.
+#[derive(Debug, Clone)]
+pub struct CitationDataset {
+    /// The citation graph.
+    pub graph: Graph,
+    /// Node features `[n, d]`.
+    pub features: Tensor,
+    /// Node labels `[n]` as `f64` class indices.
+    pub labels: Tensor,
+    /// 0/1 mask `[n]`: labelled training nodes.
+    pub train_mask: Tensor,
+    /// 0/1 mask `[n]`: validation nodes.
+    pub val_mask: Tensor,
+    /// 0/1 mask `[n]`: test nodes.
+    pub test_mask: Tensor,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl CitationDataset {
+    /// Node indices where `mask` is 1.
+    pub fn mask_indices(mask: &Tensor) -> Vec<usize> {
+        mask.to_vec()
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0.5)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Generates a Cora-like citation network with default word-signal
+/// strength (see [`citation_graph_with_words`] for control over task
+/// difficulty).
+#[allow(clippy::too_many_arguments)]
+pub fn citation_graph(
+    num_nodes: usize,
+    num_classes: usize,
+    feat_dim: usize,
+    p_in: f64,
+    p_out: f64,
+    train_per_class: usize,
+    num_val: usize,
+    num_test: usize,
+    seed: u64,
+) -> CitationDataset {
+    citation_graph_with_words(
+        num_nodes,
+        num_classes,
+        feat_dim,
+        p_in,
+        p_out,
+        train_per_class,
+        num_val,
+        num_test,
+        0.4,
+        0.03,
+        seed,
+    )
+}
+
+/// Generates a Cora-like citation network.
+///
+/// * `num_nodes` nodes over `num_classes` classes (Cora: 2708 / 7; the
+///   benchmarks use a scaled-down 400 / 7).
+/// * Edges follow a stochastic block model with within-class probability
+///   `p_in` and cross-class probability `p_out` (homophily, the property
+///   GCNs exploit).
+/// * Features are `feat_dim`-dimensional noisy bags of words: each class
+///   owns a random subset of "words" that fire with probability
+///   `p_word_on`; all other words fire with `p_word_off`. The gap between
+///   the two controls task difficulty.
+/// * Planetoid-style masks: `train_per_class` labelled nodes per class
+///   (Cora uses 20), `num_val` validation and `num_test` test nodes.
+#[allow(clippy::too_many_arguments)]
+pub fn citation_graph_with_words(
+    num_nodes: usize,
+    num_classes: usize,
+    feat_dim: usize,
+    p_in: f64,
+    p_out: f64,
+    train_per_class: usize,
+    num_val: usize,
+    num_test: usize,
+    p_word_on: f64,
+    p_word_off: f64,
+    seed: u64,
+) -> CitationDataset {
+    assert!(
+        num_classes * train_per_class + num_val + num_test <= num_nodes,
+        "citation_graph: masks exceed node count"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Balanced labels.
+    let labels: Vec<usize> = (0..num_nodes).map(|i| i % num_classes).collect();
+
+    // Stochastic block model edges.
+    let mut edges = Vec::new();
+    for u in 0..num_nodes {
+        for v in (u + 1)..num_nodes {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let graph = Graph::from_edges(num_nodes, &edges);
+
+    // Class-specific word subsets.
+    let words_per_class = (feat_dim / num_classes).max(1);
+    let mut features = vec![0.0; num_nodes * feat_dim];
+    for (u, &label) in labels.iter().enumerate() {
+        for w in 0..feat_dim {
+            let owned = w / words_per_class == label;
+            let p = if owned { p_word_on } else { p_word_off };
+            if rng.gen_bool(p) {
+                features[u * feat_dim + w] = 1.0;
+            }
+        }
+    }
+
+    // Planetoid masks: first `train_per_class` per class train, then val,
+    // then test from the remaining pool (in a shuffled order).
+    let mut order: Vec<usize> = (0..num_nodes).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut train_mask = vec![0.0; num_nodes];
+    let mut val_mask = vec![0.0; num_nodes];
+    let mut test_mask = vec![0.0; num_nodes];
+    let mut per_class = vec![0usize; num_classes];
+    let mut rest = Vec::new();
+    for &u in &order {
+        if per_class[labels[u]] < train_per_class {
+            per_class[labels[u]] += 1;
+            train_mask[u] = 1.0;
+        } else {
+            rest.push(u);
+        }
+    }
+    for (i, &u) in rest.iter().enumerate() {
+        if i < num_val {
+            val_mask[u] = 1.0;
+        } else if i < num_val + num_test {
+            test_mask[u] = 1.0;
+        }
+    }
+
+    CitationDataset {
+        graph,
+        features: Tensor::from_vec(features, &[num_nodes, feat_dim]),
+        labels: Tensor::from_vec(labels.iter().map(|&l| l as f64).collect(), &[num_nodes]),
+        train_mask: Tensor::from_vec(train_mask, &[num_nodes]),
+        val_mask: Tensor::from_vec(val_mask, &[num_nodes]),
+        test_mask: Tensor::from_vec(test_mask, &[num_nodes]),
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CitationDataset {
+        citation_graph(140, 7, 49, 0.1, 0.005, 5, 30, 50, 0)
+    }
+
+    #[test]
+    fn masks_are_disjoint_and_sized() {
+        let ds = small();
+        let train = CitationDataset::mask_indices(&ds.train_mask);
+        let val = CitationDataset::mask_indices(&ds.val_mask);
+        let test = CitationDataset::mask_indices(&ds.test_mask);
+        assert_eq!(train.len(), 35);
+        assert_eq!(val.len(), 30);
+        assert_eq!(test.len(), 50);
+        let mut all: Vec<usize> = train.iter().chain(&val).chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 115, "masks overlap");
+    }
+
+    #[test]
+    fn train_mask_is_class_balanced() {
+        let ds = small();
+        let labels = ds.labels.to_vec();
+        let mut counts = vec![0; 7];
+        for u in CitationDataset::mask_indices(&ds.train_mask) {
+            counts[labels[u] as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 5), "{counts:?}");
+    }
+
+    #[test]
+    fn graph_is_homophilous() {
+        let ds = small();
+        let labels = ds.labels.to_vec();
+        let same = ds
+            .graph
+            .edges()
+            .iter()
+            .filter(|(u, v)| labels[*u] == labels[*v])
+            .count();
+        let frac = same as f64 / ds.graph.num_edges() as f64;
+        assert!(frac > 0.5, "homophily fraction {frac}");
+    }
+
+    #[test]
+    fn features_are_class_indicative() {
+        let ds = small();
+        let labels = ds.labels.to_vec();
+        let fd = ds.features.shape()[1];
+        let words_per_class = fd / 7;
+        // Average in-block activation should exceed out-of-block.
+        let f = ds.features.to_vec();
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0, 0, 0.0, 0);
+        for u in 0..ds.graph.num_nodes() {
+            let c = labels[u] as usize;
+            for w in 0..fd {
+                if w / words_per_class == c {
+                    in_sum += f[u * fd + w];
+                    in_n += 1;
+                } else {
+                    out_sum += f[u * fd + w];
+                    out_n += 1;
+                }
+            }
+        }
+        assert!(in_sum / in_n as f64 > 5.0 * out_sum / out_n as f64);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.features.to_vec(), b.features.to_vec());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+}

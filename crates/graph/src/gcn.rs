@@ -1,0 +1,167 @@
+//! Graph convolution layers and a two-layer GCN, mirroring the DGL
+//! tutorial model used by the paper (aggregation followed by a standard
+//! `Linear`, so reparameterization handlers apply unchanged).
+
+use tyxe_nn::layers::Linear;
+use tyxe_nn::module::{join_path, Forward, Module, ParamInfo};
+use tyxe_tensor::Tensor;
+
+use crate::graph::Graph;
+
+/// One graph convolution: `relu_optional(Â x W^T + b)` implemented as
+/// [`Graph::aggregate`] followed by an ordinary [`Linear`] layer — which
+/// routes through the effectful linear op, making the layer compatible
+/// with flipout and local reparameterization out of the box.
+#[derive(Debug)]
+pub struct GcnLayer {
+    linear: Linear,
+}
+
+impl GcnLayer {
+    /// Creates a layer mapping `in_feats` to `out_feats` per node.
+    pub fn new<R: rand::Rng + ?Sized>(in_feats: usize, out_feats: usize, rng: &mut R) -> GcnLayer {
+        GcnLayer {
+            linear: Linear::new(in_feats, out_feats, rng),
+        }
+    }
+
+    /// The wrapped linear transform.
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+}
+
+impl Module for GcnLayer {
+    fn kind(&self) -> &'static str {
+        "GcnLayer"
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(ParamInfo)) {
+        self.linear.visit_params(&join_path(prefix, "linear"), f);
+    }
+}
+
+impl Forward<(Graph, Tensor)> for GcnLayer {
+    type Output = Tensor;
+
+    fn forward(&self, input: &(Graph, Tensor)) -> Tensor {
+        let (graph, x) = input;
+        self.linear.forward(&graph.aggregate(x))
+    }
+}
+
+/// The two-layer GCN of the DGL tutorial: `GcnLayer - ReLU - GcnLayer`.
+#[derive(Debug)]
+pub struct Gnn {
+    layer1: GcnLayer,
+    layer2: GcnLayer,
+}
+
+impl Gnn {
+    /// Creates the network with the given feature/hidden/class widths.
+    pub fn new<R: rand::Rng + ?Sized>(
+        in_feats: usize,
+        hidden: usize,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Gnn {
+        Gnn {
+            layer1: GcnLayer::new(in_feats, hidden, rng),
+            layer2: GcnLayer::new(hidden, num_classes, rng),
+        }
+    }
+}
+
+impl Module for Gnn {
+    fn kind(&self) -> &'static str {
+        "Gnn"
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(ParamInfo)) {
+        self.layer1.visit_params(&join_path(prefix, "gcn_layer1"), f);
+        self.layer2.visit_params(&join_path(prefix, "gcn_layer2"), f);
+    }
+}
+
+impl Forward<(Graph, Tensor)> for Gnn {
+    type Output = Tensor;
+
+    fn forward(&self, input: &(Graph, Tensor)) -> Tensor {
+        let (graph, x) = input;
+        let h = self.layer1.forward(&(graph.clone(), x.clone())).relu();
+        self.layer2.forward(&(graph.clone(), h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tyxe_nn::Module;
+
+    fn toy() -> (Graph, Tensor) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let x = Tensor::from_vec((0..8).map(|v| v as f64 * 0.1).collect(), &[4, 2]);
+        (g, x)
+    }
+
+    #[test]
+    fn gcn_layer_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let layer = GcnLayer::new(2, 5, &mut rng);
+        let out = layer.forward(&toy());
+        assert_eq!(out.shape(), &[4, 5]);
+    }
+
+    #[test]
+    fn gnn_param_names_follow_dgl_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let gnn = Gnn::new(2, 8, 3, &mut rng);
+        let names: Vec<String> = gnn.named_parameters().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "gcn_layer1.linear.weight",
+                "gcn_layer1.linear.bias",
+                "gcn_layer2.linear.weight",
+                "gcn_layer2.linear.bias"
+            ]
+        );
+    }
+
+    #[test]
+    fn gnn_forward_and_gradient() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let gnn = Gnn::new(2, 8, 3, &mut rng);
+        let out = gnn.forward(&toy());
+        assert_eq!(out.shape(), &[4, 3]);
+        out.square().sum().backward();
+        for p in gnn.named_parameters() {
+            assert!(p.param.leaf().grad().is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn flipout_applies_to_gcn_layers() {
+        // The effectful linear inside GcnLayer is interceptable.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let gnn = Gnn::new(2, 4, 2, &mut rng);
+        tyxe_prob::rng::set_seed(0);
+        struct CountingInterceptor(std::cell::Cell<usize>);
+        impl tyxe_prob::poutine::Messenger for CountingInterceptor {
+            fn intercept_linear(
+                &self,
+                x: &Tensor,
+                w: &Tensor,
+                _b: Option<&Tensor>,
+            ) -> Option<Tensor> {
+                self.0.set(self.0.get() + 1);
+                Some(Tensor::zeros(&[x.shape()[0], w.shape()[0]]))
+            }
+        }
+        let counter = std::rc::Rc::new(CountingInterceptor(std::cell::Cell::new(0)));
+        let _g = tyxe_prob::poutine::install(counter.clone());
+        let _ = gnn.forward(&toy());
+        assert_eq!(counter.0.get(), 2, "both GCN layers must be effectful");
+    }
+}

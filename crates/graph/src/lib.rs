@@ -1,0 +1,17 @@
+//! `tyxe-graph`: a minimal graph neural network substrate (the DGL
+//! substitute for the paper's §4.1 experiment).
+//!
+//! Provides a CSR [`Graph`] with symmetric GCN normalization, a
+//! differentiable sparse-dense aggregation ([`Graph::aggregate`] — DGL's
+//! `update_all(copy_src, sum)` with Kipf-style normalization), graph
+//! convolution layers built on the ordinary `tyxe-nn` `Linear` (and hence
+//! compatible with flipout, as the paper notes), and a synthetic
+//! Cora-like citation network generator.
+
+pub mod citation;
+pub mod gcn;
+mod graph;
+
+pub use citation::{citation_graph, citation_graph_with_words, CitationDataset};
+pub use gcn::{GcnLayer, Gnn};
+pub use graph::Graph;

@@ -1,0 +1,361 @@
+//! `tyxe-metrics`: the uncertainty-quantification metrics used by the TyXe
+//! paper's evaluation — negative log likelihood, accuracy, expected
+//! calibration error, calibration curves, AUROC for OOD detection, and
+//! predictive-entropy ECDFs.
+
+use tyxe_tensor::Tensor;
+
+/// Classification accuracy of predicted probabilities `[n, c]` against
+/// integer labels `[n]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn accuracy(probs: &Tensor, labels: &Tensor) -> f64 {
+    assert_eq!(probs.ndim(), 2, "accuracy: probs must be [n, c]");
+    let n = probs.shape()[0];
+    assert_eq!(labels.numel(), n, "accuracy: label count mismatch");
+    let pred = probs.argmax_axis(1);
+    let l = labels.to_vec();
+    let correct = pred
+        .iter()
+        .zip(l.iter())
+        .filter(|(&p, &y)| p == y as usize)
+        .count();
+    correct as f64 / n as f64
+}
+
+/// Average negative log likelihood of labels under predicted probabilities
+/// (clamped away from zero for numerical safety).
+pub fn nll(probs: &Tensor, labels: &Tensor) -> f64 {
+    let idx: Vec<usize> = labels.to_vec().iter().map(|&v| v as usize).collect();
+    -probs.clamp_min(1e-12).ln().gather_rows(&idx).mean().item()
+}
+
+/// One bin of a calibration curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Mean confidence (max predicted probability) of points in the bin.
+    pub confidence: f64,
+    /// Empirical accuracy of points in the bin.
+    pub accuracy: f64,
+    /// Number of points in the bin.
+    pub count: usize,
+}
+
+/// Computes an equal-width calibration curve over the max predicted
+/// probability (the reliability diagram of Figure 2).
+///
+/// Empty bins are returned with `count == 0` and NaN-free zero statistics.
+pub fn calibration_curve(probs: &Tensor, labels: &Tensor, num_bins: usize) -> Vec<CalibrationBin> {
+    assert!(num_bins > 0, "calibration_curve: need at least one bin");
+    let n = probs.shape()[0];
+    let pred = probs.argmax_axis(1);
+    let conf: Vec<f64> = (0..n)
+        .map(|i| probs.at(&[i, pred[i]]))
+        .collect();
+    let l = labels.to_vec();
+
+    let mut sums = vec![(0.0, 0.0, 0usize); num_bins];
+    for i in 0..n {
+        let b = ((conf[i] * num_bins as f64) as usize).min(num_bins - 1);
+        sums[b].0 += conf[i];
+        sums[b].1 += f64::from(u8::from(pred[i] == l[i] as usize));
+        sums[b].2 += 1;
+    }
+    sums.into_iter()
+        .map(|(c, a, k)| CalibrationBin {
+            confidence: if k > 0 { c / k as f64 } else { 0.0 },
+            accuracy: if k > 0 { a / k as f64 } else { 0.0 },
+            count: k,
+        })
+        .collect()
+}
+
+/// Expected calibration error with `num_bins` equal-width bins (Table 1
+/// and Table 2 use percentages; this returns a fraction in `[0, 1]`).
+pub fn ece(probs: &Tensor, labels: &Tensor, num_bins: usize) -> f64 {
+    let n = probs.shape()[0] as f64;
+    calibration_curve(probs, labels, num_bins)
+        .iter()
+        .map(|b| b.count as f64 / n * (b.accuracy - b.confidence).abs())
+        .sum()
+}
+
+/// Area under the ROC curve for separating two score samples (higher score
+/// should indicate the positive class). Computed by the Mann-Whitney
+/// statistic with tie correction.
+///
+/// # Panics
+///
+/// Panics if either side is empty.
+pub fn auroc(scores_negative: &[f64], scores_positive: &[f64]) -> f64 {
+    assert!(
+        !scores_negative.is_empty() && !scores_positive.is_empty(),
+        "auroc: both classes need scores"
+    );
+    // Rank-based computation.
+    let mut all: Vec<(f64, bool)> = scores_negative
+        .iter()
+        .map(|&s| (s, false))
+        .chain(scores_positive.iter().map(|&s| (s, true)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores must not be NaN"));
+    // Assign average ranks to ties.
+    let n = all.len();
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg;
+        }
+        i = j + 1;
+    }
+    let n_pos = scores_positive.len() as f64;
+    let n_neg = scores_negative.len() as f64;
+    let rank_sum: f64 = all
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, is_pos), _)| *is_pos)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Predictive entropy of each probability row of `[n, c]`, in nats.
+pub fn predictive_entropy(probs: &Tensor) -> Vec<f64> {
+    let (n, c) = (probs.shape()[0], probs.shape()[1]);
+    let d = probs.to_vec();
+    (0..n)
+        .map(|i| {
+            -(0..c)
+                .map(|j| {
+                    let p = d[i * c + j].max(1e-12);
+                    p * p.ln()
+                })
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Maximum predicted probability per row (the OOD detection score used by
+/// the paper: lower max-probability on OOD data = better separation).
+pub fn max_probability(probs: &Tensor) -> Vec<f64> {
+    let n = probs.shape()[0];
+    let pred = probs.argmax_axis(1);
+    (0..n).map(|i| probs.at(&[i, pred[i]])).collect()
+}
+
+/// Empirical CDF of `values` evaluated at `points` (for the entropy ECDF
+/// plots of Figure 2).
+pub fn ecdf(values: &[f64], points: &[f64]) -> Vec<f64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    points
+        .iter()
+        .map(|&p| {
+            let idx = sorted.partition_point(|&v| v <= p);
+            idx as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// Multiclass Brier score: mean squared distance between the predicted
+/// probability vector and the one-hot label.
+pub fn brier_score(probs: &Tensor, labels: &Tensor) -> f64 {
+    let (n, c) = (probs.shape()[0], probs.shape()[1]);
+    let p = probs.to_vec();
+    let l = labels.to_vec();
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..c {
+            let target = f64::from(u8::from(l[i] as usize == j));
+            total += (p[i * c + j] - target).powi(2);
+        }
+    }
+    total / n as f64
+}
+
+/// Area under the precision-recall curve for separating two score samples
+/// (positives should score higher), computed by sweeping thresholds at
+/// every observed score.
+///
+/// # Panics
+///
+/// Panics if either side is empty.
+pub fn auprc(scores_negative: &[f64], scores_positive: &[f64]) -> f64 {
+    assert!(
+        !scores_negative.is_empty() && !scores_positive.is_empty(),
+        "auprc: both classes need scores"
+    );
+    let mut all: Vec<(f64, bool)> = scores_negative
+        .iter()
+        .map(|&s| (s, false))
+        .chain(scores_positive.iter().map(|&s| (s, true)))
+        .collect();
+    // Descending by score: iterate thresholds from most to least confident.
+    all.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores must not be NaN"));
+    let total_pos = scores_positive.len() as f64;
+    let (mut tp, mut fp) = (0.0, 0.0);
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0;
+    while i < all.len() {
+        // Advance over ties as one threshold step.
+        let mut j = i;
+        while j < all.len() && all[j].0 == all[i].0 {
+            if all[j].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            j += 1;
+        }
+        let recall = tp / total_pos;
+        let precision = tp / (tp + fp);
+        auc += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j;
+    }
+    auc
+}
+
+/// Mean and twice the standard error of a sample (the paper reports
+/// `mean ± 2 s.e.` over five runs).
+pub fn mean_and_2se(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, 2.0 * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(rows: &[&[f64]]) -> Tensor {
+        let c = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, &[rows.len(), c])
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let p = probs(&[&[0.9, 0.1], &[0.3, 0.7], &[0.6, 0.4]]);
+        let y = Tensor::from_vec(vec![0.0, 1.0, 1.0], &[3]);
+        assert!((accuracy(&p, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nll_of_perfect_prediction_is_zero() {
+        let p = probs(&[&[1.0, 0.0]]);
+        let y = Tensor::from_vec(vec![0.0], &[1]);
+        assert!(nll(&p, &y).abs() < 1e-9);
+        let y_wrong = Tensor::from_vec(vec![1.0], &[1]);
+        assert!(nll(&p, &y_wrong) > 10.0);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated() {
+        // Confidence 1.0, always correct.
+        let p = probs(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let y = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        assert!(ece(&p, &y, 10) < 1e-12);
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        // Confidence 0.9 but accuracy 0.5 -> ECE = 0.4.
+        let p = probs(&[&[0.9, 0.1], &[0.9, 0.1]]);
+        let y = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        assert!((ece(&p, &y, 10) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_curve_bins_confidences() {
+        let p = probs(&[&[0.55, 0.45], &[0.95, 0.05]]);
+        let y = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let curve = calibration_curve(&p, &y, 10);
+        assert_eq!(curve.len(), 10);
+        assert_eq!(curve[5].count, 1); // 0.55 in [0.5, 0.6)
+        assert_eq!(curve[5].accuracy, 1.0);
+        assert_eq!(curve[9].count, 1); // 0.95 in [0.9, 1.0]
+        assert_eq!(curve[9].accuracy, 0.0);
+        let total: usize = curve.iter().map(|b| b.count).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn auroc_perfect_and_random() {
+        assert!((auroc(&[0.1, 0.2], &[0.8, 0.9]) - 1.0).abs() < 1e-12);
+        assert!((auroc(&[0.8, 0.9], &[0.1, 0.2]) - 0.0).abs() < 1e-12);
+        // Identical distributions: ties -> 0.5.
+        assert!((auroc(&[0.5, 0.5], &[0.5, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_interleaved() {
+        // neg: 1, 3; pos: 2, 4 -> pairs won: (2>1), (4>1), (4>3) = 3/4.
+        assert!((auroc(&[1.0, 3.0], &[2.0, 4.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_is_maximal() {
+        let p = probs(&[&[0.5, 0.5], &[1.0, 0.0]]);
+        let h = predictive_entropy(&p);
+        assert!((h[0] - (2.0f64).ln()).abs() < 1e-9);
+        assert!(h[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_monotone_and_bounded() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let e = ecdf(&vals, &[0.0, 1.5, 2.5, 10.0]);
+        assert_eq!(e, vec![0.0, 0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_and_2se_matches_manual() {
+        let (m, se2) = mean_and_2se(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        // var = 1, se = 1/sqrt(3), 2se = 2/sqrt(3)
+        assert!((se2 - 2.0 / 3.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean_and_2se(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        let p = probs(&[&[1.0, 0.0]]);
+        assert!(brier_score(&p, &Tensor::zeros(&[1])).abs() < 1e-12);
+        assert!((brier_score(&p, &Tensor::from_vec(vec![1.0], &[1])) - 2.0).abs() < 1e-12);
+        // Uniform prediction over 2 classes: (0.5^2 + 0.5^2) = 0.5.
+        let u = probs(&[&[0.5, 0.5]]);
+        assert!((brier_score(&u, &Tensor::zeros(&[1])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auprc_perfect_separation_is_one() {
+        assert!((auprc(&[0.1, 0.2], &[0.8, 0.9]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auprc_random_equals_base_rate() {
+        // Identical scores: precision at full recall = prevalence.
+        let a = auprc(&[0.5; 3], &[0.5; 1]);
+        assert!((a - 0.25).abs() < 1e-12, "{a}");
+    }
+
+    #[test]
+    fn max_probability_extracts_confidence() {
+        let p = probs(&[&[0.2, 0.8], &[0.6, 0.4]]);
+        assert_eq!(max_probability(&p), vec![0.8, 0.6]);
+    }
+}

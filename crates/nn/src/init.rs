@@ -1,0 +1,124 @@
+//! Weight-initialization schemes (Glorot/Xavier, He/Kaiming, Radford).
+//!
+//! These double as the `method={"radford", "xavier", "kaiming"}` variance
+//! choices of the TyXe `LayerwiseNormalPrior`.
+
+use tyxe_tensor::Tensor;
+
+/// Fan-in / fan-out of a weight shape.
+///
+/// For a linear weight `[out, in]` fan-in is `in`; for a conv weight
+/// `[out, in, kh, kw]` fan-in is `in * kh * kw`.
+///
+/// # Panics
+///
+/// Panics on shapes with fewer than one dimension.
+pub fn fan_in_out(shape: &[usize]) -> (usize, usize) {
+    assert!(!shape.is_empty(), "fan_in_out: parameter must have at least 1 dim");
+    if shape.len() == 1 {
+        // Bias vectors: treat the single dim as both fans.
+        return (shape[0], shape[0]);
+    }
+    let receptive: usize = shape[2..].iter().product();
+    (shape[1] * receptive, shape[0] * receptive)
+}
+
+/// Per-element variance used by each initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarianceScheme {
+    /// `1 / fan_in` (Neal 1996; used by Radford Neal for BNN priors).
+    Radford,
+    /// `2 / (fan_in + fan_out)` (Glorot & Bengio 2010).
+    Xavier,
+    /// `2 / fan_in` (He et al. 2015, for ReLU networks).
+    Kaiming,
+}
+
+impl VarianceScheme {
+    /// The variance this scheme assigns to a parameter of `shape`.
+    pub fn variance(self, shape: &[usize]) -> f64 {
+        let (fan_in, fan_out) = fan_in_out(shape);
+        match self {
+            VarianceScheme::Radford => 1.0 / fan_in as f64,
+            VarianceScheme::Xavier => 2.0 / (fan_in + fan_out) as f64,
+            VarianceScheme::Kaiming => 2.0 / fan_in as f64,
+        }
+    }
+
+    /// Parses the paper's `method` strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for unknown scheme names.
+    pub fn parse(name: &str) -> Result<VarianceScheme, String> {
+        match name {
+            "radford" => Ok(VarianceScheme::Radford),
+            "xavier" => Ok(VarianceScheme::Xavier),
+            "kaiming" => Ok(VarianceScheme::Kaiming),
+            other => Err(format!("unknown variance scheme {other:?}")),
+        }
+    }
+}
+
+/// Samples a weight tensor from `N(0, scheme.variance(shape))`.
+pub fn normal_init<R: rand::Rng + ?Sized>(
+    shape: &[usize],
+    scheme: VarianceScheme,
+    rng: &mut R,
+) -> Tensor {
+    let sd = scheme.variance(shape).sqrt();
+    Tensor::randn(shape, rng).mul_scalar(sd)
+}
+
+/// Samples a weight tensor from the uniform Kaiming scheme Pytorch uses by
+/// default for linear/conv layers: `U(-1/sqrt(fan_in), 1/sqrt(fan_in))`.
+pub fn kaiming_uniform<R: rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
+    let (fan_in, _) = fan_in_out(shape);
+    let bound = 1.0 / (fan_in as f64).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fans_linear_and_conv() {
+        assert_eq!(fan_in_out(&[10, 20]), (20, 10));
+        assert_eq!(fan_in_out(&[8, 3, 5, 5]), (75, 200));
+        assert_eq!(fan_in_out(&[7]), (7, 7));
+    }
+
+    #[test]
+    fn scheme_variances() {
+        let shape = [10, 20];
+        assert!((VarianceScheme::Radford.variance(&shape) - 0.05).abs() < 1e-12);
+        assert!((VarianceScheme::Xavier.variance(&shape) - 2.0 / 30.0).abs() < 1e-12);
+        assert!((VarianceScheme::Kaiming.variance(&shape) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_known_and_unknown() {
+        assert_eq!(VarianceScheme::parse("radford"), Ok(VarianceScheme::Radford));
+        assert_eq!(VarianceScheme::parse("xavier"), Ok(VarianceScheme::Xavier));
+        assert_eq!(VarianceScheme::parse("kaiming"), Ok(VarianceScheme::Kaiming));
+        assert!(VarianceScheme::parse("lecun").is_err());
+    }
+
+    #[test]
+    fn normal_init_empirical_variance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = normal_init(&[100, 100], VarianceScheme::Radford, &mut rng);
+        let var = t.square().mean().item();
+        assert!((var - 0.01).abs() < 0.001, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_uniform_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = kaiming_uniform(&[5, 16], &mut rng);
+        let bound = 0.25;
+        assert!(t.to_vec().iter().all(|&v| v.abs() <= bound));
+    }
+}

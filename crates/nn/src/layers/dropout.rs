@@ -1,0 +1,132 @@
+//! Dropout, including the fixed-mask variant the paper's Appendix D
+//! discusses for Monte Carlo dropout visualization.
+
+use std::cell::{Cell, RefCell};
+
+use tyxe_tensor::Tensor;
+
+use crate::module::{Forward, Module, ParamInfo};
+
+/// Standard inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`.
+///
+/// [`Dropout::freeze_mask`] pins a single mask across forward passes — the
+/// effect-handler-style control the paper suggests for visualizing MC
+/// dropout with a shared weight sample per batch.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f64,
+    training: Cell<bool>,
+    frozen_mask: RefCell<Option<Tensor>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
+        Dropout {
+            p,
+            training: Cell::new(true),
+            frozen_mask: RefCell::new(None),
+        }
+    }
+
+    fn sample_mask(&self, shape: &[usize]) -> Tensor {
+        let keep = 1.0 - self.p;
+        let u = tyxe_prob::rng::rand_uniform(shape, 0.0, 1.0);
+        let data = u
+            .data()
+            .iter()
+            .map(|&ui| if ui < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Samples one mask for the given shape and reuses it for every
+    /// subsequent forward pass until [`Dropout::unfreeze_mask`].
+    pub fn freeze_mask(&self, shape: &[usize]) {
+        *self.frozen_mask.borrow_mut() = Some(self.sample_mask(shape));
+    }
+
+    /// Returns to per-call mask sampling.
+    pub fn unfreeze_mask(&self) {
+        *self.frozen_mask.borrow_mut() = None;
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn kind(&self) -> &'static str {
+        "Dropout"
+    }
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(ParamInfo)) {}
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+impl Forward<Tensor> for Dropout {
+    type Output = Tensor;
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        if !self.training.get() || self.p == 0.0 {
+            return input.clone();
+        }
+        if let Some(mask) = self.frozen_mask.borrow().as_ref() {
+            return input.mul(mask);
+        }
+        // Route through the effect-handler stack so MC-dropout handlers
+        // (e.g. `tyxe::poutine::fixed_dropout`) can rewrite the sampling.
+        tyxe_prob::poutine::effectful::dropout(input, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        d.set_training(false);
+        let x = Tensor::ones(&[10]);
+        assert_eq!(d.forward(&x).to_vec(), vec![1.0; 10]);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        tyxe_prob::rng::set_seed(0);
+        let d = Dropout::new(0.3);
+        let x = Tensor::ones(&[20000]);
+        let m = d.forward(&x).mean().item();
+        assert!((m - 1.0).abs() < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn frozen_mask_is_reused() {
+        tyxe_prob::rng::set_seed(1);
+        let d = Dropout::new(0.5);
+        d.freeze_mask(&[100]);
+        let x = Tensor::ones(&[100]);
+        let a = d.forward(&x).to_vec();
+        let b = d.forward(&x).to_vec();
+        assert_eq!(a, b);
+        d.unfreeze_mask();
+        let c = d.forward(&x).to_vec();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Additional layers: average pooling and layer normalization.
+
+use tyxe_tensor::Tensor;
+
+use crate::module::{join_path, Forward, Module, ParamInfo};
+use crate::param::Param;
+
+/// 2-D average pooling with square kernel and stride over `[N, C, H, W]`.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    pub fn new(kernel: usize, stride: usize) -> AvgPool2d {
+        AvgPool2d { kernel, stride }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn kind(&self) -> &'static str {
+        "AvgPool2d"
+    }
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(ParamInfo)) {}
+}
+
+impl Forward<Tensor> for AvgPool2d {
+    type Output = Tensor;
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "AvgPool2d expects [N, C, H, W]");
+        // Average pooling = convolution with a constant kernel applied
+        // per-channel; implemented via unit-diagonal grouped weights.
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.kernel;
+        let scale = 1.0 / (k * k) as f64;
+        let mut weight = vec![0.0; c * c * k * k];
+        for ch in 0..c {
+            for i in 0..k * k {
+                weight[(ch * c + ch) * k * k + i] = scale;
+            }
+        }
+        let weight = Tensor::from_vec(weight, &[c, c, k, k]);
+        let _ = (n, h, w);
+        input.conv2d(&weight, None, self.stride, 0)
+    }
+}
+
+/// Layer normalization over the trailing `dim` features with learnable
+/// per-feature scale and shift.
+#[derive(Debug)]
+pub struct LayerNorm {
+    weight: Param,
+    bias: Param,
+    dim: usize,
+    eps: f64,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over feature dimension `dim`.
+    pub fn new(dim: usize) -> LayerNorm {
+        LayerNorm {
+            weight: Param::new(Tensor::ones(&[dim])),
+            bias: Param::new(Tensor::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Scale parameter slot.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Shift parameter slot.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+}
+
+impl Module for LayerNorm {
+    fn kind(&self) -> &'static str {
+        "LayerNorm"
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(ParamInfo)) {
+        f(ParamInfo {
+            name: join_path(prefix, "weight"),
+            module_kind: self.kind(),
+            param: self.weight.clone(),
+        });
+        f(ParamInfo {
+            name: join_path(prefix, "bias"),
+            module_kind: self.kind(),
+            param: self.bias.clone(),
+        });
+    }
+}
+
+impl Forward<Tensor> for LayerNorm {
+    type Output = Tensor;
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let last = input.ndim() as isize - 1;
+        assert_eq!(
+            *input.shape().last().expect("non-scalar input"),
+            self.dim,
+            "LayerNorm: trailing dim mismatch"
+        );
+        let mean = input.mean_axis(last, true);
+        let centered = input.sub(&mean);
+        let var = centered.square().mean_axis(last, true);
+        centered
+            .div(&var.add_scalar(self.eps).sqrt())
+            .mul(&self.weight.value())
+            .add(&self.bias.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f64).collect(), &[1, 1, 4, 4]);
+        let y = AvgPool2d::new(2, 2).forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.to_vec(), vec![3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_is_channel_separable() {
+        // Two channels with distinct constants stay distinct.
+        let mut data = vec![1.0; 8];
+        data[4..].iter_mut().for_each(|v| *v = 5.0);
+        let x = Tensor::from_vec(data, &[1, 2, 2, 2]);
+        let y = AvgPool2d::new(2, 2).forward(&x);
+        assert_eq!(y.to_vec(), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[2, 4]);
+        let y = ln.forward(&x);
+        // First row: zero mean, unit variance (up to eps).
+        let row: Vec<f64> = y.to_vec()[..4].to_vec();
+        let mean: f64 = row.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        // Constant row maps to zeros.
+        assert!(y.to_vec()[4..].iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn layer_norm_params_receive_gradients() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![0.1, -0.4, 0.8], &[1, 3]);
+        ln.forward(&x).square().sum().backward();
+        assert!(ln.weight().leaf().grad().is_some());
+        assert!(ln.bias().leaf().grad().is_some());
+        assert_eq!(ln.named_parameters().len(), 2);
+    }
+}

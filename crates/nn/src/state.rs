@@ -1,0 +1,116 @@
+//! Whole-module state capture and restoration (the analogue of
+//! `state_dict()`/`load_state_dict()`), used to transfer pretrained weights
+//! between network instances.
+
+use std::collections::HashMap;
+
+use crate::module::Module;
+
+/// A snapshot of a module's parameters and buffers, keyed by dotted path.
+#[derive(Debug, Clone, Default)]
+pub struct StateDict {
+    params: HashMap<String, Vec<f64>>,
+    buffers: HashMap<String, Vec<f64>>,
+}
+
+impl StateDict {
+    /// Captures the current parameter leaves and buffers of `module`.
+    pub fn from_module<M: Module>(module: &M) -> StateDict {
+        let mut params = HashMap::new();
+        module.visit_params("", &mut |info| {
+            params.insert(info.name.clone(), info.param.leaf().to_vec());
+        });
+        let mut buffers = HashMap::new();
+        module.visit_buffers("", &mut |name, buf| {
+            buffers.insert(name, buf.borrow().clone());
+        });
+        StateDict { params, buffers }
+    }
+
+    /// Loads the snapshot into a (structurally identical) module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter or buffer of the target is missing from the
+    /// snapshot or has a different length.
+    pub fn apply<M: Module>(&self, module: &M) {
+        module.visit_params("", &mut |info| {
+            let data = self
+                .params
+                .get(&info.name)
+                .unwrap_or_else(|| panic!("StateDict: missing parameter {:?}", info.name));
+            info.param.load_data(data.clone());
+        });
+        module.visit_buffers("", &mut |name, buf| {
+            let data = self
+                .buffers
+                .get(&name)
+                .unwrap_or_else(|| panic!("StateDict: missing buffer {name:?}"));
+            assert_eq!(data.len(), buf.borrow().len(), "StateDict: buffer {name} length");
+            *buf.borrow_mut() = data.clone();
+        });
+    }
+
+    /// Number of parameter entries.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of buffer entries.
+    pub fn num_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Reads one parameter entry.
+    pub fn param(&self, name: &str) -> Option<&[f64]> {
+        self.params.get(name).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::mlp;
+    use crate::module::{Forward, Module};
+    use crate::resnet::ResNet;
+    use rand::SeedableRng;
+    use tyxe_tensor::Tensor;
+
+    #[test]
+    fn roundtrip_mlp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = mlp(&[2, 4, 2], true, &mut rng);
+        let b = mlp(&[2, 4, 2], true, &mut rng);
+        let x = Tensor::randn(&[3, 2], &mut rng);
+        assert_ne!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+        StateDict::from_module(&a).apply(&b);
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    fn resnet_transfer_includes_running_stats() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = ResNet::new(3, 4, 1, 4, &mut rng);
+        let x = Tensor::randn(&[4, 3, 8, 8], &mut rng);
+        for _ in 0..5 {
+            let _ = a.forward(&x); // move BatchNorm running stats
+        }
+        a.set_training(false);
+        let sd = StateDict::from_module(&a);
+        assert!(sd.num_buffers() > 0, "no buffers captured");
+
+        let b = ResNet::new(3, 4, 1, 4, &mut rng);
+        b.set_training(false);
+        sd.apply(&b);
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_entry_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let small = mlp(&[2, 2], true, &mut rng);
+        let big = mlp(&[2, 4, 2], true, &mut rng);
+        StateDict::from_module(&small).apply(&big);
+    }
+}

@@ -1,0 +1,391 @@
+//! Gamma, Beta and Student-t distributions — positive-support and
+//! heavy-tailed priors for likelihood parameters (e.g. an unknown
+//! observation precision).
+
+use std::any::Any;
+
+use tyxe_tensor::Tensor;
+
+use super::Distribution;
+use crate::rng;
+use crate::special::ln_gamma;
+
+/// Element-wise Gamma distribution with shape `concentration` and `rate`
+/// (density `rate^a x^{a-1} e^{-rate x} / Gamma(a)`).
+///
+/// Sampling uses the Marsaglia–Tsang squeeze method (with the boost trick
+/// for `concentration < 1`) and is **not** reparameterized.
+#[derive(Debug, Clone)]
+pub struct Gamma {
+    concentration: Tensor,
+    rate: Tensor,
+    shape: Vec<usize>,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or shapes do not broadcast.
+    pub fn new(concentration: Tensor, rate: Tensor) -> Gamma {
+        assert!(
+            concentration.data().iter().all(|&a| a > 0.0),
+            "Gamma: concentration must be positive"
+        );
+        assert!(rate.data().iter().all(|&b| b > 0.0), "Gamma: rate must be positive");
+        let shape = tyxe_tensor::shape::broadcast_shapes(concentration.shape(), rate.shape())
+            .expect("Gamma: parameter shapes must broadcast");
+        Gamma {
+            concentration: concentration.broadcast_to(&shape),
+            rate: rate.broadcast_to(&shape),
+            shape,
+        }
+    }
+
+    /// Scalar-parameter Gamma expanded to `shape`.
+    pub fn scalar(concentration: f64, rate: f64, shape: &[usize]) -> Gamma {
+        Gamma::new(
+            Tensor::full(shape, concentration),
+            Tensor::full(shape, rate),
+        )
+    }
+}
+
+/// One Marsaglia–Tsang draw with unit rate, `a >= 1`.
+fn sample_gamma_unit<R: rand::Rng + ?Sized>(a: f64, rng: &mut R) -> f64 {
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box-Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+pub(crate) fn sample_gamma<R: rand::Rng + ?Sized>(a: f64, rate: f64, rng: &mut R) -> f64 {
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        sample_gamma_unit(a + 1.0, rng) * u.powf(1.0 / a) / rate
+    } else {
+        sample_gamma_unit(a, rng) / rate
+    }
+}
+
+impl Distribution for Gamma {
+    fn sample(&self) -> Tensor {
+        let a = self.concentration.detach();
+        let b = self.rate.detach();
+        let data = rng::with_rng(|r| {
+            a.data()
+                .iter()
+                .zip(b.data().iter())
+                .map(|(&ai, &bi)| sample_gamma(ai, bi, r))
+                .collect()
+        });
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn log_prob(&self, value: &Tensor) -> Tensor {
+        // a ln b + (a-1) ln x - b x - ln Gamma(a)
+        let lg: Vec<f64> = self.concentration.data().iter().map(|&a| ln_gamma(a)).collect();
+        let lg = Tensor::from_vec(lg, &self.shape);
+        self.concentration
+            .mul(&self.rate.ln())
+            .add(&self.concentration.sub_scalar(1.0).mul(&value.ln()))
+            .sub(&self.rate.mul(value))
+            .sub(&lg)
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn has_rsample(&self) -> bool {
+        false
+    }
+
+    fn mean(&self) -> Tensor {
+        self.concentration.div(&self.rate)
+    }
+
+    fn variance(&self) -> Tensor {
+        self.concentration.div(&self.rate.square())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Element-wise Beta distribution on `(0, 1)`.
+///
+/// Sampled as `X/(X+Y)` with `X ~ Gamma(alpha, 1)`, `Y ~ Gamma(beta, 1)`;
+/// not reparameterized.
+#[derive(Debug, Clone)]
+pub struct Beta {
+    alpha: Tensor,
+    beta: Tensor,
+    shape: Vec<usize>,
+}
+
+impl Beta {
+    /// Creates a Beta distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or shapes do not broadcast.
+    pub fn new(alpha: Tensor, beta: Tensor) -> Beta {
+        assert!(alpha.data().iter().all(|&a| a > 0.0), "Beta: alpha must be positive");
+        assert!(beta.data().iter().all(|&b| b > 0.0), "Beta: beta must be positive");
+        let shape = tyxe_tensor::shape::broadcast_shapes(alpha.shape(), beta.shape())
+            .expect("Beta: parameter shapes must broadcast");
+        Beta {
+            alpha: alpha.broadcast_to(&shape),
+            beta: beta.broadcast_to(&shape),
+            shape,
+        }
+    }
+
+    /// Scalar-parameter Beta expanded to `shape`.
+    pub fn scalar(alpha: f64, beta: f64, shape: &[usize]) -> Beta {
+        Beta::new(Tensor::full(shape, alpha), Tensor::full(shape, beta))
+    }
+}
+
+impl Distribution for Beta {
+    fn sample(&self) -> Tensor {
+        let a = self.alpha.detach();
+        let b = self.beta.detach();
+        let data = rng::with_rng(|r| {
+            a.data()
+                .iter()
+                .zip(b.data().iter())
+                .map(|(&ai, &bi)| {
+                    let x = sample_gamma(ai, 1.0, r);
+                    let y = sample_gamma(bi, 1.0, r);
+                    x / (x + y)
+                })
+                .collect()
+        });
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn log_prob(&self, value: &Tensor) -> Tensor {
+        // (a-1) ln x + (b-1) ln(1-x) - ln B(a, b)
+        let lb: Vec<f64> = self
+            .alpha
+            .data()
+            .iter()
+            .zip(self.beta.data().iter())
+            .map(|(&a, &b)| ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b))
+            .collect();
+        let lb = Tensor::from_vec(lb, &self.shape);
+        self.alpha
+            .sub_scalar(1.0)
+            .mul(&value.ln())
+            .add(&self.beta.sub_scalar(1.0).mul(&value.neg().add_scalar(1.0).ln()))
+            .sub(&lb)
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn has_rsample(&self) -> bool {
+        false
+    }
+
+    fn mean(&self) -> Tensor {
+        self.alpha.div(&self.alpha.add(&self.beta))
+    }
+
+    fn variance(&self) -> Tensor {
+        let s = self.alpha.add(&self.beta);
+        self.alpha
+            .mul(&self.beta)
+            .div(&s.square().mul(&s.add_scalar(1.0)))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Element-wise Student-t distribution with `df` degrees of freedom,
+/// location and scale — the heavy-tailed robust alternative to a Gaussian
+/// likelihood.
+///
+/// Sampled as `loc + scale * Z / sqrt(V/df)` with `V ~ Gamma(df/2, 1/2)`;
+/// partially reparameterized through `loc` and `scale` only.
+#[derive(Debug, Clone)]
+pub struct StudentT {
+    df: f64,
+    loc: Tensor,
+    scale: Tensor,
+    shape: Vec<usize>,
+}
+
+impl StudentT {
+    /// Creates a Student-t distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `df <= 0` or shapes do not broadcast.
+    pub fn new(df: f64, loc: Tensor, scale: Tensor) -> StudentT {
+        assert!(df > 0.0, "StudentT: df must be positive");
+        let shape = tyxe_tensor::shape::broadcast_shapes(loc.shape(), scale.shape())
+            .expect("StudentT: parameter shapes must broadcast");
+        StudentT {
+            df,
+            loc: loc.broadcast_to(&shape),
+            scale: scale.broadcast_to(&shape),
+            shape,
+        }
+    }
+}
+
+impl Distribution for StudentT {
+    fn sample(&self) -> Tensor {
+        let z = rng::randn(&self.shape);
+        let v: Vec<f64> = rng::with_rng(|r| {
+            (0..z.numel())
+                .map(|_| sample_gamma(self.df / 2.0, 0.5, r))
+                .collect()
+        });
+        let denom = Tensor::from_vec(v, &self.shape).div_scalar(self.df).sqrt();
+        self.loc.add(&self.scale.mul(&z.div(&denom)))
+    }
+
+    fn log_prob(&self, value: &Tensor) -> Tensor {
+        let df = self.df;
+        let z = value.sub(&self.loc).div(&self.scale);
+        let norm = ln_gamma((df + 1.0) / 2.0)
+            - ln_gamma(df / 2.0)
+            - 0.5 * (df * std::f64::consts::PI).ln();
+        z.square()
+            .div_scalar(df)
+            .add_scalar(1.0)
+            .ln()
+            .mul_scalar(-(df + 1.0) / 2.0)
+            .add_scalar(norm)
+            .sub(&self.scale.ln())
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn has_rsample(&self) -> bool {
+        false
+    }
+
+    fn mean(&self) -> Tensor {
+        assert!(self.df > 1.0, "StudentT: mean undefined for df <= 1");
+        self.loc.clone()
+    }
+
+    fn variance(&self) -> Tensor {
+        assert!(self.df > 2.0, "StudentT: variance undefined for df <= 2");
+        self.scale.square().mul_scalar(self.df / (self.df - 2.0))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::assert_close;
+    use super::*;
+
+    #[test]
+    fn gamma_moments_match_samples() {
+        crate::rng::set_seed(0);
+        let d = Gamma::scalar(3.0, 2.0, &[20000]);
+        let s = d.sample();
+        let mean = s.mean().item();
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        let var = s.sub_scalar(mean).square().mean().item();
+        assert!((var - 0.75).abs() < 0.05, "var {var}");
+        assert!(s.to_vec().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn gamma_small_shape_boost_branch() {
+        crate::rng::set_seed(1);
+        let d = Gamma::scalar(0.5, 1.0, &[20000]);
+        let mean = d.sample().mean().item();
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_log_prob_exponential_special_case() {
+        // Gamma(1, b) = Exponential(b): log p(x) = ln b - b x.
+        let d = Gamma::scalar(1.0, 2.0, &[1]);
+        let lp = d.log_prob(&Tensor::from_vec(vec![0.7], &[1])).item();
+        assert_close(lp, (2.0f64).ln() - 1.4, 1e-9);
+    }
+
+    #[test]
+    fn beta_moments_and_support() {
+        crate::rng::set_seed(2);
+        let d = Beta::scalar(2.0, 5.0, &[20000]);
+        let s = d.sample();
+        assert!(s.to_vec().iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert!((s.mean().item() - 2.0 / 7.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn beta_uniform_special_case() {
+        // Beta(1,1) = Uniform(0,1): log p = 0.
+        let d = Beta::scalar(1.0, 1.0, &[1]);
+        let lp = d.log_prob(&Tensor::from_vec(vec![0.3], &[1])).item();
+        assert_close(lp, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn student_t_reduces_to_cauchy_density_at_df_one() {
+        // df=1 is Cauchy: p(0) = 1/pi.
+        let d = StudentT::new(1.0, Tensor::zeros(&[1]), Tensor::ones(&[1]));
+        let lp = d.log_prob(&Tensor::zeros(&[1])).item();
+        assert_close(lp, -(std::f64::consts::PI).ln(), 1e-9);
+    }
+
+    #[test]
+    fn student_t_heavy_tails() {
+        // At |z| = 4, t(3) has much higher density than N(0,1).
+        let t = StudentT::new(3.0, Tensor::zeros(&[1]), Tensor::ones(&[1]));
+        let n = super::super::Normal::standard(&[1]);
+        let x = Tensor::from_vec(vec![4.0], &[1]);
+        assert!(t.log_prob(&x).item() > n.log_prob(&x).sum().item() + 2.0);
+    }
+
+    #[test]
+    fn student_t_sample_location() {
+        crate::rng::set_seed(3);
+        let d = StudentT::new(10.0, Tensor::full(&[20000], 2.0), Tensor::ones(&[20000]));
+        let mean = d.sample().mean().item();
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_log_prob_gradient_flows() {
+        let rate = Tensor::from_vec(vec![2.0], &[1]).requires_grad(true);
+        let d = Gamma::new(Tensor::ones(&[1]), rate.clone());
+        d.log_prob(&Tensor::from_vec(vec![0.5], &[1])).sum().backward();
+        // d/db [ln b - b x] = 1/b - x = 0.5 - 0.5 = 0.
+        assert_close(rate.grad().unwrap()[0], 0.0, 1e-9);
+    }
+}

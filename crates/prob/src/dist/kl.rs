@@ -1,0 +1,126 @@
+//! Closed-form KL divergences where available.
+
+use tyxe_tensor::Tensor;
+
+use super::{Delta, Distribution, Normal};
+
+/// Element-wise KL divergence `KL(q || p)` between two factorized Normals.
+///
+/// Differentiable with respect to all four parameter tensors.
+pub fn kl_normal_normal(q: &Normal, p: &Normal) -> Tensor {
+    // KL = ln(sp/sq) + (sq^2 + (mq - mp)^2) / (2 sp^2) - 1/2
+    let var_ratio = q.scale().div(p.scale()).square();
+    let t1 = q.loc().sub(p.loc()).div(p.scale()).square();
+    var_ratio
+        .add(&t1)
+        .sub(&var_ratio.ln())
+        .sub_scalar(1.0)
+        .mul_scalar(0.5)
+}
+
+/// Dispatches closed-form KL divergence `KL(q || p)` where known.
+///
+/// Supported pairs: Normal/Normal (analytic), Delta/anything (reduces to
+/// `-log p(value)` up to the infinite self-entropy constant, which is what
+/// MAP optimization needs). Returns `None` otherwise; callers fall back to a
+/// Monte Carlo estimate.
+pub fn kl_divergence(q: &dyn Distribution, p: &dyn Distribution) -> Option<Tensor> {
+    if let (Some(qn), Some(pn)) = (
+        q.as_any().downcast_ref::<Normal>(),
+        p.as_any().downcast_ref::<Normal>(),
+    ) {
+        return Some(kl_normal_normal(qn, pn));
+    }
+    if let Some(qd) = q.as_any().downcast_ref::<Delta>() {
+        // KL(delta_x || p) = -log p(x) + const; the constant is dropped.
+        return Some(p.log_prob(qd.value()).neg());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::assert_close;
+    use super::*;
+
+    #[test]
+    fn kl_identical_normals_is_zero() {
+        let q = Normal::scalar(0.3, 1.7, &[4]);
+        let p = Normal::scalar(0.3, 1.7, &[4]);
+        for v in kl_normal_normal(&q, &p).to_vec() {
+            assert_close(v, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn kl_standard_pair_closed_form() {
+        // KL(N(1, 2) || N(0, 1)) = ln(1/2) + (4 + 1)/2 - 1/2 = 2 - ln 2
+        let q = Normal::scalar(1.0, 2.0, &[1]);
+        let p = Normal::scalar(0.0, 1.0, &[1]);
+        assert_close(kl_normal_normal(&q, &p).item(), 2.0 - (2.0f64).ln(), 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative_on_random_pairs() {
+        crate::rng::set_seed(0);
+        for _ in 0..20 {
+            let q = Normal::new(
+                crate::rng::randn(&[3]),
+                crate::rng::rand_uniform(&[3], 0.1, 2.0),
+            );
+            let p = Normal::new(
+                crate::rng::randn(&[3]),
+                crate::rng::rand_uniform(&[3], 0.1, 2.0),
+            );
+            for v in kl_normal_normal(&q, &p).to_vec() {
+                assert!(v >= -1e-12, "negative KL {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn kl_matches_monte_carlo() {
+        crate::rng::set_seed(1);
+        let q = Normal::scalar(0.5, 0.8, &[1]);
+        let p = Normal::scalar(-0.2, 1.3, &[1]);
+        let analytic = kl_normal_normal(&q, &p).item();
+        let mut mc = 0.0;
+        let n = 50000;
+        for _ in 0..n {
+            let x = q.sample();
+            mc += q.log_prob(&x).item() - p.log_prob(&x).item();
+        }
+        assert!((analytic - mc / n as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn dispatch_normal_and_delta() {
+        let q = Normal::scalar(0.0, 1.0, &[2]);
+        let p = Normal::scalar(0.0, 1.0, &[2]);
+        assert!(kl_divergence(&q, &p).is_some());
+        let d = Delta::new(Tensor::zeros(&[2]));
+        let kl = kl_divergence(&d, &p).unwrap();
+        // -log N(0;0,1) per element.
+        assert_close(kl.to_vec()[0], 0.918_938_533_204_672_8, 1e-9);
+    }
+
+    #[test]
+    fn dispatch_unknown_pair_is_none() {
+        let q = super::super::Uniform::new(0.0, 1.0, &[1]);
+        let p = Normal::scalar(0.0, 1.0, &[1]);
+        assert!(kl_divergence(&q, &p).is_none());
+    }
+
+    #[test]
+    fn kl_gradient_flows() {
+        let loc = Tensor::from_vec(vec![1.0], &[1]).requires_grad(true);
+        let scale = Tensor::from_vec(vec![0.5], &[1]).requires_grad(true);
+        let q = Normal::new(loc.clone(), scale.clone());
+        let p = Normal::scalar(0.0, 1.0, &[1]);
+        kl_normal_normal(&q, &p).sum().backward();
+        // dKL/dmu = mu / sp^2 = 1
+        assert_close(loc.grad().unwrap()[0], 1.0, 1e-12);
+        // dKL/dsq = sq/sp^2 - 1/sq = 0.5 - 2 = -1.5
+        assert_close(scale.grad().unwrap()[0], -1.5, 1e-12);
+    }
+}

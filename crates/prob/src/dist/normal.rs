@@ -1,0 +1,226 @@
+//! Factorized (diagonal) Normal and LogNormal distributions.
+
+use std::any::Any;
+
+use tyxe_tensor::Tensor;
+
+use super::Distribution;
+use crate::rng;
+
+const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_8; // ln(sqrt(2*pi))
+
+/// A fully factorized Gaussian over a tensor.
+///
+/// `loc` and `scale` broadcast against each other; the sample shape is their
+/// broadcast shape. Sampling is reparameterized (`loc + scale * eps`), so
+/// gradients flow to both parameters.
+///
+/// # Examples
+///
+/// ```
+/// use tyxe_prob::dist::{Distribution, Normal};
+/// use tyxe_tensor::Tensor;
+/// let d = Normal::new(Tensor::zeros(&[3]), Tensor::ones(&[3]));
+/// let lp = d.log_prob(&Tensor::zeros(&[3]));
+/// assert!((lp.to_vec()[0] + 0.9189385).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Normal {
+    loc: Tensor,
+    scale: Tensor,
+    shape: Vec<usize>,
+}
+
+impl Normal {
+    /// Creates a Normal with the given location and scale tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not broadcast.
+    pub fn new(loc: Tensor, scale: Tensor) -> Normal {
+        let shape = tyxe_tensor::shape::broadcast_shapes(loc.shape(), scale.shape())
+            .expect("Normal: loc/scale shapes must broadcast");
+        Normal { loc, scale, shape }
+    }
+
+    /// A standard normal of the given shape.
+    pub fn standard(shape: &[usize]) -> Normal {
+        Normal::new(Tensor::zeros(shape), Tensor::ones(shape))
+    }
+
+    /// Scalar-parameter Normal expanded to `shape`.
+    pub fn scalar(loc: f64, scale: f64, shape: &[usize]) -> Normal {
+        Normal::new(Tensor::full(shape, loc), Tensor::full(shape, scale))
+    }
+
+    /// Location parameter.
+    pub fn loc(&self) -> &Tensor {
+        &self.loc
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> &Tensor {
+        &self.scale
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self) -> Tensor {
+        let eps = rng::randn(&self.shape);
+        self.loc.add(&self.scale.mul(&eps))
+    }
+
+    fn log_prob(&self, value: &Tensor) -> Tensor {
+        // -(v - mu)^2 / (2 sigma^2) - ln(sigma) - ln(sqrt(2 pi))
+        let z = value.sub(&self.loc).div(&self.scale);
+        z.square()
+            .mul_scalar(-0.5)
+            .sub(&self.scale.ln())
+            .add_scalar(-LOG_SQRT_2PI)
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn has_rsample(&self) -> bool {
+        true
+    }
+
+    fn mean(&self) -> Tensor {
+        self.loc.broadcast_to(&self.shape)
+    }
+
+    fn variance(&self) -> Tensor {
+        self.scale.square().broadcast_to(&self.shape)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(loc, scale))`.
+///
+/// Useful as a positive-support prior, e.g. over an unknown likelihood
+/// scale. Sampling is reparameterized.
+#[derive(Debug, Clone)]
+pub struct LogNormal {
+    base: Normal,
+}
+
+impl LogNormal {
+    /// Creates a LogNormal whose logarithm has the given location/scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not broadcast.
+    pub fn new(loc: Tensor, scale: Tensor) -> LogNormal {
+        LogNormal {
+            base: Normal::new(loc, scale),
+        }
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self) -> Tensor {
+        self.base.sample().exp()
+    }
+
+    fn log_prob(&self, value: &Tensor) -> Tensor {
+        // log N(ln v; mu, sigma) - ln v
+        self.base.log_prob(&value.ln()).sub(&value.ln())
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        self.base.shape()
+    }
+
+    fn has_rsample(&self) -> bool {
+        true
+    }
+
+    fn mean(&self) -> Tensor {
+        // exp(mu + sigma^2/2)
+        self.base
+            .loc()
+            .add(&self.base.scale().square().mul_scalar(0.5))
+            .exp()
+    }
+
+    fn variance(&self) -> Tensor {
+        let s2 = self.base.scale().square();
+        let m2 = self.base.loc().mul_scalar(2.0).add(&s2).exp();
+        s2.exp().sub_scalar(1.0).mul(&m2)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::assert_close;
+    use super::*;
+
+    #[test]
+    fn log_prob_standard_normal_at_zero() {
+        let d = Normal::standard(&[1]);
+        assert_close(d.log_prob(&Tensor::zeros(&[1])).item(), -LOG_SQRT_2PI, 1e-12);
+    }
+
+    #[test]
+    fn log_prob_matches_closed_form() {
+        let d = Normal::scalar(1.0, 2.0, &[1]);
+        let v = Tensor::from_vec(vec![2.0], &[1]);
+        let expected = -0.5 * (0.5f64).powi(2) - (2.0f64).ln() - LOG_SQRT_2PI;
+        assert_close(d.log_prob(&v).item(), expected, 1e-12);
+    }
+
+    #[test]
+    fn rsample_grad_flows_to_params() {
+        crate::rng::set_seed(0);
+        let loc = Tensor::zeros(&[4]).requires_grad(true);
+        let scale = Tensor::ones(&[4]).requires_grad(true);
+        let d = Normal::new(loc.clone(), scale.clone());
+        d.sample().sum().backward();
+        assert_eq!(loc.grad().unwrap(), vec![1.0; 4]);
+        assert!(scale.grad().is_some());
+    }
+
+    #[test]
+    fn sample_moments() {
+        crate::rng::set_seed(1);
+        let d = Normal::scalar(2.0, 0.5, &[20000]);
+        let s = d.sample();
+        let mean = s.mean().item();
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        let var = s.sub_scalar(mean).square().mean().item();
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn broadcasting_params() {
+        let d = Normal::new(Tensor::zeros(&[2, 1]), Tensor::ones(&[1, 3]));
+        assert_eq!(d.shape(), vec![2, 3]);
+        assert_eq!(d.sample().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn lognormal_support_positive_and_logprob() {
+        crate::rng::set_seed(2);
+        let d = LogNormal::new(Tensor::zeros(&[100]), Tensor::ones(&[100]));
+        assert!(d.sample().to_vec().iter().all(|&v| v > 0.0));
+        // At v=1: ln v = 0, lp = N(0;0,1) - 0
+        let d1 = LogNormal::new(Tensor::zeros(&[1]), Tensor::ones(&[1]));
+        let lp = d1.log_prob(&Tensor::ones(&[1])).item();
+        assert_close(lp, -LOG_SQRT_2PI, 1e-9);
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        let d = LogNormal::new(Tensor::zeros(&[1]), Tensor::from_vec(vec![0.5], &[1]));
+        assert_close(d.mean().item(), (0.125f64).exp(), 1e-9);
+    }
+}

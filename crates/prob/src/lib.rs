@@ -1,0 +1,45 @@
+//! `tyxe-prob`: a miniature probabilistic programming framework (the Pyro
+//! substitute underlying `tyxe`).
+//!
+//! A probabilistic program is plain Rust code that calls
+//! [`poutine::sample`]/[`poutine::observe`]. Inference is built from effect
+//! handlers ("poutines"):
+//!
+//! * [`poutine::trace`] records sample sites,
+//! * [`poutine::replay`]/[`poutine::condition`] fix latent values,
+//! * [`poutine::block`], [`poutine::scale`], [`poutine::mask`] modify site
+//!   visibility and log-probability bookkeeping,
+//! * custom [`poutine::Messenger`]s can intercept *effectful linear
+//!   operations* ([`poutine::effectful`]) — the mechanism TyXe uses for
+//!   local reparameterization and flipout without bespoke layer classes.
+//!
+//! On top of these sit [`svi`] (stochastic variational inference with
+//! pathwise and mean-field ELBO estimators), [`mcmc`] (HMC and NUTS with
+//! dual-averaging adaptation) and [`optim`] (SGD/Adam).
+//!
+//! # Example: conjugate Gaussian
+//!
+//! ```
+//! use tyxe_prob::dist::{boxed, Normal};
+//! use tyxe_prob::poutine::{observe, sample, trace};
+//! use tyxe_tensor::Tensor;
+//!
+//! tyxe_prob::rng::set_seed(0);
+//! let model = || {
+//!     let z = sample("z", boxed(Normal::standard(&[1])));
+//!     observe("x", boxed(Normal::new(z, Tensor::ones(&[1]))), &Tensor::ones(&[1]));
+//! };
+//! let (tr, ()) = trace(model);
+//! assert_eq!(tr.len(), 2);
+//! ```
+
+pub mod dist;
+pub mod mcmc;
+pub mod optim;
+pub mod poutine;
+pub mod rng;
+pub mod sgld;
+pub mod special;
+pub mod svi;
+
+pub use poutine::{observe, sample};

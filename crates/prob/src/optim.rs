@@ -1,0 +1,308 @@
+//! Gradient-based optimizers over leaf tensors (the analogue of
+//! `pyro.optim` / `torch.optim`).
+
+use tyxe_tensor::Tensor;
+
+/// A first-order optimizer over a fixed set of leaf tensors.
+pub trait Optimizer {
+    /// Clears accumulated gradients on all managed tensors.
+    fn zero_grad(&mut self);
+    /// Applies one update using the accumulated gradients.
+    fn step(&mut self);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+    /// Sets the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+    /// Adds tensors to the managed set (used by lazily initialized guides).
+    fn add_params(&mut self, params: Vec<Tensor>);
+    /// The managed tensors.
+    fn params(&self) -> &[Tensor];
+}
+
+/// Plain stochastic gradient descent with optional momentum and weight
+/// decay.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(params: Vec<Tensor>, lr: f64) -> Sgd {
+        Sgd::with_options(params, lr, 0.0, 0.0)
+    }
+
+    /// Creates an SGD optimizer with momentum and weight decay.
+    pub fn with_options(params: Vec<Tensor>, lr: f64, momentum: f64, weight_decay: f64) -> Sgd {
+        let velocity = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            let Some(g) = p.grad() else { continue };
+            let mut data = p.to_vec();
+            for i in 0..data.len() {
+                let grad = g[i] + self.weight_decay * data[i];
+                v[i] = self.momentum * v[i] + grad;
+                data[i] -= self.lr * v[i];
+            }
+            p.set_data(data);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn add_params(&mut self, params: Vec<Tensor>) {
+        for p in params {
+            self.velocity.push(vec![0.0; p.numel()]);
+            self.params.push(p);
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with default betas `(0.9, 0.999)`.
+    pub fn new(params: Vec<Tensor>, lr: f64) -> Adam {
+        Adam::with_options(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimizer with explicit hyperparameters.
+    pub fn with_options(
+        params: Vec<Tensor>,
+        lr: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        weight_decay: f64,
+    ) -> Adam {
+        let m = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m,
+            v,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let Some(g) = p.grad() else { continue };
+            let mut data = p.to_vec();
+            for i in 0..data.len() {
+                let grad = g[i] + self.weight_decay * data[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.set_data(data);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn add_params(&mut self, params: Vec<Tensor>) {
+        for p in params {
+            self.m.push(vec![0.0; p.numel()]);
+            self.v.push(vec![0.0; p.numel()]);
+            self.params.push(p);
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+/// Multiplies the learning rate by `gamma` every `step_size` calls to
+/// [`StepLr::step_epoch`] (the analogue of `torch.optim.lr_scheduler.StepLR`).
+#[derive(Debug)]
+pub struct StepLr {
+    step_size: u64,
+    gamma: f64,
+    epoch: u64,
+    base_lr: f64,
+}
+
+impl StepLr {
+    /// Creates a step schedule from the optimizer's current learning rate.
+    pub fn new(optimizer: &dyn Optimizer, step_size: u64, gamma: f64) -> StepLr {
+        StepLr {
+            step_size,
+            gamma,
+            epoch: 0,
+            base_lr: optimizer.learning_rate(),
+        }
+    }
+
+    /// Advances one epoch and updates the optimizer's learning rate.
+    pub fn step_epoch(&mut self, optimizer: &mut dyn Optimizer) {
+        self.epoch += 1;
+        let k = (self.epoch / self.step_size) as i32;
+        optimizer.set_learning_rate(self.base_lr * self.gamma.powi(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_loss(p: &Tensor) -> Tensor {
+        // (p - 3)^2 summed
+        p.sub_scalar(3.0).square().sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        for _ in 0..100 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        assert!(p.to_vec().iter().all(|&v| (v - 3.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f64| {
+            let p = Tensor::zeros(&[1]).requires_grad(true);
+            let mut opt = Sgd::with_options(vec![p.clone()], 0.01, momentum, 0.0);
+            for _ in 0..50 {
+                opt.zero_grad();
+                quadratic_loss(&p).backward();
+                opt.step();
+            }
+            (p.to_vec()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt = Adam::new(vec![p.clone()], 0.2);
+        for _ in 0..300 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        assert!(p.to_vec().iter().all(|&v| (v - 3.0).abs() < 1e-2), "{:?}", p.to_vec());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_toward_zero() {
+        let p = Tensor::full(&[1], 3.0).requires_grad(true);
+        // Loss gradient is zero at 3.0; decay pulls below 3.
+        let mut opt = Sgd::with_options(vec![p.clone()], 0.1, 0.0, 0.5);
+        for _ in 0..20 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        assert!(p.to_vec()[0] < 3.0);
+    }
+
+    #[test]
+    fn step_lr_decays() {
+        let p = Tensor::zeros(&[1]).requires_grad(true);
+        let mut opt = Adam::new(vec![p.clone()], 1.0);
+        let mut sched = StepLr::new(&opt, 2, 0.1);
+        sched.step_epoch(&mut opt);
+        assert_eq!(opt.learning_rate(), 1.0);
+        sched.step_epoch(&mut opt);
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+        sched.step_epoch(&mut opt);
+        sched.step_epoch(&mut opt);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_params_extends_state() {
+        let p1 = Tensor::zeros(&[2]).requires_grad(true);
+        let mut opt = Adam::new(vec![p1], 0.1);
+        let p2 = Tensor::zeros(&[3]).requires_grad(true);
+        opt.add_params(vec![p2.clone()]);
+        assert_eq!(opt.params().len(), 2);
+        opt.zero_grad();
+        quadratic_loss(&p2).backward();
+        opt.step();
+        assert!(p2.to_vec()[0] != 0.0);
+    }
+
+    #[test]
+    fn step_without_grad_is_noop() {
+        let p = Tensor::full(&[1], 1.0).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        opt.step();
+        assert_eq!(p.to_vec(), vec![1.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Global (thread-local) random state, mirroring Pyro's global RNG.
+//!
+//! Probabilistic programs issue `sample` statements without threading an RNG
+//! through every call, so — like Pyro/Pytorch — this crate keeps a
+//! thread-local generator seeded via [`set_seed`].
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+thread_local! {
+    static GLOBAL_RNG: RefCell<StdRng> = RefCell::new(StdRng::seed_from_u64(0));
+}
+
+/// Seeds the thread-local generator (deterministic across runs).
+pub fn set_seed(seed: u64) {
+    GLOBAL_RNG.with(|r| *r.borrow_mut() = StdRng::seed_from_u64(seed));
+}
+
+/// Runs `f` with mutable access to the thread-local generator.
+///
+/// # Panics
+///
+/// Panics if called reentrantly from within another `with_rng` closure.
+pub fn with_rng<R>(f: impl FnOnce(&mut StdRng) -> R) -> R {
+    GLOBAL_RNG.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Draws a standard-normal tensor of the given shape from the global RNG.
+pub fn randn(shape: &[usize]) -> tyxe_tensor::Tensor {
+    with_rng(|rng| tyxe_tensor::Tensor::randn(shape, rng))
+}
+
+/// Draws a uniform `[lo, hi)` tensor of the given shape from the global RNG.
+pub fn rand_uniform(shape: &[usize], lo: f64, hi: f64) -> tyxe_tensor::Tensor {
+    with_rng(|rng| tyxe_tensor::Tensor::rand_uniform(shape, lo, hi, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        set_seed(42);
+        let a = randn(&[4]).to_vec();
+        set_seed(42);
+        let b = randn(&[4]).to_vec();
+        assert_eq!(a, b);
+        set_seed(43);
+        let c = randn(&[4]).to_vec();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        set_seed(0);
+        let t = rand_uniform(&[100], -2.0, 3.0);
+        assert!(t.to_vec().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Pinhole cameras on an orbit around the origin, and ray generation.
+
+use tyxe_tensor::Tensor;
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    [v[0] / n, v[1] / n, v[2] / n]
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// A pinhole camera looking at the origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Camera position in world space.
+    pub position: [f64; 3],
+    /// Vertical field of view in radians.
+    pub fov: f64,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+}
+
+impl Camera {
+    /// A camera on a circular orbit at `azimuth_deg` degrees (elevation
+    /// fixed at 20°, the tutorial's setup), distance `radius`, looking at
+    /// the origin.
+    pub fn orbit(azimuth_deg: f64, radius: f64, height: usize, width: usize) -> Camera {
+        let az = azimuth_deg.to_radians();
+        let el = 20f64.to_radians();
+        Camera {
+            position: [
+                radius * az.cos() * el.cos(),
+                radius * az.sin() * el.cos(),
+                radius * el.sin(),
+            ],
+            fov: 60f64.to_radians(),
+            height,
+            width,
+        }
+    }
+
+    /// Number of rays (pixels).
+    pub fn num_rays(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Generates one ray per pixel: origins `[h*w, 3]` (all equal to the
+    /// camera position) and unit directions `[h*w, 3]`, row-major over
+    /// pixels.
+    pub fn rays(&self) -> (Tensor, Tensor) {
+        let fwd = normalize([-self.position[0], -self.position[1], -self.position[2]]);
+        let world_up = [0.0, 0.0, 1.0];
+        let right = normalize(cross(fwd, world_up));
+        let up = cross(right, fwd);
+        let tan = (self.fov / 2.0).tan();
+        let n = self.num_rays();
+        let mut origins = Vec::with_capacity(n * 3);
+        let mut dirs = Vec::with_capacity(n * 3);
+        for py in 0..self.height {
+            // v in [-1, 1], top row = +1.
+            let v = 1.0 - 2.0 * (py as f64 + 0.5) / self.height as f64;
+            for px in 0..self.width {
+                let u = 2.0 * (px as f64 + 0.5) / self.width as f64 - 1.0;
+                let d = normalize([
+                    fwd[0] + tan * (u * right[0] + v * up[0]),
+                    fwd[1] + tan * (u * right[1] + v * up[1]),
+                    fwd[2] + tan * (u * right[2] + v * up[2]),
+                ]);
+                origins.extend_from_slice(&self.position);
+                dirs.extend_from_slice(&d);
+            }
+        }
+        (
+            Tensor::from_vec(origins, &[n, 3]),
+            Tensor::from_vec(dirs, &[n, 3]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbit_positions_lie_on_sphere() {
+        for az in [0.0, 90.0, 215.0] {
+            let c = Camera::orbit(az, 3.0, 4, 4);
+            let r = c.position.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((r - 3.0).abs() < 1e-12, "radius {r} at azimuth {az}");
+        }
+    }
+
+    #[test]
+    fn rays_are_unit_length_and_point_inward() {
+        let c = Camera::orbit(45.0, 3.0, 8, 8);
+        let (origins, dirs) = c.rays();
+        assert_eq!(origins.shape(), &[64, 3]);
+        assert_eq!(dirs.shape(), &[64, 3]);
+        let d = dirs.to_vec();
+        let o = origins.to_vec();
+        for i in 0..64 {
+            let norm: f64 = (0..3).map(|k| d[i * 3 + k] * d[i * 3 + k]).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+            // The central rays roughly oppose the camera position.
+            let dot: f64 = (0..3).map(|k| d[i * 3 + k] * o[i * 3 + k]).sum();
+            assert!(dot < 0.0, "ray {i} points away from the scene");
+        }
+    }
+
+    #[test]
+    fn central_ray_hits_origin() {
+        // With even resolution the four central pixels straddle the axis;
+        // their directions average to the forward direction.
+        let c = Camera::orbit(30.0, 4.0, 2, 2);
+        let (_, dirs) = c.rays();
+        let d = dirs.mean_axis(0, false).to_vec();
+        let f = normalize([-c.position[0], -c.position[1], -c.position[2]]);
+        let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        for k in 0..3 {
+            assert!((d[k] / norm - f[k]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Harmonic (positional) embedding of 3-D points, as used by NeRF.
+
+use tyxe_tensor::Tensor;
+
+/// Maps points `[n, d]` to `[n, d * 2 * num_frequencies (+ d)]` via
+/// `sin(2^k x), cos(2^k x)`, optionally appending the raw input.
+#[derive(Debug, Clone, Copy)]
+pub struct HarmonicEmbedding {
+    num_frequencies: usize,
+    include_input: bool,
+}
+
+impl HarmonicEmbedding {
+    /// Creates an embedding with `num_frequencies` octaves, appending the
+    /// raw coordinates.
+    pub fn new(num_frequencies: usize) -> HarmonicEmbedding {
+        HarmonicEmbedding {
+            num_frequencies,
+            include_input: true,
+        }
+    }
+
+    /// Output dimension for a `d`-dimensional input.
+    pub fn output_dim(&self, d: usize) -> usize {
+        d * 2 * self.num_frequencies + if self.include_input { d } else { 0 }
+    }
+
+    /// Applies the embedding (differentiable).
+    pub fn embed(&self, x: &Tensor) -> Tensor {
+        let mut parts = Vec::new();
+        for k in 0..self.num_frequencies {
+            let scaled = x.mul_scalar((2f64).powi(k as i32));
+            parts.push(scaled.sin());
+            parts.push(scaled.cos());
+        }
+        if self.include_input {
+            parts.push(x.clone());
+        }
+        Tensor::cat(&parts, x.ndim() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dim_matches_embed() {
+        let e = HarmonicEmbedding::new(4);
+        let x = Tensor::zeros(&[5, 3]);
+        let y = e.embed(&x);
+        assert_eq!(y.shape(), &[5, e.output_dim(3)]);
+        assert_eq!(e.output_dim(3), 27);
+    }
+
+    #[test]
+    fn embedding_values() {
+        let e = HarmonicEmbedding::new(2);
+        let x = Tensor::from_vec(vec![std::f64::consts::PI / 2.0], &[1, 1]);
+        let y = e.embed(&x).to_vec();
+        // [sin(x), cos(x), sin(2x), cos(2x), x]
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        assert!(y[1].abs() < 1e-12);
+        assert!(y[2].abs() < 1e-12);
+        assert!((y[3] + 1.0).abs() < 1e-12);
+        assert!((y[4] - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedding_is_differentiable() {
+        let e = HarmonicEmbedding::new(3);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.5], &[1, 3]).requires_grad(true);
+        e.embed(&x).square().sum().backward();
+        assert!(x.grad().is_some());
+    }
+}

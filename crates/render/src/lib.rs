@@ -1,0 +1,18 @@
+//! `tyxe-render`: a differentiable emission-absorption volume renderer —
+//! the Pytorch3D substitute for the paper's Bayesian NeRF experiment
+//! (§4.2, Figure 3).
+//!
+//! The renderer composites colors along camera rays through any
+//! [`Field`] — a neural radiance field, its Bayesian wrapper, or the
+//! procedural ground-truth [`scene`] used to generate training images
+//! (standing in for the Pytorch3D cow mesh).
+
+pub mod camera;
+pub mod embedding;
+pub mod renderer;
+pub mod scene;
+
+pub use camera::Camera;
+pub use embedding::HarmonicEmbedding;
+pub use renderer::{Field, FieldOutput, RawField, RenderOutput, VolumeRenderer};
+pub use scene::GroundTruthScene;

@@ -1,0 +1,94 @@
+//! `tyxe-tensor`: a dense `f64` tensor library with reverse-mode automatic
+//! differentiation.
+//!
+//! This crate is the Pytorch substitute underlying the `tyxe` Bayesian neural
+//! network stack. It provides:
+//!
+//! * [`Tensor`] — a cheaply clonable handle to a dense, row-major buffer
+//!   participating in a dynamically built autodiff graph;
+//! * broadcasting element-wise arithmetic, matrix multiplication, 2-D
+//!   convolution and pooling, reductions, softmax and shape manipulation;
+//! * [`grad_check`] — finite-difference gradient checking used by the test
+//!   suites of every downstream crate.
+//!
+//! # Example
+//!
+//! ```
+//! use tyxe_tensor::Tensor;
+//!
+//! let w = Tensor::from_vec(vec![1.0, -1.0], &[2, 1]).requires_grad(true);
+//! let x = Tensor::from_vec(vec![0.5, 2.0], &[1, 2]);
+//! let loss = x.matmul(&w).square().sum();
+//! loss.backward();
+//! assert!(w.grad().is_some());
+//! ```
+//!
+//! The graph is built dynamically: every differentiable op records its
+//! parents and a backward closure, and [`Tensor::backward`] runs a
+//! topological traversal. Tensors are `Rc`-based and therefore neither `Send`
+//! nor `Sync` — like the paper's single-GPU experiments, training loops here
+//! are single-threaded.
+
+pub mod grad_check;
+pub mod ops;
+pub mod shape;
+mod tensor;
+
+pub use grad_check::{check_gradient, GradCheckReport};
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A two-layer MLP regression step exercising most ops together.
+    #[test]
+    fn mlp_training_reduces_loss() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform(&[32, 1], -1.0, 1.0, &mut rng);
+        let target = x.mul_scalar(2.0).add_scalar(0.5);
+
+        let w1 = Tensor::randn(&[1, 16], &mut rng).mul_scalar(0.5).requires_grad(true);
+        let b1 = Tensor::zeros(&[16]).requires_grad(true);
+        let w2 = Tensor::randn(&[16, 1], &mut rng).mul_scalar(0.5).requires_grad(true);
+        let b2 = Tensor::zeros(&[1]).requires_grad(true);
+
+        let forward = |w1: &Tensor, b1: &Tensor, w2: &Tensor, b2: &Tensor| {
+            let h = x.matmul(w1).add(b1).tanh();
+            let y = h.matmul(w2).add(b2);
+            y.sub(&target).square().mean()
+        };
+
+        let mut last = f64::INFINITY;
+        for _ in 0..200 {
+            let loss = forward(&w1, &b1, &w2, &b2);
+            last = loss.item();
+            for p in [&w1, &b1, &w2, &b2] {
+                p.zero_grad();
+            }
+            loss.backward();
+            for p in [&w1, &b1, &w2, &b2] {
+                let g = p.grad().unwrap();
+                let mut d = p.to_vec();
+                for (v, gi) in d.iter_mut().zip(&g) {
+                    *v -= 0.1 * gi;
+                }
+                p.set_data(d);
+            }
+        }
+        assert!(last < 1e-2, "final loss {last}");
+    }
+
+    #[test]
+    fn softmax_classifier_gradient_is_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x0 = Tensor::randn(&[4, 5], &mut rng);
+        let report = check_gradient(
+            |logits| logits.log_softmax(1).gather_rows(&[0, 1, 2, 3]).sum().neg(),
+            &x0,
+            1e-6,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Broadcasting element-wise binary operations.
+
+use crate::shape::{broadcast_shapes, broadcast_source_index, numel, unravel_index};
+use crate::tensor::Tensor;
+
+/// Reduces a gradient computed in the broadcast output shape back down to the
+/// operand shape by summing over broadcast dimensions.
+pub(crate) fn sum_to_shape(grad: &[f64], out_shape: &[usize], src_shape: &[usize]) -> Vec<f64> {
+    if out_shape == src_shape {
+        return grad.to_vec();
+    }
+    let mut out = vec![0.0; numel(src_shape)];
+    for (flat, &g) in grad.iter().enumerate() {
+        let idx = unravel_index(flat, out_shape);
+        out[broadcast_source_index(&idx, src_shape)] += g;
+    }
+    out
+}
+
+/// Applies `f` elementwise with broadcasting; `df` returns (dl/da, dl/db) per
+/// element given (a, b, grad_out).
+fn broadcast_binary(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f64, f64) -> f64,
+    df: impl Fn(f64, f64, f64) -> (f64, f64) + 'static,
+) -> Tensor {
+    let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
+        panic!(
+            "cannot broadcast shapes {:?} and {:?}",
+            a.shape(),
+            b.shape()
+        )
+    });
+    let n = numel(&out_shape);
+    let ad = a.data();
+    let bd = b.data();
+    let fast = a.shape() == out_shape && b.shape() == out_shape;
+    let mut data = Vec::with_capacity(n);
+    if fast {
+        for i in 0..n {
+            data.push(f(ad[i], bd[i]));
+        }
+    } else {
+        for flat in 0..n {
+            let idx = unravel_index(flat, &out_shape);
+            let av = ad[broadcast_source_index(&idx, a.shape())];
+            let bv = bd[broadcast_source_index(&idx, b.shape())];
+            data.push(f(av, bv));
+        }
+    }
+    drop(ad);
+    drop(bd);
+
+    let (ac, bc) = (a.clone(), b.clone());
+    let out_shape_c = out_shape.clone();
+    Tensor::make_op(
+        data,
+        out_shape,
+        vec![a.clone(), b.clone()],
+        Box::new(move |_out, grad| {
+            let ad = ac.data();
+            let bd = bc.data();
+            let n = grad.len();
+            let mut ga = vec![0.0; n];
+            let mut gb = vec![0.0; n];
+            if ac.shape() == out_shape_c && bc.shape() == out_shape_c {
+                for i in 0..n {
+                    let (da, db) = df(ad[i], bd[i], grad[i]);
+                    ga[i] = da;
+                    gb[i] = db;
+                }
+            } else {
+                for flat in 0..n {
+                    let idx = unravel_index(flat, &out_shape_c);
+                    let av = ad[broadcast_source_index(&idx, ac.shape())];
+                    let bv = bd[broadcast_source_index(&idx, bc.shape())];
+                    let (da, db) = df(av, bv, grad[flat]);
+                    ga[flat] = da;
+                    gb[flat] = db;
+                }
+            }
+            drop(ad);
+            drop(bd);
+            let ga = sum_to_shape(&ga, &out_shape_c, ac.shape());
+            let gb = sum_to_shape(&gb, &out_shape_c, bc.shape());
+            vec![Some(ga), Some(gb)]
+        }),
+    )
+}
+
+impl Tensor {
+    /// Element-wise addition with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |a, b| a + b, |_, _, g| (g, g))
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |a, b| a - b, |_, _, g| (g, -g))
+    }
+
+    /// Element-wise multiplication with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |a, b| a * b, |a, b, g| (g * b, g * a))
+    }
+
+    /// Element-wise division with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(
+            self,
+            other,
+            |a, b| a / b,
+            |a, b, g| (g / b, -g * a / (b * b)),
+        )
+    }
+
+    /// Element-wise maximum with broadcasting. Gradient flows to the larger
+    /// operand (ties go to `self`).
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(
+            self,
+            other,
+            |a, b| a.max(b),
+            |a, b, g| if a >= b { (g, 0.0) } else { (0.0, g) },
+        )
+    }
+
+    /// Element-wise minimum with broadcasting. Gradient flows to the smaller
+    /// operand (ties go to `self`).
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(
+            self,
+            other,
+            |a, b| a.min(b),
+            |a, b, g| if a <= b { (g, 0.0) } else { (0.0, g) },
+        )
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f64) -> Tensor {
+        self.map_unary(move |x| x + s, move |_x, _y, g| g)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f64) -> Tensor {
+        self.map_unary(move |x| x * s, move |_x, _y, g| g * s)
+    }
+
+    /// Subtracts a scalar from every element.
+    pub fn sub_scalar(&self, s: f64) -> Tensor {
+        self.add_scalar(-s)
+    }
+
+    /// Divides every element by a scalar.
+    pub fn div_scalar(&self, s: f64) -> Tensor {
+        self.mul_scalar(1.0 / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = a.add(&b);
+        assert_eq!(c.to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn mul_grad_broadcast_sums_over_expanded_dims() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).requires_grad(true);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).requires_grad(true);
+        let c = a.mul(&b).sum();
+        c.backward();
+        assert_eq!(a.grad().unwrap(), vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]);
+        // db sums over the expanded first dim: [1+4, 2+5, 3+6]
+        assert_eq!(b.grad().unwrap(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn div_grad() {
+        let a = Tensor::from_vec(vec![6.0], &[1]).requires_grad(true);
+        let b = Tensor::from_vec(vec![3.0], &[1]).requires_grad(true);
+        let c = a.div(&b).sum();
+        c.backward();
+        assert!((a.grad().unwrap()[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b.grad().unwrap()[0] + 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximum_routes_gradient() {
+        let a = Tensor::from_vec(vec![1.0, 5.0], &[2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![3.0, 2.0], &[2]).requires_grad(true);
+        let c = a.maximum(&b).sum();
+        c.backward();
+        assert_eq!(a.grad().unwrap(), vec![0.0, 1.0]);
+        assert_eq!(b.grad().unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::from_vec(vec![2.0, 4.0], &[2]).requires_grad(true);
+        let y = a.mul_scalar(3.0).add_scalar(1.0).sum();
+        y.backward();
+        assert_eq!(y.item(), 7.0 + 13.0);
+        assert_eq!(a.grad().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn scalar_broadcasts_everywhere() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let s = Tensor::scalar(10.0);
+        assert_eq!(a.add(&s).to_vec(), vec![11.0, 12.0]);
+        assert_eq!(s.sub(&a).to_vec(), vec![9.0, 8.0]);
+    }
+}

@@ -1,0 +1,391 @@
+//! 2-D convolution (via im2col + GEMM) and max pooling over `[N, C, H, W]`
+//! tensors.
+
+use crate::ops::matmul::{gemm, gemm_at, gemm_bt};
+use crate::tensor::Tensor;
+
+/// Output spatial size of a convolution/pooling dimension.
+///
+/// # Panics
+///
+/// Panics if the kernel exceeds the padded input (which would otherwise
+/// wrap around in release builds and produce nonsense shapes).
+fn conv_out(size: usize, k: usize, stride: usize, pad: usize) -> usize {
+    assert!(
+        k <= size + 2 * pad,
+        "kernel size {k} exceeds padded input extent {}",
+        size + 2 * pad
+    );
+    (size + 2 * pad - k) / stride + 1
+}
+
+/// Unfolds one image `[C, H, W]` into columns `[C*Kh*Kw, Ho*Wo]`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    img: &[f64],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut [f64],
+) {
+    let ho = conv_out(h, kh, stride, pad);
+    let wo = conv_out(w, kw, stride, pad);
+    let ncols = ho * wo;
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let dst = &mut cols[row * ncols..(row + 1) * ncols];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        dst[oy * wo + ox] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                        {
+                            img[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds columns `[C*Kh*Kw, Ho*Wo]` back into an image `[C, H, W]`,
+/// accumulating overlapping contributions (the adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f64],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    img: &mut [f64],
+) {
+    let ho = conv_out(h, kh, stride, pad);
+    let wo = conv_out(w, kw, stride, pad);
+    let ncols = ho * wo;
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let src = &cols[row * ncols..(row + 1) * ncols];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        img[(ch * h + iy as usize) * w + ix as usize] += src[oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// 2-D convolution.
+    ///
+    /// * `self`: input `[N, Cin, H, W]`
+    /// * `weight`: filters `[Cout, Cin, Kh, Kw]`
+    /// * `bias`: optional `[Cout]`
+    ///
+    /// Returns `[N, Cout, Ho, Wo]` with `Ho = (H + 2*pad - Kh)/stride + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or if `Cin` disagrees between input and
+    /// weight.
+    pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+        assert_eq!(self.ndim(), 4, "conv2d: input must be [N, C, H, W]");
+        assert_eq!(weight.ndim(), 4, "conv2d: weight must be [Cout, Cin, Kh, Kw]");
+        let (n, cin, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let (cout, cin2, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        assert_eq!(cin, cin2, "conv2d: channel mismatch");
+        if let Some(b) = bias {
+            assert_eq!(b.shape(), &[cout], "conv2d: bias must be [Cout]");
+        }
+        let ho = conv_out(h, kh, stride, pad);
+        let wo = conv_out(w, kw, stride, pad);
+        let krows = cin * kh * kw;
+        let ncols = ho * wo;
+
+        let mut out = vec![0.0; n * cout * ncols];
+        let mut cols = vec![0.0; krows * ncols];
+        {
+            let x = self.data();
+            let wd = weight.data();
+            for s in 0..n {
+                im2col(&x[s * cin * h * w..(s + 1) * cin * h * w], cin, h, w, kh, kw, stride, pad, &mut cols);
+                gemm(&wd, &cols, &mut out[s * cout * ncols..(s + 1) * cout * ncols], cout, krows, ncols);
+            }
+            if let Some(b) = bias {
+                let bd = b.data();
+                for s in 0..n {
+                    for co in 0..cout {
+                        let base = (s * cout + co) * ncols;
+                        for q in 0..ncols {
+                            out[base + q] += bd[co];
+                        }
+                    }
+                }
+            }
+        }
+
+        let xc = self.clone();
+        let wc = weight.clone();
+        let has_bias = bias.is_some();
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(b) = bias {
+            parents.push(b.clone());
+        }
+        Tensor::make_op(
+            out,
+            vec![n, cout, ho, wo],
+            parents,
+            Box::new(move |_, grad| {
+                let x = xc.data();
+                let wd = wc.data();
+                let mut gx = vec![0.0; n * cin * h * w];
+                let mut gw = vec![0.0; cout * krows];
+                let mut gcols = vec![0.0; krows * ncols];
+                let mut cols = vec![0.0; krows * ncols];
+                for s in 0..n {
+                    let gout = &grad[s * cout * ncols..(s + 1) * cout * ncols];
+                    // dW += G * cols^T
+                    im2col(&x[s * cin * h * w..(s + 1) * cin * h * w], cin, h, w, kh, kw, stride, pad, &mut cols);
+                    gemm_bt(gout, &cols, &mut gw, cout, ncols, krows);
+                    // dcols = W^T * G; dX += col2im(dcols)
+                    gcols.iter_mut().for_each(|v| *v = 0.0);
+                    gemm_at(&wd, gout, &mut gcols, krows, cout, ncols);
+                    col2im(&gcols, cin, h, w, kh, kw, stride, pad, &mut gx[s * cin * h * w..(s + 1) * cin * h * w]);
+                }
+                let mut grads = vec![Some(gx), Some(gw)];
+                if has_bias {
+                    let mut gb = vec![0.0; cout];
+                    for s in 0..n {
+                        for (co, g) in gb.iter_mut().enumerate() {
+                            let base = (s * cout + co) * ncols;
+                            *g += grad[base..base + ncols].iter().sum::<f64>();
+                        }
+                    }
+                    grads.push(Some(gb));
+                }
+                grads
+            }),
+        )
+    }
+
+    /// 2-D max pooling with square kernel `k` and stride `s` over
+    /// `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    pub fn max_pool2d(&self, k: usize, s: usize) -> Tensor {
+        assert_eq!(self.ndim(), 4, "max_pool2d: input must be [N, C, H, W]");
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let ho = conv_out(h, k, s, 0);
+        let wo = conv_out(w, k, s, 0);
+        let mut out = vec![f64::NEG_INFINITY; n * c * ho * wo];
+        let mut arg = vec![0usize; n * c * ho * wo];
+        {
+            let x = self.data();
+            for img in 0..n * c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let o = (img * ho + oy) * wo + ox;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let iy = oy * s + ki;
+                                let ix = ox * s + kj;
+                                if iy < h && ix < w {
+                                    let src = (img * h + iy) * w + ix;
+                                    if x[src] > out[o] {
+                                        out[o] = x[src];
+                                        arg[o] = src;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let total = self.numel();
+        Tensor::make_op(
+            out,
+            vec![n, c, ho, wo],
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let mut g = vec![0.0; total];
+                for (o, &src) in arg.iter().enumerate() {
+                    g[src] += grad[o];
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Global average pooling over the spatial dims of `[N, C, H, W]`,
+    /// returning `[N, C]`.
+    pub fn global_avg_pool2d(&self) -> Tensor {
+        assert_eq!(self.ndim(), 4, "global_avg_pool2d: input must be [N, C, H, W]");
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        let hw = self.shape()[2] * self.shape()[3];
+        self.reshape(&[n, c, hw]).mean_axis(2, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let x = Tensor::from_vec((0..8).map(|v| v as f64).collect(), &[1, 2, 2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]);
+        let y = x.conv2d(&w, None, 1, 0);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 3x3 input, 2x2 averaging-ish kernel, stride 1, no pad.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f64).collect(), &[1, 1, 3, 3]);
+        let w = Tensor::from_vec(vec![1.0; 4], &[1, 1, 2, 2]);
+        let y = x.conv2d(&w, None, 1, 0);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.to_vec(), vec![12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_padding_preserves_size() {
+        let x = Tensor::ones(&[2, 3, 5, 5]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let y = x.conv2d(&w, None, 1, 1);
+        assert_eq!(y.shape(), &[2, 4, 5, 5]);
+        // Center output = 3*3*3 = 27 ones.
+        assert_eq!(y.at(&[0, 0, 2, 2]), 27.0);
+        // Corner output only sees a 2x2x3 window.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn conv_bias_added_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[3, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let y = x.conv2d(&w, Some(&b), 1, 0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 2, 1, 1]), 3.0);
+    }
+
+    #[test]
+    fn conv_grad_matches_finite_difference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&[2, 2, 4, 4], &mut rng).requires_grad(true);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng).requires_grad(true);
+        let b = Tensor::randn(&[3], &mut rng).requires_grad(true);
+        let y = x.conv2d(&w, Some(&b), 2, 1).sum();
+        y.backward();
+        let eps = 1e-5;
+        // Check a few weight coordinates by central differences.
+        for &i in &[0usize, 7, 35] {
+            let mut wp = w.to_vec();
+            wp[i] += eps;
+            let yp = x
+                .detach()
+                .conv2d(&Tensor::from_vec(wp.clone(), w.shape()), Some(&b.detach()), 2, 1)
+                .sum()
+                .item();
+            wp[i] -= 2.0 * eps;
+            let ym = x
+                .detach()
+                .conv2d(&Tensor::from_vec(wp, w.shape()), Some(&b.detach()), 2, 1)
+                .sum()
+                .item();
+            let fd = (yp - ym) / (2.0 * eps);
+            let an = w.grad().unwrap()[i];
+            assert!((fd - an).abs() < 1e-5, "weight grad {i}: fd={fd} an={an}");
+        }
+        // And an input coordinate.
+        let mut xp = x.to_vec();
+        xp[10] += eps;
+        let yp = Tensor::from_vec(xp.clone(), x.shape())
+            .conv2d(&w.detach(), Some(&b.detach()), 2, 1)
+            .sum()
+            .item();
+        xp[10] -= 2.0 * eps;
+        let ym = Tensor::from_vec(xp, x.shape())
+            .conv2d(&w.detach(), Some(&b.detach()), 2, 1)
+            .sum()
+            .item();
+        let fd = (yp - ym) / (2.0 * eps);
+        assert!((fd - x.grad().unwrap()[10]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_pool_values_and_grad() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .requires_grad(true);
+        let y = x.max_pool2d(2, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.to_vec(), vec![6.0, 8.0, 14.0, 16.0]);
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.iter().sum::<f64>(), 4.0);
+        assert_eq!(g[5], 1.0);
+        assert_eq!(g[15], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_kernel_panics_with_named_error() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let w = Tensor::zeros(&[1, 1, 5, 5]);
+        let _ = x.conv2d(&w, None, 1, 0);
+    }
+
+    #[test]
+    fn global_avg_pool_shape() {
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = x.global_avg_pool2d();
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.to_vec(), vec![1.0; 6]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Matrix multiplication and 2-D transpose.
+
+use crate::tensor::Tensor;
+
+/// Plain triple-loop GEMM: `c[m x n] += a[m x k] * b[k x n]`.
+/// Loop order (m, k, n) keeps the inner loop contiguous on both `b` and `c`.
+pub(crate) fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// GEMM with `a` transposed: `c[m x n] += a^T * b` where `a` is `[k x m]`.
+pub(crate) fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        for i in 0..m {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// GEMM with `b` transposed: `c[m x n] += a * b^T` where `b` is `[n x k]`.
+pub(crate) fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul: lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(other.ndim(), 2, "matmul: rhs must be 2-D, got {:?}", other.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul: inner dims {k} vs {k2} disagree");
+        let mut data = vec![0.0; m * n];
+        gemm(&self.data(), &other.data(), &mut data, m, k, n);
+        let (ac, bc) = (self.clone(), other.clone());
+        Tensor::make_op(
+            data,
+            vec![m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |_, grad| {
+                // dA = G * B^T ; dB = A^T * G
+                let mut ga = vec![0.0; m * k];
+                let mut gb = vec![0.0; k * n];
+                gemm_bt(grad, &bc.data(), &mut ga, m, n, k);
+                gemm_at(&ac.data(), grad, &mut gb, k, m, n);
+                vec![Some(ga), Some(gb)]
+            }),
+        )
+    }
+
+    /// Matrix-vector product: `[m, k] x [k] -> [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matvec: lhs must be 2-D");
+        assert_eq!(v.ndim(), 1, "matvec: rhs must be 1-D");
+        let n = v.shape()[0];
+        let out = self.matmul(&v.reshape(&[n, 1]));
+        let m = self.shape()[0];
+        out.reshape(&[m])
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "t(): tensor must be 2-D, got {:?}", self.shape());
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let d = self.data();
+        let mut data = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = d[i * n + j];
+            }
+        }
+        drop(d);
+        Tensor::make_op(
+            data,
+            vec![n, m],
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let mut g = vec![0.0; m * n];
+                for j in 0..n {
+                    for i in 0..m {
+                        g[i * n + j] = grad[j * m + i];
+                    }
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Inner product of two 1-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or length mismatch.
+    pub fn dot(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 1, "dot: lhs must be 1-D");
+        assert_eq!(other.ndim(), 1, "dot: rhs must be 1-D");
+        assert_eq!(self.shape(), other.shape(), "dot: length mismatch");
+        self.mul(other).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_grad() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).requires_grad(true);
+        let y = a.matmul(&b).sum();
+        y.backward();
+        // dA = 1 * B^T applied to all-ones grad => row sums of B rows.
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f64).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.at(&[0, 0]), 0.0 * 0.0 + 1.0 * 4.0 + 2.0 * 8.0);
+        assert_eq!(c.at(&[1, 3]), 3.0 * 3.0 + 4.0 * 7.0 + 5.0 * 11.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f64).collect(), &[2, 3]);
+        let t = a.t();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.t().to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn transpose_grad() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).requires_grad(true);
+        let w = Tensor::from_vec((0..6).map(|x| x as f64).collect(), &[3, 2]);
+        a.t().mul(&w).sum().backward();
+        // grad of a[i][j] = w[j][i]
+        assert_eq!(a.grad().unwrap(), vec![0.0, 2.0, 4.0, 1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        assert_eq!(a.matvec(&v).to_vec(), vec![-1.0, -1.0]);
+        assert_eq!(v.dot(&v).item(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,16 @@
+//! Tensor operations, grouped by kind.
+//!
+//! All ops are methods on [`crate::Tensor`]; these modules only organize the
+//! implementations.
+
+pub(crate) mod binary;
+pub(crate) mod conv;
+pub(crate) mod linalg;
+pub(crate) mod matmul;
+pub(crate) mod reduce;
+pub(crate) mod shape_ops;
+pub(crate) mod softmax;
+pub(crate) mod stats;
+pub(crate) mod unary;
+
+pub use unary::erf_scalar;

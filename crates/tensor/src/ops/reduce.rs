@@ -1,0 +1,252 @@
+//! Reduction operations: sum, mean, min/max, and axis-wise variants.
+
+use crate::shape::{normalize_axis, numel, strides_for, unravel_index};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sums all elements into a scalar.
+    pub fn sum(&self) -> Tensor {
+        let total: f64 = self.data().iter().sum();
+        let n = self.numel();
+        let shape = self.shape().to_vec();
+        Tensor::make_op(
+            vec![total],
+            vec![],
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let _ = &shape;
+                vec![Some(vec![grad[0]; n])]
+            }),
+        )
+    }
+
+    /// Averages all elements into a scalar.
+    pub fn mean(&self) -> Tensor {
+        self.sum().div_scalar(self.numel() as f64)
+    }
+
+    /// Sums along `axis`, optionally keeping the reduced dimension as size 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn sum_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        let ax = normalize_axis(axis, self.ndim());
+        let in_shape = self.shape().to_vec();
+        let mut out_shape: Vec<usize> = in_shape.clone();
+        out_shape[ax] = 1;
+        let out_n = numel(&out_shape);
+        let mut data = vec![0.0; out_n];
+        let out_strides = strides_for(&out_shape);
+        {
+            let d = self.data();
+            for (flat, &v) in d.iter().enumerate() {
+                let idx = unravel_index(flat, &in_shape);
+                let mut o = 0;
+                for (i, &s) in out_strides.iter().enumerate() {
+                    o += if i == ax { 0 } else { idx[i] * s };
+                }
+                data[o] += v;
+            }
+        }
+        let final_shape = if keepdim {
+            out_shape.clone()
+        } else {
+            let mut s = out_shape.clone();
+            s.remove(ax);
+            s
+        };
+        let in_shape_c = in_shape.clone();
+        let out_shape_c = out_shape;
+        let out = Tensor::make_op(
+            data,
+            final_shape,
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let mut g = vec![0.0; numel(&in_shape_c)];
+                let out_strides = strides_for(&out_shape_c);
+                for (flat, gv) in g.iter_mut().enumerate() {
+                    let idx = unravel_index(flat, &in_shape_c);
+                    let mut o = 0;
+                    for (i, &s) in out_strides.iter().enumerate() {
+                        o += if i == ax { 0 } else { idx[i] * s };
+                    }
+                    *gv = grad[o];
+                }
+                vec![Some(g)]
+            }),
+        );
+        out
+    }
+
+    /// Mean along `axis`, optionally keeping the reduced dimension.
+    pub fn mean_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        let ax = normalize_axis(axis, self.ndim());
+        self.sum_axis(axis, keepdim)
+            .div_scalar(self.shape()[ax] as f64)
+    }
+
+    /// Maximum along `axis`. Gradient flows only to the (first) argmax entry.
+    pub fn max_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        self.extremum_axis(axis, keepdim, true)
+    }
+
+    /// Minimum along `axis`. Gradient flows only to the (first) argmin entry.
+    pub fn min_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        self.extremum_axis(axis, keepdim, false)
+    }
+
+    fn extremum_axis(&self, axis: isize, keepdim: bool, is_max: bool) -> Tensor {
+        let ax = normalize_axis(axis, self.ndim());
+        let in_shape = self.shape().to_vec();
+        let mut out_shape = in_shape.clone();
+        out_shape[ax] = 1;
+        let out_n = numel(&out_shape);
+        let mut best = vec![if is_max { f64::NEG_INFINITY } else { f64::INFINITY }; out_n];
+        let mut arg = vec![0usize; out_n];
+        let out_strides = strides_for(&out_shape);
+        {
+            let d = self.data();
+            for (flat, &v) in d.iter().enumerate() {
+                let idx = unravel_index(flat, &in_shape);
+                let mut o = 0;
+                for (i, &s) in out_strides.iter().enumerate() {
+                    o += if i == ax { 0 } else { idx[i] * s };
+                }
+                let better = if is_max { v > best[o] } else { v < best[o] };
+                if better {
+                    best[o] = v;
+                    arg[o] = flat;
+                }
+            }
+        }
+        let final_shape = if keepdim {
+            out_shape.clone()
+        } else {
+            let mut s = out_shape.clone();
+            s.remove(ax);
+            s
+        };
+        let in_n = numel(&in_shape);
+        Tensor::make_op(
+            best,
+            final_shape,
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let mut g = vec![0.0; in_n];
+                for (o, &src) in arg.iter().enumerate() {
+                    g[src] += grad[o];
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Index of the maximum element along `axis` (not differentiable).
+    pub fn argmax_axis(&self, axis: isize) -> Vec<usize> {
+        let ax = normalize_axis(axis, self.ndim());
+        let in_shape = self.shape().to_vec();
+        let mut out_shape = in_shape.clone();
+        out_shape[ax] = 1;
+        let out_n = numel(&out_shape);
+        let mut best = vec![f64::NEG_INFINITY; out_n];
+        let mut arg = vec![0usize; out_n];
+        let out_strides = strides_for(&out_shape);
+        let d = self.data();
+        for (flat, &v) in d.iter().enumerate() {
+            let idx = unravel_index(flat, &in_shape);
+            let mut o = 0;
+            for (i, &s) in out_strides.iter().enumerate() {
+                o += if i == ax { 0 } else { idx[i] * s };
+            }
+            if v > best[o] {
+                best[o] = v;
+                arg[o] = idx[ax];
+            }
+        }
+        arg
+    }
+
+    /// Largest element of the tensor (not differentiable).
+    pub fn max_value(&self) -> f64 {
+        self.data().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest element of the tensor (not differentiable).
+    pub fn min_value(&self) -> f64 {
+        self.data().iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_grad_is_ones() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad(true);
+        let y = x.sum();
+        assert_eq!(y.item(), 6.0);
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_scales_grad() {
+        let x = Tensor::from_vec(vec![2.0, 4.0], &[2]).requires_grad(true);
+        let y = x.mean();
+        assert_eq!(y.item(), 3.0);
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn sum_axis_rows_and_cols() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(x.sum_axis(0, false).to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(x.sum_axis(1, false).to_vec(), vec![6.0, 15.0]);
+        assert_eq!(x.sum_axis(1, true).shape(), &[2, 1]);
+        assert_eq!(x.sum_axis(-1, false).to_vec(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_axis_grad_broadcasts_back() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad(true);
+        let y = x.sum_axis(0, false); // [4, 6]
+        let w = Tensor::from_vec(vec![10.0, 1.0], &[2]);
+        y.mul(&w).sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![10.0, 1.0, 10.0, 1.0]);
+    }
+
+    #[test]
+    fn max_axis_routes_grad_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[2, 2]).requires_grad(true);
+        let y = x.max_axis(1, false);
+        assert_eq!(y.to_vec(), vec![5.0, 3.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_axis_values() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0, 9.0, 0.0], &[2, 3]);
+        assert_eq!(x.argmax_axis(1), vec![1, 1]);
+        assert_eq!(x.argmax_axis(0), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn min_and_extremes() {
+        let x = Tensor::from_vec(vec![3.0, -1.0, 2.0], &[3]);
+        assert_eq!(x.max_value(), 3.0);
+        assert_eq!(x.min_value(), -1.0);
+        assert_eq!(x.min_axis(0, false).item(), -1.0);
+    }
+
+    #[test]
+    fn mean_axis_shapes() {
+        let x = Tensor::ones(&[2, 3, 4]);
+        assert_eq!(x.mean_axis(1, false).shape(), &[2, 4]);
+        assert_eq!(x.mean_axis(1, true).shape(), &[2, 1, 4]);
+        assert_eq!(x.mean_axis(1, false).to_vec(), vec![1.0; 8]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Numerically stable softmax / log-softmax / logsumexp along an axis.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Log-sum-exp along `axis` (keepdim), computed stably by subtracting the
+    /// per-slice maximum.
+    pub fn logsumexp_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        let m = self.max_axis(axis, true).detach();
+        let shifted = self.sub(&m);
+        let lse = shifted.exp().sum_axis(axis, true).ln().add(&m);
+        if keepdim {
+            lse
+        } else {
+            let ax = crate::shape::normalize_axis(axis, self.ndim());
+            lse.squeeze(ax)
+        }
+    }
+
+    /// Log-softmax along `axis`: `x - logsumexp(x)`.
+    pub fn log_softmax(&self, axis: isize) -> Tensor {
+        self.sub(&self.logsumexp_axis(axis, true))
+    }
+
+    /// Softmax along `axis`.
+    pub fn softmax(&self, axis: isize) -> Tensor {
+        self.log_softmax(axis).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = x.softmax(1);
+        let d = p.to_vec();
+        assert!((d[0] + d[1] + d[2] - 1.0).abs() < 1e-12);
+        assert!((d[3] + d[4] + d[5] - 1.0).abs() < 1e-12);
+        assert!(d[2] > d[1] && d[1] > d[0]);
+    }
+
+    #[test]
+    fn log_softmax_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let ls = x.log_softmax(1).to_vec();
+        assert!(ls.iter().all(|v| v.is_finite()));
+        assert!((ls[1].exp() + ls[0].exp() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        // d/dx of softmax under a sum that picks a single class.
+        let x = Tensor::from_vec(vec![0.2, -0.1, 0.5], &[1, 3]).requires_grad(true);
+        let p = x.softmax(1);
+        p.gather_rows(&[1]).sum().backward();
+        let g = x.grad().unwrap();
+        assert!(g.iter().sum::<f64>().abs() < 1e-10, "{g:?}");
+    }
+
+    #[test]
+    fn logsumexp_matches_manual() {
+        let x = Tensor::from_vec(vec![0.0, (2.0f64).ln()], &[1, 2]);
+        let lse = x.logsumexp_axis(1, false);
+        assert!((lse.item() - (3.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_softmax_grad_correct() {
+        // NLL of class 0 for logits z: grad = softmax(z) - onehot(0).
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.7], &[1, 3]).requires_grad(true);
+        let nll = x.log_softmax(1).gather_rows(&[0]).sum().neg();
+        nll.backward();
+        let p = x.detach().softmax(1).to_vec();
+        let g = x.grad().unwrap();
+        assert!((g[0] - (p[0] - 1.0)).abs() < 1e-9);
+        assert!((g[1] - p[1]).abs() < 1e-9);
+        assert!((g[2] - p[2]).abs() < 1e-9);
+    }
+}

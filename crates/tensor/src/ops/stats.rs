@@ -1,0 +1,229 @@
+//! Statistical and structural convenience ops: variance/standard deviation,
+//! cumulative sums, outer products, triangular masks and top-k selection.
+
+use crate::shape::normalize_axis;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Population variance of all elements (differentiable).
+    pub fn var(&self) -> Tensor {
+        let mean = self.mean();
+        self.sub(&mean).square().mean()
+    }
+
+    /// Population standard deviation of all elements (differentiable).
+    pub fn std(&self) -> Tensor {
+        self.var().sqrt()
+    }
+
+    /// Population variance along `axis` (differentiable).
+    pub fn var_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        let mean = self.mean_axis(axis, true);
+        self.sub(&mean).square().mean_axis(axis, keepdim)
+    }
+
+    /// Cumulative sum along `axis` (differentiable: the adjoint is a
+    /// reversed cumulative sum).
+    pub fn cumsum(&self, axis: isize) -> Tensor {
+        let ax = normalize_axis(axis, self.ndim());
+        let shape = self.shape().to_vec();
+        let outer: usize = shape[..ax].iter().product();
+        let len = shape[ax];
+        let inner: usize = shape[ax + 1..].iter().product();
+        let mut data = self.to_vec();
+        for o in 0..outer {
+            for i in 1..len {
+                for q in 0..inner {
+                    let idx = (o * len + i) * inner + q;
+                    let prev = (o * len + i - 1) * inner + q;
+                    data[idx] += data[prev];
+                }
+            }
+        }
+        Tensor::make_op(
+            data,
+            shape,
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let mut g = grad.to_vec();
+                for o in 0..outer {
+                    for i in (0..len - 1).rev() {
+                        for q in 0..inner {
+                            let idx = (o * len + i) * inner + q;
+                            let next = (o * len + i + 1) * inner + q;
+                            g[idx] += g[next];
+                        }
+                    }
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Outer product of two 1-D tensors: `[m] x [n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 1-D.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 1, "outer: lhs must be 1-D");
+        assert_eq!(other.ndim(), 1, "outer: rhs must be 1-D");
+        let m = self.shape()[0];
+        let n = other.shape()[0];
+        self.reshape(&[m, 1]).matmul(&other.reshape(&[1, n]))
+    }
+
+    /// Lower-triangular part of a 2-D tensor (entries above diagonal `k`
+    /// zeroed). Differentiable; the adjoint applies the same mask.
+    pub fn tril(&self, k: isize) -> Tensor {
+        self.triangular_mask(k, true)
+    }
+
+    /// Upper-triangular part of a 2-D tensor (entries below diagonal `k`
+    /// zeroed).
+    pub fn triu(&self, k: isize) -> Tensor {
+        self.triangular_mask(k, false)
+    }
+
+    fn triangular_mask(&self, k: isize, lower: bool) -> Tensor {
+        assert_eq!(self.ndim(), 2, "tril/triu: tensor must be 2-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let keep = move |i: usize, j: usize| {
+            let d = j as isize - i as isize;
+            if lower {
+                d <= k
+            } else {
+                d >= k
+            }
+        };
+        let mut data = self.to_vec();
+        for i in 0..m {
+            for j in 0..n {
+                if !keep(i, j) {
+                    data[i * n + j] = 0.0;
+                }
+            }
+        }
+        Tensor::make_op(
+            data,
+            vec![m, n],
+            vec![self.clone()],
+            Box::new(move |_, grad| {
+                let mut g = grad.to_vec();
+                for i in 0..m {
+                    for j in 0..n {
+                        if !keep(i, j) {
+                            g[i * n + j] = 0.0;
+                        }
+                    }
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Indices of the `k` largest elements of a 1-D tensor, in descending
+    /// value order (not differentiable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 1-D or `k` exceeds its length.
+    pub fn topk_indices(&self, k: usize) -> Vec<usize> {
+        assert_eq!(self.ndim(), 1, "topk_indices: tensor must be 1-D");
+        let n = self.shape()[0];
+        assert!(k <= n, "topk_indices: k = {k} exceeds length {n}");
+        let d = self.data();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("no NaNs in topk"));
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_gradient;
+
+    #[test]
+    fn var_and_std_match_manual() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        assert!((x.var().item() - 1.25).abs() < 1e-12);
+        assert!((x.std().item() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn var_axis_per_row() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 0.0, 0.0], &[2, 2]);
+        let v = x.var_axis(1, false).to_vec();
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!(v[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumsum_values_and_grad() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad(true);
+        let y = x.cumsum(0);
+        assert_eq!(y.to_vec(), vec![1.0, 3.0, 6.0]);
+        let w = Tensor::from_vec(vec![1.0, 10.0, 100.0], &[3]);
+        y.mul(&w).sum().backward();
+        // d/dx_i sum_j w_j cumsum_j = sum_{j >= i} w_j
+        assert_eq!(x.grad().unwrap(), vec![111.0, 110.0, 100.0]);
+    }
+
+    #[test]
+    fn cumsum_2d_axes() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(x.cumsum(0).to_vec(), vec![1.0, 2.0, 4.0, 6.0]);
+        assert_eq!(x.cumsum(1).to_vec(), vec![1.0, 3.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.to_vec(), vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn tril_triu_partition() {
+        let x = Tensor::from_vec((1..=9).map(|v| v as f64).collect(), &[3, 3]);
+        let low = x.tril(0);
+        let up = x.triu(1);
+        assert_eq!(low.at(&[0, 1]), 0.0);
+        assert_eq!(low.at(&[1, 0]), 4.0);
+        assert_eq!(up.at(&[0, 1]), 2.0);
+        assert_eq!(up.at(&[1, 1]), 0.0);
+        // tril(0) + triu(1) reconstructs the matrix.
+        assert_eq!(low.add(&up).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn tril_gradient_masks() {
+        let x0 = Tensor::from_vec((1..=4).map(|v| v as f64).collect(), &[2, 2]);
+        let report = check_gradient(|x| x.tril(0).square().sum(), &x0, 1e-6);
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn var_gradient_checks() {
+        let x0 = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]);
+        let report = check_gradient(|x| x.var(), &x0, 1e-6);
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn topk_descending() {
+        let x = Tensor::from_vec(vec![0.1, 5.0, -2.0, 3.0], &[4]);
+        assert_eq!(x.topk_indices(2), vec![1, 3]);
+        assert_eq!(x.topk_indices(4), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn topk_rejects_large_k() {
+        let _ = Tensor::zeros(&[2]).topk_indices(3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Shape arithmetic: broadcasting, strides and index helpers.
+//!
+//! All tensors in this crate are dense, row-major (C order) and contiguous.
+//! Broadcasting follows NumPy/Pytorch semantics: shapes are right-aligned and
+//! a dimension of size 1 stretches to match the other operand.
+
+/// Computes row-major (C order) strides for `shape`.
+///
+/// The last dimension has stride 1.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tyxe_tensor::shape::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Number of elements held by a tensor of the given shape.
+///
+/// The empty shape `[]` denotes a scalar and has one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Broadcasts two shapes together following NumPy semantics.
+///
+/// # Errors
+///
+/// Returns `None` when the shapes are incompatible, i.e. some right-aligned
+/// dimension pair differs and neither side is 1.
+///
+/// # Examples
+///
+/// ```
+/// use tyxe_tensor::shape::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[3, 1], &[4]), Some(vec![3, 4]));
+/// assert_eq!(broadcast_shapes(&[2, 3], &[4]), None);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        if da == db {
+            out[i] = da;
+        } else if da == 1 {
+            out[i] = db;
+        } else if db == 1 {
+            out[i] = da;
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Converts a flat row-major index into a multi-dimensional index.
+pub fn unravel_index(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0; shape.len()];
+    for i in (0..shape.len()).rev() {
+        idx[i] = flat % shape[i];
+        flat /= shape[i];
+    }
+    idx
+}
+
+/// Converts a multi-dimensional index into a flat row-major offset.
+pub fn ravel_index(idx: &[usize], shape: &[usize]) -> usize {
+    let strides = strides_for(shape);
+    idx.iter().zip(strides.iter()).map(|(i, s)| i * s).sum()
+}
+
+/// Maps a flat index in the broadcast output shape back to the flat index in
+/// an operand of shape `src` (right-aligned, size-1 dims repeat).
+pub fn broadcast_source_index(out_idx: &[usize], src: &[usize]) -> usize {
+    let offset = out_idx.len() - src.len();
+    let strides = strides_for(src);
+    let mut flat = 0;
+    for (i, &s) in src.iter().enumerate() {
+        let oi = out_idx[offset + i];
+        let si = if s == 1 { 0 } else { oi };
+        flat += si * strides[i];
+    }
+    flat
+}
+
+/// Normalizes a possibly negative axis into `0..ndim`.
+///
+/// # Panics
+///
+/// Panics if the axis is out of range for `ndim` dimensions.
+pub fn normalize_axis(axis: isize, ndim: usize) -> usize {
+    let ax = if axis < 0 { axis + ndim as isize } else { axis };
+    assert!(
+        ax >= 0 && (ax as usize) < ndim,
+        "axis {axis} out of range for tensor with {ndim} dimensions"
+    );
+    ax as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[2, 0, 3]), 0);
+        assert_eq!(numel(&[2, 3]), 6);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[], &[4]), Some(vec![4]));
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2], &[3]), None);
+    }
+
+    #[test]
+    fn ravel_roundtrip() {
+        let shape = [2, 3, 4];
+        for flat in 0..numel(&shape) {
+            let idx = unravel_index(flat, &shape);
+            assert_eq!(ravel_index(&idx, &shape), flat);
+        }
+    }
+
+    #[test]
+    fn broadcast_source_repeats_unit_dims() {
+        // src [1, 3] broadcast into out [2, 3]: row index collapses to 0.
+        assert_eq!(broadcast_source_index(&[1, 2], &[1, 3]), 2);
+        // src [3] broadcast into out [2, 3]: leading dim dropped.
+        assert_eq!(broadcast_source_index(&[1, 2], &[3]), 2);
+    }
+
+    #[test]
+    fn normalize_axis_negative() {
+        assert_eq!(normalize_axis(-1, 3), 2);
+        assert_eq!(normalize_axis(0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normalize_axis_out_of_range() {
+        normalize_axis(3, 3);
+    }
+}

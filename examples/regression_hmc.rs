@@ -1,0 +1,44 @@
+//! MCMC inference for the same regression problem as `quickstart`
+//! (Figure 1(c) of the paper): swap the variational guide for an HMC
+//! kernel — `tyxe.MCMC_BNN` with `pyro.infer.mcmc.HMC`.
+//!
+//! Run with: `cargo run --release -p tyxe --example regression_hmc`
+
+use rand::SeedableRng;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::McmcBnn;
+use tyxe_datasets::{foong_regression, regression_grid};
+use tyxe_prob::mcmc::Hmc;
+
+fn main() {
+    tyxe_prob::rng::set_seed(0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let data = foong_regression(20, 0.1, 0);
+
+    // A smaller network keeps full-batch HMC quick.
+    let net = tyxe_nn::layers::mlp(&[1, 20, 1], false, &mut rng);
+    let likelihood = HomoskedasticGaussian::new(data.len(), 0.1);
+    let prior = IIDPrior::standard_normal();
+
+    // The only difference from the variational workflow: an MCMC kernel
+    // instead of a guide.
+    let mut bnn = McmcBnn::new(net, &prior, likelihood, Hmc::new(5e-4, 30));
+    println!("running HMC (300 warmup + 300 samples) ...");
+    bnn.fit(&data.x, &data.y, 300, 300);
+
+    let grid = regression_grid(-2.0, 2.0, 41);
+    let agg = bnn.predict(&grid, 32);
+
+    println!("\n{:>8} {:>10} {:>10}", "x", "mean", "sd");
+    for i in 0..grid.shape()[0] {
+        let x = grid.at(&[i, 0]);
+        println!("{x:>8.2} {:>10.3} {:>10.3}", agg.at(&[i, 0, 0]), agg.at(&[i, 0, 1]));
+    }
+
+    let eval = bnn.evaluate(&data.x, &data.y, 32);
+    println!(
+        "\ntrain log-likelihood {:.3}, mean squared error {:.4}",
+        eval.log_likelihood, eval.error
+    );
+}

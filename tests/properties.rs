@@ -1,0 +1,200 @@
+//! Cross-crate property-based tests (proptest) on the invariants the BNN
+//! machinery relies on.
+
+use proptest::prelude::*;
+use tyxe::guides::{AutoNormal, Guide, InitLoc};
+use tyxe::likelihoods::{Categorical as CatLik, Likelihood};
+use tyxe::priors::{Filter, IIDPrior, Prior};
+use tyxe_prob::dist::{boxed, kl_normal_normal, Distribution, Normal};
+use tyxe_prob::poutine::{replay, trace};
+use tyxe_tensor::{check_gradient, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reverse-mode gradients of a random composite expression agree with
+    /// central finite differences.
+    #[test]
+    fn autodiff_matches_finite_differences(
+        seed in 0u64..1000,
+        rows in 1usize..4,
+        cols in 1usize..4,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x0 = Tensor::randn(&[rows, cols], &mut rng);
+        let w = Tensor::randn(&[cols, 2], &mut rng);
+        let report = check_gradient(
+            |x| x.tanh().matmul(&w).sigmoid().square().sum(),
+            &x0,
+            1e-6,
+        );
+        prop_assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    /// Broadcasting addition commutes and reduces correctly.
+    #[test]
+    fn broadcast_add_commutes(
+        seed in 0u64..1000,
+        n in 1usize..5,
+        m in 1usize..5,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[n, 1], &mut rng);
+        let b = Tensor::randn(&[m], &mut rng);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.shape(), &[n, m]);
+        prop_assert_eq!(ab.to_vec(), ba.to_vec());
+    }
+
+    /// KL(q || p) >= 0 with equality iff q == p, for factorized Normals.
+    #[test]
+    fn kl_nonnegative(
+        mu_q in -3.0f64..3.0, sd_q in 0.05f64..3.0,
+        mu_p in -3.0f64..3.0, sd_p in 0.05f64..3.0,
+    ) {
+        let q = Normal::scalar(mu_q, sd_q, &[1]);
+        let p = Normal::scalar(mu_p, sd_p, &[1]);
+        let kl = kl_normal_normal(&q, &p).item();
+        prop_assert!(kl >= -1e-12, "negative KL {kl}");
+        if (mu_q - mu_p).abs() < 1e-12 && (sd_q - sd_p).abs() < 1e-12 {
+            prop_assert!(kl.abs() < 1e-12);
+        }
+    }
+
+    /// Normal log density integrates sampling: the empirical mean of the
+    /// density transform stays near the analytic entropy.
+    #[test]
+    fn normal_entropy_consistency(mu in -2.0f64..2.0, sd in 0.2f64..2.0) {
+        tyxe_prob::rng::set_seed(99);
+        let d = Normal::scalar(mu, sd, &[4000]);
+        let x = d.sample();
+        let mean_lp = d.log_prob(&x).mean().item();
+        let entropy = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * sd * sd).ln();
+        prop_assert!((mean_lp + entropy).abs() < 0.1, "{mean_lp} vs {}", -entropy);
+    }
+
+    /// Replaying a trace reproduces all latent values exactly.
+    #[test]
+    fn replay_is_exact(seed in 0u64..500, dim in 1usize..6) {
+        tyxe_prob::rng::set_seed(seed);
+        let model = move || {
+            let a = tyxe_prob::sample("a", boxed(Normal::standard(&[dim])));
+            let b = tyxe_prob::sample("b", boxed(Normal::new(a, Tensor::ones(&[dim]))));
+            b
+        };
+        let (tr, b1) = trace(model);
+        let (tr2, b2) = trace(|| replay(&tr, model));
+        prop_assert_eq!(b1.to_vec(), b2.to_vec());
+        prop_assert_eq!(
+            tr.site("a").unwrap().value.to_vec(),
+            tr2.site("a").unwrap().value.to_vec()
+        );
+    }
+
+    /// Likelihood mini-batch scaling keeps the expected total log
+    /// likelihood invariant to the batch split.
+    #[test]
+    fn likelihood_scaling_is_unbiased(batch in 1usize..10) {
+        let n = 10usize;
+        let lik = CatLik::new(n);
+        let logits = Tensor::zeros(&[n, 3]);
+        let labels = Tensor::zeros(&[n]);
+        // Full-batch reference.
+        let (tr_full, ()) = trace(|| lik.observe_data(&logits, &labels));
+        let full = tr_full.log_prob_sum().item();
+        // Partial batch, scaled: equals the full-batch value in expectation
+        // (exactly, for identical rows).
+        let (tr_part, ()) = trace(|| {
+            lik.observe_data(&logits.slice(0, 0, batch), &labels.slice(0, 0, batch))
+        });
+        let part = tr_part.log_prob_sum().item();
+        prop_assert!((part - full).abs() < 1e-9, "{part} vs {full}");
+    }
+
+    /// The hide/expose filter is a partition: every parameter is either a
+    /// Bayesian site or a deterministic parameter, never both.
+    #[test]
+    fn prior_filter_partitions_parameters(hide_bias in proptest::bool::ANY) {
+        use rand::SeedableRng;
+        use tyxe_nn::Module;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let net = tyxe_nn::layers::mlp(&[2, 4, 2], true, &mut rng);
+        let total = net.named_parameters().len();
+        let filter = if hide_bias {
+            Filter::all().hide_attributes(&["bias"])
+        } else {
+            Filter::all()
+        };
+        let prior = IIDPrior::standard_normal().with_filter(filter);
+        let exposed = net
+            .named_parameters()
+            .iter()
+            .filter(|i| prior.apply(i).is_some())
+            .count();
+        let expected = if hide_bias { 2 } else { 4 };
+        prop_assert_eq!(exposed, expected);
+        prop_assert_eq!(total, 4);
+    }
+
+    /// Guide sample statements cover exactly the Bayesian sites.
+    #[test]
+    fn guide_trace_matches_sites(hidden in proptest::bool::ANY) {
+        use rand::SeedableRng;
+        tyxe_prob::rng::set_seed(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = tyxe_nn::layers::mlp(&[2, 3, 2], true, &mut rng);
+        let filter = if hidden {
+            Filter::all().hide(&["0.weight"])
+        } else {
+            Filter::all()
+        };
+        let prior = IIDPrior::standard_normal().with_filter(filter);
+        let module = tyxe::BayesianModule::new(net, &prior);
+        let mut guide = AutoNormal::new().init_loc(InitLoc::Pretrained);
+        guide.setup(module.sites());
+        let (tr, ()) = trace(|| guide.sample_guide());
+        prop_assert_eq!(tr.len(), module.sites().len());
+        for site in module.sites() {
+            prop_assert!(tr.site(&site.name).is_some(), "missing site {}", &site.name);
+        }
+    }
+
+    /// Aggregated categorical predictions are valid probability rows.
+    #[test]
+    fn aggregated_probabilities_are_normalized(samples in 1usize..6, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lik = CatLik::new(4);
+        let logit_samples: Vec<Tensor> =
+            (0..samples).map(|_| Tensor::randn(&[4, 3], &mut rng)).collect();
+        let agg = lik.aggregate_predictions(&logit_samples);
+        for i in 0..4 {
+            let row: f64 = (0..3).map(|j| agg.at(&[i, j])).sum();
+            prop_assert!((row - 1.0).abs() < 1e-9, "row {i} sums to {row}");
+            for j in 0..3 {
+                prop_assert!(agg.at(&[i, j]) >= 0.0);
+            }
+        }
+    }
+
+    /// ECE is bounded by [0, 1] and AUROC by [0, 1] on random inputs.
+    #[test]
+    fn metric_bounds(seed in 0u64..200, n in 4usize..20) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let probs = Tensor::randn(&[n, 3], &mut rng).softmax(1);
+        let labels = Tensor::from_vec(
+            (0..n).map(|i| (i % 3) as f64).collect(),
+            &[n],
+        );
+        let e = tyxe_metrics::ece(&probs, &labels, 10);
+        prop_assert!((0.0..=1.0).contains(&e), "ECE {e}");
+        let a: Vec<f64> = (0..n).map(|i| probs.at(&[i, 0])).collect();
+        let b: Vec<f64> = (0..n).map(|i| probs.at(&[i, 1])).collect();
+        let roc = tyxe_metrics::auroc(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&roc), "AUROC {roc}");
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end variational continual learning test (§5 / Figure 4 at
+//! miniature scale): VCL retains earlier tasks better than plain ML.
+
+use rand::SeedableRng;
+use tyxe::guides::{AutoDelta, AutoNormal, InitLoc};
+use tyxe::likelihoods::Categorical;
+use tyxe::priors::IIDPrior;
+use tyxe::VariationalBnn;
+use tyxe_datasets::images::{split_tasks, SplitTask};
+use tyxe_datasets::ImageGenerator;
+use tyxe_metrics::accuracy;
+use tyxe_prob::optim::Adam;
+
+fn tasks() -> Vec<SplitTask> {
+    let gen = ImageGenerator::mnist_like(8, 8, 0);
+    split_tasks(&gen, 60, 40, 0)
+}
+
+/// Accuracy on task 0 after sequentially training on the first `n` tasks.
+fn first_task_accuracy(use_vcl: bool, n: usize) -> f64 {
+    tyxe_prob::rng::set_seed(0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let tasks = tasks();
+    let net = tyxe_nn::layers::mlp(&[64, 100, 2], true, &mut rng);
+
+    if use_vcl {
+        let bnn = VariationalBnn::new(
+            net,
+            &IIDPrior::standard_normal(),
+            Categorical::new(60),
+            AutoNormal::new().init_loc(InitLoc::Pretrained).init_scale(1e-3),
+        );
+        for task in &tasks[..n] {
+            let data = [(task.train.flattened(), task.train.labels.clone())];
+            let mut optim = Adam::new(vec![], 1e-3);
+            bnn.fit(&data, &mut optim, 80, None);
+            tyxe::vcl::update_prior_to_posterior(&bnn);
+        }
+        let probs = bnn.predict(&tasks[0].test.flattened(), 8);
+        accuracy(&probs, &tasks[0].test.labels)
+    } else {
+        // ML baseline: flat prior + point-estimate guide, no prior update.
+        let bnn = VariationalBnn::new(
+            net,
+            &IIDPrior::flat(),
+            Categorical::new(60),
+            AutoDelta::new(),
+        );
+        for task in &tasks[..n] {
+            let data = [(task.train.flattened(), task.train.labels.clone())];
+            let mut optim = Adam::new(vec![], 1e-3);
+            bnn.fit(&data, &mut optim, 80, None);
+        }
+        let probs = bnn.predict(&tasks[0].test.flattened(), 1);
+        accuracy(&probs, &tasks[0].test.labels)
+    }
+}
+
+#[test]
+fn both_methods_learn_the_first_task() {
+    let vcl = first_task_accuracy(true, 1);
+    let ml = first_task_accuracy(false, 1);
+    assert!(vcl > 0.85, "VCL task-0 accuracy {vcl}");
+    assert!(ml > 0.85, "ML task-0 accuracy {ml}");
+}
+
+#[test]
+fn vcl_retains_the_first_task_better_than_ml() {
+    let vcl = first_task_accuracy(true, 4);
+    let ml = first_task_accuracy(false, 4);
+    // Figure 4's claim: ML forgets, VCL mitigates forgetting.
+    assert!(
+        vcl > ml + 0.05,
+        "VCL ({vcl}) does not beat ML ({ml}) on retained accuracy"
+    );
+    assert!(vcl > 0.6, "VCL retention too weak: {vcl}");
+}
+
+#[test]
+fn prior_update_changes_all_site_priors() {
+    tyxe_prob::rng::set_seed(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let tasks = tasks();
+    let net = tyxe_nn::layers::mlp(&[64, 50, 2], true, &mut rng);
+    let bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        Categorical::new(60),
+        AutoNormal::new().init_loc(InitLoc::Pretrained).init_scale(1e-3),
+    );
+    let data = [(tasks[0].train.flattened(), tasks[0].train.labels.clone())];
+    let mut optim = Adam::new(vec![], 1e-3);
+    bnn.fit(&data, &mut optim, 40, None);
+    tyxe::vcl::update_prior_to_posterior(&bnn);
+    for site in bnn.module().sites() {
+        let prior_mean = site.prior().mean().to_vec();
+        let nonzero = prior_mean.iter().filter(|v| v.abs() > 1e-9).count();
+        assert!(nonzero > 0, "site {} prior not updated", site.name);
+    }
+}
