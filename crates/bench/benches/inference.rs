@@ -1,10 +1,11 @@
-//! Criterion benchmarks for inference-step latency — in particular the
+//! Wall-clock benchmarks (in-tree harness) for inference-step latency — in particular the
 //! paper's §2.4 claim that the reparameterization tricks "double the
 //! computational cost" of a training step (which is why `predict` is run
 //! outside the handler context).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
+use tyxe_bench::harness::Criterion;
+use tyxe_bench::{criterion_group, criterion_main};
+use tyxe_rand::SeedableRng;
 use std::hint::black_box;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::likelihoods::HomoskedasticGaussian;
@@ -19,7 +20,7 @@ type RegressionBnn =
 
 fn make_bnn() -> (RegressionBnn, tyxe_datasets::Regression1d) {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let data = foong_regression(64, 0.1, 0);
     let net = tyxe_nn::layers::mlp(&[1, 50, 50, 1], false, &mut rng);
     let bnn = VariationalBnn::new(

@@ -1,7 +1,8 @@
-//! Criterion benchmarks for the MCMC substrate: potential-energy gradient
+//! Wall-clock benchmarks (in-tree harness) for the MCMC substrate: potential-energy gradient
 //! evaluation and full HMC/NUTS transitions on the regression BNN.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tyxe_bench::harness::Criterion;
+use tyxe_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use tyxe_prob::dist::{boxed, Normal};
 use tyxe_prob::mcmc::{potential_and_grad, Hmc, Kernel, LatentLayout, Nuts};

@@ -1,8 +1,9 @@
-//! Criterion benchmarks for the volume-rendering substrate used by the
+//! Wall-clock benchmarks (in-tree harness) for the volume-rendering substrate used by the
 //! Bayesian NeRF experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
+use tyxe_bench::harness::Criterion;
+use tyxe_bench::{criterion_group, criterion_main};
+use tyxe_rand::SeedableRng;
 use std::hint::black_box;
 use tyxe_nn::layers::mlp;
 use tyxe_nn::module::Forward;
@@ -24,7 +25,7 @@ fn bench_ground_truth_render(c: &mut Criterion) {
 }
 
 fn bench_nerf_render(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let embed = HarmonicEmbedding::new(3);
     let net = mlp(&[embed.output_dim(3), 48, 48, 4], true, &mut rng);
     let cam = Camera::orbit(45.0, 2.8, 10, 10);
@@ -44,7 +45,7 @@ fn bench_nerf_render(c: &mut Criterion) {
 
 fn bench_embedding(c: &mut Criterion) {
     let embed = HarmonicEmbedding::new(4);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
     let pts = Tensor::randn(&[2000, 3], &mut rng);
     c.bench_function("harmonic_embed_2000x3", |b| {
         b.iter(|| black_box(embed.embed(&pts)))

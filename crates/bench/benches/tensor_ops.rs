@@ -1,13 +1,14 @@
-//! Criterion microbenchmarks for the tensor/autodiff substrate: the op
+//! Wall-clock microbenchmarks (in-tree harness) for the tensor/autodiff substrate: the op
 //! throughput every experiment in the paper rests on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
+use tyxe_bench::harness::Criterion;
+use tyxe_bench::{criterion_group, criterion_main};
+use tyxe_rand::SeedableRng;
 use std::hint::black_box;
 use tyxe_tensor::Tensor;
 
 fn bench_matmul(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let a = Tensor::randn(&[64, 64], &mut rng);
     let b = Tensor::randn(&[64, 64], &mut rng);
     c.bench_function("matmul_64x64", |bch| {
@@ -26,7 +27,7 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_conv(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
     let x = Tensor::randn(&[8, 8, 14, 14], &mut rng);
     let w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
     c.bench_function("conv2d_8x8x14x14_k3", |bch| {
@@ -44,7 +45,7 @@ fn bench_conv(c: &mut Criterion) {
 }
 
 fn bench_elementwise(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(2);
     let x = Tensor::randn(&[4096], &mut rng);
     c.bench_function("tanh_4096", |bch| bch.iter(|| black_box(x.tanh())));
     let logits = Tensor::randn(&[128, 10], &mut rng);

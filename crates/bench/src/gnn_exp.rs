@@ -2,7 +2,7 @@
 //! network — ML, MAP and mean-field over five seeds, reporting the test
 //! metrics at the epoch with lowest validation NLL (the paper's protocol).
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoDelta, AutoNormal, Guide, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::IIDPrior;
@@ -130,7 +130,7 @@ fn subset(probs: &Tensor, labels: &Tensor, mask: &Tensor) -> (Tensor, Tensor) {
 /// metrics.
 pub fn run_once(cfg: &GnnConfig, inference: GnnInference, seed: u64) -> GnnRun {
     tyxe_prob::rng::set_seed(seed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
     let ds = citation_graph_with_words(
         cfg.num_nodes,
         7,

@@ -2,7 +2,7 @@
 //! reparameterization and flipout by measuring the per-coordinate variance
 //! of the ELBO gradient under each sampling strategy.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, Guide, InitLoc};
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
@@ -42,7 +42,7 @@ impl Strategy {
 /// under repeated single-sample ELBO estimates.
 pub fn gradient_variance(strategy: Strategy, batch: usize, trials: usize) -> f64 {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let data = foong_regression(batch / 2, 0.1, 0);
     let net = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
     let bnn = VariationalBnn::new(

@@ -2,7 +2,8 @@
 //! figure of the TyXe paper at laptop scale.
 //!
 //! Each experiment lives in its own module and is driven by a binary (see
-//! `src/bin/`); criterion microbenchmarks in `benches/` measure the
+//! `src/bin/`); the in-tree wall-clock microbenchmarks in `benches/`
+//! (driven by [`harness`], no criterion dependency) measure the
 //! system-level costs (ELBO step latency with and without
 //! reparameterization tricks, HMC transitions, prediction throughput).
 //!
@@ -18,6 +19,7 @@
 
 pub mod gnn_exp;
 pub mod gradvar;
+pub mod harness;
 pub mod nerf_exp;
 pub mod regression_exp;
 pub mod report;

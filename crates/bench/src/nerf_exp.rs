@@ -5,7 +5,7 @@
 //! Bayesian model's per-view predictive uncertainty (the paper:
 //! deterministic 9.4e-3 vs Bayesian 8.1e-3 over 10 held-out angles).
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::priors::IIDPrior;
 use tyxe::PytorchBnn;
@@ -104,7 +104,7 @@ impl Pipeline {
     }
 
     fn net(&self) -> Sequential {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         mlp(
             &[self.embed.output_dim(3), self.cfg.hidden, self.cfg.hidden, 4],
             true,

@@ -2,7 +2,7 @@
 //! inference setups — variational with local reparameterization, variational
 //! with shared weight samples, and HMC.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::AutoNormal;
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
@@ -95,7 +95,7 @@ fn dataset(cfg: &RegressionConfig) -> Regression1d {
 
 fn variational_band(cfg: &RegressionConfig, local_reparam: bool, label: &'static str) -> Band {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let data = dataset(cfg);
     let net = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
     let bnn = VariationalBnn::new(
@@ -130,7 +130,7 @@ pub fn fig1b_shared_samples(cfg: &RegressionConfig) -> Band {
 /// Figure 1(c): HMC.
 pub fn fig1c_hmc(cfg: &RegressionConfig) -> Band {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let data = foong_regression(cfg.n_per_cluster.min(20), 0.1, 0);
     let net = tyxe_nn::layers::mlp(&[1, 20, 1], false, &mut rng);
     let mut bnn = McmcBnn::new(

@@ -9,7 +9,7 @@
 
 use std::cell::Cell;
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoDelta, AutoNormal, Guide, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::IIDPrior;
@@ -43,7 +43,7 @@ pub struct MultiHeadNet {
 impl MultiHeadNet {
     /// Creates a multi-head network with `num_heads` binary heads on top
     /// of `trunk` (whose output dimension is `trunk_dim`).
-    pub fn new<R: rand::Rng + ?Sized>(
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(
         trunk: Sequential,
         trunk_dim: usize,
         num_heads: usize,
@@ -161,9 +161,9 @@ fn transform_task(benchmark: Benchmark, task: &mut SplitTask, task_idx: usize, s
                 // Fixed per-task pixel permutation.
                 let mut perm: Vec<usize> = (0..c * h * w).collect();
                 let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(seed ^ (task_idx as u64).wrapping_mul(0x9e37));
+                    tyxe_rand::rngs::StdRng::seed_from_u64(seed ^ (task_idx as u64).wrapping_mul(0x9e37));
                 for i in (1..perm.len()).rev() {
-                    perm.swap(i, rand::Rng::gen_range(&mut rng, 0..=i));
+                    perm.swap(i, tyxe_rand::Rng::gen_range(&mut rng, 0..=i));
                 }
                 let img_len = c * h * w;
                 for i in 0..n {
@@ -214,7 +214,7 @@ fn make_tasks(cfg: &VclConfig, benchmark: Benchmark, seed: u64) -> Vec<SplitTask
     tasks
 }
 
-fn make_net(cfg: &VclConfig, benchmark: Benchmark, rng: &mut rand::rngs::StdRng) -> MultiHeadNet {
+fn make_net(cfg: &VclConfig, benchmark: Benchmark, rng: &mut tyxe_rand::rngs::StdRng) -> MultiHeadNet {
     match benchmark {
         Benchmark::SplitMnist => {
             // The paper uses 200 hidden units for 784-dim MNIST; scaled to
@@ -255,7 +255,7 @@ fn task_input(benchmark: Benchmark, ds: &tyxe_datasets::ImageDataset) -> Tensor 
 /// Runs one method over the task stream.
 pub fn run(cfg: &VclConfig, benchmark: Benchmark, use_vcl: bool, seed: u64) -> VclCurve {
     tyxe_prob::rng::set_seed(seed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
     let tasks = make_tasks(cfg, benchmark, seed);
     let net = make_net(cfg, benchmark, &mut rng);
 
@@ -355,7 +355,7 @@ mod tests {
 
     #[test]
     fn multi_head_switching_changes_output() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let trunk = Sequential::new().add(Linear::new(4, 8, &mut rng)).add(Relu::new());
         let net = MultiHeadNet::new(trunk, 8, 3, &mut rng);
         let x = Tensor::ones(&[2, 4]);

@@ -2,7 +2,7 @@
 //! inference strategies, on the synthetic CIFAR-like dataset with an
 //! SVHN-like OOD set.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoDelta, AutoLowRankNormal, AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::{Filter, IIDPrior};
@@ -134,7 +134,7 @@ impl VisionSetup {
     /// Generates the data and pretrains the ML baseline once.
     pub fn prepare(cfg: VisionConfig) -> VisionSetup {
         tyxe_prob::rng::set_seed(0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         // In-distribution generator with configurable pixel noise; the OOD
         // generator uses disjoint prototypes at the same noise level (pure
         // novelty shift, like SVHN vs a CIFAR-trained model).
@@ -171,7 +171,7 @@ impl VisionSetup {
 
     /// A fresh network loaded with the pretrained weights (eval mode).
     pub fn fresh_net(&self) -> ResNet {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(99);
         let net = ResNet::new(3, 10, 1, self.cfg.width, &mut rng);
         self.pretrained.apply(&net);
         net.set_training(false);

@@ -531,12 +531,12 @@ mod tests {
     use crate::guides::{AutoDelta, AutoNormal, InitLoc};
     use crate::likelihoods::HomoskedasticGaussian;
     use crate::priors::{Filter, IIDPrior};
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
     use tyxe_nn::layers::mlp;
     use tyxe_prob::optim::Adam;
 
     fn toy_net() -> tyxe_nn::layers::Sequential {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         mlp(&[1, 8, 1], false, &mut rng)
     }
 

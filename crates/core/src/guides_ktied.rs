@@ -224,11 +224,11 @@ mod tests {
         use crate::likelihoods::HomoskedasticGaussian;
         use crate::priors::IIDPrior;
         use crate::VariationalBnn;
-        use rand::SeedableRng;
+        use tyxe_rand::SeedableRng;
         use tyxe_prob::optim::Adam;
 
         tyxe_prob::rng::set_seed(0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let x = tyxe_prob::rng::rand_uniform(&[32, 1], -1.0, 1.0);
         let y = x.mul_scalar(2.0);
         let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);

@@ -27,13 +27,13 @@
 //! # Five-line example (Listing 1 of the paper)
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use tyxe_rand::SeedableRng;
 //! use tyxe::guides::AutoNormal;
 //! use tyxe::likelihoods::HomoskedasticGaussian;
 //! use tyxe::priors::IIDPrior;
 //! use tyxe::VariationalBnn;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 //! let net = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
 //! let likelihood = HomoskedasticGaussian::new(100, 0.1);
 //! let prior = IIDPrior::standard_normal();

@@ -138,11 +138,11 @@ impl<M: Module, L: Likelihood> McDropout<M, L> {
 mod tests {
     use super::*;
     use crate::likelihoods::Categorical;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
     use tyxe_nn::layers::{Dropout, Linear, Sequential};
 
     fn dropout_net() -> Sequential {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         Sequential::new()
             .add(Linear::new(4, 16, &mut rng))
             .add(tyxe_nn::layers::Relu::new())

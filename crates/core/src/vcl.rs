@@ -50,13 +50,13 @@ mod tests {
     use crate::guides::{AutoNormal, InitLoc};
     use crate::likelihoods::HomoskedasticGaussian;
     use crate::priors::IIDPrior;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
     use tyxe_nn::layers::mlp;
     use tyxe_prob::optim::Adam;
 
     #[test]
     fn sites_enumerate_weights_and_biases() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = mlp(&[1, 4, 1], false, &mut rng);
         let bnn = VariationalBnn::new(
             net,
@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn prior_update_moves_prior_to_fitted_posterior() {
         tyxe_prob::rng::set_seed(0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
         let net = mlp(&[1, 4, 1], false, &mut rng);
         let bnn = VariationalBnn::new(
             net,
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn continual_fit_after_prior_update_runs() {
         tyxe_prob::rng::set_seed(2);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(3);
         let net = mlp(&[1, 4, 1], false, &mut rng);
         let bnn = VariationalBnn::new(
             net,

@@ -9,8 +9,8 @@
 //! within-class variation, and a distribution shift for the OOD set —
 //! without shipping natural images.
 
-use rand::Rng;
-use rand::SeedableRng;
+use tyxe_rand::Rng;
+use tyxe_rand::SeedableRng;
 use tyxe_tensor::Tensor;
 
 /// A labelled image dataset.
@@ -137,7 +137,7 @@ impl ImageGenerator {
         flip: bool,
         seed: u64,
     ) -> ImageGenerator {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
         let prototypes = (0..num_classes)
             .map(|_| smooth_prototype(channels, height, width, &mut rng))
             .collect();
@@ -196,7 +196,7 @@ impl ImageGenerator {
     /// Samples `n` labelled images with labels drawn uniformly over
     /// `classes` (all classes when `classes` is empty).
     pub fn sample(&self, n: usize, classes: &[usize], seed: u64) -> ImageDataset {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
         let all: Vec<usize> = if classes.is_empty() {
             (0..self.num_classes()).collect()
         } else {
@@ -300,15 +300,23 @@ mod tests {
     #[test]
     fn same_class_images_are_more_similar_than_cross_class() {
         let gen = ImageGenerator::cifar_like(8, 8, 3);
-        let a1 = gen.sample_remapped(1, &[0], 10).images.to_vec();
-        let a2 = gen.sample_remapped(1, &[0], 11).images.to_vec();
-        let b = gen.sample_remapped(1, &[5], 12).images.to_vec();
         let dist = |u: &[f64], v: &[f64]| -> f64 {
             u.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum()
         };
-        // Same class with different augmentations is *typically* closer
-        // than cross-class; with smooth prototypes the margin is large.
-        assert!(dist(&a1, &a2) < dist(&a1, &b), "class structure missing");
+        // Same class with different augmentations is closer than
+        // cross-class *on average*; any single pair can lose the
+        // comparison to augmentation noise, so measure the mean margin
+        // over several independent draws.
+        let (mut same, mut cross) = (0.0, 0.0);
+        let pairs = 10;
+        for s in 0..pairs {
+            let a1 = gen.sample_remapped(1, &[0], 10 + s).images.to_vec();
+            let a2 = gen.sample_remapped(1, &[0], 110 + s).images.to_vec();
+            let b = gen.sample_remapped(1, &[5], 210 + s).images.to_vec();
+            same += dist(&a1, &a2);
+            cross += dist(&a1, &b);
+        }
+        assert!(same < cross, "class structure missing: {same} vs {cross}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! and targets are `y ~ N(cos(4x + 0.8), 0.1^2)`. A well-calibrated BNN
 //! shows inflated predictive variance in the gap between the clusters.
 
-use rand::Rng;
-use rand::SeedableRng;
+use tyxe_rand::Rng;
+use tyxe_rand::SeedableRng;
 use tyxe_tensor::Tensor;
 
 /// A 1-D regression dataset with inputs of shape `[n, 1]` and targets of
@@ -39,7 +39,7 @@ pub fn true_function(x: f64) -> f64 {
 /// Generates the two-cluster dataset with `n_per_cluster` points per
 /// cluster and observation noise `noise_sd` (0.1 in the paper).
 pub fn foong_regression(n_per_cluster: usize, noise_sd: f64, seed: u64) -> Regression1d {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
     let mut xs = Vec::with_capacity(2 * n_per_cluster);
     for _ in 0..n_per_cluster {
         xs.push(rng.gen_range(-1.0..-0.7));

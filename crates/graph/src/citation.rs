@@ -2,8 +2,8 @@
 //! model with class-correlated bag-of-words features and Planetoid-style
 //! sparse train/val/test masks.
 
-use rand::Rng;
-use rand::SeedableRng;
+use tyxe_rand::Rng;
+use tyxe_rand::SeedableRng;
 use tyxe_tensor::Tensor;
 
 use crate::graph::Graph;
@@ -100,7 +100,7 @@ pub fn citation_graph_with_words(
         num_classes * train_per_class + num_val + num_test <= num_nodes,
         "citation_graph: masks exceed node count"
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
 
     // Balanced labels.
     let labels: Vec<usize> = (0..num_nodes).map(|i| i % num_classes).collect();

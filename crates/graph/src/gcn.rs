@@ -19,7 +19,7 @@ pub struct GcnLayer {
 
 impl GcnLayer {
     /// Creates a layer mapping `in_feats` to `out_feats` per node.
-    pub fn new<R: rand::Rng + ?Sized>(in_feats: usize, out_feats: usize, rng: &mut R) -> GcnLayer {
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(in_feats: usize, out_feats: usize, rng: &mut R) -> GcnLayer {
         GcnLayer {
             linear: Linear::new(in_feats, out_feats, rng),
         }
@@ -59,7 +59,7 @@ pub struct Gnn {
 
 impl Gnn {
     /// Creates the network with the given feature/hidden/class widths.
-    pub fn new<R: rand::Rng + ?Sized>(
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(
         in_feats: usize,
         hidden: usize,
         num_classes: usize,
@@ -96,7 +96,7 @@ impl Forward<(Graph, Tensor)> for Gnn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
     use tyxe_nn::Module;
 
     fn toy() -> (Graph, Tensor) {
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn gcn_layer_shapes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let layer = GcnLayer::new(2, 5, &mut rng);
         let out = layer.forward(&toy());
         assert_eq!(out.shape(), &[4, 5]);
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn gnn_param_names_follow_dgl_structure() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let gnn = Gnn::new(2, 8, 3, &mut rng);
         let names: Vec<String> = gnn.named_parameters().into_iter().map(|p| p.name).collect();
         assert_eq!(
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn gnn_forward_and_gradient() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let gnn = Gnn::new(2, 8, 3, &mut rng);
         let out = gnn.forward(&toy());
         assert_eq!(out.shape(), &[4, 3]);
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn flipout_applies_to_gcn_layers() {
         // The effectful linear inside GcnLayer is interceptable.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let gnn = Gnn::new(2, 4, 2, &mut rng);
         tyxe_prob::rng::set_seed(0);
         struct CountingInterceptor(std::cell::Cell<usize>);

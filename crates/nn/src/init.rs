@@ -61,7 +61,7 @@ impl VarianceScheme {
 }
 
 /// Samples a weight tensor from `N(0, scheme.variance(shape))`.
-pub fn normal_init<R: rand::Rng + ?Sized>(
+pub fn normal_init<R: tyxe_rand::Rng + ?Sized>(
     shape: &[usize],
     scheme: VarianceScheme,
     rng: &mut R,
@@ -72,7 +72,7 @@ pub fn normal_init<R: rand::Rng + ?Sized>(
 
 /// Samples a weight tensor from the uniform Kaiming scheme Pytorch uses by
 /// default for linear/conv layers: `U(-1/sqrt(fan_in), 1/sqrt(fan_in))`.
-pub fn kaiming_uniform<R: rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
+pub fn kaiming_uniform<R: tyxe_rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
     let (fan_in, _) = fan_in_out(shape);
     let bound = 1.0 / (fan_in as f64).sqrt();
     Tensor::rand_uniform(shape, -bound, bound, rng)
@@ -81,7 +81,7 @@ pub fn kaiming_uniform<R: rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> T
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn fans_linear_and_conv() {
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn normal_init_empirical_variance() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let t = normal_init(&[100, 100], VarianceScheme::Radford, &mut rng);
         let var = t.square().mean().item();
         assert!((var - 0.01).abs() < 0.001, "var {var}");
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn kaiming_uniform_bounds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
         let t = kaiming_uniform(&[5, 16], &mut rng);
         let bound = 0.25;
         assert!(t.to_vec().iter().all(|&v| v.abs() <= bound));

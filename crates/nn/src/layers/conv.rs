@@ -20,7 +20,7 @@ pub struct Conv2d {
 impl Conv2d {
     /// Creates a convolution with square `kernel` and Pytorch-default
     /// initialization.
-    pub fn new<R: rand::Rng + ?Sized>(
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(
         in_channels: usize,
         out_channels: usize,
         kernel: usize,
@@ -34,7 +34,7 @@ impl Conv2d {
     /// Creates a convolution, optionally without bias (ResNet convs use
     /// `bias=false` because BatchNorm absorbs the shift).
     #[allow(clippy::too_many_arguments)]
-    pub fn with_bias<R: rand::Rng + ?Sized>(
+    pub fn with_bias<R: tyxe_rand::Rng + ?Sized>(
         in_channels: usize,
         out_channels: usize,
         kernel: usize,
@@ -106,11 +106,11 @@ impl Forward<Tensor> for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn forward_shapes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let c = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
         let x = Tensor::zeros(&[2, 3, 8, 8]);
         assert_eq!(c.forward(&x).shape(), &[2, 8, 8, 8]);
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn param_names_and_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let c = Conv2d::with_bias(3, 8, 3, 1, 1, false, &mut rng);
         let params = c.named_parameters();
         assert_eq!(params.len(), 1);
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn grad_reaches_kernel() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let c = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
         let x = Tensor::ones(&[1, 1, 5, 5]);
         c.forward(&x).sum().backward();

@@ -25,12 +25,12 @@ pub struct Linear {
 impl Linear {
     /// Creates a linear layer with Pytorch-default (Kaiming-uniform)
     /// initialization, with bias.
-    pub fn new<R: rand::Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Linear {
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Linear {
         Linear::with_bias(in_features, out_features, true, rng)
     }
 
     /// Creates a linear layer, optionally without bias.
-    pub fn with_bias<R: rand::Rng + ?Sized>(
+    pub fn with_bias<R: tyxe_rand::Rng + ?Sized>(
         in_features: usize,
         out_features: usize,
         bias: bool,
@@ -100,11 +100,11 @@ impl Forward<Tensor> for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn forward_shape_and_value() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let l = Linear::new(3, 2, &mut rng);
         l.weight().load_data(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
         l.bias().unwrap().load_data(vec![0.5, -0.5]);
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn visit_params_names() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let l = Linear::new(3, 2, &mut rng);
         let names: Vec<String> = l.named_parameters().into_iter().map(|p| p.name).collect();
         assert_eq!(names, vec!["weight", "bias"]);
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn no_bias_variant() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let l = Linear::with_bias(4, 4, false, &mut rng);
         assert!(l.bias().is_none());
         assert_eq!(l.named_parameters().len(), 1);
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn grad_reaches_weights() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let l = Linear::new(3, 2, &mut rng);
         let x = Tensor::ones(&[4, 3]);
         l.forward(&x).sum().backward();

@@ -23,7 +23,7 @@ pub struct RnnCell {
 impl RnnCell {
     /// Creates a cell mapping `input` features and `hidden` state to a new
     /// `hidden` state.
-    pub fn new<R: rand::Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> RnnCell {
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> RnnCell {
         RnnCell {
             w_ih: Linear::new(input, hidden, rng),
             w_hh: Linear::new(hidden, hidden, rng),
@@ -64,7 +64,7 @@ pub struct GruCell {
 
 impl GruCell {
     /// Creates a GRU cell.
-    pub fn new<R: rand::Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> GruCell {
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> GruCell {
         GruCell {
             w_ih: Linear::new(input, 3 * hidden, rng),
             w_hh: Linear::new(hidden, 3 * hidden, rng),
@@ -162,11 +162,11 @@ rnn_impls!(GruCell);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn rnn_shapes_and_state_dependence() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let rnn = Rnn::new(RnnCell::new(3, 5, &mut rng), 3);
         let x = Tensor::randn(&[2, 4, 3], &mut rng);
         let h = rnn.forward(&x);
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn gru_gates_bound_state() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
         let gru = Rnn::new(GruCell::new(2, 4, &mut rng), 2);
         let x = Tensor::randn(&[3, 6, 2], &mut rng).mul_scalar(3.0);
         let h = gru.forward(&x);
@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn gradients_flow_through_time() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(2);
         let rnn = Rnn::new(GruCell::new(2, 3, &mut rng), 2);
         let x = Tensor::randn(&[1, 5, 2], &mut rng);
         rnn.forward(&x).square().sum().backward();
@@ -204,7 +204,7 @@ mod tests {
         // Classify whether the sequence sum is positive — learnable by a
         // tiny recurrent net.
         use crate::optim::{Adam, Optimizer};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(3);
         let rnn = Rnn::new(RnnCell::new(1, 8, &mut rng), 1);
         let head = Linear::new(8, 1, &mut rng);
         let x = Tensor::randn(&[64, 6, 1], &mut rng);
@@ -238,7 +238,7 @@ mod tests {
         // recurrent-specific code (contrast BLiTZ's bespoke layers).
         use tyxe_prob::poutine::{replay, trace};
         tyxe_prob::rng::set_seed(0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(4);
         let rnn = Rnn::new(GruCell::new(2, 4, &mut rng), 2);
         let params = rnn.named_parameters();
         let x = Tensor::randn(&[2, 3, 2], &mut rng);

@@ -14,9 +14,9 @@ use crate::module::{Forward, Module, ParamInfo, TensorModule};
 /// ```
 /// use tyxe_nn::layers::{Linear, Sequential, Tanh};
 /// use tyxe_nn::module::{Forward, Module};
-/// use rand::SeedableRng;
+/// use tyxe_rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 /// let net = Sequential::new()
 ///     .add(Linear::new(1, 50, &mut rng))
 ///     .add(Tanh::new())
@@ -129,7 +129,7 @@ impl Forward<Tensor> for Sequential {
 /// # Panics
 ///
 /// Panics if fewer than two widths are given.
-pub fn mlp<R: rand::Rng + ?Sized>(widths: &[usize], relu: bool, rng: &mut R) -> Sequential {
+pub fn mlp<R: tyxe_rand::Rng + ?Sized>(widths: &[usize], relu: bool, rng: &mut R) -> Sequential {
     assert!(widths.len() >= 2, "mlp: need at least input and output widths");
     let mut net = Sequential::new();
     for i in 0..widths.len() - 1 {
@@ -149,11 +149,11 @@ pub fn mlp<R: rand::Rng + ?Sized>(widths: &[usize], relu: bool, rng: &mut R) -> 
 mod tests {
     use super::*;
     use crate::layers::{Linear, Relu};
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn parameter_paths_are_indexed() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = Sequential::new()
             .add(Linear::new(2, 4, &mut rng))
             .add(Relu::new())
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn forward_composes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = mlp(&[3, 8, 8, 2], true, &mut rng);
         let y = net.forward(&Tensor::ones(&[5, 3]));
         assert_eq!(y.shape(), &[5, 2]);
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn mlp_structure() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = mlp(&[1, 50, 1], false, &mut rng);
         // Linear, Tanh, Linear
         assert_eq!(net.len(), 3);

@@ -19,11 +19,11 @@
 //! # Example
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use tyxe_rand::SeedableRng;
 //! use tyxe_nn::layers::mlp;
 //! use tyxe_nn::module::{Forward, Module};
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 //! let net = mlp(&[1, 50, 1], false, &mut rng); // Linear-Tanh-Linear
 //! let y = net.forward(&tyxe_tensor::Tensor::zeros(&[8, 1]));
 //! assert_eq!(y.shape(), &[8, 1]);
@@ -51,12 +51,12 @@ mod integration_tests {
     use super::layers::mlp;
     use super::module::{Forward, Module};
     use super::optim::{Adam, Optimizer};
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
     use tyxe_tensor::Tensor;
 
     #[test]
     fn mlp_fits_sine_regression() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = mlp(&[1, 32, 1], false, &mut rng);
         let x = Tensor::rand_uniform(&[64, 1], -1.0, 1.0, &mut rng);
         let y = x.mul_scalar(3.0).sin();
@@ -77,7 +77,7 @@ mod integration_tests {
     #[test]
     fn param_injection_changes_forward_output() {
         // The core BNN mechanism: swapping Param values swaps the function.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
         let net = mlp(&[2, 2], true, &mut rng);
         let x = Tensor::ones(&[1, 2]);
         let base = net.forward(&x).to_vec();

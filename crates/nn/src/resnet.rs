@@ -21,7 +21,7 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// Creates a block mapping `in_ch -> out_ch` with the given stride on
     /// the first convolution.
-    pub fn new<R: rand::Rng + ?Sized>(
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(
         in_ch: usize,
         out_ch: usize,
         stride: usize,
@@ -114,7 +114,7 @@ impl ResNet {
     /// `blocks_per_stage = 1, width = 16` gives an 8-layer net (the scaled
     /// stand-in used in the benchmarks); `blocks_per_stage = 3` gives a
     /// ResNet-20.
-    pub fn new<R: rand::Rng + ?Sized>(
+    pub fn new<R: tyxe_rand::Rng + ?Sized>(
         in_channels: usize,
         num_classes: usize,
         blocks_per_stage: usize,
@@ -218,11 +218,11 @@ impl Forward<Tensor> for ResNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn forward_shapes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = ResNet::new(3, 10, 1, 8, &mut rng);
         let x = Tensor::zeros(&[2, 3, 16, 16]);
         let y = net.forward(&x);
@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn parameter_names_include_batchnorm_kinds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = ResNet::new(3, 10, 1, 8, &mut rng);
         let params = net.named_parameters();
         assert!(params.iter().any(|p| p.name == "conv1.weight"));
@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn downsample_present_only_on_stage_transitions() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = ResNet::new(3, 10, 2, 8, &mut rng);
         let names: Vec<String> = net.named_parameters().into_iter().map(|p| p.name).collect();
         assert!(names.iter().any(|n| n == "layer2.0.downsample.0.weight"));
@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn gradient_reaches_stem() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = ResNet::new(3, 4, 1, 4, &mut rng);
         let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
         net.forward(&x).square().sum().backward();
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn eval_mode_switches_all_batchnorms() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let net = ResNet::new(3, 4, 1, 4, &mut rng);
         let x = Tensor::randn(&[4, 3, 8, 8], &mut rng);
         let _ = net.forward(&x); // accumulate running stats

@@ -73,12 +73,12 @@ mod tests {
     use crate::layers::mlp;
     use crate::module::{Forward, Module};
     use crate::resnet::ResNet;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
     use tyxe_tensor::Tensor;
 
     #[test]
     fn roundtrip_mlp() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let a = mlp(&[2, 4, 2], true, &mut rng);
         let b = mlp(&[2, 4, 2], true, &mut rng);
         let x = Tensor::randn(&[3, 2], &mut rng);
@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn resnet_transfer_includes_running_stats() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let a = ResNet::new(3, 4, 1, 4, &mut rng);
         let x = Tensor::randn(&[4, 3, 8, 8], &mut rng);
         for _ in 0..5 {
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn missing_entry_panics() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let small = mlp(&[2, 2], true, &mut rng);
         let big = mlp(&[2, 4, 2], true, &mut rng);
         StateDict::from_module(&small).apply(&big);

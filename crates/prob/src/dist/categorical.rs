@@ -59,7 +59,7 @@ impl Distribution for Categorical {
         let pd = p.data();
         let mut out = Vec::with_capacity(self.n);
         rng::with_rng(|rng| {
-            use rand::Rng;
+            use tyxe_rand::Rng;
             for i in 0..self.n {
                 let u: f64 = rng.gen();
                 let row = &pd[i * self.c..(i + 1) * self.c];

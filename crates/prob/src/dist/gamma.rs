@@ -53,7 +53,7 @@ impl Gamma {
 }
 
 /// One Marsaglia–Tsang draw with unit rate, `a >= 1`.
-fn sample_gamma_unit<R: rand::Rng + ?Sized>(a: f64, rng: &mut R) -> f64 {
+fn sample_gamma_unit<R: tyxe_rand::Rng + ?Sized>(a: f64, rng: &mut R) -> f64 {
     let d = a - 1.0 / 3.0;
     let c = 1.0 / (9.0 * d).sqrt();
     loop {
@@ -72,7 +72,7 @@ fn sample_gamma_unit<R: rand::Rng + ?Sized>(a: f64, rng: &mut R) -> f64 {
     }
 }
 
-pub(crate) fn sample_gamma<R: rand::Rng + ?Sized>(a: f64, rate: f64, rng: &mut R) -> f64 {
+pub(crate) fn sample_gamma<R: tyxe_rand::Rng + ?Sized>(a: f64, rate: f64, rng: &mut R) -> f64 {
     if a < 1.0 {
         // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);

@@ -43,7 +43,7 @@ impl Distribution for Poisson {
     fn sample(&self) -> Tensor {
         let rates = self.rate.detach();
         let data = rng::with_rng(|rng| {
-            use rand::Rng;
+            use tyxe_rand::Rng;
             rates
                 .data()
                 .iter()

@@ -227,7 +227,7 @@ impl Kernel for Hmc {
         }
         let h1 = u + kinetic(&pn);
         let accept_prob = if h1.is_finite() { (h0 - h1).exp().min(1.0) } else { 0.0 };
-        let accept = rng::with_rng(rand::Rng::gen::<f64>) < accept_prob;
+        let accept = rng::with_rng(tyxe_rand::Rng::gen::<f64>) < accept_prob;
         (if accept { qn } else { q }, accept_prob)
     }
 
@@ -358,7 +358,7 @@ impl Nuts {
         }
         let total = left.n + right.n;
         if total > 0.0 {
-            let take_right = rng::with_rng(rand::Rng::gen::<f64>) < right.n / total;
+            let take_right = rng::with_rng(tyxe_rand::Rng::gen::<f64>) < right.n / total;
             if take_right {
                 left.q_prop = right.q_prop;
             }
@@ -377,7 +377,7 @@ impl Kernel for Nuts {
         let p0: Vec<f64> = rng::randn(&[layout.len()]).to_vec();
         let h0 = u0 + kinetic(&p0);
         // Slice variable: log u ~ log(Uniform(0, exp(-0))) relative to start.
-        let log_u = rng::with_rng(|r| rand::Rng::gen_range(r, f64::MIN_POSITIVE..1.0f64)).ln();
+        let log_u = rng::with_rng(|r| tyxe_rand::Rng::gen_range(r, f64::MIN_POSITIVE..1.0f64)).ln();
 
         let mut state = TreeState {
             q_minus: q.clone(),
@@ -395,7 +395,7 @@ impl Kernel for Nuts {
         let mut q_curr = q;
         let mut alpha_stat = 0.0;
         for depth in 0..self.max_depth {
-            let dir = if rng::with_rng(rand::Rng::gen::<bool>) { 1.0 } else { -1.0 };
+            let dir = if rng::with_rng(tyxe_rand::Rng::gen::<bool>) { 1.0 } else { -1.0 };
             let sub = if dir < 0.0 {
                 self.build_tree(
                     model, layout, &state.q_minus, &state.p_minus, &state.g_minus, log_u, dir, depth, h0,
@@ -415,7 +415,7 @@ impl Kernel for Nuts {
                 state.g_plus = sub.g_plus.clone();
             }
             alpha_stat = if sub.n_alpha > 0.0 { sub.alpha / sub.n_alpha } else { 0.0 };
-            if !sub.stop && rng::with_rng(rand::Rng::gen::<f64>) < (sub.n / state.n).min(1.0)
+            if !sub.stop && rng::with_rng(tyxe_rand::Rng::gen::<f64>) < (sub.n / state.n).min(1.0)
             {
                 q_curr = sub.q_prop.clone();
             }

@@ -6,8 +6,8 @@
 
 use std::cell::RefCell;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
 
 thread_local! {
     static GLOBAL_RNG: RefCell<StdRng> = RefCell::new(StdRng::seed_from_u64(0));

@@ -61,11 +61,11 @@ pub fn check_gradient(f: impl Fn(&Tensor) -> Tensor, x0: &Tensor, eps: f64) -> G
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     #[test]
     fn passes_for_correct_gradient() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
         let x0 = Tensor::randn(&[6], &mut rng);
         let report = check_gradient(|x| x.tanh().square().sum(), &x0, 1e-5);
         assert!(report.passes(1e-6), "{report:?}");
@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn matmul_chain_gradient() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(2);
         let x0 = Tensor::randn(&[3, 3], &mut rng);
         let w = Tensor::randn(&[3, 2], &mut rng);
         let report = check_gradient(|x| x.matmul(&w).relu().sum(), &x0, 1e-5);

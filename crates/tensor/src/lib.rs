@@ -40,12 +40,12 @@ pub use tensor::Tensor;
 #[cfg(test)]
 mod integration_tests {
     use super::*;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     /// A two-layer MLP regression step exercising most ops together.
     #[test]
     fn mlp_training_reduces_loss() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let x = Tensor::rand_uniform(&[32, 1], -1.0, 1.0, &mut rng);
         let target = x.mul_scalar(2.0).add_scalar(0.5);
 
@@ -82,7 +82,7 @@ mod integration_tests {
 
     #[test]
     fn softmax_classifier_gradient_is_correct() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(3);
         let x0 = Tensor::randn(&[4, 5], &mut rng);
         let report = check_gradient(
             |logits| logits.log_softmax(1).gather_rows(&[0, 1, 2, 3]).sum().neg(),

@@ -313,8 +313,8 @@ mod tests {
 
     #[test]
     fn conv_grad_matches_finite_difference() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use tyxe_rand::SeedableRng;
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(7);
         let x = Tensor::randn(&[2, 2, 4, 4], &mut rng).requires_grad(true);
         let w = Tensor::randn(&[3, 2, 3, 3], &mut rng).requires_grad(true);
         let b = Tensor::randn(&[3], &mut rng).requires_grad(true);

@@ -203,10 +203,10 @@ impl Tensor {
 mod tests {
     use super::*;
     use crate::check_gradient;
-    use rand::SeedableRng;
+    use tyxe_rand::SeedableRng;
 
     fn random_spd(n: usize, seed: u64) -> Tensor {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[n, n], &mut rng);
         a.matmul(&a.t()).add(&Tensor::eye(n).mul_scalar(n as f64))
     }
@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn solve_recovers_rhs() {
         let a = random_spd(4, 3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(4);
         let x_true = Tensor::randn(&[4], &mut rng);
         let b = a.matvec(&x_true);
         let x = a.solve(&b);

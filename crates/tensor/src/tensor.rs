@@ -187,32 +187,21 @@ impl Tensor {
     }
 
     /// Samples a tensor with i.i.d. standard normal entries.
-    pub fn randn<R: rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
-        let n = numel(shape);
-        let mut data = Vec::with_capacity(n);
-        // Box-Muller transform; avoids depending on rand_distr.
-        while data.len() < n {
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen::<f64>();
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = 2.0 * std::f64::consts::PI * u2;
-            data.push(r * theta.cos());
-            if data.len() < n {
-                data.push(r * theta.sin());
-            }
-        }
+    pub fn randn<R: tyxe_rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
+        let mut data = vec![0.0; numel(shape)];
+        tyxe_rand::fill::fill_standard_normal(&mut data, rng);
         Tensor::from_vec(data, shape)
     }
 
     /// Samples a tensor with entries drawn uniformly from `[lo, hi)`.
-    pub fn rand_uniform<R: rand::Rng + ?Sized>(
+    pub fn rand_uniform<R: tyxe_rand::Rng + ?Sized>(
         shape: &[usize],
         lo: f64,
         hi: f64,
         rng: &mut R,
     ) -> Tensor {
-        let n = numel(shape);
-        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        let mut data = vec![0.0; numel(shape)];
+        tyxe_rand::fill::fill_uniform(&mut data, lo, hi, rng);
         Tensor::from_vec(data, shape)
     }
 
@@ -504,11 +493,11 @@ mod tests {
 
     #[test]
     fn randn_moments_are_plausible() {
-        let mut rng = rand::rngs::mock::StepRng::new(12345, 98765);
+        let mut rng = tyxe_rand::rngs::mock::StepRng::new(12345, 98765);
         // StepRng is too regular for moment checks; use a seeded StdRng instead.
         let _ = &mut rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use tyxe_rand::SeedableRng;
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
         let t = Tensor::randn(&[10000], &mut rng);
         let mean = t.data().iter().sum::<f64>() / 10000.0;
         let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 10000.0;

@@ -1,96 +1,114 @@
-//! Property-based tests of the tensor/autodiff invariants.
+//! Property-based tests of the tensor/autodiff invariants, driven by the
+//! in-tree `prop_check!` loop.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::{prop_check, SeedableRng};
 use tyxe_tensor::{check_gradient, Tensor};
 
-fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Tensor> {
-    (1usize..4, 1usize..4, any::<u64>()).prop_map(move |(r, c, seed)| {
-        let _ = max_elems;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Tensor::randn(&[r, c], &mut rng)
-    })
+/// Draws a small random-shape, random-content matrix plus the generator
+/// used to build companions of the same shape.
+fn small_matrix(g: &mut tyxe_rand::prop::Gen) -> (Tensor, StdRng) {
+    let r = g.usize_in(1, 4);
+    let c = g.usize_in(1, 4);
+    let mut rng = StdRng::seed_from_u64(g.u64());
+    let a = Tensor::randn(&[r, c], &mut rng);
+    (a, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn add_is_commutative_and_associative(a in tensor_strategy(16), seed in any::<u64>()) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn add_is_commutative_and_associative() {
+    prop_check!(32, |g| {
+        let (a, mut rng) = small_matrix(g);
         let b = Tensor::randn(a.shape(), &mut rng);
         let c = Tensor::randn(a.shape(), &mut rng);
         let ab = a.add(&b).to_vec();
         let ba = b.add(&a).to_vec();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
         let l = a.add(&b).add(&c).to_vec();
         let r = a.add(&b.add(&c)).to_vec();
         for (x, y) in l.iter().zip(&r) {
-            prop_assert!((x - y).abs() < 1e-12);
+            assert!((x - y).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(a in tensor_strategy(16), seed in any::<u64>()) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn mul_distributes_over_add() {
+    prop_check!(32, |g| {
+        let (a, mut rng) = small_matrix(g);
         let b = Tensor::randn(a.shape(), &mut rng);
         let c = Tensor::randn(a.shape(), &mut rng);
         let l = a.mul(&b.add(&c)).to_vec();
         let r = a.mul(&b).add(&a.mul(&c)).to_vec();
         for (x, y) in l.iter().zip(&r) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10);
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_is_associative(seed in any::<u64>(), m in 1usize..4, k in 1usize..4, n in 1usize..4, p in 1usize..4) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn matmul_is_associative() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let (m, k) = (g.usize_in(1, 4), g.usize_in(1, 4));
+        let (n, p) = (g.usize_in(1, 4), g.usize_in(1, 4));
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
         let c = Tensor::randn(&[n, p], &mut rng);
         let l = a.matmul(&b).matmul(&c).to_vec();
         let r = a.matmul(&b.matmul(&c)).to_vec();
         for (x, y) in l.iter().zip(&r) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_is_involutive_and_reverses_matmul(seed in any::<u64>(), m in 1usize..5, n in 1usize..5) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn transpose_is_involutive_and_reverses_matmul() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let (m, n) = (g.usize_in(1, 5), g.usize_in(1, 5));
         let a = Tensor::randn(&[m, n], &mut rng);
-        prop_assert_eq!(a.t().t().to_vec(), a.to_vec());
+        assert_eq!(a.t().t().to_vec(), a.to_vec());
         let b = Tensor::randn(&[n, m], &mut rng);
         let l = a.matmul(&b).t().to_vec();
         let r = b.t().matmul(&a.t()).to_vec();
         for (x, y) in l.iter().zip(&r) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sum_axis_totals_match_global_sum(seed in any::<u64>(), r in 1usize..5, c in 1usize..5) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn sum_axis_totals_match_global_sum() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let (r, c) = (g.usize_in(1, 5), g.usize_in(1, 5));
         let a = Tensor::randn(&[r, c], &mut rng);
         let by_rows = a.sum_axis(0, false).sum().item();
         let by_cols = a.sum_axis(1, false).sum().item();
         let total = a.sum().item();
-        prop_assert!((by_rows - total).abs() < 1e-10);
-        prop_assert!((by_cols - total).abs() < 1e-10);
-    }
+        assert!((by_rows - total).abs() < 1e-10);
+        assert!((by_cols - total).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn reshape_preserves_data_and_gradients(seed in any::<u64>(), r in 1usize..5, c in 1usize..5) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn reshape_preserves_data_and_gradients() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let (r, c) = (g.usize_in(1, 5), g.usize_in(1, 5));
         let x0 = Tensor::randn(&[r, c], &mut rng);
         let report = check_gradient(|x| x.reshape(&[c * r]).square().sum(), &x0, 1e-6);
-        prop_assert!(report.passes(1e-6), "{report:?}");
-        prop_assert_eq!(x0.reshape(&[c * r]).to_vec(), x0.to_vec());
-    }
+        assert!(report.passes(1e-6), "{report:?}");
+        assert_eq!(x0.reshape(&[c * r]).to_vec(), x0.to_vec());
+    });
+}
 
-    #[test]
-    fn chained_ops_gradient_check(seed in any::<u64>()) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn chained_ops_gradient_check() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
         let x0 = Tensor::randn(&[3, 2], &mut rng).mul_scalar(0.5);
         let w = Tensor::randn(&[2, 4], &mut rng);
         let report = check_gradient(
@@ -98,33 +116,41 @@ proptest! {
             &x0,
             1e-6,
         );
-        prop_assert!(report.passes(1e-5), "{report:?}");
-    }
+        assert!(report.passes(1e-5), "{report:?}");
+    });
+}
 
-    #[test]
-    fn cat_then_slice_is_identity(seed in any::<u64>(), n1 in 1usize..4, n2 in 1usize..4, c in 1usize..4) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn cat_then_slice_is_identity() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let (n1, n2, c) = (g.usize_in(1, 4), g.usize_in(1, 4), g.usize_in(1, 4));
         let a = Tensor::randn(&[n1, c], &mut rng);
         let b = Tensor::randn(&[n2, c], &mut rng);
         let cat = Tensor::cat(&[a.clone(), b.clone()], 0);
-        prop_assert_eq!(cat.slice(0, 0, n1).to_vec(), a.to_vec());
-        prop_assert_eq!(cat.slice(0, n1, n1 + n2).to_vec(), b.to_vec());
-    }
+        assert_eq!(cat.slice(0, 0, n1).to_vec(), a.to_vec());
+        assert_eq!(cat.slice(0, n1, n1 + n2).to_vec(), b.to_vec());
+    });
+}
 
-    #[test]
-    fn softmax_is_shift_invariant(seed in any::<u64>(), shift in -100.0f64..100.0) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn softmax_is_shift_invariant() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let shift = g.f64_in(-100.0, 100.0);
         let x = Tensor::randn(&[2, 5], &mut rng);
         let a = x.softmax(1).to_vec();
         let b = x.add_scalar(shift).softmax(1).to_vec();
         for (p, q) in a.iter().zip(&b) {
-            prop_assert!((p - q).abs() < 1e-9);
+            assert!((p - q).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn conv_is_linear_in_input(seed in any::<u64>()) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn conv_is_linear_in_input() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
         let x1 = Tensor::randn(&[1, 2, 5, 5], &mut rng);
         let x2 = Tensor::randn(&[1, 2, 5, 5], &mut rng);
         let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
@@ -134,25 +160,31 @@ proptest! {
             .add(&x2.conv2d(&w, None, 1, 1))
             .to_vec();
         for (a, b) in sum_then_conv.iter().zip(&conv_then_sum) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn inverse_of_inverse_is_identity(seed in any::<u64>(), n in 1usize..5) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn inverse_of_inverse_is_identity() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let n = g.usize_in(1, 5);
         let a = Tensor::randn(&[n, n], &mut rng);
         let spd = a.matmul(&a.t()).add(&Tensor::eye(n).mul_scalar(n as f64));
         let back = spd.inverse().inverse().to_vec();
         for (x, y) in back.iter().zip(spd.to_vec()) {
-            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn logdet_is_additive_under_product(seed in any::<u64>(), n in 1usize..4) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mk = |rng: &mut rand::rngs::StdRng| {
+#[test]
+fn logdet_is_additive_under_product() {
+    prop_check!(32, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let n = g.usize_in(1, 4);
+        let mk = |rng: &mut StdRng| {
             let a = Tensor::randn(&[n, n], rng);
             a.matmul(&a.t()).add(&Tensor::eye(n).mul_scalar(n as f64))
         };
@@ -160,6 +192,6 @@ proptest! {
         let b = mk(&mut rng);
         let lhs = a.matmul(&b).logdet().item();
         let rhs = a.logdet().item() + b.logdet().item();
-        prop_assert!((lhs - rhs).abs() < 1e-8, "{lhs} vs {rhs}");
-    }
+        assert!((lhs - rhs).abs() < 1e-8, "{lhs} vs {rhs}");
+    });
 }

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example gnn`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::IIDPrior;
@@ -21,7 +21,7 @@ use tyxe_tensor::Tensor;
 
 fn main() {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 
     // Cora-like: 7 classes, 20 labelled nodes per class.
     let ds = citation_graph(350, 7, 49, 0.06, 0.004, 20, 70, 140, 0);

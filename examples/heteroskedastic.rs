@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example heteroskedastic`
 
-use rand::Rng;
-use rand::SeedableRng;
+use tyxe_rand::Rng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::AutoNormal;
 use tyxe::likelihoods::HeteroskedasticGaussian;
 use tyxe::priors::IIDPrior;
@@ -17,7 +17,7 @@ use tyxe_tensor::Tensor;
 
 fn main() {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 
     // Data: y = sin(2x) with noise that grows with |x|.
     let n = 200;

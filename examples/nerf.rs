@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example nerf`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::priors::IIDPrior;
 use tyxe::PytorchBnn;
@@ -25,7 +25,7 @@ fn cameras(azimuths: &[f64]) -> Vec<Camera> {
 
 fn main() {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 
     // Ground-truth targets: 12 training views (0°..270°), 3 held-out views
     // inside the excluded 90° wedge.

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example pure_prob`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::AutoNormal;
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
@@ -30,7 +30,7 @@ fn main() {
     // prediction replay.
     // =====================================================================
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let net = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
 
     // Manual prior definition per parameter (Listing 7, lines 5-13).
@@ -107,7 +107,7 @@ fn main() {
     // setup, one to fit, one to predict.
     // =====================================================================
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let net2 = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
     let bnn = VariationalBnn::new(
         net2,

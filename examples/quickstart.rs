@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example quickstart`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::AutoNormal;
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
@@ -18,7 +18,7 @@ use tyxe_prob::optim::Adam;
 
 fn main() {
     tyxe_prob::rng::set_seed(42);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(42);
     let data = foong_regression(50, 0.1, 0);
 
     // The paper's five lines: net, likelihood, prior, guide, BNN.

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example regression_hmc`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
 use tyxe::McmcBnn;
@@ -13,7 +13,7 @@ use tyxe_prob::mcmc::Hmc;
 
 fn main() {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let data = foong_regression(20, 0.1, 0);
 
     // A smaller network keeps full-batch HMC quick.

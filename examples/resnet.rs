@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example resnet`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::{Filter, IIDPrior};
@@ -23,7 +23,7 @@ use tyxe_nn::resnet::ResNet;
 
 fn main() {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 
     let gen = ImageGenerator::cifar_like(12, 12, 0);
     let train = gen.sample(400, &[], 1);

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p tyxe --example vcl`
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::IIDPrior;
@@ -21,7 +21,7 @@ use tyxe_prob::optim::Adam;
 
 fn main() {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
 
     let gen = ImageGenerator::mnist_like(10, 10, 0);
     let tasks = split_tasks(&gen, 120, 60, 0);

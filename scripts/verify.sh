@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically: build and test the whole workspace
+# with cargo forbidden from touching any registry or network.
+#
+# Usage: scripts/verify.sh [--fresh]
+#   --fresh   wipe target/ first, proving a clean checkout builds offline.
+#
+# The workspace has zero external dependencies by policy (see DESIGN.md);
+# any attempt to resolve a registry crate fails immediately under
+# --offline + --frozen rather than hanging on an unreachable index.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fresh" ]]; then
+    rm -rf target
+fi
+
+# --frozen = --offline + --locked: no network, and Cargo.lock must already
+# agree with the manifests, so resolution is fully deterministic.
+CARGO_NET_OFFLINE=true cargo build --release --frozen
+CARGO_NET_OFFLINE=true cargo test -q --frozen
+
+# Belt and braces: fail if any crate manifest regrew an external
+# registry dependency (path-only deps are the policy).
+if grep -rn "extern crate rand\|^rand =\|proptest\|criterion" crates/*/Cargo.toml; then
+    echo "verify: external registry dependency found in a crate manifest" >&2
+    exit 1
+fi
+# A registry dependency in a crate manifest looks like `foo = "1.2"` or
+# carries a `version = "…"` key; path-only crates have neither.
+if grep -En '^[a-z0-9_-]+ *= *"[0-9]|version *= *"' crates/*/Cargo.toml; then
+    echo "verify: versioned (registry) dependency found — only path deps are allowed" >&2
+    exit 1
+fi
+
+echo "verify: OK (offline build + tests + zero-dependency policy)"

@@ -1,0 +1,84 @@
+//! Cross-crate determinism: `tyxe_prob::rng::set_seed` must make entire
+//! training computations bit-reproducible, end to end. This is the
+//! contract every seeded experiment in EXPERIMENTS.md relies on, and it
+//! exercises the whole stack — `tyxe-rand` streams feeding `tyxe-tensor`
+//! fills, `tyxe-nn` initializers, `tyxe-prob` effect handlers, and the
+//! `tyxe` SVI loop.
+
+use tyxe::guides::AutoNormal;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::VariationalBnn;
+use tyxe_datasets::foong_regression;
+use tyxe_prob::optim::Adam;
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+
+type Bnn = VariationalBnn<tyxe_nn::layers::Sequential, HomoskedasticGaussian, AutoNormal>;
+
+/// Builds the BNN, runs `steps` SVI steps under a fixed global seed, and
+/// returns every per-step loss plus the guide's final variational
+/// distribution parameters for each site.
+fn run_svi(seed: u64, steps: usize) -> (Vec<f64>, Vec<(String, Vec<f64>, Vec<f64>)>) {
+    tyxe_prob::rng::set_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = foong_regression(32, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+    let losses: Vec<f64> = (0..steps)
+        .map(|_| bnn.svi_step(&data.x, &data.y, &mut optim))
+        .collect();
+    let mut sites: Vec<(String, Vec<f64>, Vec<f64>)> = bnn
+        .module()
+        .sites()
+        .iter()
+        .map(|site| {
+            let d = bnn.guide().distribution(&site.name).expect("site in guide");
+            (site.name.clone(), d.loc().to_vec(), d.scale().to_vec())
+        })
+        .collect();
+    sites.sort_by(|a, b| a.0.cmp(&b.0));
+    (losses, sites)
+}
+
+#[test]
+fn svi_steps_are_bit_reproducible_under_set_seed() {
+    let (losses_a, sites_a) = run_svi(7, 5);
+    let (losses_b, sites_b) = run_svi(7, 5);
+    // Bit-exact equality, not approximate: the entire chain of draws and
+    // float ops must replay identically.
+    assert_eq!(losses_a, losses_b);
+    assert_eq!(sites_a.len(), sites_b.len());
+    for ((name_a, loc_a, scale_a), (name_b, loc_b, scale_b)) in
+        sites_a.iter().zip(&sites_b)
+    {
+        assert_eq!(name_a, name_b);
+        assert_eq!(loc_a, loc_b, "loc drifted at {name_a}");
+        assert_eq!(scale_a, scale_b, "scale drifted at {name_a}");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_trajectories() {
+    let (losses_a, _) = run_svi(7, 2);
+    let (losses_b, _) = run_svi(8, 2);
+    assert_ne!(losses_a, losses_b);
+}
+
+#[test]
+fn global_rng_draws_are_bit_reproducible() {
+    tyxe_prob::rng::set_seed(21);
+    let a = tyxe_prob::rng::randn(&[64]).to_vec();
+    let u_a = tyxe_prob::rng::rand_uniform(&[64], -1.0, 1.0).to_vec();
+    tyxe_prob::rng::set_seed(21);
+    let b = tyxe_prob::rng::randn(&[64]).to_vec();
+    let u_b = tyxe_prob::rng::rand_uniform(&[64], -1.0, 1.0).to_vec();
+    assert_eq!(a, b);
+    assert_eq!(u_a, u_b);
+}

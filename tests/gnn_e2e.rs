@@ -1,7 +1,7 @@
 //! End-to-end GNN tests for the §4.1 workflow: semi-supervised node
 //! classification with the `selective_mask` handler.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoDelta, AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::IIDPrior;
@@ -47,7 +47,7 @@ fn test_metrics(
 #[test]
 fn mean_field_gnn_learns_node_classification() {
     let s = setup();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let gnn = Gnn::new(49, 16, 7, &mut rng);
     let bnn = VariationalBnn::new(
         gnn,
@@ -75,7 +75,7 @@ fn without_selective_mask_unlabelled_nodes_leak_into_the_likelihood() {
     // different from fitting the masked likelihood. We verify the handler
     // actually reduces the observed-site contribution.
     let s = setup();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
     let gnn = Gnn::new(49, 16, 7, &mut rng);
     let bnn = VariationalBnn::new(
         gnn,
@@ -108,7 +108,7 @@ fn without_selective_mask_unlabelled_nodes_leak_into_the_likelihood() {
 #[test]
 fn map_gnn_trains_through_the_same_machinery() {
     let s = setup();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(2);
     let gnn = Gnn::new(49, 16, 7, &mut rng);
     let bnn = VariationalBnn::new(
         gnn,
@@ -136,7 +136,7 @@ fn map_gnn_trains_through_the_same_machinery() {
 fn gnn_with_flipout_trains() {
     // The paper: "As it utilizes nn.Linear, it is compatible with flipout."
     let s = setup();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(3);
     let gnn = Gnn::new(49, 16, 7, &mut rng);
     let bnn = VariationalBnn::new(
         gnn,

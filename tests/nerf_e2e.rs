@@ -1,7 +1,7 @@
 //! End-to-end Bayesian NeRF test (§4.2 / Figure 3 at miniature scale):
 //! the `PytorchBnn` drop-in wrapper inside a custom rendering loss.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoNormal, InitLoc};
 use tyxe::priors::IIDPrior;
 use tyxe::PytorchBnn;
@@ -26,7 +26,7 @@ struct NerfSetup {
 
 fn setup() -> (NerfSetup, Sequential) {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let embed = HarmonicEmbedding::new(3);
     let renderer = VolumeRenderer::new(16, 1.0, 4.6);
     let scene = GroundTruthScene::new();

@@ -1,27 +1,24 @@
-//! Cross-crate property-based tests (proptest) on the invariants the BNN
-//! machinery relies on.
+//! Cross-crate property-based tests (via the in-tree `prop_check!` loop)
+//! on the invariants the BNN machinery relies on.
 
-use proptest::prelude::*;
 use tyxe::guides::{AutoNormal, Guide, InitLoc};
 use tyxe::likelihoods::{Categorical as CatLik, Likelihood};
 use tyxe::priors::{Filter, IIDPrior, Prior};
 use tyxe_prob::dist::{boxed, kl_normal_normal, Distribution, Normal};
 use tyxe_prob::poutine::{replay, trace};
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::{prop_check, SeedableRng};
 use tyxe_tensor::{check_gradient, Tensor};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Reverse-mode gradients of a random composite expression agree with
-    /// central finite differences.
-    #[test]
-    fn autodiff_matches_finite_differences(
-        seed in 0u64..1000,
-        rows in 1usize..4,
-        cols in 1usize..4,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Reverse-mode gradients of a random composite expression agree with
+/// central finite differences.
+#[test]
+fn autodiff_matches_finite_differences() {
+    prop_check!(24, |g| {
+        let seed = g.u64_below(1000);
+        let rows = g.usize_in(1, 4);
+        let cols = g.usize_in(1, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
         let x0 = Tensor::randn(&[rows, cols], &mut rng);
         let w = Tensor::randn(&[cols, 2], &mut rng);
         let report = check_gradient(
@@ -29,56 +26,68 @@ proptest! {
             &x0,
             1e-6,
         );
-        prop_assert!(report.passes(1e-5), "{report:?}");
-    }
+        assert!(report.passes(1e-5), "{report:?}");
+    });
+}
 
-    /// Broadcasting addition commutes and reduces correctly.
-    #[test]
-    fn broadcast_add_commutes(
-        seed in 0u64..1000,
-        n in 1usize..5,
-        m in 1usize..5,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Broadcasting addition commutes and reduces correctly.
+#[test]
+fn broadcast_add_commutes() {
+    prop_check!(24, |g| {
+        let mut rng = StdRng::seed_from_u64(g.u64_below(1000));
+        let n = g.usize_in(1, 5);
+        let m = g.usize_in(1, 5);
         let a = Tensor::randn(&[n, 1], &mut rng);
         let b = Tensor::randn(&[m], &mut rng);
         let ab = a.add(&b);
         let ba = b.add(&a);
-        prop_assert_eq!(ab.shape(), &[n, m]);
-        prop_assert_eq!(ab.to_vec(), ba.to_vec());
-    }
+        assert_eq!(ab.shape(), &[n, m]);
+        assert_eq!(ab.to_vec(), ba.to_vec());
+    });
+}
 
-    /// KL(q || p) >= 0 with equality iff q == p, for factorized Normals.
-    #[test]
-    fn kl_nonnegative(
-        mu_q in -3.0f64..3.0, sd_q in 0.05f64..3.0,
-        mu_p in -3.0f64..3.0, sd_p in 0.05f64..3.0,
-    ) {
+/// KL(q || p) >= 0 with equality iff q == p, for factorized Normals.
+#[test]
+fn kl_nonnegative() {
+    prop_check!(24, |g| {
+        let (mu_q, sd_q) = (g.f64_in(-3.0, 3.0), g.f64_in(0.05, 3.0));
+        let (mu_p, sd_p) = (g.f64_in(-3.0, 3.0), g.f64_in(0.05, 3.0));
         let q = Normal::scalar(mu_q, sd_q, &[1]);
         let p = Normal::scalar(mu_p, sd_p, &[1]);
         let kl = kl_normal_normal(&q, &p).item();
-        prop_assert!(kl >= -1e-12, "negative KL {kl}");
+        assert!(kl >= -1e-12, "negative KL {kl}");
         if (mu_q - mu_p).abs() < 1e-12 && (sd_q - sd_p).abs() < 1e-12 {
-            prop_assert!(kl.abs() < 1e-12);
+            assert!(kl.abs() < 1e-12);
         }
-    }
+    });
+    // The equality branch above is vanishingly unlikely under random draws;
+    // check it explicitly.
+    let q = Normal::scalar(0.7, 1.3, &[1]);
+    assert!(kl_normal_normal(&q, &q).item().abs() < 1e-12);
+}
 
-    /// Normal log density integrates sampling: the empirical mean of the
-    /// density transform stays near the analytic entropy.
-    #[test]
-    fn normal_entropy_consistency(mu in -2.0f64..2.0, sd in 0.2f64..2.0) {
+/// Normal log density integrates sampling: the empirical mean of the
+/// density transform stays near the analytic entropy.
+#[test]
+fn normal_entropy_consistency() {
+    prop_check!(24, |g| {
+        let mu = g.f64_in(-2.0, 2.0);
+        let sd = g.f64_in(0.2, 2.0);
         tyxe_prob::rng::set_seed(99);
         let d = Normal::scalar(mu, sd, &[4000]);
         let x = d.sample();
         let mean_lp = d.log_prob(&x).mean().item();
         let entropy = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * sd * sd).ln();
-        prop_assert!((mean_lp + entropy).abs() < 0.1, "{mean_lp} vs {}", -entropy);
-    }
+        assert!((mean_lp + entropy).abs() < 0.1, "{mean_lp} vs {}", -entropy);
+    });
+}
 
-    /// Replaying a trace reproduces all latent values exactly.
-    #[test]
-    fn replay_is_exact(seed in 0u64..500, dim in 1usize..6) {
+/// Replaying a trace reproduces all latent values exactly.
+#[test]
+fn replay_is_exact() {
+    prop_check!(24, |g| {
+        let seed = g.u64_below(500);
+        let dim = g.usize_in(1, 6);
         tyxe_prob::rng::set_seed(seed);
         let model = move || {
             let a = tyxe_prob::sample("a", boxed(Normal::standard(&[dim])));
@@ -87,17 +96,20 @@ proptest! {
         };
         let (tr, b1) = trace(model);
         let (tr2, b2) = trace(|| replay(&tr, model));
-        prop_assert_eq!(b1.to_vec(), b2.to_vec());
-        prop_assert_eq!(
+        assert_eq!(b1.to_vec(), b2.to_vec());
+        assert_eq!(
             tr.site("a").unwrap().value.to_vec(),
             tr2.site("a").unwrap().value.to_vec()
         );
-    }
+    });
+}
 
-    /// Likelihood mini-batch scaling keeps the expected total log
-    /// likelihood invariant to the batch split.
-    #[test]
-    fn likelihood_scaling_is_unbiased(batch in 1usize..10) {
+/// Likelihood mini-batch scaling keeps the expected total log
+/// likelihood invariant to the batch split.
+#[test]
+fn likelihood_scaling_is_unbiased() {
+    prop_check!(24, |g| {
+        let batch = g.usize_in(1, 10);
         let n = 10usize;
         let lik = CatLik::new(n);
         let logits = Tensor::zeros(&[n, 3]);
@@ -111,16 +123,18 @@ proptest! {
             lik.observe_data(&logits.slice(0, 0, batch), &labels.slice(0, 0, batch))
         });
         let part = tr_part.log_prob_sum().item();
-        prop_assert!((part - full).abs() < 1e-9, "{part} vs {full}");
-    }
+        assert!((part - full).abs() < 1e-9, "{part} vs {full}");
+    });
+}
 
-    /// The hide/expose filter is a partition: every parameter is either a
-    /// Bayesian site or a deterministic parameter, never both.
-    #[test]
-    fn prior_filter_partitions_parameters(hide_bias in proptest::bool::ANY) {
-        use rand::SeedableRng;
+/// The hide/expose filter is a partition: every parameter is either a
+/// Bayesian site or a deterministic parameter, never both.
+#[test]
+fn prior_filter_partitions_parameters() {
+    prop_check!(8, |g| {
         use tyxe_nn::Module;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let hide_bias = g.bool();
+        let mut rng = StdRng::seed_from_u64(0);
         let net = tyxe_nn::layers::mlp(&[2, 4, 2], true, &mut rng);
         let total = net.named_parameters().len();
         let filter = if hide_bias {
@@ -135,16 +149,18 @@ proptest! {
             .filter(|i| prior.apply(i).is_some())
             .count();
         let expected = if hide_bias { 2 } else { 4 };
-        prop_assert_eq!(exposed, expected);
-        prop_assert_eq!(total, 4);
-    }
+        assert_eq!(exposed, expected);
+        assert_eq!(total, 4);
+    });
+}
 
-    /// Guide sample statements cover exactly the Bayesian sites.
-    #[test]
-    fn guide_trace_matches_sites(hidden in proptest::bool::ANY) {
-        use rand::SeedableRng;
+/// Guide sample statements cover exactly the Bayesian sites.
+#[test]
+fn guide_trace_matches_sites() {
+    prop_check!(8, |g| {
+        let hidden = g.bool();
         tyxe_prob::rng::set_seed(0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = StdRng::seed_from_u64(1);
         let net = tyxe_nn::layers::mlp(&[2, 3, 2], true, &mut rng);
         let filter = if hidden {
             Filter::all().hide(&["0.weight"])
@@ -156,45 +172,49 @@ proptest! {
         let mut guide = AutoNormal::new().init_loc(InitLoc::Pretrained);
         guide.setup(module.sites());
         let (tr, ()) = trace(|| guide.sample_guide());
-        prop_assert_eq!(tr.len(), module.sites().len());
+        assert_eq!(tr.len(), module.sites().len());
         for site in module.sites() {
-            prop_assert!(tr.site(&site.name).is_some(), "missing site {}", &site.name);
+            assert!(tr.site(&site.name).is_some(), "missing site {}", &site.name);
         }
-    }
+    });
+}
 
-    /// Aggregated categorical predictions are valid probability rows.
-    #[test]
-    fn aggregated_probabilities_are_normalized(samples in 1usize..6, seed in 0u64..100) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Aggregated categorical predictions are valid probability rows.
+#[test]
+fn aggregated_probabilities_are_normalized() {
+    prop_check!(24, |g| {
+        let samples = g.usize_in(1, 6);
+        let mut rng = StdRng::seed_from_u64(g.u64_below(100));
         let lik = CatLik::new(4);
         let logit_samples: Vec<Tensor> =
             (0..samples).map(|_| Tensor::randn(&[4, 3], &mut rng)).collect();
         let agg = lik.aggregate_predictions(&logit_samples);
         for i in 0..4 {
             let row: f64 = (0..3).map(|j| agg.at(&[i, j])).sum();
-            prop_assert!((row - 1.0).abs() < 1e-9, "row {i} sums to {row}");
+            assert!((row - 1.0).abs() < 1e-9, "row {i} sums to {row}");
             for j in 0..3 {
-                prop_assert!(agg.at(&[i, j]) >= 0.0);
+                assert!(agg.at(&[i, j]) >= 0.0);
             }
         }
-    }
+    });
+}
 
-    /// ECE is bounded by [0, 1] and AUROC by [0, 1] on random inputs.
-    #[test]
-    fn metric_bounds(seed in 0u64..200, n in 4usize..20) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// ECE is bounded by [0, 1] and AUROC by [0, 1] on random inputs.
+#[test]
+fn metric_bounds() {
+    prop_check!(24, |g| {
+        let n = g.usize_in(4, 20);
+        let mut rng = StdRng::seed_from_u64(g.u64_below(200));
         let probs = Tensor::randn(&[n, 3], &mut rng).softmax(1);
         let labels = Tensor::from_vec(
             (0..n).map(|i| (i % 3) as f64).collect(),
             &[n],
         );
         let e = tyxe_metrics::ece(&probs, &labels, 10);
-        prop_assert!((0.0..=1.0).contains(&e), "ECE {e}");
+        assert!((0.0..=1.0).contains(&e), "ECE {e}");
         let a: Vec<f64> = (0..n).map(|i| probs.at(&[i, 0])).collect();
         let b: Vec<f64> = (0..n).map(|i| probs.at(&[i, 1])).collect();
         let roc = tyxe_metrics::auroc(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&roc), "AUROC {roc}");
-    }
+        assert!((0.0..=1.0).contains(&roc), "AUROC {roc}");
+    });
 }

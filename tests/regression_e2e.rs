@@ -2,7 +2,7 @@
 //! variational and MCMC BNNs on the Foong et al. dataset, with and without
 //! local reparameterization.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::AutoNormal;
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
@@ -19,7 +19,7 @@ fn fit_variational(
     tyxe_datasets::Regression1d,
 ) {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let data = foong_regression(40, 0.1, 0);
     let net = tyxe_nn::layers::mlp(&[1, 50, 1], false, &mut rng);
     let bnn = VariationalBnn::new(
@@ -80,7 +80,7 @@ fn local_reparam_and_vanilla_agree_on_the_mean() {
 #[test]
 fn hmc_bnn_fits_and_shows_in_between_spread() {
     tyxe_prob::rng::set_seed(1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
     let data = foong_regression(15, 0.1, 1);
     let net = tyxe_nn::layers::mlp(&[1, 20, 1], false, &mut rng);
     let mut bnn = McmcBnn::new(

@@ -1,7 +1,7 @@
 //! End-to-end variational continual learning test (§5 / Figure 4 at
 //! miniature scale): VCL retains earlier tasks better than plain ML.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoDelta, AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::IIDPrior;
@@ -19,7 +19,7 @@ fn tasks() -> Vec<SplitTask> {
 /// Accuracy on task 0 after sequentially training on the first `n` tasks.
 fn first_task_accuracy(use_vcl: bool, n: usize) -> f64 {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let tasks = tasks();
     let net = tyxe_nn::layers::mlp(&[64, 100, 2], true, &mut rng);
 
@@ -79,7 +79,7 @@ fn vcl_retains_the_first_task_better_than_ml() {
 #[test]
 fn prior_update_changes_all_site_priors() {
     tyxe_prob::rng::set_seed(1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1);
     let tasks = tasks();
     let net = tyxe_nn::layers::mlp(&[64, 50, 2], true, &mut rng);
     let bnn = VariationalBnn::new(

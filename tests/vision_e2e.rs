@@ -3,7 +3,7 @@
 //! mean-field and last-layer guides, and check the calibration/OOD
 //! orderings the paper reports.
 
-use rand::SeedableRng;
+use tyxe_rand::SeedableRng;
 use tyxe::guides::{AutoLowRankNormal, AutoNormal, InitLoc};
 use tyxe::likelihoods::Categorical;
 use tyxe::priors::{Filter, IIDPrior};
@@ -24,7 +24,7 @@ struct Setup {
 
 fn pretrained_resnet() -> Setup {
     tyxe_prob::rng::set_seed(0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(0);
     let gen = ImageGenerator::cifar_like(10, 10, 0);
     let train = gen.sample(300, &[], 1);
     let test = gen.sample(150, &[], 2);
