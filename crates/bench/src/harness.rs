@@ -14,7 +14,13 @@
 //!
 //! `TYXE_BENCH_FAST=1` drops to one sample of one iteration per
 //! benchmark, which is how the bench binaries are smoke-tested in CI.
+//!
+//! `TYXE_BENCH_JSON=<path>` additionally appends one JSON object per
+//! benchmark to `<path>` (JSON-lines: `{"name":…,"min_ns":…,"median_ns":…,
+//! "mean_ns":…}`), which `scripts/bench.sh` uses to collect machine-readable
+//! results across thread-count runs.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Target duration for a single measured sample during calibration.
@@ -104,6 +110,23 @@ impl Criterion {
             format_duration(median),
             format_duration(mean),
         );
+        if let Some(path) = std::env::var_os("TYXE_BENCH_JSON") {
+            let line = format!(
+                "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}\n",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                min.as_nanos(),
+                median.as_nanos(),
+                mean.as_nanos(),
+            );
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()))
+                .unwrap_or_else(|e| {
+                    eprintln!("bench: cannot append to {}: {e}", path.to_string_lossy())
+                });
+        }
         self
     }
 
@@ -224,6 +247,29 @@ mod tests {
         group.bench_function("member", |b| b.iter(|| 1 + 1));
         group.finish();
         std::env::remove_var("TYXE_BENCH_FAST");
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_requested() {
+        std::env::set_var("TYXE_BENCH_FAST", "1");
+        let path = std::env::temp_dir().join(format!("tyxe_bench_json_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("TYXE_BENCH_JSON", &path);
+        Criterion::default()
+            .sample_size(1)
+            .bench_function("json_probe", |b| b.iter(|| 2 + 2));
+        std::env::remove_var("TYXE_BENCH_JSON");
+        std::env::remove_var("TYXE_BENCH_FAST");
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        // Other tests may interleave lines if they run while the env var is
+        // set; only our own record's shape matters.
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"json_probe\""))
+            .expect("json_probe line present");
+        assert!(line.starts_with("{\"name\":\"json_probe\",\"min_ns\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
     }
 
     #[test]

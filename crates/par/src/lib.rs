@@ -1,0 +1,609 @@
+//! `tyxe-par`: an in-tree thread pool and deterministic data-parallel
+//! primitives, built purely on `std::thread` (zero external dependencies,
+//! like the rest of the workspace — see DESIGN.md §6).
+//!
+//! # Why not rayon?
+//!
+//! The workspace's zero-registry-dependency policy forbids it, and the
+//! kernels in `tyxe-tensor` need far less than a general-purpose
+//! work-stealing scheduler: they partition a flat output buffer into
+//! disjoint contiguous chunks and run a pure function over each. This
+//! crate provides exactly that, plus a two-way [`join2`] for independent
+//! backward branches, over a single persistent worker pool.
+//!
+//! # Threading model
+//!
+//! * A global pool of `num_threads() - 1` workers is spawned **lazily**
+//!   on the first parallel call; with one thread nothing is ever spawned
+//!   and every primitive degrades to a plain sequential loop.
+//! * The thread count defaults to [`std::thread::available_parallelism`]
+//!   and can be pinned with the `TYXE_NUM_THREADS` environment variable
+//!   (`1` ⇒ pure sequential fallback) or at runtime via
+//!   [`set_num_threads`] (used by benchmarks and determinism tests).
+//! * The calling thread participates: after enqueueing a scope's tasks it
+//!   drains the queue itself, so a pool of `n` threads applies `n`-way
+//!   parallelism, and nested scopes (a parallel kernel invoked from a
+//!   task of an outer scope) cannot deadlock — the blocked caller keeps
+//!   executing queued tasks while it waits.
+//!
+//! # Determinism contract
+//!
+//! These primitives never decide *what* is computed, only *where*: work
+//! must be partitioned by output element, with every element computed by
+//! exactly one task from read-only inputs. Under that discipline — which
+//! all `tyxe-tensor` kernels follow — results are bit-identical for every
+//! thread count, because no floating-point reduction order ever depends
+//! on the partitioning. Task panics are caught, forwarded, and re-raised
+//! on the caller after the scope completes.
+//!
+//! ```
+//! let mut out = vec![0.0f64; 1024];
+//! tyxe_par::parallel_for_chunks(&mut out, 128, |start, chunk| {
+//!     for (off, slot) in chunk.iter_mut().enumerate() {
+//!         *slot = (start + off) as f64 * 0.5;
+//!     }
+//! });
+//! assert_eq!(out[100], 50.0);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on the configurable thread count; far above any sane
+/// `TYXE_NUM_THREADS`, it only guards against typos spawning thousands
+/// of workers.
+const MAX_THREADS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// Current thread count; 0 means "not yet initialised from the
+/// environment".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    match std::env::var("TYXE_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_THREADS),
+            // 0 or garbage falls through to the hardware default.
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Number of threads parallel primitives will use (callers included).
+///
+/// Resolved once from `TYXE_NUM_THREADS` (default: available hardware
+/// parallelism); later calls to [`set_num_threads`] override it.
+pub fn num_threads() -> usize {
+    let n = THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = default_threads();
+    // Racing initialisers compute the same value; either store wins.
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the thread count at runtime (clamped to `1..=256`).
+///
+/// Kernel results are bit-identical for every setting; this exists so
+/// benchmarks and determinism tests can compare thread counts within one
+/// process. Workers already spawned for a higher count stay parked and
+/// are reused if the count rises again.
+pub fn set_num_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Latch: scope-completion barrier
+// ---------------------------------------------------------------------------
+
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task: wake the scope owner. Taking the lock orders the
+            // notification after the owner's check-then-wait.
+            let _g = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn wait(&self) {
+        let mut g = self.lock.lock().unwrap();
+        while !self.done() {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A unit of scoped work. The closure's true lifetime is the enqueueing
+/// scope; see the safety argument on [`run_scoped`].
+struct Job {
+    task: Box<dyn FnOnce() + Send + 'static>,
+    latch: Arc<Latch>,
+}
+
+impl Job {
+    fn run(self) {
+        if catch_unwind(AssertUnwindSafe(self.task)).is_err() {
+            self.latch.panicked.store(true, Ordering::Relaxed);
+        }
+        self.latch.complete_one();
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// Workers spawned so far; grown lazily towards `num_threads() - 1`.
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    fn ensure_workers(&self, wanted: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < wanted {
+            let shared = Arc::clone(&self.shared);
+            let idx = *spawned;
+            std::thread::Builder::new()
+                .name(format!("tyxe-par-{idx}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("tyxe-par: failed to spawn worker thread");
+            *spawned += 1;
+        }
+    }
+
+    fn push_jobs(&self, jobs: impl Iterator<Item = Job>) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.extend(jobs);
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.shared.queue.lock().unwrap().pop_front()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.cv.wait(q).unwrap();
+            }
+        };
+        job.run();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped execution
+// ---------------------------------------------------------------------------
+
+/// Runs a set of independent tasks to completion, on the pool when more
+/// than one thread is configured, inline otherwise. Blocks until every
+/// task has finished; panics if any task panicked.
+///
+/// # Safety argument (internal `unsafe`)
+///
+/// Tasks may borrow from the caller's stack (`'scope`). Their lifetime is
+/// erased to `'static` so they can sit in the global queue, which is
+/// sound because this function does not return until the scope's latch
+/// counts every task as finished — running tasks can never outlive the
+/// borrows they capture. Panics inside tasks are caught (the latch still
+/// trips) and re-raised here.
+pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let count = tasks.len();
+    if count == 0 {
+        return;
+    }
+    if num_threads() == 1 || count == 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let pool = pool();
+    pool.ensure_workers(num_threads() - 1);
+    let latch = Arc::new(Latch::new(count));
+    pool.push_jobs(tasks.into_iter().map(|task| {
+        // SAFETY: see the function-level argument — we block on `latch`
+        // below until every task has run, so the erased borrows are live
+        // for the tasks' entire execution.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        Job {
+            task,
+            latch: Arc::clone(&latch),
+        }
+    }));
+    // Help drain the queue instead of sleeping; this also guarantees
+    // progress for nested scopes enqueued from within our own tasks.
+    while !latch.done() {
+        match pool.try_pop() {
+            Some(job) => job.run(),
+            None => break,
+        }
+    }
+    latch.wait();
+    if latch.panicked.load(Ordering::Relaxed) {
+        panic!("tyxe-par: a scoped task panicked");
+    }
+}
+
+/// Runs `fa` on the calling thread while `fb` may run on a pool worker;
+/// returns both results. Sequential (`fa` then `fb`) with one thread.
+///
+/// Panics from either closure propagate, but only after both have
+/// finished, so borrows held by the other branch are never outlived.
+pub fn join2<RA, RB, FA, FB>(fa: FA, fb: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    if num_threads() == 1 {
+        return (fa(), fb());
+    }
+    let pool = pool();
+    pool.ensure_workers(num_threads() - 1);
+    let mut rb: Option<RB> = None;
+    let latch = Arc::new(Latch::new(1));
+    {
+        let rb_slot = &mut rb;
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            *rb_slot = Some(fb());
+        });
+        // SAFETY: as in `run_scoped` — we wait on `latch` before this
+        // frame (and `rb`) can be torn down, even if `fa` panics.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        pool.push_jobs(std::iter::once(Job {
+            task,
+            latch: Arc::clone(&latch),
+        }));
+    }
+    let ra = catch_unwind(AssertUnwindSafe(fa));
+    while !latch.done() {
+        match pool.try_pop() {
+            Some(job) => job.run(),
+            None => break,
+        }
+    }
+    latch.wait();
+    let ra = match ra {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    };
+    if latch.panicked.load(Ordering::Relaxed) {
+        panic!("tyxe-par: join2 branch panicked");
+    }
+    (ra, rb.expect("join2 task completed without a result"))
+}
+
+// ---------------------------------------------------------------------------
+// Chunked data-parallel loops
+// ---------------------------------------------------------------------------
+
+/// Splits `out` into contiguous chunks of (up to) `chunk` elements and
+/// runs `f(start_index, chunk_slice)` over them, in parallel when the
+/// pool has more than one thread and there is more than one chunk.
+///
+/// Chunk boundaries affect only *where* each element is computed, never
+/// the arithmetic for an element, so callers that compute each output
+/// element independently get bit-identical results at every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, or if any invocation of `f` panics.
+pub fn parallel_for_chunks<T, F>(out: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "parallel_for_chunks: chunk must be positive");
+    if out.is_empty() {
+        return;
+    }
+    if num_threads() == 1 || out.len() <= chunk {
+        for (idx, piece) in out.chunks_mut(chunk).enumerate() {
+            f(idx * chunk, piece);
+        }
+        return;
+    }
+    let fref = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(idx, piece)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || fref(idx * chunk, piece));
+            task
+        })
+        .collect();
+    run_scoped(tasks);
+}
+
+/// Like [`parallel_for_chunks`] but over two output buffers partitioned
+/// in lock-step: chunk `i` of `a` (length `chunk_a`) pairs with chunk `i`
+/// of `b` (length `chunk_b`). Used by kernels that produce a value and
+/// an index buffer (e.g. max-pooling's output + argmax).
+///
+/// # Panics
+///
+/// Panics if either chunk size is zero or the buffers disagree on the
+/// number of chunks.
+pub fn parallel_for_chunks2<A, B, F>(a: &mut [A], b: &mut [B], chunk_a: usize, chunk_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk_a > 0 && chunk_b > 0, "parallel_for_chunks2: chunks must be positive");
+    let n_chunks = a.len().div_ceil(chunk_a);
+    assert_eq!(
+        n_chunks,
+        b.len().div_ceil(chunk_b),
+        "parallel_for_chunks2: buffers disagree on chunk count"
+    );
+    if n_chunks == 0 {
+        return;
+    }
+    if num_threads() == 1 || n_chunks == 1 {
+        for (idx, (pa, pb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+            f(idx, pa, pb);
+        }
+        return;
+    }
+    let fref = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = a
+        .chunks_mut(chunk_a)
+        .zip(b.chunks_mut(chunk_b))
+        .enumerate()
+        .map(|(idx, (pa, pb))| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || fref(idx, pa, pb));
+            task
+        })
+        .collect();
+    run_scoped(tasks);
+}
+
+/// Picks a chunk length for a buffer of `len` elements: roughly
+/// `len / num_threads()`, rounded up to a multiple of `align` (so chunk
+/// boundaries respect row/sample boundaries) and at least `min_chunk`
+/// (so tiny workloads stay sequential rather than paying dispatch
+/// overhead).
+///
+/// # Panics
+///
+/// Panics if `align == 0`.
+pub fn chunk_len(len: usize, align: usize, min_chunk: usize) -> usize {
+    assert!(align > 0, "chunk_len: align must be positive");
+    let per_thread = len.div_ceil(num_threads().max(1));
+    let aligned = per_thread.div_ceil(align) * align;
+    aligned.max(min_chunk.div_ceil(align) * align).max(align)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyxe_rand::{Rng, SeedableRng};
+
+    /// Serialises tests that mutate the global thread count.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = num_threads();
+        set_num_threads(n);
+        let out = f();
+        set_num_threads(prev);
+        out
+    }
+
+    fn fill_squares(threads: usize, len: usize, chunk: usize) -> Vec<f64> {
+        with_threads(threads, || {
+            let mut out = vec![0.0f64; len];
+            parallel_for_chunks(&mut out, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = (i as f64).sqrt() * (i as f64);
+                }
+            });
+            out
+        })
+    }
+
+    #[test]
+    fn chunked_fill_matches_sequential_bitwise() {
+        let seq = fill_squares(1, 10_000, 10_000);
+        for threads in [2, 4, 7] {
+            for chunk in [1, 64, 1000, 4097] {
+                let par = fill_squares(threads, 10_000, chunk);
+                assert!(seq.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_starts_cover_buffer_exactly_once() {
+        with_threads(4, || {
+            let mut out = vec![0u32; 1003];
+            parallel_for_chunks(&mut out, 17, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    *slot = (start + off) as u32;
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn chunks2_pairs_lockstep() {
+        with_threads(4, || {
+            let mut vals = vec![0.0f64; 60];
+            let mut idx = vec![0usize; 20];
+            // 3 value elements per index element.
+            parallel_for_chunks2(&mut vals, &mut idx, 15, 5, |c, pv, pi| {
+                for v in pv.iter_mut() {
+                    *v = c as f64;
+                }
+                for i in pi.iter_mut() {
+                    *i = c;
+                }
+            });
+            assert_eq!(vals[0], 0.0);
+            assert_eq!(vals[59], 3.0);
+            assert_eq!(idx[4], 0);
+            assert_eq!(idx[19], 3);
+        });
+    }
+
+    #[test]
+    fn join2_returns_both_results() {
+        let (a, b) = with_threads(4, || join2(|| 2 + 2, || "right".len()));
+        assert_eq!((a, b), (4, 5));
+    }
+
+    #[test]
+    fn join2_sequential_with_one_thread() {
+        let (a, b) = with_threads(1, || join2(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let result = with_threads(4, || {
+            let mut outer = vec![0.0f64; 256];
+            parallel_for_chunks(&mut outer, 64, |start, piece| {
+                // Nested parallel region from inside a pool task.
+                let mut inner = vec![0.0f64; 64];
+                parallel_for_chunks(&mut inner, 16, |s, p| {
+                    for (off, slot) in p.iter_mut().enumerate() {
+                        *slot = (s + off) as f64;
+                    }
+                });
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    *slot = inner[off % 64] + start as f64;
+                }
+            });
+            outer
+        });
+        assert_eq!(result[65], 1.0 + 64.0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut out = vec![0.0f64; 1024];
+                parallel_for_chunks(&mut out, 64, |start, _piece| {
+                    if start >= 512 {
+                        panic!("boom");
+                    }
+                });
+            }))
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join2_panic_propagates_from_pool_branch() {
+        let caught = with_threads(2, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                let _ = join2(|| 1, || -> usize { panic!("right branch") });
+            }))
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn chunk_len_respects_alignment_and_minimum() {
+        with_threads(4, || {
+            assert_eq!(chunk_len(100, 10, 0) % 10, 0);
+            assert!(chunk_len(100, 1, 4096) >= 4096);
+            assert!(chunk_len(1 << 20, 1, 4096) >= (1 << 20) / 4);
+            // A chunk is never zero even for empty buffers.
+            assert!(chunk_len(0, 7, 0) >= 7);
+        });
+    }
+
+    #[test]
+    fn randomized_chunking_is_deterministic() {
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let len = rng.gen_range(1..2000usize);
+            let chunk = rng.gen_range(1..300usize);
+            let threads = rng.gen_range(1..6usize);
+            let seq = fill_squares(1, len, len);
+            let par = fill_squares(threads, len, chunk);
+            assert!(seq.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn env_zero_or_garbage_falls_back_to_hardware() {
+        // Exercised indirectly: set_num_threads clamps to >= 1.
+        with_threads(4, || {
+            set_num_threads(0);
+            assert_eq!(num_threads(), 1);
+        });
+    }
+}

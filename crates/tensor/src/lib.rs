@@ -26,8 +26,28 @@
 //! The graph is built dynamically: every differentiable op records its
 //! parents and a backward closure, and [`Tensor::backward`] runs a
 //! topological traversal. Tensors are `Rc`-based and therefore neither `Send`
-//! nor `Sync` — like the paper's single-GPU experiments, training loops here
-//! are single-threaded.
+//! nor `Sync`: the autodiff *graph* — construction, traversal, gradient
+//! bookkeeping — is single-threaded by design. Parallelism lives strictly
+//! *inside* the op kernels, which hand disjoint chunks of their flat
+//! output buffers to the in-tree `tyxe-par` thread pool (blocked GEMM,
+//! convolution, pooling, elementwise maps, axis reductions).
+//!
+//! # Threading and determinism
+//!
+//! * `TYXE_NUM_THREADS` caps kernel parallelism (default: available
+//!   hardware parallelism; `1` bypasses the pool entirely).
+//! * Work is always partitioned by output element: each element's
+//!   floating-point operation sequence is fixed, independent of thread
+//!   count or chunk boundaries, so every result is **bit-identical** for
+//!   every `TYXE_NUM_THREADS` setting. The seeded-reproducibility
+//!   contract in `tests/determinism.rs` therefore holds at any thread
+//!   count, and `crates/tensor/tests/parallel_identity.rs` pins the
+//!   kernels to their naive references bitwise.
+//! * On x86-64 CPUs with FMA the matrix kernels (and their retained
+//!   references) use fused multiply-adds, so results can differ between
+//!   *machines* with different instruction sets — the usual BLAS caveat —
+//!   but never between runs, thread counts, or code paths on one machine.
+//!   See [`ops::gemm_kernels`] for the full contract.
 
 pub mod grad_check;
 pub mod ops;

@@ -1,5 +1,11 @@
 //! Broadcasting element-wise binary operations.
+//!
+//! Forward and backward maps are embarrassingly parallel (one output per
+//! element, read-only inputs), so both are chunked across the thread
+//! pool for large tensors; the broadcast *reduction* in [`sum_to_shape`]
+//! stays sequential to keep its addition order fixed.
 
+use crate::ops::PAR_MIN_ELEMS;
 use crate::shape::{broadcast_shapes, broadcast_source_index, numel, unravel_index};
 use crate::tensor::Tensor;
 
@@ -22,8 +28,8 @@ pub(crate) fn sum_to_shape(grad: &[f64], out_shape: &[usize], src_shape: &[usize
 fn broadcast_binary(
     a: &Tensor,
     b: &Tensor,
-    f: impl Fn(f64, f64) -> f64,
-    df: impl Fn(f64, f64, f64) -> (f64, f64) + 'static,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+    df: impl Fn(f64, f64, f64) -> (f64, f64) + Sync + 'static,
 ) -> Tensor {
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
         panic!(
@@ -36,17 +42,27 @@ fn broadcast_binary(
     let ad = a.data();
     let bd = b.data();
     let fast = a.shape() == out_shape && b.shape() == out_shape;
-    let mut data = Vec::with_capacity(n);
-    if fast {
-        for i in 0..n {
-            data.push(f(ad[i], bd[i]));
-        }
-    } else {
-        for flat in 0..n {
-            let idx = unravel_index(flat, &out_shape);
-            let av = ad[broadcast_source_index(&idx, a.shape())];
-            let bv = bd[broadcast_source_index(&idx, b.shape())];
-            data.push(f(av, bv));
+    let mut data = vec![0.0; n];
+    {
+        let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
+        let chunk = tyxe_par::chunk_len(n, 1, PAR_MIN_ELEMS);
+        if fast {
+            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = f(ad[i], bd[i]);
+                }
+            });
+        } else {
+            let (ashape, bshape) = (a.shape(), b.shape());
+            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    let idx = unravel_index(start + off, &out_shape);
+                    let av = ad[broadcast_source_index(&idx, ashape)];
+                    let bv = bd[broadcast_source_index(&idx, bshape)];
+                    *slot = f(av, bv);
+                }
+            });
         }
     }
     drop(ad);
@@ -64,21 +80,29 @@ fn broadcast_binary(
             let n = grad.len();
             let mut ga = vec![0.0; n];
             let mut gb = vec![0.0; n];
-            if ac.shape() == out_shape_c && bc.shape() == out_shape_c {
-                for i in 0..n {
-                    let (da, db) = df(ad[i], bd[i], grad[i]);
-                    ga[i] = da;
-                    gb[i] = db;
-                }
-            } else {
-                for flat in 0..n {
-                    let idx = unravel_index(flat, &out_shape_c);
-                    let av = ad[broadcast_source_index(&idx, ac.shape())];
-                    let bv = bd[broadcast_source_index(&idx, bc.shape())];
-                    let (da, db) = df(av, bv, grad[flat]);
-                    ga[flat] = da;
-                    gb[flat] = db;
-                }
+            {
+                let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
+                let chunk = tyxe_par::chunk_len(n, 1, PAR_MIN_ELEMS);
+                let fast = ac.shape() == out_shape_c && bc.shape() == out_shape_c;
+                let (ashape, bshape) = (ac.shape(), bc.shape());
+                tyxe_par::parallel_for_chunks2(&mut ga, &mut gb, chunk, chunk, |ci, pa, pb| {
+                    let start = ci * chunk;
+                    for (off, (sa, sb)) in pa.iter_mut().zip(pb.iter_mut()).enumerate() {
+                        let i = start + off;
+                        let (av, bv) = if fast {
+                            (ad[i], bd[i])
+                        } else {
+                            let idx = unravel_index(i, &out_shape_c);
+                            (
+                                ad[broadcast_source_index(&idx, ashape)],
+                                bd[broadcast_source_index(&idx, bshape)],
+                            )
+                        };
+                        let (da, db) = df(av, bv, grad[i]);
+                        *sa = da;
+                        *sb = db;
+                    }
+                });
             }
             drop(ad);
             drop(bd);

@@ -1,5 +1,13 @@
 //! 2-D convolution (via im2col + GEMM) and max pooling over `[N, C, H, W]`
 //! tensors.
+//!
+//! Samples are independent in both directions, so the batch dimension is
+//! partitioned across the thread pool: each task unfolds/folds and
+//! multiplies its own samples with private scratch buffers. The one
+//! cross-sample reduction — the weight gradient — is computed into
+//! per-sample partials and reduced sequentially in ascending sample
+//! order, which reproduces the sequential loop's addition chain exactly
+//! (see `tyxe-par`'s determinism contract).
 
 use crate::ops::matmul::{gemm, gemm_at, gemm_bt};
 use crate::tensor::Tensor;
@@ -134,26 +142,32 @@ impl Tensor {
         let krows = cin * kh * kw;
         let ncols = ho * wo;
 
-        let mut out = vec![0.0; n * cout * ncols];
-        let mut cols = vec![0.0; krows * ncols];
+        let sample_in = cin * h * w;
+        let sample_out = cout * ncols;
+        let mut out = vec![0.0; n * sample_out];
         {
             let x = self.data();
             let wd = weight.data();
-            for s in 0..n {
-                im2col(&x[s * cin * h * w..(s + 1) * cin * h * w], cin, h, w, kh, kw, stride, pad, &mut cols);
-                gemm(&wd, &cols, &mut out[s * cout * ncols..(s + 1) * cout * ncols], cout, krows, ncols);
-            }
-            if let Some(b) = bias {
-                let bd = b.data();
-                for s in 0..n {
-                    for co in 0..cout {
-                        let base = (s * cout + co) * ncols;
-                        for q in 0..ncols {
-                            out[base + q] += bd[co];
+            let (x, wd): (&[f64], &[f64]) = (&x, &wd);
+            let bref = bias.map(|b| b.data());
+            let bd: Option<&[f64]> = bref.as_ref().map(|r| &r[..]);
+            let spl = tyxe_par::chunk_len(n, 1, 1);
+            tyxe_par::parallel_for_chunks(&mut out, (spl * sample_out).max(1), |start, chunk| {
+                let s0 = start / sample_out.max(1);
+                let mut cols = vec![0.0; krows * ncols];
+                for (si, o) in chunk.chunks_mut(sample_out.max(1)).enumerate() {
+                    let s = s0 + si;
+                    im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, &mut cols);
+                    gemm(wd, &cols, o, cout, krows, ncols);
+                    if let Some(bd) = bd {
+                        for co in 0..cout {
+                            for v in &mut o[co * ncols..(co + 1) * ncols] {
+                                *v += bd[co];
+                            }
                         }
                     }
                 }
-            }
+            });
         }
 
         let xc = self.clone();
@@ -170,19 +184,55 @@ impl Tensor {
             Box::new(move |_, grad| {
                 let x = xc.data();
                 let wd = wc.data();
-                let mut gx = vec![0.0; n * cin * h * w];
-                let mut gw = vec![0.0; cout * krows];
-                let mut gcols = vec![0.0; krows * ncols];
-                let mut cols = vec![0.0; krows * ncols];
-                for s in 0..n {
-                    let gout = &grad[s * cout * ncols..(s + 1) * cout * ncols];
-                    // dW += G * cols^T
-                    im2col(&x[s * cin * h * w..(s + 1) * cin * h * w], cin, h, w, kh, kw, stride, pad, &mut cols);
-                    gemm_bt(gout, &cols, &mut gw, cout, ncols, krows);
-                    // dcols = W^T * G; dX += col2im(dcols)
+                let (x, wd): (&[f64], &[f64]) = (&x, &wd);
+                let sample_in = cin * h * w;
+                let sample_out = cout * ncols;
+                let wlen = cout * krows;
+                let mut gx = vec![0.0; n * sample_in];
+                let mut gw = vec![0.0; wlen];
+                // Per-sample body: dW_s = G_s * cols^T (accumulated into
+                // `gws`), dX_s = col2im(W^T * G_s).
+                let do_sample = |s: usize, gxs: &mut [f64], gws: &mut [f64], cols: &mut [f64], gcols: &mut [f64]| {
+                    let gout = &grad[s * sample_out..(s + 1) * sample_out];
+                    im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, cols);
+                    gemm_bt(gout, cols, gws, cout, ncols, krows);
                     gcols.iter_mut().for_each(|v| *v = 0.0);
-                    gemm_at(&wd, gout, &mut gcols, krows, cout, ncols);
-                    col2im(&gcols, cin, h, w, kh, kw, stride, pad, &mut gx[s * cin * h * w..(s + 1) * cin * h * w]);
+                    gemm_at(wd, gout, gcols, krows, cout, ncols);
+                    col2im(gcols, cin, h, w, kh, kw, stride, pad, gxs);
+                };
+                if n > 0 && sample_in > 0 && wlen > 0 {
+                    // Disjoint per-sample partials for dW; samples
+                    // partitioned across the pool in lock-step with dX.
+                    let mut gw_part = vec![0.0; n * wlen];
+                    let spl = tyxe_par::chunk_len(n, 1, 1);
+                    tyxe_par::parallel_for_chunks2(
+                        &mut gx,
+                        &mut gw_part,
+                        spl * sample_in,
+                        spl * wlen,
+                        |ci, gxc, gwc| {
+                            let mut cols = vec![0.0; krows * ncols];
+                            let mut gcols = vec![0.0; krows * ncols];
+                            for (si, (gxs, gws)) in
+                                gxc.chunks_mut(sample_in).zip(gwc.chunks_mut(wlen)).enumerate()
+                            {
+                                do_sample(ci * spl + si, gxs, gws, &mut cols, &mut gcols);
+                            }
+                        },
+                    );
+                    // Ascending-s reduction: the same per-element addition
+                    // chain as the sequential accumulation it replaces.
+                    for part in gw_part.chunks(wlen) {
+                        for (g, p) in gw.iter_mut().zip(part) {
+                            *g += p;
+                        }
+                    }
+                } else {
+                    let mut cols = vec![0.0; krows * ncols];
+                    let mut gcols = vec![0.0; krows * ncols];
+                    for s in 0..n {
+                        do_sample(s, &mut gx[s * sample_in..(s + 1) * sample_in], &mut gw, &mut cols, &mut gcols);
+                    }
                 }
                 let mut grads = vec![Some(gx), Some(gw)];
                 if has_bias {
@@ -216,30 +266,40 @@ impl Tensor {
         );
         let ho = conv_out(h, k, s, 0);
         let wo = conv_out(w, k, s, 0);
-        let mut out = vec![f64::NEG_INFINITY; n * c * ho * wo];
-        let mut arg = vec![0usize; n * c * ho * wo];
+        let img_out = ho * wo;
+        let mut out = vec![f64::NEG_INFINITY; n * c * img_out];
+        let mut arg = vec![0usize; n * c * img_out];
         {
             let x = self.data();
-            for img in 0..n * c {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let o = (img * ho + oy) * wo + ox;
-                        for ki in 0..k {
-                            for kj in 0..k {
-                                let iy = oy * s + ki;
-                                let ix = ox * s + kj;
-                                if iy < h && ix < w {
-                                    let src = (img * h + iy) * w + ix;
-                                    if x[src] > out[o] {
-                                        out[o] = x[src];
-                                        arg[o] = src;
+            let x: &[f64] = &x;
+            // Each (image, output position) scans its own window in the
+            // same ki/kj order at any thread count; ties keep the first
+            // maximum, exactly as the sequential scan did.
+            let ipc = tyxe_par::chunk_len(n * c, 1, 1);
+            let chunk = (ipc * img_out).max(1);
+            tyxe_par::parallel_for_chunks2(&mut out, &mut arg, chunk, chunk, |ci, oc, ac| {
+                for (li, (ov, av)) in oc.chunks_mut(img_out).zip(ac.chunks_mut(img_out)).enumerate() {
+                    let img = ci * ipc + li;
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let o = oy * wo + ox;
+                            for ki in 0..k {
+                                for kj in 0..k {
+                                    let iy = oy * s + ki;
+                                    let ix = ox * s + kj;
+                                    if iy < h && ix < w {
+                                        let src = (img * h + iy) * w + ix;
+                                        if x[src] > ov[o] {
+                                            ov[o] = x[src];
+                                            av[o] = src;
+                                        }
                                     }
                                 }
                             }
                         }
                     }
                 }
-            }
+            });
         }
         let total = self.numel();
         Tensor::make_op(

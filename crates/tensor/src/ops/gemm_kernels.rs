@@ -1,0 +1,609 @@
+//! Cache-blocked, SIMD-dispatched, multi-threaded GEMM kernels with a
+//! bit-exact determinism contract.
+//!
+//! Three accumulation variants back every matrix product in the crate
+//! (see [`crate::Tensor::matmul`] and `conv2d`'s im2col formulation):
+//!
+//! * [`gemm`]    — `C += A·B`,   `A: [m×k]`, `B: [k×n]`
+//! * [`gemm_at`] — `C += Aᵀ·B`,  `A: [k×m]`, `B: [k×n]`
+//! * [`gemm_bt`] — `C += A·Bᵀ`,  `A: [m×k]`, `B: [n×k]`
+//!
+//! # Determinism contract
+//!
+//! Every entry point computes, for each output element, the *same
+//! sequence of floating-point operations* regardless of thread count or
+//! matrix size:
+//!
+//! * `gemm`/`gemm_at` update `c[i,j]` with one fused/plain multiply-add
+//!   per `p`, `p` ascending, starting from the incoming `c[i,j]`;
+//! * `gemm_bt` accumulates a fresh dot product (`p` ascending from `0.0`)
+//!   and adds it to `c[i,j]` once.
+//!
+//! The blocked path tiles over rows and columns only — `k` is never
+//! split, and each output element's accumulator lives in one register
+//! for the whole `k` loop — so blocking cannot reorder any element's
+//! reduction. Threads partition disjoint, MR-aligned row blocks of `C`,
+//! so partitioning cannot either. The retained reference kernels
+//! ([`gemm_ref`] and friends) follow the identical per-element recipe,
+//! which the property tests in `tests/parallel_identity.rs` pin down
+//! bitwise.
+//!
+//! # SIMD dispatch and the `madd` recipe
+//!
+//! Kernels are compiled per ISA via `#[target_feature]` and selected once
+//! at runtime. On CPUs with FMA the multiply-add is a true fused
+//! `mul_add` (single rounding) in *both* the blocked and the reference
+//! kernels; without FMA both use plain `mul` + `add`. Results are
+//! therefore bit-identical across thread counts and against the
+//! reference on any given machine, though they may differ *between*
+//! machines with different FMA support — the same caveat that applies to
+//! any BLAS. Rust never auto-contracts `a * b + c`, so the non-FMA path
+//! is stable too.
+
+// Microkernels take (k, ap, bp, c, ldc, rows, cols, from_c): the
+// signature is the MicroFn ABI shared by every `#[target_feature]`
+// instantiation, so bundling arguments into a struct would just move
+// the field list without removing it.
+#![allow(clippy::too_many_arguments)]
+
+use std::sync::OnceLock;
+
+/// Work (in multiply-adds, `m·k·n`) below which the blocked path is not
+/// worth its packing and dispatch overhead; small products use the
+/// reference kernels directly. Both paths obey the same per-element
+/// recipe, so the cutoff never affects results.
+const BLOCK_MIN_MADDS: usize = 32 * 32 * 32;
+
+/// Column-block width: `bp` holds `NC` packed columns (`k × NC` doubles),
+/// sized to stay comfortably inside L2 for the `k` ranges seen here.
+const NC: usize = 256;
+
+// ---------------------------------------------------------------------------
+// ISA selection
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Isa {
+    Base,
+    Avx2,
+    Avx2Fma,
+    Avx512Fma,
+}
+
+fn isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("fma") {
+                return Isa::Avx512Fma;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return if is_x86_feature_detected!("fma") {
+                    Isa::Avx2Fma
+                } else {
+                    Isa::Avx2
+                };
+            }
+        }
+        Isa::Base
+    })
+}
+
+/// Whether this process's kernels fuse multiply-adds (hardware FMA).
+pub fn uses_fma() -> bool {
+    matches!(isa(), Isa::Avx2Fma | Isa::Avx512Fma)
+}
+
+/// Human-readable label of the selected kernel ISA (for bench reports).
+pub fn simd_label() -> &'static str {
+    match isa() {
+        Isa::Base => "baseline",
+        Isa::Avx2 => "avx2",
+        Isa::Avx2Fma => "avx2+fma",
+        Isa::Avx512Fma => "avx512+fma",
+    }
+}
+
+/// The single multiply-add recipe all kernels share.
+#[inline(always)]
+fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
+    if FMA {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// Scalar multiply-add matching this machine's kernel semantics; exported
+/// so tests can build independent references (e.g. a direct convolution)
+/// that stay bit-comparable to the tensor ops.
+pub fn madd_runtime(acc: f64, a: f64, b: f64) -> f64 {
+    if uses_fma() {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels (retained; also serve products below the size cutoff)
+// ---------------------------------------------------------------------------
+
+// Note for the perf log: the seed's `if av == 0.0 { continue; }`
+// zero-skip was dropped. Measured on the 256³ dense bench it was a wash
+// (≤0.1% either way — the branch predicts perfectly but saves nothing on
+// dense operands), and skipping `+= 0.0 * b` terms changes signed-zero
+// and NaN propagation, which would break the bitwise contract between
+// these references and the branch-free blocked kernels.
+
+#[inline(always)]
+fn gemm_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn gemm_at_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        for i in 0..m {
+            let av = a[p * m + i];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn gemm_bt_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc = madd::<FMA>(acc, arow[p], brow[p]);
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+macro_rules! def_ref {
+    ($pub_name:ident, $body:ident, $fma_name:ident, $doc:literal) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "fma")]
+        unsafe fn $fma_name(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+            $body::<true>(a, b, c, m, k, n);
+        }
+
+        #[doc = $doc]
+        ///
+        /// This is the retained naive reference: a plain triple loop
+        /// following the shared per-element recipe. The blocked kernels
+        /// are bit-identical to it (see the module docs).
+        pub fn $pub_name(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+            #[cfg(target_arch = "x86_64")]
+            if uses_fma() {
+                // SAFETY: `uses_fma()` implies the `fma` target feature.
+                unsafe { $fma_name(a, b, c, m, k, n) };
+                return;
+            }
+            $body::<false>(a, b, c, m, k, n);
+        }
+    };
+}
+
+def_ref!(gemm_ref, gemm_ref_body, gemm_ref_fma, "Reference `C += A·B` (`A: [m×k]`, `B: [k×n]`).");
+def_ref!(gemm_at_ref, gemm_at_ref_body, gemm_at_ref_fma, "Reference `C += Aᵀ·B` (`A: [k×m]`, `B: [k×n]`).");
+def_ref!(gemm_bt_ref, gemm_bt_ref_body, gemm_bt_ref_fma, "Reference `C += A·Bᵀ` (`A: [m×k]`, `B: [n×k]`).");
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Packs `rows ≤ MR` rows of the logical `A[i,p]` (element stride
+/// `a[i·ris + p·pis]`) into a `k × MR` p-major micropanel, zero-padding
+/// missing rows.
+fn pack_a<const MR: usize>(
+    a: &[f64],
+    ris: usize,
+    pis: usize,
+    i0: usize,
+    rows: usize,
+    k: usize,
+    ap: &mut [f64],
+) {
+    for p in 0..k {
+        let dst = &mut ap[p * MR..(p + 1) * MR];
+        for (ii, slot) in dst.iter_mut().enumerate() {
+            *slot = if ii < rows { a[(i0 + ii) * ris + p * pis] } else { 0.0 };
+        }
+    }
+}
+
+/// Packs `cols ≤ NR` columns of the logical `B[p,j]` (element stride
+/// `b[p·pis + j·cis]`) into a `k × NR` p-major micropanel, zero-padding
+/// missing columns. The pad multiplies into accumulator lanes that are
+/// never stored.
+fn pack_b<const NR: usize>(
+    b: &[f64],
+    pis: usize,
+    cis: usize,
+    j0: usize,
+    cols: usize,
+    k: usize,
+    bp: &mut [f64],
+) {
+    for p in 0..k {
+        let dst = &mut bp[p * NR..(p + 1) * NR];
+        for (jj, slot) in dst.iter_mut().enumerate() {
+            *slot = if jj < cols { b[p * pis + (j0 + jj) * cis] } else { 0.0 };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel
+// ---------------------------------------------------------------------------
+
+/// An MR×NR register tile over packed panels. `from_c` selects the
+/// accumulation mode: `true` seeds the accumulators from `C`
+/// (`gemm`/`gemm_at` semantics), `false` starts from zero and adds the
+/// finished dot products to `C` once (`gemm_bt` semantics). The
+/// full-tile fast path has compile-time bounds so LLVM keeps `acc`
+/// entirely in vector registers.
+#[inline(always)]
+fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
+    k: usize,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+    from_c: bool,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    if rows == MR && cols == NR {
+        if from_c {
+            for ii in 0..MR {
+                for jj in 0..NR {
+                    acc[ii][jj] = c[ii * ldc + jj];
+                }
+            }
+        }
+        for p in 0..k {
+            let av: &[f64; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+            let bv: &[f64; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+            for ii in 0..MR {
+                let a = av[ii];
+                for jj in 0..NR {
+                    acc[ii][jj] = madd::<FMA>(acc[ii][jj], a, bv[jj]);
+                }
+            }
+        }
+        for ii in 0..MR {
+            for jj in 0..NR {
+                let dst = &mut c[ii * ldc + jj];
+                *dst = if from_c { acc[ii][jj] } else { *dst + acc[ii][jj] };
+            }
+        }
+        return;
+    }
+    // Edge tile: dynamic bounds on the C side, padded panels on the
+    // packed side; the extra lanes are discarded below.
+    if from_c {
+        for ii in 0..rows {
+            for jj in 0..cols {
+                acc[ii][jj] = c[ii * ldc + jj];
+            }
+        }
+    }
+    for p in 0..k {
+        let av: &[f64; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f64; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        for ii in 0..MR {
+            let a = av[ii];
+            for jj in 0..NR {
+                acc[ii][jj] = madd::<FMA>(acc[ii][jj], a, bv[jj]);
+            }
+        }
+    }
+    for ii in 0..rows {
+        for jj in 0..cols {
+            let dst = &mut c[ii * ldc + jj];
+            *dst = if from_c { acc[ii][jj] } else { *dst + acc[ii][jj] };
+        }
+    }
+}
+
+type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize, bool);
+
+/// Microkernel instantiations. Tile shapes were tuned on the dense 256³
+/// bench (see `results/BENCH_TENSOR.json`): wider tiles starve the
+/// narrow ISAs of registers (8×16 on AVX-512 spills and runs ~7× slower
+/// than 6×16), narrower ones starve the wide ISAs of independent
+/// accumulator chains (2×16 on AVX-512 is latency-bound at ~5× slower).
+unsafe fn micro_base(
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+) {
+    micro_body::<2, 8, false>(k, ap, bp, c, ldc, rows, cols, from_c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_avx2(
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+) {
+    micro_body::<4, 8, false>(k, ap, bp, c, ldc, rows, cols, from_c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_avx2_fma(
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+) {
+    micro_body::<4, 8, true>(k, ap, bp, c, ldc, rows, cols, from_c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "fma")]
+unsafe fn micro_avx512_fma(
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+) {
+    micro_body::<6, 16, true>(k, ap, bp, c, ldc, rows, cols, from_c);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked driver
+// ---------------------------------------------------------------------------
+
+/// Strided view of a logical operand: `elem(r, c) = data[r·rs + c·cs]`.
+#[derive(Clone, Copy)]
+struct StridedMat<'a> {
+    data: &'a [f64],
+    rs: usize,
+    cs: usize,
+}
+
+/// Packed-panel blocked GEMM: columns are processed in `NC`-wide blocks
+/// (B packed once per block into NR-wide micropanels), rows in
+/// MR-aligned blocks partitioned across the thread pool (each task packs
+/// its own A micropanels). `k` is deliberately never tiled — see the
+/// module-level determinism contract.
+fn gemm_blocked_driver<const MR: usize, const NR: usize>(
+    a: StridedMat<'_>,
+    b: StridedMat<'_>,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    from_c: bool,
+    micro: MicroFn,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut bp = vec![0.0f64; k.max(1) * NR * NC.div_ceil(NR)];
+    let mut j0 = 0;
+    while j0 < n {
+        let ncb = NC.min(n - j0);
+        let npanels = ncb.div_ceil(NR);
+        let panel = k * NR;
+        for jp in 0..npanels {
+            let j = j0 + jp * NR;
+            pack_b::<NR>(
+                b.data,
+                b.rs,
+                b.cs,
+                j,
+                NR.min(n - j),
+                k,
+                &mut bp[jp * panel..(jp + 1) * panel],
+            );
+        }
+        let bp = &bp[..npanels * panel.max(1)];
+        let chunk_rows = tyxe_par::chunk_len(m, MR, MR);
+        tyxe_par::parallel_for_chunks(c, chunk_rows * n, |start, c_chunk| {
+            let i_base = start / n;
+            let rows_here = c_chunk.len() / n;
+            let mut ap = vec![0.0f64; k.max(1) * MR];
+            let mut i = 0;
+            while i < rows_here {
+                let rows = MR.min(rows_here - i);
+                pack_a::<MR>(a.data, a.rs, a.cs, i_base + i, rows, k, &mut ap);
+                for jp in 0..npanels {
+                    let j = j0 + jp * NR;
+                    let cols = NR.min(n - j);
+                    // SAFETY: `micro` was selected to match the features
+                    // `isa()` detected on this CPU.
+                    unsafe {
+                        micro(k, &ap, &bp[jp * panel..(jp + 1) * panel], &mut c_chunk[i * n + j..], n, rows, cols, from_c);
+                    }
+                }
+                i += MR;
+            }
+        });
+        j0 += ncb;
+    }
+}
+
+fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usize, k: usize, n: usize, from_c: bool) {
+    match isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512Fma => gemm_blocked_driver::<6, 16>(a, b, c, m, k, n, from_c, micro_avx512_fma),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, from_c, micro_avx2_fma),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, from_c, micro_avx2),
+        _ => gemm_blocked_driver::<2, 8>(a, b, c, m, k, n, from_c, micro_base),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forced-blocked entry points (exercised directly by the property tests)
+// ---------------------------------------------------------------------------
+
+/// Blocked `C += A·B`, bypassing the small-size cutoff.
+pub fn gemm_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    blocked_dispatch(
+        StridedMat { data: a, rs: k, cs: 1 },
+        StridedMat { data: b, rs: n, cs: 1 },
+        c, m, k, n, true,
+    );
+}
+
+/// Blocked `C += Aᵀ·B` (`A: [k×m]`), bypassing the small-size cutoff.
+pub fn gemm_at_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    blocked_dispatch(
+        StridedMat { data: a, rs: 1, cs: m },
+        StridedMat { data: b, rs: n, cs: 1 },
+        c, m, k, n, true,
+    );
+}
+
+/// Blocked `C += A·Bᵀ` (`B: [n×k]`), bypassing the small-size cutoff.
+pub fn gemm_bt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    blocked_dispatch(
+        StridedMat { data: a, rs: k, cs: 1 },
+        StridedMat { data: b, rs: 1, cs: k },
+        c, m, k, n, false,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatching entry points (used by matmul / conv / linalg)
+// ---------------------------------------------------------------------------
+
+/// `C += A·B` — blocked + parallel above the size cutoff, reference
+/// below. Bit-identical either way.
+pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if m * k * n < BLOCK_MIN_MADDS {
+        gemm_ref(a, b, c, m, k, n);
+    } else {
+        gemm_blocked(a, b, c, m, k, n);
+    }
+}
+
+/// `C += Aᵀ·B` where `A` is `[k×m]`.
+pub fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if m * k * n < BLOCK_MIN_MADDS {
+        gemm_at_ref(a, b, c, m, k, n);
+    } else {
+        gemm_at_blocked(a, b, c, m, k, n);
+    }
+}
+
+/// `C += A·Bᵀ` where `B` is `[n×k]`.
+pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if m * k * n < BLOCK_MIN_MADDS {
+        gemm_bt_ref(a, b, c, m, k, n);
+    } else {
+        gemm_bt_blocked(a, b, c, m, k, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyxe_rand::{Rng, SeedableRng};
+
+    fn rand_vec(rng: &mut tyxe_rand::rngs::StdRng, len: usize) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_range(-1.0..1.0f64)).collect()
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: element {i} differs: {x:e} vs {y:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_reference_bitwise_all_variants() {
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 3, 5), (17, 33, 9), (40, 40, 40), (64, 1, 64), (1, 64, 1)] {
+            let a_mk = rand_vec(&mut rng, m * k);
+            let a_km = rand_vec(&mut rng, k * m);
+            let b_kn = rand_vec(&mut rng, k * n);
+            let b_nk = rand_vec(&mut rng, n * k);
+            let c0 = rand_vec(&mut rng, m * n);
+
+            let mut c_ref = c0.clone();
+            let mut c_blk = c0.clone();
+            gemm_ref(&a_mk, &b_kn, &mut c_ref, m, k, n);
+            gemm_blocked(&a_mk, &b_kn, &mut c_blk, m, k, n);
+            assert_bits_eq(&c_ref, &c_blk, "gemm");
+
+            let mut c_ref = c0.clone();
+            let mut c_blk = c0.clone();
+            gemm_at_ref(&a_km, &b_kn, &mut c_ref, m, k, n);
+            gemm_at_blocked(&a_km, &b_kn, &mut c_blk, m, k, n);
+            assert_bits_eq(&c_ref, &c_blk, "gemm_at");
+
+            let mut c_ref = c0.clone();
+            let mut c_blk = c0.clone();
+            gemm_bt_ref(&a_mk, &b_nk, &mut c_ref, m, k, n);
+            gemm_bt_blocked(&a_mk, &b_nk, &mut c_blk, m, k, n);
+            assert_bits_eq(&c_ref, &c_blk, "gemm_bt");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_identity_for_accumulation() {
+        let mut c = vec![1.5, -2.5, 0.0, -0.0];
+        gemm_blocked(&[], &[], &mut c, 2, 0, 2);
+        assert_eq!(c, vec![1.5, -2.5, 0.0, -0.0]);
+        let before: Vec<u64> = c.iter().map(|v| v.to_bits()).collect();
+        let mut c_bt = c.clone();
+        gemm_bt_ref(&[], &[], &mut c_bt, 2, 0, 2);
+        let mut c_bt_blk = c.clone();
+        gemm_bt_blocked(&[], &[], &mut c_bt_blk, 2, 0, 2);
+        let bt_bits: Vec<u64> = c_bt.iter().map(|v| v.to_bits()).collect();
+        let blk_bits: Vec<u64> = c_bt_blk.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bt_bits, blk_bits);
+        // gemm (from-C) leaves bits untouched even for the signed zero.
+        assert_eq!(before, c.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(7);
+        let (m, k, n) = (65, 47, 70);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let run = |threads: usize| {
+            tyxe_par::set_num_threads(threads);
+            let mut c = vec![0.0; m * n];
+            gemm_blocked(&a, &b, &mut c, m, k, n);
+            c
+        };
+        let prev = tyxe_par::num_threads();
+        let c1 = run(1);
+        let c4 = run(4);
+        tyxe_par::set_num_threads(prev);
+        assert_bits_eq(&c1, &c4, "threads 1 vs 4");
+    }
+
+    #[test]
+    fn madd_runtime_matches_kernel_semantics() {
+        let (acc, a, b) = (0.1f64, 0.2f64, 0.3f64);
+        let expected = if uses_fma() { a.mul_add(b, acc) } else { acc + a * b };
+        assert_eq!(madd_runtime(acc, a, b).to_bits(), expected.to_bits());
+    }
+}

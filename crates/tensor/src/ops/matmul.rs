@@ -1,55 +1,37 @@
 //! Matrix multiplication and 2-D transpose.
+//!
+//! The GEMM implementations live in [`crate::ops::gemm_kernels`]; the
+//! re-exports below keep the historical `crate::ops::matmul::gemm*`
+//! paths working for `conv` and `linalg`.
 
 use crate::tensor::Tensor;
 
-/// Plain triple-loop GEMM: `c[m x n] += a[m x k] * b[k x n]`.
-/// Loop order (m, k, n) keeps the inner loop contiguous on both `b` and `c`.
-pub(crate) fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
-            }
-        }
-    }
-}
+pub(crate) use crate::ops::gemm_kernels::{gemm, gemm_at, gemm_bt};
 
-/// GEMM with `a` transposed: `c[m x n] += a^T * b` where `a` is `[k x m]`.
-pub(crate) fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    for p in 0..k {
+use crate::ops::PAR_MIN_ELEMS;
+
+/// Out-of-place 2-D transpose: `dst[j * m + i] = src[i * n + j]` for a
+/// row-major `[m × n]` source. Parallel over output rows; pure data
+/// movement, so thread count can't affect results.
+fn transpose_into(src: &[f64], dst: &mut [f64], m: usize, n: usize) {
+    if m * n < PAR_MIN_ELEMS || n == 0 {
         for i in 0..m {
-            let av = a[p * m + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
             for j in 0..n {
-                crow[j] += av * brow[j];
+                dst[j * m + i] = src[i * n + j];
             }
         }
+        return;
     }
-}
-
-/// GEMM with `b` transposed: `c[m x n] += a * b^T` where `b` is `[n x k]`.
-pub(crate) fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for j in 0..n {
-            let arow = &a[i * k..(i + 1) * k];
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
+    let chunk = tyxe_par::chunk_len(n, 1, 1) * m;
+    tyxe_par::parallel_for_chunks(dst, chunk, |start, out| {
+        let j0 = start / m;
+        for (jj, row) in out.chunks_mut(m).enumerate() {
+            let j = j0 + jj;
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = src[i * n + j];
             }
-            c[i * n + j] += acc;
         }
-    }
+    });
 }
 
 impl Tensor {
@@ -72,11 +54,17 @@ impl Tensor {
             vec![m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |_, grad| {
-                // dA = G * B^T ; dB = A^T * G
+                // dA = G * B^T ; dB = A^T * G — independent products, so
+                // they can run on separate threads; each is internally
+                // deterministic regardless of thread count.
                 let mut ga = vec![0.0; m * k];
                 let mut gb = vec![0.0; k * n];
-                gemm_bt(grad, &bc.data(), &mut ga, m, n, k);
-                gemm_at(&ac.data(), grad, &mut gb, k, m, n);
+                let (bd, ad) = (bc.data(), ac.data());
+                let (bd, ad): (&[f64], &[f64]) = (&bd, &ad);
+                tyxe_par::join2(
+                    || gemm_bt(grad, bd, &mut ga, m, n, k),
+                    || gemm_at(ad, grad, &mut gb, k, m, n),
+                );
                 vec![Some(ga), Some(gb)]
             }),
         )
@@ -106,11 +94,7 @@ impl Tensor {
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let d = self.data();
         let mut data = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                data[j * m + i] = d[i * n + j];
-            }
-        }
+        transpose_into(&d, &mut data, m, n);
         drop(d);
         Tensor::make_op(
             data,
@@ -118,11 +102,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |_, grad| {
                 let mut g = vec![0.0; m * n];
-                for j in 0..n {
-                    for i in 0..m {
-                        g[i * n + j] = grad[j * m + i];
-                    }
-                }
+                transpose_into(grad, &mut g, n, m);
                 vec![Some(g)]
             }),
         )

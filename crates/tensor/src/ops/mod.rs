@@ -5,6 +5,7 @@
 
 pub(crate) mod binary;
 pub(crate) mod conv;
+pub mod gemm_kernels;
 pub(crate) mod linalg;
 pub(crate) mod matmul;
 pub(crate) mod reduce;
@@ -14,3 +15,9 @@ pub(crate) mod stats;
 pub(crate) mod unary;
 
 pub use unary::erf_scalar;
+
+/// Element count below which data-parallel kernels skip pool dispatch:
+/// passed to [`tyxe_par::chunk_len`] as the minimum chunk, it keeps small
+/// tensors on the calling thread (the chunk then covers the whole
+/// buffer). Purely a scheduling knob — results are identical either way.
+pub(crate) const PAR_MIN_ELEMS: usize = 32 * 1024;

@@ -1,7 +1,24 @@
 //! Reduction operations: sum, mean, min/max, and axis-wise variants.
+//!
+//! Axis-wise reductions are organised *per output element*: each output
+//! accumulates its own slice of the input in ascending axis order, which
+//! is the same per-element chain the old flat input scan produced, but
+//! lets disjoint output chunks run on the thread pool. The full
+//! reduction [`Tensor::sum`] is a single chain by definition and stays
+//! sequential.
 
-use crate::shape::{normalize_axis, numel, strides_for, unravel_index};
+use crate::ops::PAR_MIN_ELEMS;
+use crate::shape::{normalize_axis, numel};
 use crate::tensor::Tensor;
+
+/// Decomposes a shape around `ax` into `(outer, axis_len, inner)` so that
+/// input flat index `(oi * axis_len + q) * inner + ii` maps to output
+/// flat index `oi * inner + ii`.
+fn axis_split(shape: &[usize], ax: usize) -> (usize, usize, usize) {
+    let outer: usize = shape[..ax].iter().product();
+    let inner: usize = shape[ax + 1..].iter().product();
+    (outer, shape[ax], inner)
+}
 
 impl Tensor {
     /// Sums all elements into a scalar.
@@ -36,18 +53,24 @@ impl Tensor {
         let mut out_shape: Vec<usize> = in_shape.clone();
         out_shape[ax] = 1;
         let out_n = numel(&out_shape);
+        let (_, axn, inner) = axis_split(&in_shape, ax);
         let mut data = vec![0.0; out_n];
-        let out_strides = strides_for(&out_shape);
         {
             let d = self.data();
-            for (flat, &v) in d.iter().enumerate() {
-                let idx = unravel_index(flat, &in_shape);
-                let mut o = 0;
-                for (i, &s) in out_strides.iter().enumerate() {
-                    o += if i == ax { 0 } else { idx[i] * s };
+            let d: &[f64] = &d;
+            let chunk = tyxe_par::chunk_len(out_n, 1, (PAR_MIN_ELEMS / axn.max(1)).max(1));
+            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    let o = start + off;
+                    let (oi, ii) = (o / inner.max(1), o % inner.max(1));
+                    let base = oi * axn * inner + ii;
+                    let mut acc = 0.0;
+                    for q in 0..axn {
+                        acc += d[base + q * inner];
+                    }
+                    *slot = acc;
                 }
-                data[o] += v;
-            }
+            });
         }
         let final_shape = if keepdim {
             out_shape.clone()
@@ -56,23 +79,23 @@ impl Tensor {
             s.remove(ax);
             s
         };
-        let in_shape_c = in_shape.clone();
-        let out_shape_c = out_shape;
+        let in_n = numel(&in_shape);
         let out = Tensor::make_op(
             data,
             final_shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; numel(&in_shape_c)];
-                let out_strides = strides_for(&out_shape_c);
-                for (flat, gv) in g.iter_mut().enumerate() {
-                    let idx = unravel_index(flat, &in_shape_c);
-                    let mut o = 0;
-                    for (i, &s) in out_strides.iter().enumerate() {
-                        o += if i == ax { 0 } else { idx[i] * s };
+                // Broadcast the output grad back along the reduced axis;
+                // pure gather, parallel-safe.
+                let mut g = vec![0.0; in_n];
+                let chunk = tyxe_par::chunk_len(in_n, 1, PAR_MIN_ELEMS);
+                tyxe_par::parallel_for_chunks(&mut g, chunk, |start, piece| {
+                    for (off, gv) in piece.iter_mut().enumerate() {
+                        let flat = start + off;
+                        let block = (axn * inner).max(1);
+                        *gv = grad[(flat / block) * inner + flat % inner.max(1)];
                     }
-                    *gv = grad[o];
-                }
+                });
                 vec![Some(g)]
             }),
         );
@@ -102,23 +125,31 @@ impl Tensor {
         let mut out_shape = in_shape.clone();
         out_shape[ax] = 1;
         let out_n = numel(&out_shape);
+        let (_, axn, inner) = axis_split(&in_shape, ax);
         let mut best = vec![if is_max { f64::NEG_INFINITY } else { f64::INFINITY }; out_n];
         let mut arg = vec![0usize; out_n];
-        let out_strides = strides_for(&out_shape);
         {
             let d = self.data();
-            for (flat, &v) in d.iter().enumerate() {
-                let idx = unravel_index(flat, &in_shape);
-                let mut o = 0;
-                for (i, &s) in out_strides.iter().enumerate() {
-                    o += if i == ax { 0 } else { idx[i] * s };
+            let d: &[f64] = &d;
+            // Each output scans its axis slice in ascending order, so ties
+            // keep the first extremum exactly as the flat scan did.
+            let chunk = tyxe_par::chunk_len(out_n, 1, (PAR_MIN_ELEMS / axn.max(1)).max(1));
+            tyxe_par::parallel_for_chunks2(&mut best, &mut arg, chunk, chunk, |ci, pb, pa| {
+                let start = ci * chunk;
+                for (off, (bv, av)) in pb.iter_mut().zip(pa.iter_mut()).enumerate() {
+                    let o = start + off;
+                    let (oi, ii) = (o / inner.max(1), o % inner.max(1));
+                    for q in 0..axn {
+                        let flat = (oi * axn + q) * inner + ii;
+                        let v = d[flat];
+                        let better = if is_max { v > *bv } else { v < *bv };
+                        if better {
+                            *bv = v;
+                            *av = flat;
+                        }
+                    }
                 }
-                let better = if is_max { v > best[o] } else { v < best[o] };
-                if better {
-                    best[o] = v;
-                    arg[o] = flat;
-                }
-            }
+            });
         }
         let final_shape = if keepdim {
             out_shape.clone()
@@ -149,21 +180,27 @@ impl Tensor {
         let mut out_shape = in_shape.clone();
         out_shape[ax] = 1;
         let out_n = numel(&out_shape);
-        let mut best = vec![f64::NEG_INFINITY; out_n];
+        let (_, axn, inner) = axis_split(&in_shape, ax);
         let mut arg = vec![0usize; out_n];
-        let out_strides = strides_for(&out_shape);
         let d = self.data();
-        for (flat, &v) in d.iter().enumerate() {
-            let idx = unravel_index(flat, &in_shape);
-            let mut o = 0;
-            for (i, &s) in out_strides.iter().enumerate() {
-                o += if i == ax { 0 } else { idx[i] * s };
+        let d: &[f64] = &d;
+        let chunk = tyxe_par::chunk_len(out_n, 1, (PAR_MIN_ELEMS / axn.max(1)).max(1));
+        tyxe_par::parallel_for_chunks(&mut arg, chunk, |start, piece| {
+            for (off, slot) in piece.iter_mut().enumerate() {
+                let o = start + off;
+                let (oi, ii) = (o / inner.max(1), o % inner.max(1));
+                let mut bv = f64::NEG_INFINITY;
+                let mut ba = 0usize;
+                for q in 0..axn {
+                    let v = d[(oi * axn + q) * inner + ii];
+                    if v > bv {
+                        bv = v;
+                        ba = q;
+                    }
+                }
+                *slot = ba;
             }
-            if v > best[o] {
-                best[o] = v;
-                arg[o] = idx[ax];
-            }
-        }
+        });
         arg
     }
 

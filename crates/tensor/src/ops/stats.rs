@@ -1,6 +1,7 @@
 //! Statistical and structural convenience ops: variance/standard deviation,
 //! cumulative sums, outer products, triangular masks and top-k selection.
 
+use crate::ops::PAR_MIN_ELEMS;
 use crate::shape::normalize_axis;
 use crate::tensor::Tensor;
 
@@ -30,31 +31,38 @@ impl Tensor {
         let outer: usize = shape[..ax].iter().product();
         let len = shape[ax];
         let inner: usize = shape[ax + 1..].iter().product();
+        // Each (outer, inner) pair owns an independent recurrence chain,
+        // so outer-aligned chunks can run on separate threads without
+        // touching any chain's order.
+        let block = len * inner;
+        let outer_chunk = move |total: usize| {
+            (tyxe_par::chunk_len(total, 1, (PAR_MIN_ELEMS / block.max(1)).max(1)) * block).max(1)
+        };
         let mut data = self.to_vec();
-        for o in 0..outer {
-            for i in 1..len {
-                for q in 0..inner {
-                    let idx = (o * len + i) * inner + q;
-                    let prev = (o * len + i - 1) * inner + q;
-                    data[idx] += data[prev];
+        tyxe_par::parallel_for_chunks(&mut data, outer_chunk(outer), |_, piece| {
+            for ob in piece.chunks_mut(block) {
+                for i in 1..len {
+                    for q in 0..inner {
+                        ob[i * inner + q] += ob[(i - 1) * inner + q];
+                    }
                 }
             }
-        }
+        });
         Tensor::make_op(
             data,
             shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
                 let mut g = grad.to_vec();
-                for o in 0..outer {
-                    for i in (0..len - 1).rev() {
-                        for q in 0..inner {
-                            let idx = (o * len + i) * inner + q;
-                            let next = (o * len + i + 1) * inner + q;
-                            g[idx] += g[next];
+                tyxe_par::parallel_for_chunks(&mut g, outer_chunk(outer), |_, piece| {
+                    for ob in piece.chunks_mut(block) {
+                        for i in (0..len - 1).rev() {
+                            for q in 0..inner {
+                                ob[i * inner + q] += ob[(i + 1) * inner + q];
+                            }
                         }
                     }
-                }
+                });
                 vec![Some(g)]
             }),
         )
@@ -96,27 +104,28 @@ impl Tensor {
                 d >= k
             }
         };
-        let mut data = self.to_vec();
-        for i in 0..m {
-            for j in 0..n {
-                if !keep(i, j) {
-                    data[i * n + j] = 0.0;
+        // Row-aligned chunks; the mask is elementwise, so partitioning is
+        // free to vary.
+        let row_chunk = (tyxe_par::chunk_len(m, 1, (PAR_MIN_ELEMS / n.max(1)).max(1)) * n).max(1);
+        let mask_rows = move |start: usize, piece: &mut [f64]| {
+            let i0 = start / n.max(1);
+            for (li, row) in piece.chunks_mut(n).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    if !keep(i0 + li, j) {
+                        *v = 0.0;
+                    }
                 }
             }
-        }
+        };
+        let mut data = self.to_vec();
+        tyxe_par::parallel_for_chunks(&mut data, row_chunk, mask_rows);
         Tensor::make_op(
             data,
             vec![m, n],
             vec![self.clone()],
             Box::new(move |_, grad| {
                 let mut g = grad.to_vec();
-                for i in 0..m {
-                    for j in 0..n {
-                        if !keep(i, j) {
-                            g[i * n + j] = 0.0;
-                        }
-                    }
-                }
+                tyxe_par::parallel_for_chunks(&mut g, row_chunk, mask_rows);
                 vec![Some(g)]
             }),
         )

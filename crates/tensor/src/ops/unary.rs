@@ -1,5 +1,10 @@
 //! Element-wise unary operations.
+//!
+//! Both directions of [`Tensor::map_unary`] are chunked across the
+//! thread pool for large tensors; each element is computed independently,
+//! so thread count cannot affect results.
 
+use crate::ops::PAR_MIN_ELEMS;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -7,10 +12,21 @@ impl Tensor {
     /// maps (input, output, grad_out) to grad_in.
     pub(crate) fn map_unary(
         &self,
-        f: impl Fn(f64) -> f64,
-        df: impl Fn(f64, f64, f64) -> f64 + 'static,
+        f: impl Fn(f64) -> f64 + Sync,
+        df: impl Fn(f64, f64, f64) -> f64 + Sync + 'static,
     ) -> Tensor {
-        let data: Vec<f64> = self.data().iter().map(|&x| f(x)).collect();
+        let xd = self.data();
+        let mut data = vec![0.0; xd.len()];
+        {
+            let xs: &[f64] = &xd;
+            let chunk = tyxe_par::chunk_len(xs.len(), 1, PAR_MIN_ELEMS);
+            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    *slot = f(xs[start + off]);
+                }
+            });
+        }
+        drop(xd);
         let src = self.clone();
         Tensor::make_op(
             data,
@@ -19,11 +35,17 @@ impl Tensor {
             Box::new(move |out, grad| {
                 let xd = src.data();
                 let yd = out.data();
-                let g = grad
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &go)| df(xd[i], yd[i], go))
-                    .collect();
+                let (xs, ys): (&[f64], &[f64]) = (&xd, &yd);
+                let mut g = vec![0.0; grad.len()];
+                let chunk = tyxe_par::chunk_len(g.len(), 1, PAR_MIN_ELEMS);
+                tyxe_par::parallel_for_chunks(&mut g, chunk, |start, piece| {
+                    for (off, slot) in piece.iter_mut().enumerate() {
+                        let i = start + off;
+                        *slot = df(xs[i], ys[i], grad[i]);
+                    }
+                });
+                drop(yd);
+                drop(xd);
                 vec![Some(g)]
             }),
         )

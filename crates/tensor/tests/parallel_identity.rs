@@ -1,0 +1,216 @@
+//! Bitwise-identity properties of the blocked/parallel kernels.
+//!
+//! The determinism contract (see `tyxe_tensor`'s crate docs and
+//! `ops::gemm_kernels`) promises that the cache-blocked, SIMD-dispatched,
+//! thread-parallel kernels produce results bit-identical to the retained
+//! naive references, for any shape and any thread count. These property
+//! tests pin that down over random shapes — including the degenerate
+//! `k = 0`, `1×n` and `n×1` cases — and compare raw bit patterns, never
+//! tolerances.
+
+use std::sync::Mutex;
+
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::{prop_check, Rng, SeedableRng};
+use tyxe_tensor::ops::gemm_kernels as gk;
+use tyxe_tensor::Tensor;
+
+/// Serialises tests that flip the global thread count.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-2.0..2.0f64)).collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A dimension that is sometimes degenerate (1) but usually moderate.
+fn dim(g: &mut tyxe_rand::prop::Gen) -> usize {
+    if g.usize_in(0, 6) == 0 {
+        1
+    } else {
+        g.usize_in(1, 48)
+    }
+}
+
+#[test]
+fn blocked_gemm_variants_match_reference_bitwise() {
+    prop_check!(48, |g| {
+        let (m, n) = (dim(g), dim(g));
+        // k additionally covers the empty-product case.
+        let k = match g.usize_in(0, 8) {
+            0 => 0,
+            1 => 1,
+            _ => g.usize_in(1, 48),
+        };
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let a_mk = rand_vec(&mut rng, m * k);
+        let a_km = rand_vec(&mut rng, k * m);
+        let b_kn = rand_vec(&mut rng, k * n);
+        let b_nk = rand_vec(&mut rng, n * k);
+        // Random initial C exercises the accumulate-into semantics.
+        let c0 = rand_vec(&mut rng, m * n);
+
+        type Kernel = (&'static str, fn(&[f64], &[f64], &mut [f64], usize, usize, usize));
+        let pairs: [(Kernel, Kernel, &[f64], &[f64]); 3] = [
+            (("gemm_ref", gk::gemm_ref), ("gemm_blocked", gk::gemm_blocked), &a_mk, &b_kn),
+            (("gemm_at_ref", gk::gemm_at_ref), ("gemm_at_blocked", gk::gemm_at_blocked), &a_km, &b_kn),
+            (("gemm_bt_ref", gk::gemm_bt_ref), ("gemm_bt_blocked", gk::gemm_bt_blocked), &a_mk, &b_nk),
+        ];
+        for ((rname, rker), (bname, bker), a, b) in pairs {
+            let mut c_ref = c0.clone();
+            let mut c_blk = c0.clone();
+            rker(a, b, &mut c_ref, m, k, n);
+            bker(a, b, &mut c_blk, m, k, n);
+            assert_eq!(
+                bits(&c_ref),
+                bits(&c_blk),
+                "{bname} != {rname} for m={m} k={k} n={n} (seed {:#x})",
+                g.seed()
+            );
+        }
+    });
+}
+
+#[test]
+fn dispatching_gemm_matches_reference_across_the_size_cutoff() {
+    // Shapes straddling BLOCK_MIN_MADDS: the dispatcher must be invisible.
+    prop_check!(24, |g| {
+        let m = g.usize_in(1, 96);
+        let k = g.usize_in(1, 96);
+        let n = g.usize_in(1, 96);
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let c0 = rand_vec(&mut rng, m * n);
+        let mut c_ref = c0.clone();
+        let mut c_disp = c0;
+        gk::gemm_ref(&a, &b, &mut c_ref, m, k, n);
+        gk::gemm(&a, &b, &mut c_disp, m, k, n);
+        assert_eq!(bits(&c_ref), bits(&c_disp), "m={m} k={k} n={n}");
+    });
+}
+
+/// Direct (nested-loop) convolution reproducing the exact accumulation
+/// order of the im2col + GEMM formulation: for each output element, the
+/// reduction runs over (channel, ky, kx) ascending — including the
+/// padding's `w * 0.0` terms — using the machine's `madd` recipe, with
+/// the bias added last.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_direct(
+    x: &[f64],
+    w: &[f64],
+    b: Option<&[f64]>,
+    (n, cin, h, wd): (usize, usize, usize, usize),
+    (cout, kh, kw): (usize, usize, usize),
+    stride: usize,
+    pad: usize,
+) -> Vec<f64> {
+    let ho = (h + 2 * pad - kh) / stride + 1;
+    let wo = (wd + 2 * pad - kw) / stride + 1;
+    let mut out = vec![0.0; n * cout * ho * wo];
+    for s in 0..n {
+        for co in 0..cout {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0;
+                    for ch in 0..cin {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < wd {
+                                    x[((s * cin + ch) * h + iy as usize) * wd + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                let wv = w[((co * cin + ch) * kh + ky) * kw + kx];
+                                acc = gk::madd_runtime(acc, wv, v);
+                            }
+                        }
+                    }
+                    if let Some(b) = b {
+                        acc += b[co];
+                    }
+                    out[((s * cout + co) * ho + oy) * wo + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn conv2d_forward_matches_direct_convolution_bitwise() {
+    prop_check!(32, |g| {
+        let n = g.usize_in(1, 3);
+        let cin = g.usize_in(1, 4);
+        let cout = g.usize_in(1, 4);
+        let h = g.usize_in(1, 8);
+        let w = g.usize_in(1, 8);
+        let pad = g.usize_in(0, 2);
+        let stride = g.usize_in(1, 3);
+        let kh = g.usize_in(1, h + 2 * pad + 1);
+        let kw = g.usize_in(1, w + 2 * pad + 1);
+        let with_bias = g.bool();
+        let mut rng = StdRng::seed_from_u64(g.u64());
+        let xv = rand_vec(&mut rng, n * cin * h * w);
+        let wv = rand_vec(&mut rng, cout * cin * kh * kw);
+        let bv = rand_vec(&mut rng, cout);
+
+        let x = Tensor::from_vec(xv.clone(), &[n, cin, h, w]);
+        let wt = Tensor::from_vec(wv.clone(), &[cout, cin, kh, kw]);
+        let bt = Tensor::from_vec(bv.clone(), &[cout]);
+        let y = x.conv2d(&wt, if with_bias { Some(&bt) } else { None }, stride, pad);
+        let direct = conv2d_direct(
+            &xv,
+            &wv,
+            if with_bias { Some(&bv) } else { None },
+            (n, cin, h, w),
+            (cout, kh, kw),
+            stride,
+            pad,
+        );
+        assert_eq!(
+            bits(&y.to_vec()),
+            bits(&direct),
+            "n={n} cin={cin} cout={cout} h={h} w={w} k=({kh},{kw}) stride={stride} pad={pad}"
+        );
+    });
+}
+
+/// Runs one conv + matmul forward/backward pass large enough to cross
+/// both the blocked-GEMM and elementwise parallel thresholds, returning
+/// every result surface as raw bits.
+fn conv_matmul_pass(seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Tensor::randn(&[4, 8, 16, 16], &mut rng).requires_grad(true);
+    let w = Tensor::randn(&[16, 8, 3, 3], &mut rng).requires_grad(true);
+    let b = Tensor::randn(&[16], &mut rng).requires_grad(true);
+    let y = x.conv2d(&w, Some(&b), 1, 1);
+    let a = Tensor::randn(&[64, 256], &mut rng).requires_grad(true);
+    let loss = y.reshape(&[64, 256]).matmul(&a.t()).tanh().sum();
+    loss.backward();
+    vec![
+        bits(&y.to_vec()),
+        bits(&[loss.item()]),
+        bits(&x.grad().unwrap()),
+        bits(&w.grad().unwrap()),
+        bits(&b.grad().unwrap()),
+        bits(&a.grad().unwrap()),
+    ]
+}
+
+#[test]
+fn conv_and_matmul_training_pass_is_bit_identical_across_thread_counts() {
+    let _g = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = tyxe_par::num_threads();
+    tyxe_par::set_num_threads(1);
+    let seq = conv_matmul_pass(3);
+    tyxe_par::set_num_threads(4);
+    let par = conv_matmul_pass(3);
+    tyxe_par::set_num_threads(prev);
+    assert_eq!(seq, par, "thread count changed some result bitwise");
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Tensor-op benchmark driver: runs the tensor_ops microbenchmarks at
+# TYXE_NUM_THREADS=1 and =N (default 4, override with TYXE_BENCH_THREADS)
+# and collects per-case min/median/mean wall-clock times into
+# results/BENCH_TENSOR.json:
+#
+#   { "date": …, "nproc": …, "threads": {
+#       "1": { "<case>": {"min_ns":…, "median_ns":…, "mean_ns":…}, … },
+#       "4": { … } } }
+#
+# The per-run JSON lines come from the in-tree harness's TYXE_BENCH_JSON
+# hook (see crates/bench/src/harness.rs). The kernels are bit-identical
+# at every thread count (see crates/tensor docs), so the two runs measure
+# scheduling only, never numerics.
+#
+# Usage: scripts/bench.sh [--fast]
+#   --fast   TYXE_BENCH_FAST=1: one iteration per case, smoke-testing the
+#            pipeline without producing meaningful timings.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fast" ]]; then
+    export TYXE_BENCH_FAST=1
+fi
+
+threads_hi="${TYXE_BENCH_THREADS:-4}"
+out="results/BENCH_TENSOR.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+CARGO_NET_OFFLINE=true cargo build --release --offline -p tyxe-bench --benches
+
+runs=(1)
+[[ "$threads_hi" != 1 ]] && runs+=("$threads_hi")
+for t in "${runs[@]}"; do
+    echo "== tensor_ops @ TYXE_NUM_THREADS=$t =="
+    TYXE_NUM_THREADS="$t" TYXE_BENCH_JSON="$tmp/t$t.jsonl" CARGO_NET_OFFLINE=true \
+        cargo bench --offline -p tyxe-bench --bench tensor_ops
+done
+
+# Reshape the harness's JSON lines ({"name":…,"min_ns":…,…} per case) into
+# one nested object keyed by thread count, then by case name.
+jsonl_to_members() {
+    awk '
+        NR > 1 { printf ",\n" }
+        {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 7, RLENGTH - 7)
+            rest = $0
+            sub(/^\{"name":"[^"]*",/, "", rest)
+            sub(/\}[[:space:]]*$/, "", rest)
+            printf "      %s: {%s}", name, rest
+        }
+        END { printf "\n" }
+    ' "$1"
+}
+
+mkdir -p results
+{
+    echo '{'
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"nproc\": $(nproc),"
+    echo '  "threads": {'
+    sep=''
+    for t in "${runs[@]}"; do
+        printf '%s' "$sep"
+        sep=',
+'
+        echo "    \"$t\": {"
+        jsonl_to_members "$tmp/t$t.jsonl"
+        printf '    }'
+    done
+    echo
+    echo '  }'
+    echo '}'
+} > "$out"
+
+echo "bench: wrote $out"

@@ -19,7 +19,22 @@ fi
 # --frozen = --offline + --locked: no network, and Cargo.lock must already
 # agree with the manifests, so resolution is fully deterministic.
 CARGO_NET_OFFLINE=true cargo build --release --frozen
-CARGO_NET_OFFLINE=true cargo test -q --frozen
+
+# The kernels promise bit-identical results at every thread count
+# (crates/tensor docs), so the whole suite must pass both with the
+# tyxe-par pool disabled and with it running 4 workers.
+echo "verify: test suite @ TYXE_NUM_THREADS=1"
+TYXE_NUM_THREADS=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
+echo "verify: test suite @ TYXE_NUM_THREADS=4"
+TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true cargo test -q --frozen
+
+# Lint the thread pool at deny-warnings strictness: unsafe-heavy code
+# (scope lifetime erasure) should stay free of even stylistic lint debt.
+if command -v cargo-clippy >/dev/null 2>&1; then
+    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-par --frozen -- -D warnings
+else
+    echo "verify: cargo-clippy unavailable, skipping lint step" >&2
+fi
 
 # Belt and braces: fail if any crate manifest regrew an external
 # registry dependency (path-only deps are the policy).

@@ -71,6 +71,59 @@ fn different_seeds_give_different_trajectories() {
     assert_ne!(losses_a, losses_b);
 }
 
+/// Like [`run_svi`] but with a network and batch large enough to push
+/// every matmul over the blocked-GEMM threshold, so the parallel kernel
+/// paths (not just the sequential references) are exercised end to end.
+fn run_svi_wide(seed: u64, steps: usize) -> (Vec<f64>, Vec<(String, Vec<f64>, Vec<f64>)>) {
+    tyxe_prob::rng::set_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = foong_regression(256, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 128, 128, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+    let losses: Vec<f64> = (0..steps)
+        .map(|_| bnn.svi_step(&data.x, &data.y, &mut optim))
+        .collect();
+    let mut sites: Vec<(String, Vec<f64>, Vec<f64>)> = bnn
+        .module()
+        .sites()
+        .iter()
+        .map(|site| {
+            let d = bnn.guide().distribution(&site.name).expect("site in guide");
+            (site.name.clone(), d.loc().to_vec(), d.scale().to_vec())
+        })
+        .collect();
+    sites.sort_by(|a, b| a.0.cmp(&b.0));
+    (losses, sites)
+}
+
+/// The tensor kernels' determinism contract, checked at the very top of
+/// the stack: a full SVI step — priors, guide sampling, forward pass,
+/// ELBO, backward pass, Adam update — must be bit-identical whether the
+/// kernels run sequentially or on 4 pool threads.
+#[test]
+fn svi_step_is_bit_identical_across_thread_counts() {
+    let prev = tyxe_par::num_threads();
+    tyxe_par::set_num_threads(1);
+    let (losses_seq, sites_seq) = run_svi_wide(13, 2);
+    tyxe_par::set_num_threads(4);
+    let (losses_par, sites_par) = run_svi_wide(13, 2);
+    tyxe_par::set_num_threads(prev);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&losses_seq), bits(&losses_par), "losses drifted with threads");
+    assert_eq!(sites_seq.len(), sites_par.len());
+    for ((name_s, loc_s, scale_s), (name_p, loc_p, scale_p)) in sites_seq.iter().zip(&sites_par) {
+        assert_eq!(name_s, name_p);
+        assert_eq!(bits(loc_s), bits(loc_p), "loc drifted with threads at {name_s}");
+        assert_eq!(bits(scale_s), bits(scale_p), "scale drifted with threads at {name_s}");
+    }
+}
+
 #[test]
 fn global_rng_draws_are_bit_reproducible() {
     tyxe_prob::rng::set_seed(21);
