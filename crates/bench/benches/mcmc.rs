@@ -46,6 +46,7 @@ fn bench_hmc_transition(c: &mut Criterion) {
             black_box((q, a))
         })
     });
+    eprintln!("hmc_transition_10_steps: {} divergent transitions", kernel.num_divergent());
 }
 
 fn bench_nuts_transition(c: &mut Criterion) {
@@ -59,6 +60,7 @@ fn bench_nuts_transition(c: &mut Criterion) {
             black_box((q, a))
         })
     });
+    eprintln!("nuts_transition_depth5: {} divergent transitions", kernel.num_divergent());
 }
 
 criterion_group!(

@@ -258,6 +258,24 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
     where
         M: Forward<I, Output = Tensor>,
     {
+        let loss = self.svi_forward_backward(input, targets, optim);
+        optim.step();
+        loss
+    }
+
+    /// First half of [`VariationalBnn::svi_step`]: estimates the negative
+    /// ELBO and accumulates gradients without applying the optimizer
+    /// update. A training supervisor can inspect the loss and gradients
+    /// (NaN sentinels, clipping) before calling `optim.step()` itself.
+    pub fn svi_forward_backward<I>(
+        &self,
+        input: &I,
+        targets: &Tensor,
+        optim: &mut dyn Optimizer,
+    ) -> f64
+    where
+        M: Forward<I, Output = Tensor>,
+    {
         self.register_params(optim);
         let model = || {
             let pred = self.module.sampled_forward(input);
@@ -267,7 +285,6 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         let (loss, _, _) = negative_elbo(&model, &guide, self.estimator);
         optim.zero_grad();
         loss.backward();
-        optim.step();
         loss.item()
     }
 

@@ -1,0 +1,948 @@
+//! Fault-tolerant training supervisor: wraps SVI stepping with NaN/
+//! divergence sentinels, bounded retry with learning-rate backoff,
+//! periodic checkpointing with corrupt-file fallback, and a structured
+//! [`FitReport`] of every recovery action taken.
+//!
+//! The supervisor sits between the training loop and the optimizer. Each
+//! [`Supervisor::step`] runs the caller's forward/backward closure, then:
+//!
+//! 1. **Sentinels** — a non-finite loss or gradient, a loss spike beyond
+//!    `spike_factor` robust deviations above the rolling median, or a
+//!    (recoverable) worker panic marks the attempt as faulty.
+//! 2. **Retry with backoff** — faulty attempts restore the last *good*
+//!    parameter/optimizer snapshot (the state validated by the previous
+//!    step's sane loss), multiply the learning rate by `lr_backoff`, and
+//!    re-run, up to `max_retries` times. The learning rate returns to its
+//!    base value on success, so recovery does not permanently slow training.
+//! 3. **Graceful degradation** — when retries are exhausted: a spiking step
+//!    with finite gradients is applied anyway under a hard gradient-norm
+//!    clip; a step whose gradients are still non-finite is skipped.
+//! 4. **Checkpoints** — every `checkpoint_every` accepted steps the full
+//!    training state (parameters, optimizer buffers, global RNG state,
+//!    step counter, loss window, fault stream) is written atomically, with
+//!    the previous checkpoint rotated to `<path>.prev`. [`Supervisor::resume`]
+//!    restores all of it — bit-identically — and falls back to the rotated
+//!    file when the primary is corrupt.
+//!
+//! Fault injection for testing is driven by [`tyxe_par::fault`]: the
+//! `TYXE_FAULT_NAN_PROB` knob corrupts one gradient slot per fired step
+//! through a deterministic, checkpointable [`FaultStream`], and
+//! `TYXE_FAULT_PANIC_PROB` makes pool tasks panic with a recognizable
+//! payload that the supervisor treats as a recoverable worker crash.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use tyxe_nn::serialize::LoadError;
+use tyxe_nn::{Forward, Module, StateDict};
+use tyxe_par::fault::{self, FaultStream, INJECTED_PANIC_PAYLOAD};
+use tyxe_prob::optim::{clip_grad_norm, grads_are_finite, Optimizer};
+use tyxe_prob::rng;
+use tyxe_tensor::Tensor;
+
+use crate::bnn::VariationalBnn;
+use crate::guides::Guide;
+use crate::likelihoods::Likelihood;
+
+/// What went wrong with one training-step attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The loss evaluated to NaN or ±inf.
+    NonFiniteLoss,
+    /// Some gradient entry is NaN or ±inf (includes injected NaNs).
+    NonFiniteGrad,
+    /// The loss jumped beyond the divergence threshold over the rolling
+    /// median of recent accepted losses.
+    LossSpike,
+    /// A worker panicked with the injected-fault payload and was recovered.
+    WorkerPanic,
+}
+
+impl std::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultCause::NonFiniteLoss => write!(f, "non-finite loss"),
+            FaultCause::NonFiniteGrad => write!(f, "non-finite gradient"),
+            FaultCause::LossSpike => write!(f, "loss spike"),
+            FaultCause::WorkerPanic => write!(f, "worker panic"),
+        }
+    }
+}
+
+/// One recovery action, stamped with the step it happened at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitEvent {
+    /// A step whose gradients stayed non-finite after all retries was
+    /// dropped without a parameter update.
+    NanSkipped { step: u64 },
+    /// A faulty attempt was rolled back and re-run.
+    Retried { step: u64, attempt: u32, cause: FaultCause },
+    /// The learning rate was reduced for a retry.
+    BackedOff { step: u64, lr: f64 },
+    /// Retries were exhausted on a spike; the update was applied under a
+    /// hard gradient clip (pre-clip norm recorded).
+    GradClipped { step: u64, norm: f64 },
+    /// A checkpoint was written.
+    Checkpointed { step: u64 },
+    /// Training state was restored from a checkpoint; `from_previous` is
+    /// true when the primary file was corrupt and the rotated `.prev`
+    /// checkpoint was used instead.
+    Resumed { step: u64, from_previous: bool },
+}
+
+/// Structured account of a supervised training run.
+#[derive(Debug, Clone, Default)]
+pub struct FitReport {
+    /// Steps completed (accepted, degraded or skipped).
+    pub steps_completed: u64,
+    /// Steps dropped entirely because gradients stayed non-finite.
+    pub nan_skipped: u64,
+    /// Faulty attempts that were rolled back and re-run.
+    pub retried: u64,
+    /// Learning-rate reductions issued for retries.
+    pub backed_off: u64,
+    /// Steps applied under the graceful-degradation gradient clip.
+    pub grad_clipped: u64,
+    /// Checkpoints written.
+    pub checkpointed: u64,
+    /// Checkpoint writes that failed (training continues regardless).
+    pub checkpoint_failed: u64,
+    /// Successful resumes from a checkpoint.
+    pub resumed: u64,
+    /// Worker panics recovered (injected-fault payloads only).
+    pub worker_panics_recovered: u64,
+    /// Event log in occurrence order (capped; counters above stay exact).
+    pub events: Vec<FitEvent>,
+}
+
+/// Cap on the retained event log so unbounded runs cannot leak memory.
+const MAX_EVENTS: usize = 4096;
+
+impl FitReport {
+    fn record(&mut self, event: FitEvent) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(event);
+        }
+    }
+
+    /// Total faults observed (of any kind).
+    pub fn total_faults(&self) -> u64 {
+        self.retried + self.nan_skipped
+    }
+}
+
+/// Tuning knobs for the supervisor.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Maximum rollback-and-retry attempts per step before degrading.
+    pub max_retries: u32,
+    /// Learning-rate multiplier per retry (restored on success).
+    pub lr_backoff: f64,
+    /// Number of recent accepted losses forming the divergence baseline.
+    pub spike_window: usize,
+    /// Minimum accepted losses before spike detection arms.
+    pub min_window: usize,
+    /// A loss more than `spike_factor` robust deviations (median absolute
+    /// deviation) above the rolling median counts as divergence.
+    pub spike_factor: f64,
+    /// Gradient-norm bound for the graceful-degradation path.
+    pub grad_clip: f64,
+    /// Write a checkpoint every this many accepted steps (0 = disabled).
+    pub checkpoint_every: u64,
+    /// Checkpoint destination (required when `checkpoint_every > 0`).
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_retries: 3,
+            lr_backoff: 0.5,
+            spike_window: 16,
+            min_window: 8,
+            spike_factor: 20.0,
+            grad_clip: 10.0,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Enables periodic checkpointing.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> SupervisorConfig {
+        assert!(every > 0, "with_checkpoint: every must be positive");
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every;
+        self
+    }
+}
+
+/// In-memory snapshot of the trusted training state (see module docs).
+#[derive(Debug, Clone)]
+struct Snapshot {
+    params: Vec<Vec<f64>>,
+    optim_state: Vec<(String, Vec<f64>)>,
+}
+
+/// The fault-tolerant step driver. Owns the canonical ordered parameter
+/// list (checkpoint layout follows it), the rolling loss window and the
+/// deterministic NaN-injection stream.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    params: Vec<Tensor>,
+    steps: u64,
+    window: Vec<f64>,
+    good: Option<Snapshot>,
+    fault_stream: FaultStream,
+    report: FitReport,
+}
+
+/// Checkpoint container magic rides on the `StateDict` format; these
+/// buffer names carry the supervisor/optimizer state alongside parameters.
+const KEY_STEP: &str = "supervisor.step";
+const KEY_RNG: &str = "supervisor.rng";
+const KEY_FAULT: &str = "supervisor.fault_stream";
+const KEY_WINDOW: &str = "supervisor.loss_window";
+const KEY_LR: &str = "supervisor.lr";
+const OPTIM_PREFIX: &str = "optim.";
+
+fn prev_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".prev");
+    path.with_file_name(name)
+}
+
+impl Supervisor {
+    /// Creates a supervisor over the ordered trainable parameters (use
+    /// [`VariationalBnn::trainable_parameters`]; the order defines the
+    /// checkpoint layout, so it must match across save and resume).
+    pub fn new(params: Vec<Tensor>, config: SupervisorConfig) -> Supervisor {
+        assert!(
+            config.checkpoint_every == 0 || config.checkpoint_path.is_some(),
+            "Supervisor: checkpoint_every > 0 requires checkpoint_path"
+        );
+        assert!(config.lr_backoff > 0.0 && config.lr_backoff < 1.0,
+            "Supervisor: lr_backoff must be in (0, 1)");
+        Supervisor {
+            config,
+            params,
+            steps: 0,
+            window: Vec::new(),
+            good: None,
+            fault_stream: FaultStream::new(),
+            report: FitReport::default(),
+        }
+    }
+
+    /// Steps completed so far (monotone across resume).
+    pub fn steps_completed(&self) -> u64 {
+        self.steps
+    }
+
+    /// The recovery report accumulated so far.
+    pub fn report(&self) -> &FitReport {
+        &self.report
+    }
+
+    /// Consumes the supervisor, yielding the final report.
+    pub fn into_report(self) -> FitReport {
+        self.report
+    }
+
+    // -----------------------------------------------------------------
+    // Stepping
+    // -----------------------------------------------------------------
+
+    /// Runs one supervised training step. `forward_backward` must compute
+    /// the loss and leave gradients on the parameters *without* applying
+    /// the optimizer update (e.g. [`VariationalBnn::svi_forward_backward`]);
+    /// the supervisor decides whether and how to apply it. Returns the loss
+    /// of the final attempt (possibly non-finite for a skipped step).
+    pub fn step(
+        &mut self,
+        optim: &mut dyn Optimizer,
+        forward_backward: &mut dyn FnMut(&mut dyn Optimizer) -> f64,
+    ) -> f64 {
+        let base_lr = optim.learning_rate();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.attempt(optim, forward_backward) {
+                Ok(loss) => {
+                    optim.set_learning_rate(base_lr);
+                    self.accept(optim, loss);
+                    return loss;
+                }
+                Err((cause, loss)) => {
+                    attempt += 1;
+                    if attempt > self.config.max_retries {
+                        return self.degrade(optim, base_lr, cause, loss);
+                    }
+                    self.report.retried += 1;
+                    if cause == FaultCause::WorkerPanic {
+                        self.report.worker_panics_recovered += 1;
+                    }
+                    self.report.record(FitEvent::Retried { step: self.steps, attempt, cause });
+                    self.rollback(optim);
+                    let lr = base_lr * self.config.lr_backoff.powi(attempt as i32);
+                    optim.set_learning_rate(lr);
+                    self.report.backed_off += 1;
+                    self.report.record(FitEvent::BackedOff { step: self.steps, lr });
+                }
+            }
+        }
+    }
+
+    /// One attempt: forward/backward (catching recoverable worker panics),
+    /// deterministic NaN injection, then the fault sentinels. Does NOT
+    /// apply the optimizer update.
+    fn attempt(
+        &mut self,
+        optim: &mut dyn Optimizer,
+        forward_backward: &mut dyn FnMut(&mut dyn Optimizer) -> f64,
+    ) -> Result<f64, (FaultCause, f64)> {
+        let loss = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            forward_backward(optim)
+        })) {
+            Ok(loss) => loss,
+            Err(payload) => {
+                if payload.downcast_ref::<&str>() == Some(&INJECTED_PANIC_PAYLOAD) {
+                    return Err((FaultCause::WorkerPanic, f64::NAN));
+                }
+                // A genuine bug is not ours to swallow.
+                std::panic::resume_unwind(payload);
+            }
+        };
+        self.maybe_inject_nan();
+        if !loss.is_finite() {
+            return Err((FaultCause::NonFiniteLoss, loss));
+        }
+        if !grads_are_finite(&self.params) {
+            return Err((FaultCause::NonFiniteGrad, loss));
+        }
+        if self.is_spike(loss) {
+            return Err((FaultCause::LossSpike, loss));
+        }
+        Ok(loss)
+    }
+
+    /// Corrupts one gradient slot with NaN, with probability
+    /// `TYXE_FAULT_NAN_PROB`, through the checkpointable fault stream.
+    fn maybe_inject_nan(&mut self) {
+        let p = fault::nan_prob();
+        if p <= 0.0 || !self.fault_stream.fire(p) {
+            return;
+        }
+        let with_grads: Vec<&Tensor> = self.params.iter().filter(|t| t.grad().is_some()).collect();
+        if with_grads.is_empty() {
+            return;
+        }
+        let pi = self.fault_stream.pick(with_grads.len());
+        let mut g = with_grads[pi].grad().expect("filtered on grad presence");
+        let gi = self.fault_stream.pick(g.len());
+        g[gi] = f64::NAN;
+        with_grads[pi].set_grad(Some(g));
+    }
+
+    /// Robust spike test: `loss` beyond `spike_factor` median-absolute-
+    /// deviations above the rolling median of accepted losses.
+    fn is_spike(&self, loss: f64) -> bool {
+        if self.window.len() < self.config.min_window.max(2) {
+            return false;
+        }
+        let median = median_of(&self.window);
+        let deviations: Vec<f64> = self.window.iter().map(|l| (l - median).abs()).collect();
+        let mad = median_of(&deviations);
+        // Floor the scale so a fully converged (near-constant-loss) window
+        // does not flag ordinary Monte Carlo noise as divergence.
+        let scale = mad.max(1e-3 * median.abs()).max(1e-9);
+        loss - median > self.config.spike_factor * scale
+    }
+
+    /// Accepts an attempt: snapshots the now-validated pre-update state,
+    /// applies the optimizer update, advances the loss window and the step
+    /// counter, and checkpoints when due.
+    fn accept(&mut self, optim: &mut dyn Optimizer, loss: f64) {
+        self.good = Some(self.capture(optim));
+        optim.step();
+        self.window.push(loss);
+        let excess = self.window.len().saturating_sub(self.config.spike_window);
+        if excess > 0 {
+            self.window.drain(..excess);
+        }
+        self.finish_step(optim);
+    }
+
+    /// Retries exhausted: apply under a hard gradient clip if the gradients
+    /// are usable, otherwise skip the update entirely.
+    fn degrade(&mut self, optim: &mut dyn Optimizer, base_lr: f64, cause: FaultCause, loss: f64) -> f64 {
+        if cause == FaultCause::LossSpike && grads_are_finite(&self.params) {
+            let norm = clip_grad_norm(&self.params, self.config.grad_clip);
+            self.report.grad_clipped += 1;
+            self.report.record(FitEvent::GradClipped { step: self.steps, norm });
+            self.good = Some(self.capture(optim));
+            optim.step();
+            // Deliberately keep the spiking loss out of the window: it
+            // would inflate the divergence baseline.
+        } else {
+            optim.zero_grad();
+            self.report.nan_skipped += 1;
+            self.report.record(FitEvent::NanSkipped { step: self.steps });
+        }
+        optim.set_learning_rate(base_lr);
+        self.finish_step(optim);
+        loss
+    }
+
+    fn finish_step(&mut self, optim: &mut dyn Optimizer) {
+        self.steps += 1;
+        self.report.steps_completed = self.steps;
+        if self.config.checkpoint_every > 0 && self.steps.is_multiple_of(self.config.checkpoint_every) {
+            let path = self.config.checkpoint_path.clone().expect("validated in new");
+            match self.save_checkpoint(&path, optim) {
+                Ok(()) => {
+                    self.report.checkpointed += 1;
+                    self.report.record(FitEvent::Checkpointed { step: self.steps });
+                }
+                Err(e) => {
+                    // A failed write must not kill training; the previous
+                    // checkpoint (if any) is still intact.
+                    self.report.checkpoint_failed += 1;
+                    eprintln!("tyxe: checkpoint write to {} failed: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    fn capture(&self, optim: &dyn Optimizer) -> Snapshot {
+        Snapshot {
+            params: self.params.iter().map(Tensor::to_vec).collect(),
+            optim_state: optim.state_buffers(),
+        }
+    }
+
+    fn rollback(&mut self, optim: &mut dyn Optimizer) {
+        let Some(snap) = &self.good else { return };
+        for (p, data) in self.params.iter().zip(&snap.params) {
+            p.set_data(data.clone());
+        }
+        optim.load_state_buffers(&snap.optim_state);
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint / resume
+    // -----------------------------------------------------------------
+
+    /// Writes the full training state to `path` atomically, rotating any
+    /// existing checkpoint to `<path>.prev` first.
+    pub fn save_checkpoint(&self, path: &Path, optim: &dyn Optimizer) -> std::io::Result<()> {
+        if path.exists() {
+            std::fs::rename(path, prev_path(path))?;
+        }
+        self.to_state_dict(optim).save(path)
+    }
+
+    /// Encodes parameters, optimizer buffers, global RNG state, fault
+    /// stream, step counter and loss window into one [`StateDict`].
+    /// Integer state is stored as raw `f64` bit patterns, which the
+    /// bitwise-exact container format round-trips losslessly.
+    pub fn to_state_dict(&self, optim: &dyn Optimizer) -> StateDict {
+        let mut sd = StateDict::default();
+        for (i, p) in self.params.iter().enumerate() {
+            sd.insert_param(format!("param.{i}"), p.to_vec());
+        }
+        for (name, buf) in optim.state_buffers() {
+            sd.insert_buffer(format!("{OPTIM_PREFIX}{name}"), buf);
+        }
+        sd.insert_buffer(KEY_STEP, vec![f64::from_bits(self.steps)]);
+        sd.insert_buffer(KEY_RNG, bits_to_f64(&rng::get_state()));
+        sd.insert_buffer(KEY_FAULT, bits_to_f64(&self.fault_stream.state()));
+        sd.insert_buffer(KEY_WINDOW, self.window.clone());
+        sd.insert_buffer(KEY_LR, vec![optim.learning_rate()]);
+        sd
+    }
+
+    /// Restores training state from `path`. A corrupt or truncated primary
+    /// file falls back to the rotated `<path>.prev` checkpoint; the error
+    /// of the primary is returned only if both are unusable. Registers the
+    /// supervisor's parameters with `optim` (in canonical order) before
+    /// loading optimizer buffers, so resume works on a fresh optimizer.
+    pub fn resume(&mut self, path: &Path, optim: &mut dyn Optimizer) -> Result<(), LoadError> {
+        let (sd, from_previous) = match StateDict::load(path) {
+            Ok(sd) => (sd, false),
+            Err(primary) => match StateDict::load(prev_path(path)) {
+                Ok(sd) => (sd, true),
+                Err(_) => return Err(primary),
+            },
+        };
+        self.apply_state_dict(&sd, optim)?;
+        self.report.resumed += 1;
+        self.report.record(FitEvent::Resumed { step: self.steps, from_previous });
+        Ok(())
+    }
+
+    /// Applies a checkpoint produced by [`Supervisor::to_state_dict`].
+    pub fn apply_state_dict(
+        &mut self,
+        sd: &StateDict,
+        optim: &mut dyn Optimizer,
+    ) -> Result<(), LoadError> {
+        // Parameters, by canonical index.
+        for (i, p) in self.params.iter().enumerate() {
+            let data = sd
+                .param(&format!("param.{i}"))
+                .ok_or(LoadError::Malformed("missing parameter entry"))?;
+            if data.len() != p.numel() {
+                return Err(LoadError::Malformed("parameter length mismatch"));
+            }
+            p.set_data(data.to_vec());
+        }
+        if sd.num_params() != self.params.len() {
+            return Err(LoadError::Malformed("checkpoint parameter count mismatch"));
+        }
+
+        // Optimizer: register our params first (a fresh optimizer may be
+        // empty — lazy registration normally happens on the first step).
+        let existing: HashSet<u64> = optim.params().iter().map(Tensor::id).collect();
+        let fresh: Vec<Tensor> = self
+            .params
+            .iter()
+            .filter(|p| !existing.contains(&p.id()))
+            .cloned()
+            .collect();
+        if !fresh.is_empty() {
+            optim.add_params(fresh);
+        }
+        let optim_buffers: Vec<(String, Vec<f64>)> = optim
+            .state_buffers()
+            .into_iter()
+            .map(|(name, _)| {
+                let data = sd
+                    .buffer(&format!("{OPTIM_PREFIX}{name}"))
+                    .ok_or(LoadError::Malformed("missing optimizer buffer"))?;
+                Ok((name, data.to_vec()))
+            })
+            .collect::<Result<_, LoadError>>()?;
+        optim.load_state_buffers(&optim_buffers);
+
+        let step_bits = sd
+            .buffer(KEY_STEP)
+            .and_then(|b| b.first().copied())
+            .ok_or(LoadError::Malformed("missing step counter"))?;
+        self.steps = step_bits.to_bits();
+        self.report.steps_completed = self.steps;
+
+        let rng_state =
+            f64_to_bits(sd.buffer(KEY_RNG).ok_or(LoadError::Malformed("missing rng state"))?)?;
+        rng::set_state(rng_state);
+        let fault_state = f64_to_bits(
+            sd.buffer(KEY_FAULT).ok_or(LoadError::Malformed("missing fault stream state"))?,
+        )?;
+        self.fault_stream = FaultStream::from_state(fault_state);
+        self.window = sd
+            .buffer(KEY_WINDOW)
+            .ok_or(LoadError::Malformed("missing loss window"))?
+            .to_vec();
+        let lr = sd
+            .buffer(KEY_LR)
+            .and_then(|b| b.first().copied())
+            .ok_or(LoadError::Malformed("missing learning rate"))?;
+        optim.set_learning_rate(lr);
+        // The restored state is, by construction, the last trusted one.
+        self.good = Some(self.capture(optim));
+        Ok(())
+    }
+}
+
+fn bits_to_f64(words: &[u64; 4]) -> Vec<f64> {
+    words.iter().map(|&w| f64::from_bits(w)).collect()
+}
+
+fn f64_to_bits(buf: &[f64]) -> Result<[u64; 4], LoadError> {
+    if buf.len() != 4 {
+        return Err(LoadError::Malformed("rng state must have 4 words"));
+    }
+    Ok([buf[0].to_bits(), buf[1].to_bits(), buf[2].to_bits(), buf[3].to_bits()])
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    } else {
+        sorted[mid]
+    }
+}
+
+impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
+    /// [`VariationalBnn::fit`] under a fault-tolerant [`Supervisor`]:
+    /// every SVI step runs through the sentinel/retry/checkpoint pipeline.
+    /// Steps already completed by the supervisor (after a
+    /// [`Supervisor::resume`]) are skipped, so re-running the same loop
+    /// continues the schedule exactly where the checkpoint left off.
+    /// Returns the per-step loss history of the steps run here.
+    pub fn fit_supervised<I>(
+        &self,
+        data: &[(I, Tensor)],
+        optim: &mut dyn Optimizer,
+        num_epochs: usize,
+        supervisor: &mut Supervisor,
+    ) -> Vec<f64>
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        assert!(!data.is_empty(), "fit_supervised: data must be non-empty");
+        let done = supervisor.steps_completed();
+        let mut idx: u64 = 0;
+        let mut history = Vec::new();
+        for _ in 0..num_epochs {
+            for (x, y) in data {
+                idx += 1;
+                if idx <= done {
+                    continue;
+                }
+                let loss =
+                    supervisor.step(optim, &mut |o| self.svi_forward_backward(x, y, o));
+                history.push(loss);
+            }
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyxe_prob::optim::{Adam, Sgd};
+
+    fn quadratic_fb(p: &Tensor) -> impl FnMut(&mut dyn Optimizer) -> f64 + '_ {
+        move |optim: &mut dyn Optimizer| {
+            optim.zero_grad();
+            let loss = p.sub_scalar(3.0).square().sum();
+            loss.backward();
+            loss.item()
+        }
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tyxe-fit-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.ckpt"))
+    }
+
+    #[test]
+    fn clean_run_matches_unsupervised_bitwise() {
+        let p = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        let mut fb = quadratic_fb(&p);
+        for _ in 0..30 {
+            let _ = fb(&mut opt);
+            opt.step();
+        }
+        let reference: Vec<u64> = p.to_vec().iter().map(|v| v.to_bits()).collect();
+
+        let q = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt2 = Adam::new(vec![q.clone()], 0.1);
+        let mut sup = Supervisor::new(vec![q.clone()], SupervisorConfig::default());
+        let mut fb2 = quadratic_fb(&q);
+        for _ in 0..30 {
+            sup.step(&mut opt2, &mut fb2);
+        }
+        let supervised: Vec<u64> = q.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(reference, supervised, "supervision must be a no-op on clean runs");
+        assert_eq!(sup.report().total_faults(), 0);
+    }
+
+    #[test]
+    fn nan_loss_is_retried_then_recovered() {
+        let p = Tensor::zeros(&[2]).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        let mut sup = Supervisor::new(vec![p.clone()], SupervisorConfig::default());
+        let mut calls = 0u32;
+        let mut fb = |optim: &mut dyn Optimizer| {
+            optim.zero_grad();
+            calls += 1;
+            if calls == 1 {
+                return f64::NAN; // transient blow-up on the first attempt
+            }
+            let loss = p.sub_scalar(3.0).square().sum();
+            loss.backward();
+            loss.item()
+        };
+        let loss = sup.step(&mut opt, &mut fb);
+        assert!(loss.is_finite());
+        assert_eq!(sup.report().retried, 1);
+        assert_eq!(sup.report().backed_off, 1);
+        assert_eq!(sup.report().steps_completed, 1);
+        assert_eq!(opt.learning_rate(), 0.1, "lr must be restored after recovery");
+        assert!(p.to_vec().iter().all(|v| *v != 0.0), "recovered step must still update");
+    }
+
+    #[test]
+    fn persistent_nan_grads_skip_the_step() {
+        let p = Tensor::zeros(&[2]).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        let mut sup = Supervisor::new(vec![p.clone()], SupervisorConfig::default());
+        let mut fb = |optim: &mut dyn Optimizer| {
+            optim.zero_grad();
+            p.set_grad(Some(vec![f64::NAN, 1.0]));
+            0.5 // finite loss, poisoned gradient
+        };
+        let _ = sup.step(&mut opt, &mut fb);
+        assert_eq!(p.to_vec(), vec![0.0, 0.0], "poisoned step must not touch params");
+        assert_eq!(sup.report().nan_skipped, 1);
+        assert_eq!(sup.report().retried, SupervisorConfig::default().max_retries as u64);
+        assert_eq!(sup.report().steps_completed, 1, "skipped steps still advance the schedule");
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn loss_spike_rolls_back_the_bad_update() {
+        let p = Tensor::zeros(&[1]).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        let config = SupervisorConfig { min_window: 4, ..SupervisorConfig::default() };
+        let mut sup = Supervisor::new(vec![p.clone()], config);
+        let mut calls = 0u32;
+        // Steps 1..=8 are calm (grad 0.01); the 9th attempt reports a huge
+        // loss once (as if the 8th update corrupted the params); the retry
+        // sees a different gradient (0.02), so the final parameter
+        // distinguishes "rolled back then re-stepped" from "stepped on top
+        // of the bad update".
+        let mut fb = |optim: &mut dyn Optimizer| {
+            optim.zero_grad();
+            calls += 1;
+            match calls {
+                9 => {
+                    p.set_grad(Some(vec![0.01]));
+                    1e9
+                }
+                10 => {
+                    p.set_grad(Some(vec![0.02]));
+                    1.010
+                }
+                _ => {
+                    p.set_grad(Some(vec![0.01]));
+                    1.0 + 0.001 * calls as f64
+                }
+            }
+        };
+        for _ in 0..8 {
+            sup.step(&mut opt, &mut fb);
+        }
+        let param_after_8 = p.to_vec()[0];
+        let loss = sup.step(&mut opt, &mut fb);
+        assert!(loss < 1e6, "retry must replace the spiking loss, got {loss}");
+        assert!(sup.report().retried >= 1);
+        let retried_spike = sup
+            .report()
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::Retried { cause: FaultCause::LossSpike, .. }));
+        assert!(retried_spike, "events: {:?}", sup.report().events);
+        // Plain SGD, lr 0.1: rollback undoes step 8's -0.001, then the
+        // retry applies -0.002 — landing at `param_after_8 - 0.001`.
+        // Without the rollback the retry would land at
+        // `param_after_8 - 0.002`.
+        let expected = param_after_8 + 0.001 - 0.002;
+        let without_rollback = param_after_8 - 0.002;
+        let got = p.to_vec()[0];
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "param should have been rolled back and re-stepped: got {got}, \
+             expected {expected} (no-rollback would be {without_rollback})"
+        );
+    }
+
+    #[test]
+    fn persistent_spike_degrades_to_clipped_update() {
+        let p = Tensor::zeros(&[1]).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        let config = SupervisorConfig {
+            min_window: 4,
+            grad_clip: 0.5,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(vec![p.clone()], config);
+        let mut calls = 0u32;
+        let mut fb = |optim: &mut dyn Optimizer| {
+            optim.zero_grad();
+            calls += 1;
+            if calls <= 8 {
+                p.set_grad(Some(vec![0.01]));
+                1.0
+            } else {
+                p.set_grad(Some(vec![100.0])); // every retry keeps spiking
+                1e9
+            }
+        };
+        for _ in 0..8 {
+            sup.step(&mut opt, &mut fb);
+        }
+        let before = p.to_vec()[0];
+        let _ = sup.step(&mut opt, &mut fb);
+        assert_eq!(sup.report().grad_clipped, 1);
+        let moved = (p.to_vec()[0] - before).abs();
+        // Clipped to norm 0.5 at backed-off lr: a bounded, non-zero nudge.
+        assert!(moved > 0.0 && moved <= 0.5 * 0.1 + 1e-12, "moved {moved}");
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn injected_worker_panics_are_recovered() {
+        let p = Tensor::zeros(&[1]).requires_grad(true);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        let mut sup = Supervisor::new(vec![p.clone()], SupervisorConfig::default());
+        let mut calls = 0u32;
+        let mut fb = |optim: &mut dyn Optimizer| {
+            optim.zero_grad();
+            calls += 1;
+            if calls == 1 {
+                std::panic::panic_any(INJECTED_PANIC_PAYLOAD);
+            }
+            p.set_grad(Some(vec![0.5]));
+            1.0
+        };
+        let loss = sup.step(&mut opt, &mut fb);
+        assert_eq!(loss, 1.0);
+        assert_eq!(sup.report().worker_panics_recovered, 1);
+    }
+
+    #[test]
+    fn genuine_panics_propagate() {
+        let p = Tensor::zeros(&[1]).requires_grad(true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut opt = Sgd::new(vec![p.clone()], 0.1);
+            let mut sup = Supervisor::new(vec![p.clone()], SupervisorConfig::default());
+            let mut fb = |_: &mut dyn Optimizer| -> f64 { panic!("real bug") };
+            sup.step(&mut opt, &mut fb)
+        }));
+        assert!(result.is_err(), "genuine panics must not be swallowed");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bitwise() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+
+        // Uninterrupted reference: 30 steps.
+        rng::set_seed(42);
+        let p = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        let mut sup = Supervisor::new(
+            vec![p.clone()],
+            SupervisorConfig::default().with_checkpoint(&path, 10),
+        );
+        let mut fb = quadratic_fb(&p);
+        for _ in 0..30 {
+            sup.step(&mut opt, &mut fb);
+        }
+        let reference: Vec<u64> = p.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sup.report().checkpointed, 3);
+
+        // Re-run the first 20 steps to regenerate the step-20 checkpoint
+        // (the 30-step run's final file is from step 30).
+        rng::set_seed(42);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+        let p2 = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt2 = Adam::new(vec![p2.clone()], 0.1);
+        let mut sup2 = Supervisor::new(
+            vec![p2.clone()],
+            SupervisorConfig::default().with_checkpoint(&path, 10),
+        );
+        let mut fb2 = quadratic_fb(&p2);
+        for _ in 0..20 {
+            sup2.step(&mut opt2, &mut fb2);
+        }
+        drop(sup2); // "killed" after step 20
+
+        // Resume in fresh state and run the remaining 10 steps.
+        let p3 = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt3 = Adam::new(vec![], 0.1);
+        let mut sup3 = Supervisor::new(
+            vec![p3.clone()],
+            SupervisorConfig::default().with_checkpoint(&path, 10),
+        );
+        sup3.resume(&path, &mut opt3).unwrap();
+        assert_eq!(sup3.steps_completed(), 20);
+        let mut fb3 = quadratic_fb(&p3);
+        for _ in 0..10 {
+            sup3.step(&mut opt3, &mut fb3);
+        }
+        let resumed: Vec<u64> = p3.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(reference, resumed, "resume must be bit-identical");
+        assert_eq!(sup3.report().resumed, 1);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_previous() {
+        let path = tmp_path("fallback");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+
+        let p = Tensor::zeros(&[2]).requires_grad(true);
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        let mut sup = Supervisor::new(
+            vec![p.clone()],
+            SupervisorConfig::default().with_checkpoint(&path, 5),
+        );
+        let mut fb = quadratic_fb(&p);
+        for _ in 0..10 {
+            sup.step(&mut opt, &mut fb);
+        }
+        assert!(path.exists() && prev_path(&path).exists(), "rotation must keep two files");
+
+        // Corrupt the primary checkpoint.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let q = Tensor::zeros(&[2]).requires_grad(true);
+        let mut opt2 = Adam::new(vec![], 0.1);
+        let mut sup2 = Supervisor::new(vec![q.clone()], SupervisorConfig::default());
+        sup2.resume(&path, &mut opt2).unwrap();
+        assert_eq!(sup2.steps_completed(), 5, "fallback restores the step-5 state");
+        let fell_back = sup2
+            .report()
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::Resumed { from_previous: true, .. }));
+        assert!(fell_back, "events: {:?}", sup2.report().events);
+
+        // Both files corrupt -> typed error, not garbage.
+        std::fs::write(prev_path(&path), b"also corrupt").unwrap();
+        let r = Tensor::zeros(&[2]).requires_grad(true);
+        let mut opt3 = Adam::new(vec![], 0.1);
+        let mut sup3 = Supervisor::new(vec![r], SupervisorConfig::default());
+        assert!(sup3.resume(&path, &mut opt3).is_err());
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+    }
+
+    #[test]
+    fn deterministic_nan_injection_is_reproducible() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let mut fs = FaultStream::from_seed(seed);
+            (0..50).map(|_| fs.fire(0.2)).collect()
+        };
+        assert_eq!(schedule(9), schedule(9));
+        assert_ne!(schedule(9), schedule(10));
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -47,6 +47,7 @@
 //! `let _g = tyxe::poutine::local_reparameterization();` scope.
 
 pub mod bnn;
+pub mod fit;
 pub mod guides;
 pub mod guides_ktied;
 pub mod likelihoods;
@@ -56,6 +57,7 @@ pub mod priors;
 pub mod vcl;
 
 pub use bnn::{BayesianModule, BnnSite, Evaluation, McmcBnn, PytorchBnn, VariationalBnn};
+pub use fit::{FitEvent, FitReport, Supervisor, SupervisorConfig};
 
 /// Re-exports of the probabilistic substrate most users need alongside the
 /// BNN classes.

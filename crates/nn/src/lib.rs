@@ -34,6 +34,7 @@ pub mod layers;
 pub mod module;
 pub mod param;
 pub mod resnet;
+pub mod serialize;
 pub mod state;
 
 pub use module::{Forward, Module, ParamInfo, TensorModule};

@@ -46,10 +46,13 @@
 //! assert_eq!(out[100], 50.0);
 //! ```
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod fault;
 
 /// Upper bound on the configurable thread count; far above any sane
 /// `TYXE_NUM_THREADS`, it only guards against typos spawning thousands
@@ -114,6 +117,10 @@ pub fn set_num_threads(n: usize) {
 struct Latch {
     remaining: AtomicUsize,
     panicked: AtomicBool,
+    /// First panic payload from any task of the scope, preserved so the
+    /// caller re-raises the *original* panic (message and all) instead of
+    /// a generic one. Later panics in the same scope are dropped.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
     lock: Mutex<()>,
     cv: Condvar,
 }
@@ -123,8 +130,20 @@ impl Latch {
         Latch {
             remaining: AtomicUsize::new(count),
             panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
             lock: Mutex::new(()),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Re-raises the scope's first panic on the caller, if any task
+    /// panicked. Must only be called after the latch has tripped.
+    fn forward_panic(&self, context: &str) {
+        if self.panicked.load(Ordering::Acquire) {
+            match self.payload.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                Some(payload) => resume_unwind(payload),
+                None => panic!("tyxe-par: a task panicked in {context}"),
+            }
         }
     }
 
@@ -162,8 +181,14 @@ struct Job {
 
 impl Job {
     fn run(self) {
-        if catch_unwind(AssertUnwindSafe(self.task)).is_err() {
-            self.latch.panicked.store(true, Ordering::Relaxed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(self.task)) {
+            {
+                let mut slot = self.latch.payload.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            self.latch.panicked.store(true, Ordering::Release);
         }
         self.latch.complete_one();
     }
@@ -253,16 +278,38 @@ pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     if count == 0 {
         return;
     }
+    // Fault-injection harness: when armed (TYXE_FAULT_PANIC_PROB > 0),
+    // each scope claims a sequence number and every task's panic decision
+    // is a pure function of (seed, scope, index) — bit-reproducible and
+    // independent of the execution path below. Disabled runs pay one
+    // atomic load.
+    let scope_seq = if fault::panic_prob() > 0.0 {
+        Some(fault::next_scope_seq())
+    } else {
+        None
+    };
+    let arm = |idx: usize, task: Box<dyn FnOnce() + Send + 'scope>| -> Box<dyn FnOnce() + Send + 'scope> {
+        match scope_seq {
+            Some(seq) => Box::new(move || {
+                if fault::task_panics(seq, idx) {
+                    fault::inject_panic();
+                }
+                task();
+            }),
+            None => task,
+        }
+    };
     if num_threads() == 1 || count == 1 {
-        for task in tasks {
-            task();
+        for (idx, task) in tasks.into_iter().enumerate() {
+            arm(idx, task)();
         }
         return;
     }
     let pool = pool();
     pool.ensure_workers(num_threads() - 1);
     let latch = Arc::new(Latch::new(count));
-    pool.push_jobs(tasks.into_iter().map(|task| {
+    pool.push_jobs(tasks.into_iter().enumerate().map(|(idx, task)| {
+        let task = arm(idx, task);
         // SAFETY: see the function-level argument — we block on `latch`
         // below until every task has run, so the erased borrows are live
         // for the tasks' entire execution.
@@ -281,9 +328,7 @@ pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         }
     }
     latch.wait();
-    if latch.panicked.load(Ordering::Relaxed) {
-        panic!("tyxe-par: a scoped task panicked");
-    }
+    latch.forward_panic("run_scoped");
 }
 
 /// Runs `fa` on the calling thread while `fb` may run on a pool worker;
@@ -330,9 +375,7 @@ where
         Ok(v) => v,
         Err(payload) => resume_unwind(payload),
     };
-    if latch.panicked.load(Ordering::Relaxed) {
-        panic!("tyxe-par: join2 branch panicked");
-    }
+    latch.forward_panic("join2");
     (ra, rb.expect("join2 task completed without a result"))
 }
 
@@ -447,8 +490,28 @@ mod tests {
     /// Serialises tests that mutate the global thread count.
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
+    thread_local! {
+        /// Nesting depth of `with_threads` on this thread; only the
+        /// outermost call takes `TEST_LOCK` (a `std::sync::Mutex` is not
+        /// reentrant, and helpers like `fill_squares` pin a thread count
+        /// from inside an outer `with_threads` scope).
+        static WITH_THREADS_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    }
+
     fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        struct DepthGuard;
+        impl Drop for DepthGuard {
+            fn drop(&mut self) {
+                WITH_THREADS_DEPTH.with(|d| d.set(d.get() - 1));
+            }
+        }
+        let outermost = WITH_THREADS_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth == 0
+        });
+        let _depth = DepthGuard;
+        let _g = outermost.then(|| TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner()));
         let prev = num_threads();
         set_num_threads(n);
         let out = f();
@@ -562,6 +625,104 @@ mod tests {
             }))
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pool_remains_usable_after_worker_panic() {
+        // A panicking scope must not deadlock, poison shared state, or
+        // wedge workers: subsequent scopes (including nested ones) on the
+        // same pool must produce correct results at several thread counts.
+        for threads in [2, 4] {
+            with_threads(threads, || {
+                for round in 0..3 {
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        let mut out = vec![0.0f64; 512];
+                        parallel_for_chunks(&mut out, 32, |start, _piece| {
+                            if start % 64 == 0 {
+                                panic!("boom in round {round}");
+                            }
+                        });
+                    }));
+                    assert!(caught.is_err(), "panic must propagate (round {round})");
+
+                    // The pool must still run clean work correctly.
+                    let seq = fill_squares(1, 4096, 4096);
+                    let par = fill_squares(threads, 4096, 128);
+                    assert!(seq.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+                    // Nested scopes after a panic must also complete.
+                    let mut outer = vec![0.0f64; 128];
+                    parallel_for_chunks(&mut outer, 32, |start, piece| {
+                        let mut inner = vec![0.0f64; 32];
+                        parallel_for_chunks(&mut inner, 8, |s, p| {
+                            for (off, slot) in p.iter_mut().enumerate() {
+                                *slot = (s + off) as f64;
+                            }
+                        });
+                        for (off, slot) in piece.iter_mut().enumerate() {
+                            *slot = inner[off] + start as f64;
+                        }
+                    });
+                    assert_eq!(outer[33], 1.0 + 32.0);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let caught = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut out = vec![0.0f64; 1024];
+                parallel_for_chunks(&mut out, 64, |start, _piece| {
+                    if start == 512 {
+                        panic!("very specific failure message");
+                    }
+                });
+            }))
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("payload should be a string");
+        assert_eq!(msg, "very specific failure message");
+    }
+
+    #[test]
+    fn injected_panics_are_deterministic_and_recoverable() {
+        with_threads(4, || {
+            fault::set_fault_seed(17);
+            fault::set_panic_prob(0.35);
+            let run_once = || -> Vec<bool> {
+                fault::reset_scope_seq();
+                (0..8)
+                    .map(|_| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut out = vec![0.0f64; 256];
+                            parallel_for_chunks(&mut out, 32, |start, piece| {
+                                for (off, slot) in piece.iter_mut().enumerate() {
+                                    *slot = (start + off) as f64;
+                                }
+                            });
+                        }))
+                        .is_err()
+                    })
+                    .collect()
+            };
+            let before = fault::injected_panics();
+            let a = run_once();
+            let b = run_once();
+            fault::set_panic_prob(0.0);
+            assert_eq!(a, b, "injection schedule must not depend on scheduling");
+            assert!(a.iter().any(|&x| x), "p=0.35 over 8 scopes should fire");
+            assert!(fault::injected_panics() > before);
+            // Pool still healthy with injection disarmed.
+            let seq = fill_squares(1, 1024, 1024);
+            let par = fill_squares(4, 1024, 64);
+            assert!(seq.iter().zip(&par).all(|(x, y)| x.to_bits() == y.to_bits()));
+        });
     }
 
     #[test]

@@ -158,6 +158,14 @@ impl DualAveraging {
     }
 
     fn update(&mut self, accept_prob: f64) -> f64 {
+        // A divergent trajectory can hand us NaN/inf acceptance statistics;
+        // treating them as total rejection keeps the adaptation state finite
+        // (otherwise one bad step poisons `h_bar` forever).
+        let accept_prob = if accept_prob.is_finite() {
+            accept_prob.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.t += 1.0;
         let eta = 1.0 / (self.t + self.t0);
         self.h_bar = (1.0 - eta) * self.h_bar + eta * (self.target - accept_prob);
@@ -183,6 +191,13 @@ pub trait Kernel {
 
     /// Freezes adaptation at the end of warmup.
     fn finish_warmup(&mut self);
+
+    /// Number of divergent transitions seen so far (warmup included).
+    /// A transition is divergent when the simulated Hamiltonian blows up —
+    /// non-finite energy, or (for NUTS) an energy error beyond `delta_max`.
+    fn num_divergent(&self) -> u64 {
+        0
+    }
 }
 
 /// Static-path Hamiltonian Monte Carlo.
@@ -191,6 +206,7 @@ pub struct Hmc {
     step_size: f64,
     num_steps: usize,
     adapter: Option<DualAveraging>,
+    num_divergent: u64,
 }
 
 impl Hmc {
@@ -201,6 +217,7 @@ impl Hmc {
             step_size,
             num_steps,
             adapter: Some(DualAveraging::new(step_size, 0.8)),
+            num_divergent: 0,
         }
     }
 
@@ -226,6 +243,9 @@ impl Kernel for Hmc {
             }
         }
         let h1 = u + kinetic(&pn);
+        if !h1.is_finite() {
+            self.num_divergent += 1;
+        }
         let accept_prob = if h1.is_finite() { (h0 - h1).exp().min(1.0) } else { 0.0 };
         let accept = rng::with_rng(tyxe_rand::Rng::gen::<f64>) < accept_prob;
         (if accept { qn } else { q }, accept_prob)
@@ -242,6 +262,10 @@ impl Kernel for Hmc {
             self.step_size = a.final_step();
         }
     }
+
+    fn num_divergent(&self) -> u64 {
+        self.num_divergent
+    }
 }
 
 /// The No-U-Turn Sampler (efficient slice variant, Hoffman & Gelman 2014
@@ -252,6 +276,7 @@ pub struct Nuts {
     max_depth: usize,
     adapter: Option<DualAveraging>,
     delta_max: f64,
+    num_divergent: u64,
 }
 
 impl Nuts {
@@ -262,6 +287,7 @@ impl Nuts {
             max_depth,
             adapter: Some(DualAveraging::new(step_size, 0.8)),
             delta_max: 1000.0,
+            num_divergent: 0,
         }
     }
 
@@ -281,6 +307,10 @@ struct TreeState {
     q_prop: Vec<f64>,
     n: f64,
     stop: bool,
+    /// True iff some leaf of this subtree hit a divergence (non-finite
+    /// energy or an energy error beyond `delta_max`) — distinct from `stop`,
+    /// which also fires on benign U-turns.
+    divergent: bool,
     alpha: f64,
     n_alpha: f64,
 }
@@ -318,7 +348,7 @@ impl Nuts {
             let h = u + kinetic(&pn);
             let log_weight = h0 - h; // log p(q,p) relative to start
             let n = f64::from(u8::from(log_u <= log_weight));
-            let stop = !h.is_finite() || log_u - self.delta_max > log_weight;
+            let divergent = !h.is_finite() || log_u - self.delta_max > log_weight;
             let alpha = if h.is_finite() { log_weight.exp().min(1.0) } else { 0.0 };
             return TreeState {
                 q_minus: qn.clone(),
@@ -329,7 +359,8 @@ impl Nuts {
                 g_plus: gn.clone(),
                 q_prop: qn,
                 n,
-                stop,
+                stop: divergent,
+                divergent,
                 alpha,
                 n_alpha: 1.0,
             };
@@ -367,6 +398,7 @@ impl Nuts {
         left.n_alpha += right.n_alpha;
         left.n = total;
         left.stop = right.stop || u_turn(&left.q_minus, &left.q_plus, &left.p_minus, &left.p_plus);
+        left.divergent = left.divergent || right.divergent;
         left
     }
 }
@@ -389,11 +421,13 @@ impl Kernel for Nuts {
             q_prop: q.clone(),
             n: 1.0,
             stop: false,
+            divergent: false,
             alpha: 0.0,
             n_alpha: 0.0,
         };
         let mut q_curr = q;
         let mut alpha_stat = 0.0;
+        let mut saw_divergence = false;
         for depth in 0..self.max_depth {
             let dir = if rng::with_rng(tyxe_rand::Rng::gen::<bool>) { 1.0 } else { -1.0 };
             let sub = if dir < 0.0 {
@@ -415,6 +449,7 @@ impl Kernel for Nuts {
                 state.g_plus = sub.g_plus.clone();
             }
             alpha_stat = if sub.n_alpha > 0.0 { sub.alpha / sub.n_alpha } else { 0.0 };
+            saw_divergence = saw_divergence || sub.divergent;
             if !sub.stop && rng::with_rng(tyxe_rand::Rng::gen::<f64>) < (sub.n / state.n).min(1.0)
             {
                 q_curr = sub.q_prop.clone();
@@ -423,6 +458,9 @@ impl Kernel for Nuts {
             if sub.stop || u_turn(&state.q_minus, &state.q_plus, &state.p_minus, &state.p_plus) {
                 break;
             }
+        }
+        if saw_divergence {
+            self.num_divergent += 1;
         }
         (q_curr, alpha_stat)
     }
@@ -437,6 +475,10 @@ impl Kernel for Nuts {
         if let Some(a) = self.adapter.take() {
             self.step_size = a.final_step();
         }
+    }
+
+    fn num_divergent(&self) -> u64 {
+        self.num_divergent
     }
 }
 
@@ -618,6 +660,63 @@ mod tests {
         kernel.finish_warmup();
         // Tiny initial step should have grown substantially.
         assert!(kernel.step_size() > 1e-3, "step size {}", kernel.step_size());
+    }
+
+    /// A grossly oversized step size blows up the leapfrog integrator on
+    /// the quadratic potential; the kernels must record those transitions
+    /// as divergent instead of silently rejecting them.
+    #[test]
+    fn hmc_counts_divergent_transitions() {
+        rng::set_seed(6);
+        let layout = LatentLayout::discover(&conjugate_model);
+        let mut kernel = Hmc::new(1e4, 50);
+        let mut q = layout.initial_values(&conjugate_model);
+        for _ in 0..5 {
+            let (qn, a) = kernel.transition(&conjugate_model, &layout, q);
+            assert!(a.is_finite(), "accept stat must stay finite, got {a}");
+            q = qn;
+            assert!(q.iter().all(|v| v.is_finite()), "divergence must not corrupt the chain state");
+        }
+        assert!(kernel.num_divergent() > 0, "expected divergences at step size 1e4");
+    }
+
+    #[test]
+    fn nuts_counts_divergent_transitions() {
+        rng::set_seed(7);
+        let layout = LatentLayout::discover(&conjugate_model);
+        let mut kernel = Nuts::new(1e4, 6);
+        let mut q = layout.initial_values(&conjugate_model);
+        for _ in 0..5 {
+            let (qn, _) = kernel.transition(&conjugate_model, &layout, q);
+            q = qn;
+            assert!(q.iter().all(|v| v.is_finite()));
+        }
+        assert!(kernel.num_divergent() > 0, "expected divergences at step size 1e4");
+    }
+
+    #[test]
+    fn healthy_chain_reports_zero_divergences() {
+        rng::set_seed(8);
+        let mut mcmc = Mcmc::new(Hmc::new(0.1, 10), 50, 50);
+        let _ = mcmc.run(&conjugate_model);
+        assert_eq!(mcmc.kernel().num_divergent(), 0);
+    }
+
+    /// Feeding a non-finite acceptance statistic into adaptation must not
+    /// poison the step size.
+    #[test]
+    fn dual_averaging_survives_non_finite_accept_prob() {
+        let mut kernel = Hmc::new(0.1, 10);
+        kernel.adapt(f64::NAN);
+        kernel.adapt(f64::INFINITY);
+        kernel.adapt(0.9);
+        assert!(
+            kernel.step_size().is_finite() && kernel.step_size() > 0.0,
+            "step size {} after NaN accept probs",
+            kernel.step_size()
+        );
+        kernel.finish_warmup();
+        assert!(kernel.step_size().is_finite() && kernel.step_size() > 0.0);
     }
 
     #[test]

@@ -17,6 +17,67 @@ pub trait Optimizer {
     fn add_params(&mut self, params: Vec<Tensor>);
     /// The managed tensors.
     fn params(&self) -> &[Tensor];
+    /// Internal state (momentum/moment buffers, step counters) as named
+    /// `f64` buffers, for checkpointing. Buffer order follows the managed
+    /// parameter order, so it is only meaningful to restore into an
+    /// optimizer whose parameters were registered in the same order.
+    /// Stateless optimizers return an empty list.
+    fn state_buffers(&self) -> Vec<(String, Vec<f64>)> {
+        Vec::new()
+    }
+    /// Restores state previously exported by [`Optimizer::state_buffers`].
+    /// Unknown names are ignored; a length mismatch on a known buffer
+    /// panics (it means the parameter set changed since the checkpoint).
+    fn load_state_buffers(&mut self, _buffers: &[(String, Vec<f64>)]) {}
+}
+
+/// Clips the gradients of `params` so their global L2 norm is at most
+/// `max_norm` (the analogue of `torch.nn.utils.clip_grad_norm_`).
+/// Returns the pre-clip norm. Tensors without gradients are skipped.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    let mut sq = 0.0;
+    for p in params {
+        if let Some(g) = p.grad() {
+            for v in &g {
+                sq += v * v;
+            }
+        }
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(mut g) = p.grad() {
+                for v in &mut g {
+                    *v *= scale;
+                }
+                p.set_grad(Some(g));
+            }
+        }
+    }
+    norm
+}
+
+/// True iff every gradient currently stored on `params` is finite.
+/// Tensors without gradients are ignored (they contribute nothing to an
+/// update either way).
+pub fn grads_are_finite(params: &[Tensor]) -> bool {
+    params.iter().all(|p| match p.grad() {
+        Some(g) => g.iter().all(|v| v.is_finite()),
+        None => true,
+    })
+}
+
+fn restore_buffer(dst: &mut [f64], name: &str, src: &[f64]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "load_state_buffers: length mismatch for {name} (expected {}, got {})",
+        dst.len(),
+        src.len()
+    );
+    dst.copy_from_slice(src);
 }
 
 /// Plain stochastic gradient descent with optional momentum and weight
@@ -86,6 +147,24 @@ impl Optimizer for Sgd {
 
     fn params(&self) -> &[Tensor] {
         &self.params
+    }
+
+    fn state_buffers(&self) -> Vec<(String, Vec<f64>)> {
+        self.velocity
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("velocity.{i}"), v.clone()))
+            .collect()
+    }
+
+    fn load_state_buffers(&mut self, buffers: &[(String, Vec<f64>)]) {
+        for (name, buf) in buffers {
+            if let Some(i) = name.strip_prefix("velocity.").and_then(|s| s.parse::<usize>().ok()) {
+                if let Some(v) = self.velocity.get_mut(i) {
+                    restore_buffer(v, name, buf);
+                }
+            }
+        }
     }
 }
 
@@ -178,6 +257,34 @@ impl Optimizer for Adam {
 
     fn params(&self) -> &[Tensor] {
         &self.params
+    }
+
+    fn state_buffers(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = vec![("t".to_string(), vec![self.t as f64])];
+        for (i, m) in self.m.iter().enumerate() {
+            out.push((format!("m.{i}"), m.clone()));
+        }
+        for (i, v) in self.v.iter().enumerate() {
+            out.push((format!("v.{i}"), v.clone()));
+        }
+        out
+    }
+
+    fn load_state_buffers(&mut self, buffers: &[(String, Vec<f64>)]) {
+        for (name, buf) in buffers {
+            if name == "t" {
+                assert_eq!(buf.len(), 1, "load_state_buffers: t must be scalar");
+                self.t = buf[0] as u64;
+            } else if let Some(i) = name.strip_prefix("m.").and_then(|s| s.parse::<usize>().ok()) {
+                if let Some(m) = self.m.get_mut(i) {
+                    restore_buffer(m, name, buf);
+                }
+            } else if let Some(i) = name.strip_prefix("v.").and_then(|s| s.parse::<usize>().ok()) {
+                if let Some(v) = self.v.get_mut(i) {
+                    restore_buffer(v, name, buf);
+                }
+            }
+        }
     }
 }
 
@@ -304,5 +411,101 @@ mod tests {
         let mut opt = Sgd::new(vec![p.clone()], 0.1);
         opt.step();
         assert_eq!(p.to_vec(), vec![1.0]);
+    }
+
+    /// Restoring exported state into a fresh optimizer over identical
+    /// parameter values must continue the trajectory bit-for-bit.
+    #[test]
+    fn adam_state_roundtrip_resumes_bitwise() {
+        let run_steps = |opt: &mut dyn Optimizer, p: &Tensor, n: usize| {
+            for _ in 0..n {
+                opt.zero_grad();
+                quadratic_loss(p).backward();
+                opt.step();
+            }
+        };
+
+        let p = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt = Adam::new(vec![p.clone()], 0.2);
+        run_steps(&mut opt, &p, 7);
+        let state = opt.state_buffers();
+        let mid = p.to_vec();
+        run_steps(&mut opt, &p, 5);
+        let reference: Vec<u64> = p.to_vec().iter().map(|v| v.to_bits()).collect();
+
+        let q = Tensor::zeros(&[4]).requires_grad(true);
+        q.set_data(mid);
+        let mut opt2 = Adam::new(vec![q.clone()], 0.2);
+        opt2.load_state_buffers(&state);
+        run_steps(&mut opt2, &q, 5);
+        let resumed: Vec<u64> = q.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(resumed, reference);
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_bitwise() {
+        let run_steps = |opt: &mut dyn Optimizer, p: &Tensor, n: usize| {
+            for _ in 0..n {
+                opt.zero_grad();
+                quadratic_loss(p).backward();
+                opt.step();
+            }
+        };
+
+        let p = Tensor::zeros(&[3]).requires_grad(true);
+        let mut opt = Sgd::with_options(vec![p.clone()], 0.05, 0.9, 0.0);
+        run_steps(&mut opt, &p, 6);
+        let state = opt.state_buffers();
+        let mid = p.to_vec();
+        run_steps(&mut opt, &p, 4);
+        let reference: Vec<u64> = p.to_vec().iter().map(|v| v.to_bits()).collect();
+
+        let q = Tensor::zeros(&[3]).requires_grad(true);
+        q.set_data(mid);
+        let mut opt2 = Sgd::with_options(vec![q.clone()], 0.05, 0.9, 0.0);
+        opt2.load_state_buffers(&state);
+        run_steps(&mut opt2, &q, 4);
+        let resumed: Vec<u64> = q.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(resumed, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_state_rejects_length_mismatch() {
+        let p = Tensor::zeros(&[4]).requires_grad(true);
+        let mut opt = Sgd::with_options(vec![p], 0.1, 0.9, 0.0);
+        opt.load_state_buffers(&[("velocity.0".to_string(), vec![0.0; 2])]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_to_max() {
+        let p = Tensor::zeros(&[2]).requires_grad(true);
+        p.set_grad(Some(vec![3.0, 4.0])); // norm 5
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        let g = p.grad().unwrap();
+        let post = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((post - 1.0).abs() < 1e-12, "post-clip norm {post}");
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_grads_alone() {
+        let p = Tensor::zeros(&[2]).requires_grad(true);
+        p.set_grad(Some(vec![0.3, 0.4]));
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert!((pre - 0.5).abs() < 1e-12);
+        assert_eq!(p.grad().unwrap(), vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn grads_are_finite_detects_nan_and_inf() {
+        let p = Tensor::zeros(&[2]).requires_grad(true);
+        assert!(grads_are_finite(std::slice::from_ref(&p))); // no grad at all
+        p.set_grad(Some(vec![1.0, 2.0]));
+        assert!(grads_are_finite(std::slice::from_ref(&p)));
+        p.set_grad(Some(vec![1.0, f64::NAN]));
+        assert!(!grads_are_finite(std::slice::from_ref(&p)));
+        p.set_grad(Some(vec![f64::INFINITY, 0.0]));
+        assert!(!grads_are_finite(&[p]));
     }
 }

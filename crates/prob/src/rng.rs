@@ -18,6 +18,23 @@ pub fn set_seed(seed: u64) {
     GLOBAL_RNG.with(|r| *r.borrow_mut() = StdRng::seed_from_u64(seed));
 }
 
+/// Captures the raw state of the thread-local generator (for training
+/// checkpoints; restore with [`set_state`] to resume the stream
+/// bit-exactly).
+pub fn get_state() -> [u64; 4] {
+    GLOBAL_RNG.with(|r| r.borrow().state())
+}
+
+/// Restores the thread-local generator to a state captured by
+/// [`get_state`].
+///
+/// # Panics
+///
+/// Panics on the (unreachable-from-seeding) all-zero state.
+pub fn set_state(state: [u64; 4]) {
+    GLOBAL_RNG.with(|r| *r.borrow_mut() = StdRng::from_state(state));
+}
+
 /// Runs `f` with mutable access to the thread-local generator.
 ///
 /// # Panics
@@ -51,6 +68,17 @@ mod tests {
         set_seed(43);
         let c = randn(&[4]).to_vec();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn state_snapshot_resumes_global_stream() {
+        set_seed(7);
+        let _ = randn(&[10]);
+        let snap = get_state();
+        let a = randn(&[16]).to_vec();
+        set_state(snap);
+        let b = randn(&[16]).to_vec();
+        assert_eq!(a, b);
     }
 
     #[test]

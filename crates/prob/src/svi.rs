@@ -93,16 +93,35 @@ impl<M: Fn(), G: Fn(), O: Optimizer> Svi<M, G, O> {
     /// Runs one gradient step and returns the (positive) loss, i.e. the
     /// negative ELBO estimate.
     pub fn step(&mut self) -> f64 {
+        let loss = self.forward_backward();
+        self.apply_step();
+        loss
+    }
+
+    /// First half of [`Svi::step`]: estimates the loss and accumulates
+    /// gradients, without touching the parameters. A supervisor can inspect
+    /// (and clip or reject) the gradients before [`Svi::apply_step`].
+    pub fn forward_backward(&mut self) -> f64 {
         let (loss, _, _) = negative_elbo(&self.model, &self.guide, self.estimator);
         self.optimizer.zero_grad();
         loss.backward();
-        self.optimizer.step();
         loss.item()
+    }
+
+    /// Second half of [`Svi::step`]: applies the optimizer update using the
+    /// gradients accumulated by [`Svi::forward_backward`].
+    pub fn apply_step(&mut self) {
+        self.optimizer.step();
     }
 
     /// Access to the optimizer (e.g. to adjust the learning rate).
     pub fn optimizer_mut(&mut self) -> &mut O {
         &mut self.optimizer
+    }
+
+    /// Read-only access to the optimizer.
+    pub fn optimizer(&self) -> &O {
+        &self.optimizer
     }
 }
 
@@ -190,6 +209,53 @@ mod tests {
         }
         let diff = (t_sum - mf_sum).abs() / n as f64;
         assert!(diff < 0.05, "estimators disagree by {diff}");
+    }
+
+    /// `forward_backward` + `apply_step` must be bit-identical to `step`.
+    #[test]
+    fn split_step_matches_fused_step_bitwise() {
+        let build = || {
+            let data_t = Tensor::from_vec(vec![0.4, -0.2], &[2]);
+            let model = move || {
+                let z = sample("z", boxed(Normal::standard(&[1])));
+                let z_rep = z.broadcast_to(&[2]);
+                observe("obs", boxed(Normal::new(z_rep, Tensor::ones(&[2]))), &data_t);
+            };
+            let loc = Tensor::zeros(&[1]).requires_grad(true);
+            let log_scale = Tensor::zeros(&[1]).requires_grad(true);
+            let (loc_g, log_scale_g) = (loc.clone(), log_scale.clone());
+            let guide = move || {
+                let _ = sample("z", boxed(Normal::new(loc_g.clone(), log_scale_g.exp())));
+            };
+            let optim = Adam::new(vec![loc.clone(), log_scale.clone()], 0.05);
+            (Svi::new(model, guide, optim, ElboEstimator::Trace), loc, log_scale)
+        };
+
+        rng::set_seed(7);
+        let (mut svi_fused, loc_f, scale_f) = build();
+        let mut fused_losses = Vec::new();
+        for _ in 0..25 {
+            fused_losses.push(svi_fused.step().to_bits());
+        }
+
+        rng::set_seed(7);
+        let (mut svi_split, loc_s, scale_s) = build();
+        let mut split_losses = Vec::new();
+        for _ in 0..25 {
+            let loss = svi_split.forward_backward();
+            svi_split.apply_step();
+            split_losses.push(loss.to_bits());
+        }
+
+        assert_eq!(fused_losses, split_losses);
+        assert_eq!(
+            loc_f.to_vec()[0].to_bits(),
+            loc_s.to_vec()[0].to_bits()
+        );
+        assert_eq!(
+            scale_f.to_vec()[0].to_bits(),
+            scale_s.to_vec()[0].to_bits()
+        );
     }
 
     #[test]

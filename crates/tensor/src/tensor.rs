@@ -336,6 +336,19 @@ impl Tensor {
         *self.inner.grad.borrow_mut() = None;
     }
 
+    /// Overwrites the accumulated gradient (used by gradient clipping and
+    /// fault-injection harnesses; `None` clears it like [`Tensor::zero_grad`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` is `Some` with the wrong length.
+    pub fn set_grad(&self, grad: Option<Vec<f64>>) {
+        if let Some(g) = &grad {
+            assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
+        }
+        *self.inner.grad.borrow_mut() = grad;
+    }
+
     /// Returns a new leaf tensor sharing **no** graph history with `self`.
     /// The data is copied; gradient tracking is off.
     pub fn detach(&self) -> Tensor {

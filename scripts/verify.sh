@@ -28,10 +28,28 @@ TYXE_NUM_THREADS=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
 echo "verify: test suite @ TYXE_NUM_THREADS=4"
 TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true cargo test -q --frozen
 
-# Lint the thread pool at deny-warnings strictness: unsafe-heavy code
-# (scope lifetime erasure) should stay free of even stylistic lint debt.
+# Fault-injection smoke run: a short supervised fit with 5% NaN-gradient
+# injection (and pool panics, on a forced 4-thread pool) must complete
+# all its steps and report the recoveries it performed. This exercises
+# the supervisor's detect/rollback/retry pipeline end to end on every
+# verification run, not just in the test suite.
+echo "verify: fault-injection smoke run"
+smoke=$(TYXE_FAULT_NAN_PROB=0.05 TYXE_FAULT_PANIC_PROB=0.01 \
+        TYXE_FAULT_SEED=17 TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true \
+        cargo run --release --frozen --example fault_injection)
+echo "$smoke" | sed 's/^/  /'
+recovered=$(echo "$smoke" | awk '/faults recovered:/ {print $3}')
+if [[ -z "$recovered" || "$recovered" -eq 0 ]]; then
+    echo "verify: fault injection smoke run reported no recovered faults" >&2
+    exit 1
+fi
+
+# Lint the resilience-critical crates at deny-warnings strictness: the
+# unsafe-heavy pool (scope lifetime erasure), the serialization substrate
+# and the supervisor should stay free of even stylistic lint debt.
 if command -v cargo-clippy >/dev/null 2>&1; then
-    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-par --frozen -- -D warnings
+    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-par -p tyxe-nn -p tyxe-prob -p tyxe \
+        --frozen -- -D warnings
 else
     echo "verify: cargo-clippy unavailable, skipping lint step" >&2
 fi

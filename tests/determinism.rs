@@ -16,10 +16,13 @@ use tyxe_rand::SeedableRng;
 
 type Bnn = VariationalBnn<tyxe_nn::layers::Sequential, HomoskedasticGaussian, AutoNormal>;
 
+/// Per-step losses plus each site's final (loc, scale) guide parameters.
+type SviTrace = (Vec<f64>, Vec<(String, Vec<f64>, Vec<f64>)>);
+
 /// Builds the BNN, runs `steps` SVI steps under a fixed global seed, and
 /// returns every per-step loss plus the guide's final variational
 /// distribution parameters for each site.
-fn run_svi(seed: u64, steps: usize) -> (Vec<f64>, Vec<(String, Vec<f64>, Vec<f64>)>) {
+fn run_svi(seed: u64, steps: usize) -> SviTrace {
     tyxe_prob::rng::set_seed(seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let data = foong_regression(32, 0.1, 0);
@@ -74,7 +77,7 @@ fn different_seeds_give_different_trajectories() {
 /// Like [`run_svi`] but with a network and batch large enough to push
 /// every matmul over the blocked-GEMM threshold, so the parallel kernel
 /// paths (not just the sequential references) are exercised end to end.
-fn run_svi_wide(seed: u64, steps: usize) -> (Vec<f64>, Vec<(String, Vec<f64>, Vec<f64>)>) {
+fn run_svi_wide(seed: u64, steps: usize) -> SviTrace {
     tyxe_prob::rng::set_seed(seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let data = foong_regression(256, 0.1, 0);
@@ -122,6 +125,79 @@ fn svi_step_is_bit_identical_across_thread_counts() {
         assert_eq!(bits(loc_s), bits(loc_p), "loc drifted with threads at {name_s}");
         assert_eq!(bits(scale_s), bits(scale_p), "scale drifted with threads at {name_s}");
     }
+}
+
+/// Checkpoint/resume determinism, on top of the same contract: killing a
+/// supervised run between checkpoints and resuming from disk must land on
+/// bit-identical variational parameters, because the checkpoint carries
+/// the optimizer state, the global RNG state and the step counter along
+/// with the parameters.
+#[test]
+fn supervised_resume_is_bit_identical() {
+    use tyxe::fit::{Supervisor, SupervisorConfig};
+
+    let ckpt = std::env::temp_dir().join(format!("tyxe-determinism-{}.ckpt", std::process::id()));
+    let prev = {
+        let mut name = ckpt.file_name().unwrap().to_os_string();
+        name.push(".prev");
+        ckpt.with_file_name(name)
+    };
+    let cleanup = || {
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&prev);
+    };
+
+    // Builds the run_svi BNN and trains it under a supervisor that
+    // checkpoints every 10 steps; resumes from `ckpt` first when asked.
+    let run = |steps: usize, resume: bool| -> Vec<(String, Vec<u64>, Vec<u64>)> {
+        tyxe_prob::rng::set_seed(7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = foong_regression(32, 0.1, 0);
+        let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+        let bnn: Bnn = VariationalBnn::new(
+            net,
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(data.len(), 0.1),
+            AutoNormal::new().init_scale(1e-2),
+        );
+        let mut optim = Adam::new(vec![], 1e-2);
+        let mut sup = Supervisor::new(
+            bnn.trainable_parameters(),
+            SupervisorConfig::default().with_checkpoint(&ckpt, 10),
+        );
+        if resume {
+            sup.resume(&ckpt, &mut optim).expect("resume from checkpoint");
+            assert_eq!(sup.steps_completed(), 20);
+        }
+        let batches = vec![(data.x.clone(), data.y.clone())];
+        bnn.fit_supervised(&batches, &mut optim, steps, &mut sup);
+        assert_eq!(sup.steps_completed() as usize, steps);
+        let mut sites: Vec<(String, Vec<u64>, Vec<u64>)> = bnn
+            .module()
+            .sites()
+            .iter()
+            .map(|site| {
+                let d = bnn.guide().distribution(&site.name).expect("site in guide");
+                (
+                    site.name.clone(),
+                    d.loc().to_vec().iter().map(|v| v.to_bits()).collect(),
+                    d.scale().to_vec().iter().map(|v| v.to_bits()).collect(),
+                )
+            })
+            .collect();
+        sites.sort_by(|a, b| a.0.cmp(&b.0));
+        sites
+    };
+
+    cleanup();
+    let reference = run(30, false);
+
+    cleanup();
+    let _interrupted = run(20, false); // leaves the step-20 checkpoint behind
+    let resumed = run(30, true);
+    assert_eq!(reference, resumed, "resumed run drifted from uninterrupted run");
+
+    cleanup();
 }
 
 #[test]

@@ -1,0 +1,283 @@
+//! End-to-end fault tolerance: SVI training under deterministic fault
+//! injection (NaN gradients via `TYXE_FAULT_NAN_PROB`, worker panics via
+//! `TYXE_FAULT_PANIC_PROB`) must recover through the supervisor's
+//! retry/backoff/checkpoint pipeline, and kill-and-resume from a
+//! checkpoint must be bit-identical to an uninterrupted run.
+//!
+//! Fault probabilities are process-wide, so every test here serializes on
+//! one mutex and resets the knobs on exit.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use tyxe::fit::{FitEvent, Supervisor, SupervisorConfig};
+use tyxe::guides::AutoNormal;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::VariationalBnn;
+use tyxe_par::fault;
+use tyxe_prob::optim::Adam;
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+use tyxe_tensor::Tensor;
+
+type Bnn = VariationalBnn<tyxe_nn::layers::Sequential, HomoskedasticGaussian, AutoNormal>;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes fault-knob usage across tests and guarantees the knobs (and
+/// the pool thread count) are restored even if the test panics.
+struct FaultScope {
+    #[allow(dead_code)]
+    guard: MutexGuard<'static, ()>,
+    prev_threads: usize,
+}
+
+impl FaultScope {
+    fn acquire() -> FaultScope {
+        let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        FaultScope {
+            guard,
+            prev_threads: tyxe_par::num_threads(),
+        }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        fault::set_nan_prob(0.0);
+        fault::set_panic_prob(0.0);
+        tyxe_par::set_num_threads(self.prev_threads);
+    }
+}
+
+fn toy_data(n: usize) -> (Tensor, Tensor) {
+    tyxe_prob::rng::set_seed(100);
+    let x = tyxe_prob::rng::rand_uniform(&[n, 1], -1.0, 1.0);
+    let y = x.mul_scalar(2.0);
+    (x, y)
+}
+
+/// Builds a BNN deterministically from `seed`. `hidden` is sized by the
+/// caller: wide enough to cross the parallel-kernel threshold when worker
+/// panics should be exercised, small otherwise.
+fn build_bnn(seed: u64, hidden: usize, n: usize) -> Bnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = tyxe_nn::layers::mlp(&[1, hidden, 1], false, &mut rng);
+    VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(n, 0.1),
+        AutoNormal::new().init_scale(1e-3),
+    )
+}
+
+fn tmp_ckpt(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tyxe-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.ckpt"))
+}
+
+fn prev_of(path: &std::path::Path) -> PathBuf {
+    let mut name = path.file_name().unwrap().to_os_string();
+    name.push(".prev");
+    path.with_file_name(name)
+}
+
+fn site_params(bnn: &Bnn) -> Vec<(String, Vec<u64>, Vec<u64>)> {
+    let mut out: Vec<(String, Vec<u64>, Vec<u64>)> = bnn
+        .module()
+        .sites()
+        .iter()
+        .map(|site| {
+            let d = bnn.guide().distribution(&site.name).expect("site in guide");
+            (
+                site.name.clone(),
+                d.loc().to_vec().iter().map(|v| v.to_bits()).collect(),
+                d.scale().to_vec().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// A run with NaN gradients and worker panics injected must complete,
+/// report its recoveries, and land near the clean run's fit quality.
+#[test]
+fn fault_injected_training_recovers_and_converges() {
+    let _scope = FaultScope::acquire();
+    // 256 x 128 activations cross the 32k-element parallel threshold, so
+    // the forward pass genuinely schedules pool tasks that can panic —
+    // but only if the pool has more than one thread, which single-CPU CI
+    // machines don't give us by default. Kernel results are bit-identical
+    // at every thread count, so pinning to 4 changes nothing else.
+    tyxe_par::set_num_threads(4);
+    let (n, hidden, epochs) = (256, 128, 120);
+    let (x, y) = toy_data(n);
+    let data = vec![(x.clone(), y.clone())];
+
+    // Clean reference run (fault knobs at zero).
+    fault::set_nan_prob(0.0);
+    fault::set_panic_prob(0.0);
+    tyxe_prob::rng::set_seed(5);
+    let clean = build_bnn(5, hidden, n);
+    let mut clean_optim = Adam::new(vec![], 1e-2);
+    let mut clean_sup = Supervisor::new(clean.trainable_parameters(), SupervisorConfig::default());
+    clean.fit_supervised(&data, &mut clean_optim, epochs, &mut clean_sup);
+    assert_eq!(clean_sup.report().total_faults(), 0);
+    let clean_eval = clean.evaluate(&x, &y, 8);
+    assert!(clean_eval.error < 0.05, "clean run failed to fit: {}", clean_eval.error);
+    let clean_pred = clean.predict_samples(&x, 1)[0].to_vec();
+
+    // Fault-injected run: ~10% of steps get a NaN gradient, and each pool
+    // task panics with probability 1%.
+    fault::set_fault_seed(17);
+    fault::set_nan_prob(0.10);
+    fault::set_panic_prob(0.01);
+    tyxe_prob::rng::set_seed(5);
+    let faulty = build_bnn(5, hidden, n);
+    let mut optim = Adam::new(vec![], 1e-2);
+    let mut sup = Supervisor::new(faulty.trainable_parameters(), SupervisorConfig::default());
+    faulty.fit_supervised(&data, &mut optim, epochs, &mut sup);
+    let report = sup.report();
+    assert!(report.total_faults() > 0, "injection produced no faults: {report:?}");
+    assert!(report.retried > 0, "faults must be retried: {report:?}");
+    assert!(
+        report.worker_panics_recovered > 0,
+        "panic injection never fired through the pool: {report:?}"
+    );
+    assert_eq!(report.steps_completed, epochs as u64);
+
+    fault::set_nan_prob(0.0);
+    fault::set_panic_prob(0.0);
+    let eval = faulty.evaluate(&x, &y, 8);
+    assert!(
+        eval.error < 0.1,
+        "fault-injected run diverged: error {} (clean {})",
+        eval.error,
+        clean_eval.error
+    );
+    let pred = faulty.predict_samples(&x, 1)[0].to_vec();
+    let mae = pred
+        .iter()
+        .zip(&clean_pred)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / pred.len() as f64;
+    assert!(mae < 0.25, "fault-injected fit drifted from clean fit: MAE {mae}");
+}
+
+/// Killing training between checkpoints and resuming must replay the
+/// remaining steps bit-identically — including the NaN-fault schedule,
+/// whose stream state rides in the checkpoint.
+#[test]
+fn kill_and_resume_is_bit_identical_under_faults() {
+    let _scope = FaultScope::acquire();
+    let (n, hidden) = (32, 8);
+    let (x, y) = toy_data(n);
+    let data = vec![(x.clone(), y.clone())];
+    let path = tmp_ckpt("resume");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+
+    fault::set_fault_seed(23);
+    fault::set_nan_prob(0.10);
+    fault::set_panic_prob(0.0);
+    let config = || SupervisorConfig::default().with_checkpoint(&path, 20);
+
+    // Uninterrupted reference: 60 steps.
+    tyxe_prob::rng::set_seed(9);
+    let a = build_bnn(9, hidden, n);
+    let mut optim_a = Adam::new(vec![], 1e-2);
+    let mut sup_a = Supervisor::new(a.trainable_parameters(), config());
+    a.fit_supervised(&data, &mut optim_a, 60, &mut sup_a);
+    let reference = site_params(&a);
+    assert!(sup_a.report().checkpointed >= 3);
+
+    // Interrupted run: 40 steps, then the process "dies".
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+    tyxe_prob::rng::set_seed(9);
+    let b1 = build_bnn(9, hidden, n);
+    let mut optim_b1 = Adam::new(vec![], 1e-2);
+    let mut sup_b1 = Supervisor::new(b1.trainable_parameters(), config());
+    b1.fit_supervised(&data, &mut optim_b1, 40, &mut sup_b1);
+    drop((b1, optim_b1, sup_b1));
+
+    // Fresh state, resume from the step-40 checkpoint, run the rest.
+    tyxe_prob::rng::set_seed(9);
+    let b2 = build_bnn(9, hidden, n);
+    let mut optim_b2 = Adam::new(vec![], 1e-2);
+    let mut sup_b2 = Supervisor::new(b2.trainable_parameters(), config());
+    sup_b2.resume(&path, &mut optim_b2).unwrap();
+    assert_eq!(sup_b2.steps_completed(), 40);
+    b2.fit_supervised(&data, &mut optim_b2, 60, &mut sup_b2);
+    assert_eq!(sup_b2.steps_completed(), 60);
+
+    assert_eq!(reference, site_params(&b2), "resumed run drifted from reference");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+}
+
+/// A corrupted primary checkpoint must fall back to the rotated `.prev`
+/// file, and training continued from there still reproduces the
+/// uninterrupted run bit-for-bit (the fallback state is just an earlier
+/// point on the same trajectory).
+#[test]
+fn corrupt_checkpoint_falls_back_and_still_replays_exactly() {
+    let _scope = FaultScope::acquire();
+    let (n, hidden) = (32, 8);
+    let (x, y) = toy_data(n);
+    let data = vec![(x.clone(), y.clone())];
+    let path = tmp_ckpt("fallback");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+
+    fault::set_fault_seed(29);
+    fault::set_nan_prob(0.05);
+    fault::set_panic_prob(0.0);
+    let config = || SupervisorConfig::default().with_checkpoint(&path, 20);
+
+    tyxe_prob::rng::set_seed(11);
+    let a = build_bnn(11, hidden, n);
+    let mut optim_a = Adam::new(vec![], 1e-2);
+    let mut sup_a = Supervisor::new(a.trainable_parameters(), config());
+    a.fit_supervised(&data, &mut optim_a, 60, &mut sup_a);
+    let reference = site_params(&a);
+
+    // Second run to 40 steps: checkpoints at 20 (rotated to .prev) and 40.
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+    tyxe_prob::rng::set_seed(11);
+    let b1 = build_bnn(11, hidden, n);
+    let mut optim_b1 = Adam::new(vec![], 1e-2);
+    let mut sup_b1 = Supervisor::new(b1.trainable_parameters(), config());
+    b1.fit_supervised(&data, &mut optim_b1, 40, &mut sup_b1);
+    drop((b1, optim_b1, sup_b1));
+
+    // Corrupt the step-40 checkpoint; resume must fall back to step 20.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    tyxe_prob::rng::set_seed(11);
+    let b2 = build_bnn(11, hidden, n);
+    let mut optim_b2 = Adam::new(vec![], 1e-2);
+    let mut sup_b2 = Supervisor::new(b2.trainable_parameters(), config());
+    sup_b2.resume(&path, &mut optim_b2).unwrap();
+    assert_eq!(sup_b2.steps_completed(), 20, "must have fallen back to the .prev file");
+    assert!(sup_b2
+        .report()
+        .events
+        .iter()
+        .any(|e| matches!(e, FitEvent::Resumed { from_previous: true, .. })));
+    b2.fit_supervised(&data, &mut optim_b2, 60, &mut sup_b2);
+
+    assert_eq!(reference, site_params(&b2), "fallback-resumed run drifted");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+}
