@@ -16,9 +16,13 @@
 //! benchmark, which is how the bench binaries are smoke-tested in CI.
 //!
 //! `TYXE_BENCH_JSON=<path>` additionally appends one JSON object per
-//! benchmark to `<path>` (JSON-lines: `{"name":…,"min_ns":…,"median_ns":…,
-//! "mean_ns":…}`), which `scripts/bench.sh` uses to collect machine-readable
-//! results across thread-count runs.
+//! benchmark to `<path>` (JSON-lines). Each line carries the legacy keys
+//! `{"name":…,"min_ns":…,"median_ns":…,"mean_ns":…}` first — which
+//! `scripts/bench.sh` and existing `results/BENCH_TENSOR.json` readers key
+//! on — followed by the `tyxe-obs` metric-record keys `"value"` (the
+//! median), `"unit":"ns"` and `"tags"` (stat/source plus the active
+//! `TYXE_NUM_THREADS`, when set), so bench output and
+//! [`tyxe_obs::metrics::snapshot_jsonl`] share one schema.
 
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -111,12 +115,20 @@ impl Criterion {
             format_duration(mean),
         );
         if let Some(path) = std::env::var_os("TYXE_BENCH_JSON") {
+            let mut tags = String::from("\"stat\":\"median\",\"source\":\"bench\"");
+            if let Ok(threads) = std::env::var("TYXE_NUM_THREADS") {
+                tags.push_str(&format!(
+                    ",\"threads\":\"{}\"",
+                    tyxe_obs::json::escape(&threads)
+                ));
+            }
             let line = format!(
-                "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}\n",
-                name.replace('\\', "\\\\").replace('"', "\\\""),
+                "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"value\":{},\"unit\":\"ns\",\"tags\":{{{tags}}}}}\n",
+                tyxe_obs::json::escape(&name),
                 min.as_nanos(),
                 median.as_nanos(),
                 mean.as_nanos(),
+                median.as_nanos(),
             );
             std::fs::OpenOptions::new()
                 .create(true)
@@ -270,6 +282,18 @@ mod tests {
             .expect("json_probe line present");
         assert!(line.starts_with("{\"name\":\"json_probe\",\"min_ns\":"), "{line}");
         assert!(line.ends_with('}'), "{line}");
+        // The same line must parse as a tyxe-obs metric record: a median
+        // "value" in "ns" with a tags object identifying the source.
+        let parsed = tyxe_obs::json::parse(line).expect("line is valid JSON");
+        let median = parsed.get("median_ns").and_then(|v| v.as_num()).unwrap();
+        assert_eq!(parsed.get("value").and_then(|v| v.as_num()), Some(median));
+        assert_eq!(
+            parsed.get("unit").and_then(|v| v.as_str()),
+            Some("ns"),
+            "{line}"
+        );
+        let tags = parsed.get("tags").and_then(|v| v.as_obj()).expect("tags object");
+        assert!(tags.iter().any(|(k, v)| k == "source" && v.as_str() == Some("bench")));
     }
 
     #[test]

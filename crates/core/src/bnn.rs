@@ -277,6 +277,9 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         M: Forward<I, Output = Tensor>,
     {
         self.register_params(optim);
+        // Purely observational per-site timing handler; a no-op unless
+        // observability is enabled (and bit-identical either way).
+        let _obs = crate::poutine::obs_trace_if_enabled();
         let model = || {
             let pred = self.module.sampled_forward(input);
             self.likelihood.observe_data(&pred, targets);
@@ -284,7 +287,10 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         let guide = || self.guide.sample_guide();
         let (loss, _, _) = negative_elbo(&model, &guide, self.estimator);
         optim.zero_grad();
-        loss.backward();
+        {
+            let _span = tyxe_obs::span!("core.svi.backward");
+            loss.backward();
+        }
         loss.item()
     }
 

@@ -90,6 +90,46 @@ pub enum FitEvent {
     Resumed { step: u64, from_previous: bool },
 }
 
+/// Wall-clock statistics over supervised steps (full step latency:
+/// every attempt, rollback and checkpoint write included). Always
+/// measured — two `Instant` reads per step cost nothing next to a
+/// forward/backward pass and never touch numerics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepTiming {
+    /// Steps timed.
+    pub count: u64,
+    /// Total wall time, ns.
+    pub total_ns: u64,
+    /// Fastest step, ns.
+    pub min_ns: u64,
+    /// Slowest step, ns.
+    pub max_ns: u64,
+}
+
+impl StepTiming {
+    fn record(&mut self, ns: u64) {
+        self.min_ns = if self.count == 0 { ns } else { self.min_ns.min(ns) };
+        self.max_ns = self.max_ns.max(ns);
+        self.total_ns += ns;
+        self.count += 1;
+    }
+
+    /// Mean step wall time in ns (0 before any step).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Renders a nanosecond quantity with a human-readable unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
 /// Structured account of a supervised training run.
 #[derive(Debug, Clone, Default)]
 pub struct FitReport {
@@ -111,6 +151,8 @@ pub struct FitReport {
     pub resumed: u64,
     /// Worker panics recovered (injected-fault payloads only).
     pub worker_panics_recovered: u64,
+    /// Wall-clock statistics over the supervised steps.
+    pub timing: StepTiming,
     /// Event log in occurrence order (capped; counters above stay exact).
     pub events: Vec<FitEvent>,
 }
@@ -128,6 +170,53 @@ impl FitReport {
     /// Total faults observed (of any kind).
     pub fn total_faults(&self) -> u64 {
         self.retried + self.nan_skipped
+    }
+
+    /// Multi-line timing + recovery summary for log output. The
+    /// per-line `label: value` layout (notably `faults recovered:`) is
+    /// parsed by `scripts/verify.sh`; keep it stable.
+    pub fn summary(&self) -> String {
+        let t = &self.timing;
+        let mut s = String::new();
+        s.push_str(&format!("steps completed:         {}\n", self.steps_completed));
+        s.push_str(&format!(
+            "step time:               total {}  mean {}  min {}  max {}\n",
+            fmt_ns(t.total_ns),
+            fmt_ns(t.mean_ns()),
+            fmt_ns(t.min_ns),
+            fmt_ns(t.max_ns),
+        ));
+        s.push_str(&format!("faults recovered:        {}\n", self.total_faults()));
+        s.push_str(&format!("  retried:               {}\n", self.retried));
+        s.push_str(&format!("  backed off:            {}\n", self.backed_off));
+        s.push_str(&format!("  worker panics:         {}\n", self.worker_panics_recovered));
+        s.push_str(&format!("  grad-clipped steps:    {}\n", self.grad_clipped));
+        s.push_str(&format!("  nan-skipped steps:     {}\n", self.nan_skipped));
+        s.push_str(&format!("checkpoints written:     {}\n", self.checkpointed));
+        if self.checkpoint_failed > 0 {
+            s.push_str(&format!("checkpoint writes failed: {}\n", self.checkpoint_failed));
+        }
+        if self.resumed > 0 {
+            s.push_str(&format!("resumed from checkpoint: {}\n", self.resumed));
+        }
+        s.push_str(&format!(
+            "injected pool panics:    {}\n",
+            tyxe_par::fault::injected_panics()
+        ));
+        s.push_str(&format!(
+            "injected fault draws:    {}\n",
+            tyxe_par::fault::fault_stream_fired()
+        ));
+        s
+    }
+}
+
+/// Increment a supervisor event counter in the tyxe-obs registry.
+/// Gated: recovery events are already counted exactly in [`FitReport`];
+/// the obs mirror exists so metrics snapshots tell the same story.
+fn obs_count(name: &str) {
+    if tyxe_obs::enabled() {
+        tyxe_obs::metrics::counter(name).inc();
     }
 }
 
@@ -266,6 +355,19 @@ impl Supervisor {
         optim: &mut dyn Optimizer,
         forward_backward: &mut dyn FnMut(&mut dyn Optimizer) -> f64,
     ) -> f64 {
+        let t0 = std::time::Instant::now();
+        let _span = tyxe_obs::span!("core.supervisor.step");
+        let loss = self.step_inner(optim, forward_backward);
+        self.report.timing.record(t0.elapsed().as_nanos() as u64);
+        obs_count("core.supervisor.steps");
+        loss
+    }
+
+    fn step_inner(
+        &mut self,
+        optim: &mut dyn Optimizer,
+        forward_backward: &mut dyn FnMut(&mut dyn Optimizer) -> f64,
+    ) -> f64 {
         let base_lr = optim.learning_rate();
         let mut attempt: u32 = 0;
         loop {
@@ -281,14 +383,17 @@ impl Supervisor {
                         return self.degrade(optim, base_lr, cause, loss);
                     }
                     self.report.retried += 1;
+                    obs_count("core.supervisor.retries");
                     if cause == FaultCause::WorkerPanic {
                         self.report.worker_panics_recovered += 1;
+                        obs_count("core.supervisor.worker_panics");
                     }
                     self.report.record(FitEvent::Retried { step: self.steps, attempt, cause });
                     self.rollback(optim);
                     let lr = base_lr * self.config.lr_backoff.powi(attempt as i32);
                     optim.set_learning_rate(lr);
                     self.report.backed_off += 1;
+                    obs_count("core.supervisor.backoffs");
                     self.report.record(FitEvent::BackedOff { step: self.steps, lr });
                 }
             }
@@ -381,6 +486,7 @@ impl Supervisor {
         if cause == FaultCause::LossSpike && grads_are_finite(&self.params) {
             let norm = clip_grad_norm(&self.params, self.config.grad_clip);
             self.report.grad_clipped += 1;
+            obs_count("core.supervisor.grad_clipped");
             self.report.record(FitEvent::GradClipped { step: self.steps, norm });
             self.good = Some(self.capture(optim));
             optim.step();
@@ -389,6 +495,7 @@ impl Supervisor {
         } else {
             optim.zero_grad();
             self.report.nan_skipped += 1;
+            obs_count("core.supervisor.nan_skipped");
             self.report.record(FitEvent::NanSkipped { step: self.steps });
         }
         optim.set_learning_rate(base_lr);
@@ -401,9 +508,14 @@ impl Supervisor {
         self.report.steps_completed = self.steps;
         if self.config.checkpoint_every > 0 && self.steps.is_multiple_of(self.config.checkpoint_every) {
             let path = self.config.checkpoint_path.clone().expect("validated in new");
-            match self.save_checkpoint(&path, optim) {
+            let ckpt_result = {
+                let _span = tyxe_obs::span!("core.supervisor.checkpoint");
+                self.save_checkpoint(&path, optim)
+            };
+            match ckpt_result {
                 Ok(()) => {
                     self.report.checkpointed += 1;
+                    obs_count("core.supervisor.checkpoints");
                     self.report.record(FitEvent::Checkpointed { step: self.steps });
                 }
                 Err(e) => {
@@ -479,6 +591,7 @@ impl Supervisor {
         };
         self.apply_state_dict(&sd, optim)?;
         self.report.resumed += 1;
+        obs_count("core.supervisor.resumes");
         self.report.record(FitEvent::Resumed { step: self.steps, from_previous });
         Ok(())
     }

@@ -1,0 +1,352 @@
+//! Structured tracing: thread-aware hierarchical spans.
+//!
+//! Each thread owns a buffer of finished [`SpanRecord`]s; a global
+//! registry keeps every buffer alive (and drainable) even after its
+//! thread exits, so short-lived pool workers never lose spans. In
+//! steady state only the owning thread touches its buffer — the
+//! per-buffer mutex is uncontended except during a [`drain`] — and
+//! span start/stop never takes a global lock.
+//!
+//! Spans nest lexically via RAII: [`SpanGuard::enter`] stamps the
+//! start time and bumps a thread-local depth; dropping the guard
+//! records the finished span. Exporters reconstruct the hierarchy
+//! either from the recorded `depth` (JSONL) or from time containment
+//! per thread (`chrome://tracing` "X" complete events).
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered spans per thread; beyond it spans are counted
+/// in [`dropped_spans`] instead of stored, so a runaway loop cannot
+/// exhaust memory.
+pub const SPAN_CAP_PER_THREAD: usize = 1 << 16;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, `layer.component.event` by convention (DESIGN.md §9).
+    pub name: Cow<'static, str>,
+    /// Small dense integer id of the recording thread (not the OS tid).
+    pub tid: u64,
+    /// Nesting depth on the recording thread when the span opened (0 = root).
+    pub depth: u32,
+    /// Start time in ns since the process-wide trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in ns.
+    pub dur_ns: u64,
+    /// Optional free-form argument (site name, shape, …).
+    pub arg: Option<String>,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: OnceLock<Arc<ThreadBuf>> = const { OnceLock::new() };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn local_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                spans: Mutex::new(Vec::new()),
+            });
+            registry().lock().unwrap().push(Arc::clone(&buf));
+            buf
+        });
+        f(buf)
+    })
+}
+
+/// Nanoseconds since the process-wide trace epoch (first call wins).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Dense integer id of the calling thread, allocating one on first use.
+pub fn current_tid() -> u64 {
+    local_buf(|b| b.tid)
+}
+
+/// Spans discarded because a thread buffer hit [`SPAN_CAP_PER_THREAD`].
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// RAII span guard: created by [`crate::span!`], records on drop.
+/// Inert (a `None` start) when observability is disabled at entry.
+#[must_use = "a span records its duration when the guard drops"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    name: Cow<'static, str>,
+    depth: u32,
+    start_ns: u64,
+    arg: Option<String>,
+}
+
+impl SpanGuard {
+    /// Open a span with a static name.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        Self::open(Cow::Borrowed(name), None)
+    }
+
+    /// Open a span with a static name and a free-form argument. The
+    /// argument is only materialised when observability is enabled.
+    #[inline]
+    pub fn enter_with_arg<A: Into<String>>(name: &'static str, arg: A) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { live: None };
+        }
+        Self::open_live(Cow::Borrowed(name), Some(arg.into()))
+    }
+
+    /// Open a span with an owned name (for dynamic span names).
+    pub fn enter_owned(name: String) -> SpanGuard {
+        Self::open(Cow::Owned(name), None)
+    }
+
+    #[inline]
+    fn open(name: Cow<'static, str>, arg: Option<String>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { live: None };
+        }
+        Self::open_live(name, arg)
+    }
+
+    fn open_live(name: Cow<'static, str>, arg: Option<String>) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        SpanGuard {
+            live: Some(LiveSpan { name, depth, start_ns: now_ns(), arg }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let end = now_ns();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        local_buf(|buf| {
+            let mut spans = buf.spans.lock().unwrap();
+            if spans.len() >= SPAN_CAP_PER_THREAD {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            spans.push(SpanRecord {
+                name: live.name,
+                tid: buf.tid,
+                depth: live.depth,
+                start_ns: live.start_ns,
+                dur_ns: end.saturating_sub(live.start_ns),
+                arg: live.arg,
+            });
+        });
+    }
+}
+
+/// Take every buffered span from every thread (including exited ones),
+/// merged and sorted by `(start_ns, tid)`. Buffers are left empty but
+/// registered, so collection continues seamlessly afterwards.
+pub fn drain() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for buf in registry().lock().unwrap().iter() {
+        out.append(&mut buf.spans.lock().unwrap());
+    }
+    out.sort_by_key(|a| (a.start_ns, a.tid, a.depth));
+    out
+}
+
+/// Discard all buffered spans and reset the dropped-span counter.
+/// Thread ids and the trace epoch are preserved.
+pub fn clear() {
+    for buf in registry().lock().unwrap().iter() {
+        buf.spans.lock().unwrap().clear();
+    }
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Serialize spans as JSONL: one
+/// `{"name","tid","depth","start_ns","dur_ns","arg"?}` object per line.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"tid\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{}",
+            crate::json::escape(&s.name),
+            s.tid,
+            s.depth,
+            s.start_ns,
+            s.dur_ns
+        ));
+        if let Some(arg) = &s.arg {
+            out.push_str(&format!(",\"arg\":\"{}\"", crate::json::escape(arg)));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Serialize spans as a `chrome://tracing` / Perfetto-compatible JSON
+/// trace: one "X" (complete) event per span, `ts`/`dur` in µs, nesting
+/// inferred by the viewer from time containment per `tid`.
+pub fn spans_to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"tyxe-{tid}\"}}}}"
+        ));
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"tyxe\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{}.{:03},\"dur\":{}.{:03}",
+            crate::json::escape(&s.name),
+            s.tid,
+            s.start_ns / 1_000,
+            s.start_ns % 1_000,
+            s.dur_ns / 1_000,
+            s.dur_ns % 1_000,
+        ));
+        match &s.arg {
+            Some(arg) => out.push_str(&format!(
+                ",\"args\":{{\"arg\":\"{}\",\"depth\":{}}}}}",
+                crate::json::escape(arg),
+                s.depth
+            )),
+            None => out.push_str(&format!(",\"args\":{{\"depth\":{}}}}}", s.depth)),
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Drain all spans and write them to `path` in chrome-trace format.
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<usize> {
+    let spans = drain();
+    std::fs::write(path, spans_to_chrome_trace(&spans))?;
+    Ok(spans.len())
+}
+
+/// Drain all spans and write them to `path` as JSONL.
+pub fn write_spans_jsonl(path: &std::path::Path) -> std::io::Result<usize> {
+    let spans = drain();
+    std::fs::write(path, spans_to_jsonl(&spans))?;
+    Ok(spans.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-global buffers; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let _g = LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        {
+            let _a = crate::span!("outer");
+            {
+                let _b = crate::span!("inner", "arg-1");
+            }
+        }
+        crate::set_enabled(false);
+        let spans = drain();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.arg.as_deref(), Some("arg-1"));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert_eq!(outer.tid, inner.tid);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        clear();
+        {
+            let _a = crate::span!("ghost");
+            let _b = crate::span!("ghost", "arg");
+        }
+        assert!(drain().iter().all(|s| s.name != "ghost"));
+    }
+
+    #[test]
+    fn cap_drops_excess_spans() {
+        let _g = LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        for _ in 0..SPAN_CAP_PER_THREAD + 10 {
+            let _s = crate::span!("capped");
+        }
+        crate::set_enabled(false);
+        let n = drain().iter().filter(|s| s.name == "capped").count();
+        assert_eq!(n, SPAN_CAP_PER_THREAD);
+        assert_eq!(dropped_spans(), 10);
+        clear();
+        assert_eq!(dropped_spans(), 0);
+    }
+
+    #[test]
+    fn exports_are_valid_per_validator() {
+        let _g = LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        {
+            let _a = crate::span!("exp.outer");
+            let _b = crate::span!("exp.inner", "x\"y\\z");
+        }
+        crate::set_enabled(false);
+        let spans = drain();
+        let chrome = spans_to_chrome_trace(&spans);
+        let stats = crate::validate::validate_chrome_trace(&chrome).unwrap();
+        assert!(stats.span_names.contains("exp.outer"));
+        assert!(stats.span_names.contains("exp.inner"));
+        let jsonl = spans_to_jsonl(&spans);
+        for line in jsonl.lines() {
+            crate::json::parse(line).unwrap();
+        }
+    }
+}

@@ -24,7 +24,9 @@
 //! simulated crash from a genuine bug when reporting.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use tyxe_obs::metrics::Counter;
 use tyxe_rand::rngs::StdRng;
 use tyxe_rand::{Rng, SeedableRng};
 
@@ -38,11 +40,25 @@ const UNSET: u64 = u64::MAX;
 static PANIC_PROB: AtomicU64 = AtomicU64::new(UNSET);
 static NAN_PROB: AtomicU64 = AtomicU64::new(UNSET);
 static FAULT_SEED: AtomicU64 = AtomicU64::new(UNSET);
-/// Count of panics injected so far (observability for reports/tests).
-static INJECTED_PANICS: AtomicU64 = AtomicU64::new(0);
 /// Sequence number assigned to each parallel scope, the deterministic
 /// "time" coordinate of panic injection.
 static SCOPE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Injected panics live in the tyxe-obs metrics registry (so fault
+/// counters show up in every metrics snapshot); the count must stay
+/// exact whether or not observability is enabled, so increments bypass
+/// the `tyxe_obs::enabled()` gate — injection is opt-in and rare, the
+/// unconditional atomic add costs nothing in clean runs.
+pub fn injected_panics_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| tyxe_obs::metrics::counter("par.fault.injected_panics"))
+}
+
+/// Same contract for [`FaultStream`] draws that fired (NaN injections).
+pub fn fault_fired_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| tyxe_obs::metrics::counter("par.fault.stream_fired"))
+}
 
 fn env_prob(name: &str) -> f64 {
     match std::env::var(name) {
@@ -109,9 +125,17 @@ pub fn set_fault_seed(seed: u64) {
     FAULT_SEED.store(seed.min(UNSET - 1), Ordering::Relaxed);
 }
 
-/// Number of worker panics injected so far in this process.
+/// Number of worker panics injected so far in this process. Thin
+/// wrapper over the `par.fault.injected_panics` tyxe-obs counter.
 pub fn injected_panics() -> u64 {
-    INJECTED_PANICS.load(Ordering::Relaxed)
+    injected_panics_counter().get()
+}
+
+/// Number of [`FaultStream`] draws that fired (e.g. NaN-gradient
+/// injections) so far in this process. Thin wrapper over the
+/// `par.fault.stream_fired` tyxe-obs counter.
+pub fn fault_stream_fired() -> u64 {
+    fault_fired_counter().get()
 }
 
 /// Claims the next scope sequence number. Called once per parallel scope
@@ -146,7 +170,7 @@ pub(crate) fn task_panics(scope_seq: u64, task_idx: usize) -> bool {
 
 /// Fires an injected panic for the current task (records it first).
 pub(crate) fn inject_panic() -> ! {
-    INJECTED_PANICS.fetch_add(1, Ordering::Relaxed);
+    injected_panics_counter().inc();
     std::panic::panic_any(INJECTED_PANIC_PAYLOAD);
 }
 
@@ -179,7 +203,11 @@ impl FaultStream {
         // Always consume exactly one draw so the schedule does not depend
         // on the probability (p = 0 advances the stream identically).
         let u = self.rng.gen::<f64>();
-        u < p
+        let fired = u < p;
+        if fired {
+            fault_fired_counter().inc();
+        }
+        fired
     }
 
     /// Draws a uniform index in `[0, n)` (for picking the corrupted

@@ -54,6 +54,44 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod fault;
 
+/// Cached tyxe-obs handles for the pool's own instrumentation.
+/// Hot-path updates are gated on [`tyxe_obs::enabled`] at the call
+/// sites, so disabled runs pay one relaxed atomic load per probe.
+mod probe {
+    use std::sync::OnceLock;
+
+    use tyxe_obs::metrics::Counter;
+
+    /// Parallel scopes dispatched to the pool.
+    pub fn scopes() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| tyxe_obs::metrics::counter("par.pool.scopes"))
+    }
+
+    /// Tasks pushed onto the shared queue.
+    pub fn tasks_queued() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| tyxe_obs::metrics::counter("par.pool.tasks_queued"))
+    }
+
+    /// Queued tasks the *calling* thread drained while waiting on its
+    /// own scope (the caller-helps-drain path).
+    pub fn drain_assists() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| tyxe_obs::metrics::counter("par.pool.drain_assists"))
+    }
+
+    /// Per-worker busy-time and task counters, tagged `worker=<idx>`.
+    /// Looked up once per worker thread, at spawn.
+    pub fn worker_handles(idx: usize) -> (Counter, Counter) {
+        let tag = idx.to_string();
+        (
+            tyxe_obs::metrics::counter_tagged("par.worker.busy_ns", &[("worker", &tag)], "ns"),
+            tyxe_obs::metrics::counter_tagged("par.worker.tasks", &[("worker", &tag)], "count"),
+        )
+    }
+}
+
 /// Upper bound on the configurable thread count; far above any sane
 /// `TYXE_NUM_THREADS`, it only guards against typos spawning thousands
 /// of workers.
@@ -181,7 +219,29 @@ struct Job {
 
 impl Job {
     fn run(self) {
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(self.task)) {
+        self.run_probed(None);
+    }
+
+    /// Runs the job; on the worker path, records a `par.task` span and
+    /// per-worker busy time. All instrumentation happens **before**
+    /// `complete_one`: once the scope latch trips, the caller may drain
+    /// trace buffers, so nothing observable may land after it.
+    fn run_probed(self, worker: Option<&(tyxe_obs::metrics::Counter, tyxe_obs::metrics::Counter)>) {
+        let result = if tyxe_obs::enabled() {
+            let t0 = std::time::Instant::now();
+            let result = {
+                let _span = worker.map(|_| tyxe_obs::span!("par.task"));
+                catch_unwind(AssertUnwindSafe(self.task))
+            };
+            if let Some((busy_ns, tasks_run)) = worker {
+                busy_ns.add(t0.elapsed().as_nanos() as u64);
+                tasks_run.inc();
+            }
+            result
+        } else {
+            catch_unwind(AssertUnwindSafe(self.task))
+        };
+        if let Err(payload) = result {
             {
                 let mut slot = self.latch.payload.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
@@ -224,7 +284,7 @@ impl Pool {
             let idx = *spawned;
             std::thread::Builder::new()
                 .name(format!("tyxe-par-{idx}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, idx))
                 .expect("tyxe-par: failed to spawn worker thread");
             *spawned += 1;
         }
@@ -242,7 +302,10 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, idx: usize) {
+    // Registered eagerly so every worker shows up (zeroed) in metrics
+    // snapshots even before observability is enabled.
+    let handles = probe::worker_handles(idx);
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -253,7 +316,7 @@ fn worker_loop(shared: &Shared) {
                 q = shared.cv.wait(q).unwrap();
             }
         };
-        job.run();
+        job.run_probed(Some(&handles));
     }
 }
 
@@ -307,6 +370,11 @@ pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     }
     let pool = pool();
     pool.ensure_workers(num_threads() - 1);
+    let _scope_span = tyxe_obs::span!("par.scope");
+    if tyxe_obs::enabled() {
+        probe::scopes().inc();
+        probe::tasks_queued().add(count as u64);
+    }
     let latch = Arc::new(Latch::new(count));
     pool.push_jobs(tasks.into_iter().enumerate().map(|(idx, task)| {
         let task = arm(idx, task);
@@ -321,11 +389,18 @@ pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     }));
     // Help drain the queue instead of sleeping; this also guarantees
     // progress for nested scopes enqueued from within our own tasks.
+    let mut assisted = 0u64;
     while !latch.done() {
         match pool.try_pop() {
-            Some(job) => job.run(),
+            Some(job) => {
+                job.run();
+                assisted += 1;
+            }
             None => break,
         }
+    }
+    if assisted > 0 && tyxe_obs::enabled() {
+        probe::drain_assists().add(assisted);
     }
     latch.wait();
     latch.forward_panic("run_scoped");

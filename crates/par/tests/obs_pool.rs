@@ -1,0 +1,84 @@
+//! Observability under a forced 4-thread pool: spans recorded by pool
+//! workers and by the caller-helps-drain path must merge without loss,
+//! and the pool's own counters must account for every task.
+//!
+//! Own integration binary (own process) so forcing the thread count
+//! and toggling `tyxe_obs::set_enabled` cannot race other suites.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn pool_spans_merge_without_loss_and_counters_balance() {
+    tyxe_par::set_num_threads(4);
+    tyxe_obs::set_enabled(true);
+    tyxe_obs::trace::clear();
+
+    const SCOPES: usize = 50;
+    const TASKS_PER_SCOPE: usize = 16;
+
+    let scopes0 = tyxe_obs::metrics::counter("par.pool.scopes").get();
+    let queued0 = tyxe_obs::metrics::counter("par.pool.tasks_queued").get();
+
+    let ran = AtomicUsize::new(0);
+    for s in 0..SCOPES {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..TASKS_PER_SCOPE)
+            .map(|t| {
+                let ran = &ran;
+                Box::new(move || {
+                    let _span = tyxe_obs::span!("obs_pool.task", format!("{s}.{t}"));
+                    // Enough work that tasks overlap across threads.
+                    let mut acc = 0u64;
+                    for i in 0..2_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    assert!(acc != 1);
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        tyxe_par::run_scoped(tasks);
+    }
+    tyxe_obs::set_enabled(false);
+    assert_eq!(ran.load(Ordering::Relaxed), SCOPES * TASKS_PER_SCOPE);
+
+    // Every task's span survived the per-thread buffer merge exactly once,
+    // with a distinct (scope, task) argument.
+    let spans = tyxe_obs::trace::drain();
+    let task_spans: Vec<_> = spans.iter().filter(|s| s.name == "obs_pool.task").collect();
+    assert_eq!(task_spans.len(), SCOPES * TASKS_PER_SCOPE, "span lost or duplicated in merge");
+    let mut args: Vec<&str> =
+        task_spans.iter().map(|s| s.arg.as_deref().unwrap()).collect();
+    args.sort_unstable();
+    args.dedup();
+    assert_eq!(args.len(), SCOPES * TASKS_PER_SCOPE);
+    assert_eq!(tyxe_obs::trace::dropped_spans(), 0);
+
+    // Scope spans recorded on the calling thread, one per scope.
+    assert_eq!(spans.iter().filter(|s| s.name == "par.scope").count(), SCOPES);
+
+    // Pool accounting: every scope and every queued task counted.
+    let scopes = tyxe_obs::metrics::counter("par.pool.scopes").get() - scopes0;
+    let queued = tyxe_obs::metrics::counter("par.pool.tasks_queued").get() - queued0;
+    assert_eq!(scopes, SCOPES as u64);
+    assert_eq!(queued, (SCOPES * TASKS_PER_SCOPE) as u64);
+
+    // Every queued task ran either on a worker (tagged `par.worker.tasks`
+    // counters / `par.task` spans) or via the caller's drain assist.
+    let drained = tyxe_obs::metrics::counter("par.pool.drain_assists").get();
+    let worker_ran: u64 = (0..3)
+        .map(|w| {
+            tyxe_obs::metrics::counter_tagged(
+                "par.worker.tasks",
+                &[("worker", &w.to_string())],
+                "count",
+            )
+            .get()
+        })
+        .sum();
+    assert_eq!(drained + worker_ran, queued, "drain-assist + worker tasks must cover the queue");
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "par.task").count() as u64,
+        worker_ran,
+        "one par.task span per worker-executed job"
+    );
+}

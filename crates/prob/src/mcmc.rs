@@ -6,11 +6,30 @@
 //! with the tensor crate's reverse-mode engine.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use tyxe_tensor::Tensor;
 
 use crate::poutine::{condition, trace};
 use crate::rng;
+
+/// Global tyxe-obs counter of divergent transitions across every
+/// HMC/NUTS kernel in the process. Incremented unconditionally (a
+/// divergence is rare, and the per-kernel [`Kernel::num_divergent`]
+/// getters must stay exact wrappers over the same events), so it is in
+/// every metrics snapshot once a kernel has diverged — or once a tool
+/// pre-registers it by calling this.
+pub fn divergence_counter() -> &'static tyxe_obs::metrics::Counter {
+    static C: OnceLock<tyxe_obs::metrics::Counter> = OnceLock::new();
+    C.get_or_init(|| tyxe_obs::metrics::counter("prob.mcmc.divergences"))
+}
+
+/// Cached counter of leapfrog integration steps (`prob.mcmc.leapfrog_steps`);
+/// updates are gated on `tyxe_obs::enabled()` — it is a hot-path probe.
+fn leapfrog_counter() -> &'static tyxe_obs::metrics::Counter {
+    static C: OnceLock<tyxe_obs::metrics::Counter> = OnceLock::new();
+    C.get_or_init(|| tyxe_obs::metrics::counter("prob.mcmc.leapfrog_steps"))
+}
 
 /// Latent-site layout: names, shapes and flat offsets.
 #[derive(Debug, Clone)]
@@ -112,6 +131,9 @@ fn leapfrog(
     grad: &mut Vec<f64>,
     step_size: f64,
 ) -> f64 {
+    if tyxe_obs::enabled() {
+        leapfrog_counter().inc();
+    }
     for (pi, gi) in p.iter_mut().zip(grad.iter()) {
         *pi -= 0.5 * step_size * gi;
     }
@@ -245,6 +267,7 @@ impl Kernel for Hmc {
         let h1 = u + kinetic(&pn);
         if !h1.is_finite() {
             self.num_divergent += 1;
+            divergence_counter().inc();
         }
         let accept_prob = if h1.is_finite() { (h0 - h1).exp().min(1.0) } else { 0.0 };
         let accept = rng::with_rng(tyxe_rand::Rng::gen::<f64>) < accept_prob;
@@ -461,6 +484,7 @@ impl Kernel for Nuts {
         }
         if saw_divergence {
             self.num_divergent += 1;
+            divergence_counter().inc();
         }
         (q_curr, alpha_stat)
     }

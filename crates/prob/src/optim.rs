@@ -118,6 +118,7 @@ impl Optimizer for Sgd {
     }
 
     fn step(&mut self) {
+        let _span = tyxe_obs::span!("prob.optim.step", "sgd");
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
             let Some(g) = p.grad() else { continue };
             let mut data = p.to_vec();
@@ -221,6 +222,7 @@ impl Optimizer for Adam {
     }
 
     fn step(&mut self) {
+        let _span = tyxe_obs::span!("prob.optim.step", "adam");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

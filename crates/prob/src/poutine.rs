@@ -146,6 +146,9 @@ pub fn observe(name: &str, dist: DynDistribution, value: &Tensor) -> Tensor {
 }
 
 fn sample_with(name: &str, dist: DynDistribution, obs: Option<Tensor>) -> Tensor {
+    // Per-site span (arg = site name): with observability on, traces
+    // show which sample sites dominate handler-stack + sampling cost.
+    let _span = tyxe_obs::span!("prob.sample", name);
     let stack = snapshot_stack();
     let mut msg = SampleMsg {
         name: name.to_string(),
@@ -202,6 +205,7 @@ impl TraceSite {
     /// This site's contribution to the joint log probability, respecting
     /// scale and mask.
     pub fn log_prob(&self) -> Tensor {
+        let _span = tyxe_obs::span!("prob.site.log_prob", self.name.as_str());
         let lp = self.dist.log_prob(&self.value);
         let lp = match &self.mask {
             Some(m) => lp.mul(m),

@@ -30,9 +30,16 @@ pub fn negative_elbo(
     guide: &dyn Fn(),
     estimator: ElboEstimator,
 ) -> (Tensor, Trace, Trace) {
-    let (guide_trace, ()) = trace(guide);
-    let (model_trace, ()) = trace(|| replay(&guide_trace, model));
+    let (guide_trace, ()) = {
+        let _span = tyxe_obs::span!("prob.svi.guide");
+        trace(guide)
+    };
+    let (model_trace, ()) = {
+        let _span = tyxe_obs::span!("prob.svi.model");
+        trace(|| replay(&guide_trace, model))
+    };
 
+    let _span = tyxe_obs::span!("prob.svi.loss");
     let loss = match estimator {
         ElboEstimator::Trace => {
             // -ELBO = log q(z) - log p(x, z)

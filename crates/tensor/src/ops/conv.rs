@@ -12,6 +12,13 @@
 use crate::ops::matmul::{gemm, gemm_at, gemm_bt};
 use crate::tensor::Tensor;
 
+/// Cached tyxe-obs counter for im2col invocations (both directions);
+/// callers gate on `tyxe_obs::enabled()`.
+fn im2col_counter() -> &'static tyxe_obs::metrics::Counter {
+    static C: std::sync::OnceLock<tyxe_obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| tyxe_obs::metrics::counter("tensor.conv2d.im2col_calls"))
+}
+
 /// Output spatial size of a convolution/pooling dimension.
 ///
 /// # Panics
@@ -142,6 +149,14 @@ impl Tensor {
         let krows = cin * kh * kw;
         let ncols = ho * wo;
 
+        let _span = tyxe_obs::enabled().then(|| {
+            tyxe_obs::metrics::counter("tensor.conv2d.calls").inc();
+            tyxe_obs::trace::SpanGuard::enter_with_arg(
+                "tensor.conv2d.forward",
+                format!("n{n} {cin}->{cout} {h}x{w} k{kh}x{kw}"),
+            )
+        });
+
         let sample_in = cin * h * w;
         let sample_out = cout * ncols;
         let mut out = vec![0.0; n * sample_out];
@@ -157,6 +172,9 @@ impl Tensor {
                 let mut cols = vec![0.0; krows * ncols];
                 for (si, o) in chunk.chunks_mut(sample_out.max(1)).enumerate() {
                     let s = s0 + si;
+                    if tyxe_obs::enabled() {
+                        im2col_counter().inc();
+                    }
                     im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, &mut cols);
                     gemm(wd, &cols, o, cout, krows, ncols);
                     if let Some(bd) = bd {
@@ -182,6 +200,7 @@ impl Tensor {
             vec![n, cout, ho, wo],
             parents,
             Box::new(move |_, grad| {
+                let _span = tyxe_obs::span!("tensor.conv2d.backward");
                 let x = xc.data();
                 let wd = wc.data();
                 let (x, wd): (&[f64], &[f64]) = (&x, &wd);
@@ -194,6 +213,9 @@ impl Tensor {
                 // `gws`), dX_s = col2im(W^T * G_s).
                 let do_sample = |s: usize, gxs: &mut [f64], gws: &mut [f64], cols: &mut [f64], gcols: &mut [f64]| {
                     let gout = &grad[s * sample_out..(s + 1) * sample_out];
+                    if tyxe_obs::enabled() {
+                        im2col_counter().inc();
+                    }
                     im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, cols);
                     gemm_bt(gout, cols, gws, cout, ncols, krows);
                     gcols.iter_mut().for_each(|v| *v = 0.0);

@@ -105,6 +105,85 @@ pub fn simd_label() -> &'static str {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Observability probes
+// ---------------------------------------------------------------------------
+
+/// tyxe-obs instrumentation for the public GEMM entry points: per-call
+/// span (shape + kernel variant + ISA as the span arg), call counters
+/// tagged by `variant`/`path`, a FLOP counter, and panel-size gauges.
+/// Everything downstream of the single `tyxe_obs::enabled()` load is
+/// skipped when observability is off.
+mod probe {
+    use std::sync::OnceLock;
+
+    use tyxe_obs::metrics::Counter;
+    use tyxe_obs::trace::SpanGuard;
+
+    /// Transpose variants of the public entry points, probe index order.
+    pub const VARIANTS: [&str; 3] = ["nn", "at", "bt"];
+
+    struct Handles {
+        flops: Counter,
+        /// `[variant][path]` flattened; path 0 = reference, 1 = blocked.
+        calls: Vec<Counter>,
+    }
+
+    fn handles() -> &'static Handles {
+        static H: OnceLock<Handles> = OnceLock::new();
+        H.get_or_init(|| {
+            // ISA choice is process-constant: publish it once as a
+            // presence gauge so snapshots record which kernels ran.
+            tyxe_obs::metrics::gauge_tagged(
+                "tensor.gemm.isa",
+                &[("isa", super::simd_label())],
+                "flag",
+            )
+            .set(1.0);
+            Handles {
+                flops: tyxe_obs::metrics::counter_tagged("tensor.gemm.flops", &[], "flop"),
+                calls: VARIANTS
+                    .iter()
+                    .flat_map(|v| {
+                        ["reference", "blocked"].iter().map(move |p| {
+                            tyxe_obs::metrics::counter_tagged(
+                                "tensor.gemm.calls",
+                                &[("variant", v), ("path", p)],
+                                "count",
+                            )
+                        })
+                    })
+                    .collect(),
+            }
+        })
+    }
+
+    /// Record panel geometry of the selected blocked microkernel.
+    pub fn panels(mr: usize, nr: usize) {
+        static MR: OnceLock<tyxe_obs::metrics::Gauge> = OnceLock::new();
+        static NR: OnceLock<tyxe_obs::metrics::Gauge> = OnceLock::new();
+        MR.get_or_init(|| tyxe_obs::metrics::gauge("tensor.gemm.panel_mr")).set(mr as f64);
+        NR.get_or_init(|| tyxe_obs::metrics::gauge("tensor.gemm.panel_nr")).set(nr as f64);
+    }
+
+    /// One probe per public GEMM call. Returns the call's span guard
+    /// (`None` when observability is disabled: one atomic load).
+    #[inline]
+    pub fn gemm(variant: usize, blocked: bool, m: usize, k: usize, n: usize) -> Option<SpanGuard> {
+        if !tyxe_obs::enabled() {
+            return None;
+        }
+        let h = handles();
+        h.flops.add(2 * (m * k * n) as u64);
+        h.calls[variant * 2 + blocked as usize].inc();
+        let path = if blocked { "blocked" } else { "reference" };
+        Some(SpanGuard::enter_with_arg(
+            "tensor.gemm",
+            format!("{}/{path} {m}x{k}x{n} {}", VARIANTS[variant], super::simd_label()),
+        ))
+    }
+}
+
 /// The single multiply-add recipe all kernels share.
 #[inline(always)]
 fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
@@ -417,6 +496,10 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
         let bp = &bp[..npanels * panel.max(1)];
         let chunk_rows = tyxe_par::chunk_len(m, MR, MR);
         tyxe_par::parallel_for_chunks(c, chunk_rows * n, |start, c_chunk| {
+            // Recorded on whichever thread (worker or drain-assisting
+            // caller) executes the chunk, so traces show the blocked
+            // GEMM's actual parallel placement.
+            let _span = tyxe_obs::span!("tensor.gemm.block");
             let i_base = start / n;
             let rows_here = c_chunk.len() / n;
             let mut ap = vec![0.0f64; k.max(1) * MR];
@@ -441,6 +524,15 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
 }
 
 fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usize, k: usize, n: usize, from_c: bool) {
+    if tyxe_obs::enabled() {
+        match isa() {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512Fma => probe::panels(6, 16),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2Fma | Isa::Avx2 => probe::panels(4, 8),
+            _ => probe::panels(2, 8),
+        }
+    }
     match isa() {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512Fma => gemm_blocked_driver::<6, 16>(a, b, c, m, k, n, from_c, micro_avx512_fma),
@@ -490,28 +582,34 @@ pub fn gemm_bt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, 
 /// `C += A·B` — blocked + parallel above the size cutoff, reference
 /// below. Bit-identical either way.
 pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    if m * k * n < BLOCK_MIN_MADDS {
-        gemm_ref(a, b, c, m, k, n);
-    } else {
+    let blocked = m * k * n >= BLOCK_MIN_MADDS;
+    let _span = probe::gemm(0, blocked, m, k, n);
+    if blocked {
         gemm_blocked(a, b, c, m, k, n);
+    } else {
+        gemm_ref(a, b, c, m, k, n);
     }
 }
 
 /// `C += Aᵀ·B` where `A` is `[k×m]`.
 pub fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    if m * k * n < BLOCK_MIN_MADDS {
-        gemm_at_ref(a, b, c, m, k, n);
-    } else {
+    let blocked = m * k * n >= BLOCK_MIN_MADDS;
+    let _span = probe::gemm(1, blocked, m, k, n);
+    if blocked {
         gemm_at_blocked(a, b, c, m, k, n);
+    } else {
+        gemm_at_ref(a, b, c, m, k, n);
     }
 }
 
 /// `C += A·Bᵀ` where `B` is `[n×k]`.
 pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    if m * k * n < BLOCK_MIN_MADDS {
-        gemm_bt_ref(a, b, c, m, k, n);
-    } else {
+    let blocked = m * k * n >= BLOCK_MIN_MADDS;
+    let _span = probe::gemm(2, blocked, m, k, n);
+    if blocked {
         gemm_bt_blocked(a, b, c, m, k, n);
+    } else {
+        gemm_bt_ref(a, b, c, m, k, n);
     }
 }
 

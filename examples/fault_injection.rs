@@ -1,11 +1,13 @@
-//! Fault-tolerant training under deterministic fault injection.
+//! Fault-tolerant training under deterministic fault injection, with
+//! optional observability export.
 //!
 //! Trains a small Bayesian regression net under the training supervisor
 //! while the `TYXE_FAULT_*` environment knobs corrupt it on purpose:
 //!
 //! ```text
 //! TYXE_FAULT_NAN_PROB=0.05 TYXE_FAULT_PANIC_PROB=0.01 TYXE_FAULT_SEED=17 \
-//!     cargo run --release --example fault_injection
+//!     cargo run --release --example fault_injection -- \
+//!     --trace /tmp/trace.json --metrics /tmp/metrics.jsonl
 //! ```
 //!
 //! * `TYXE_FAULT_NAN_PROB` — probability per step that one gradient slot
@@ -14,11 +16,16 @@
 //!   worker panic inside the parallel kernels.
 //! * `TYXE_FAULT_SEED` — base seed of both fault streams (default 0), so
 //!   a given configuration replays the exact same fault schedule.
+//! * `--trace <path>` — enable `tyxe-obs` and write a chrome://tracing
+//!   JSON file of every span recorded during the fit.
+//! * `--metrics <path>` — enable `tyxe-obs` and write the final metrics
+//!   snapshot as JSON lines.
 //!
 //! The supervisor detects each fault, rolls back to the last good state,
 //! retries with a backed-off learning rate, checkpoints periodically, and
-//! reports every recovery action. With all knobs unset this is just a
-//! plain supervised fit that reports zero faults.
+//! reports every recovery action via [`FitReport::summary`]. With all
+//! knobs unset this is just a plain supervised fit that reports zero
+//! faults.
 
 use tyxe::fit::{Supervisor, SupervisorConfig};
 use tyxe::guides::AutoNormal;
@@ -29,7 +36,46 @@ use tyxe_prob::optim::Adam;
 use tyxe_rand::rngs::StdRng;
 use tyxe_rand::SeedableRng;
 
+/// `--trace` / `--metrics` output paths parsed from argv.
+struct Args {
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { trace: None, metrics: None };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--trace" => {
+                let path = argv.next().expect("--trace requires a path");
+                args.trace = Some(path.into());
+            }
+            "--metrics" => {
+                let path = argv.next().expect("--metrics requires a path");
+                args.metrics = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fault_injection [--trace out.json] [--metrics out.jsonl]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
 fn main() {
+    let args = parse_args();
+    if args.trace.is_some() || args.metrics.is_some() {
+        tyxe_obs::set_enabled(true);
+    }
+    // Pre-register the rare-event counters so they appear in the metrics
+    // snapshot even when this run never trips them.
+    tyxe_prob::mcmc::divergence_counter();
+    tyxe_par::fault::injected_panics_counter();
+    tyxe_par::fault::fault_fired_counter();
+
     let n = 256;
     let hidden = 128;
     let epochs = 60;
@@ -67,15 +113,7 @@ fn main() {
 
     let report = sup.report();
     println!("first loss: {:.4}  last loss: {:.4}", losses[0], losses[losses.len() - 1]);
-    println!("steps completed:         {}", report.steps_completed);
-    println!("faults recovered:        {}", report.total_faults());
-    println!("  retried:               {}", report.retried);
-    println!("  backed off:            {}", report.backed_off);
-    println!("  worker panics:         {}", report.worker_panics_recovered);
-    println!("  grad-clipped steps:    {}", report.grad_clipped);
-    println!("  nan-skipped steps:     {}", report.nan_skipped);
-    println!("checkpoints written:     {}", report.checkpointed);
-    println!("injected pool panics:    {}", tyxe_par::fault::injected_panics());
+    println!("{}", report.summary());
 
     // Recovery only wraps supervised training; disarm injection before the
     // (unsupervised) evaluation pass.
@@ -83,6 +121,27 @@ fn main() {
     tyxe_par::fault::set_panic_prob(0.0);
     let eval = bnn.evaluate(&x, &y, 8);
     println!("final fit error:         {:.4}", eval.error);
+
+    if let Some(path) = &args.trace {
+        match tyxe_obs::trace::write_chrome_trace(path) {
+            Ok(spans) => println!("trace written:           {} ({spans} spans)", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.metrics {
+        match tyxe_obs::metrics::write_snapshot_jsonl(path) {
+            Ok(records) => {
+                println!("metrics written:         {} ({records} records)", path.display())
+            }
+            Err(e) => {
+                eprintln!("failed to write metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     let _ = std::fs::remove_file(&ckpt);
 }

@@ -28,15 +28,20 @@ TYXE_NUM_THREADS=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
 echo "verify: test suite @ TYXE_NUM_THREADS=4"
 TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true cargo test -q --frozen
 
-# Fault-injection smoke run: a short supervised fit with 5% NaN-gradient
-# injection (and pool panics, on a forced 4-thread pool) must complete
-# all its steps and report the recoveries it performed. This exercises
-# the supervisor's detect/rollback/retry pipeline end to end on every
-# verification run, not just in the test suite.
-echo "verify: fault-injection smoke run"
+# Fault-injection + observability smoke run: a short supervised fit with
+# 5% NaN-gradient injection (and pool panics, on a forced 4-thread pool)
+# must complete all its steps and report the recoveries it performed —
+# while tracing everything through tyxe-obs. This exercises the
+# supervisor's detect/rollback/retry pipeline AND the whole span/metrics
+# pipeline end to end on every verification run, not just in the test
+# suite.
+echo "verify: fault-injection + observability smoke run"
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
 smoke=$(TYXE_FAULT_NAN_PROB=0.05 TYXE_FAULT_PANIC_PROB=0.01 \
-        TYXE_FAULT_SEED=17 TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true \
-        cargo run --release --frozen --example fault_injection)
+        TYXE_FAULT_SEED=17 TYXE_NUM_THREADS=4 TYXE_OBS=1 CARGO_NET_OFFLINE=true \
+        cargo run --release --frozen --example fault_injection -- \
+        --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.jsonl")
 echo "$smoke" | sed 's/^/  /'
 recovered=$(echo "$smoke" | awk '/faults recovered:/ {print $3}')
 if [[ -z "$recovered" || "$recovered" -eq 0 ]]; then
@@ -44,11 +49,24 @@ if [[ -z "$recovered" || "$recovered" -eq 0 ]]; then
     exit 1
 fi
 
+# Structurally validate the emitted chrome trace and metrics snapshot
+# with the in-tree validator (no jq): the supervised fit must decompose
+# into nested step → svi-phase → kernel spans across at least two pool
+# threads, and the snapshot must carry the pool/fault/divergence
+# counters the observability contract (DESIGN.md §9) promises.
+echo "verify: observability artifact validation"
+CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
+    --bin tyxe-obs-validate -- \
+    --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.jsonl" \
+    --require-span-names core.supervisor.step,prob.svi.guide,prob.svi.model,core.svi.backward,prob.optim.step,tensor.gemm.block,par.task \
+    --require-threads 2 --require-depth 3 \
+    --require-metrics par.pool.tasks_queued,par.worker.tasks,par.fault.injected_panics,prob.mcmc.divergences,core.supervisor.steps,core.site.sample_ns,tensor.gemm.flops
+
 # Lint the resilience-critical crates at deny-warnings strictness: the
 # unsafe-heavy pool (scope lifetime erasure), the serialization substrate
 # and the supervisor should stay free of even stylistic lint debt.
 if command -v cargo-clippy >/dev/null 2>&1; then
-    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-par -p tyxe-nn -p tyxe-prob -p tyxe \
+    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-nn -p tyxe-prob -p tyxe \
         --frozen -- -D warnings
 else
     echo "verify: cargo-clippy unavailable, skipping lint step" >&2

@@ -127,6 +127,49 @@ fn svi_step_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Observability must be a pure observer: enabling `tyxe-obs` (spans,
+/// counters, per-site timing handlers) must not perturb a single bit of
+/// the computation, sequentially or on a 4-thread pool. This is the
+/// "determinism bit-identity" half of the observability contract
+/// (DESIGN.md §9); the overhead half lives in
+/// `crates/tensor/tests/obs_overhead.rs`.
+#[test]
+fn svi_step_is_bit_identical_with_observability_enabled() {
+    let prev = tyxe_par::num_threads();
+    for threads in [1usize, 4] {
+        tyxe_par::set_num_threads(threads);
+        tyxe_obs::set_enabled(false);
+        let (losses_off, sites_off) = run_svi_wide(29, 2);
+        tyxe_obs::set_enabled(true);
+        let (losses_on, sites_on) = run_svi_wide(29, 2);
+        tyxe_obs::set_enabled(false);
+        tyxe_obs::trace::clear();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&losses_off),
+            bits(&losses_on),
+            "losses drifted with observability at {threads} threads"
+        );
+        assert_eq!(sites_off.len(), sites_on.len());
+        for ((name_off, loc_off, scale_off), (name_on, loc_on, scale_on)) in
+            sites_off.iter().zip(&sites_on)
+        {
+            assert_eq!(name_off, name_on);
+            assert_eq!(
+                bits(loc_off),
+                bits(loc_on),
+                "loc drifted with observability at {name_off} ({threads} threads)"
+            );
+            assert_eq!(
+                bits(scale_off),
+                bits(scale_on),
+                "scale drifted with observability at {name_off} ({threads} threads)"
+            );
+        }
+    }
+    tyxe_par::set_num_threads(prev);
+}
+
 /// Checkpoint/resume determinism, on top of the same contract: killing a
 /// supervised run between checkpoints and resuming from disk must land on
 /// bit-identical variational parameters, because the checkpoint carries
