@@ -3,7 +3,7 @@
 //! computational cost" of a training step (which is why `predict` is run
 //! outside the handler context).
 
-use tyxe_bench::harness::Criterion;
+use tyxe_bench::harness::{bench_with_pool_stats, Criterion};
 use tyxe_bench::{criterion_group, criterion_main};
 use tyxe_rand::SeedableRng;
 use std::hint::black_box;
@@ -70,7 +70,7 @@ fn bench_elbo_step(c: &mut Criterion) {
 fn bench_svi_step_end_to_end(c: &mut Criterion) {
     let (bnn, data) = make_bnn();
     let mut optim = Adam::new(vec![], 1e-3);
-    c.bench_function("svi_step_full", |b| {
+    bench_with_pool_stats(c, "svi_step_full", |b| {
         b.iter(|| black_box(bnn.svi_step(&data.x, &data.y, &mut optim)))
     });
 }

@@ -1,7 +1,7 @@
 //! Wall-clock microbenchmarks (in-tree harness) for the tensor/autodiff substrate: the op
 //! throughput every experiment in the paper rests on.
 
-use tyxe_bench::harness::Criterion;
+use tyxe_bench::harness::{bench_with_pool_stats, Criterion};
 use tyxe_bench::{criterion_group, criterion_main};
 use tyxe_rand::SeedableRng;
 use std::hint::black_box;
@@ -135,7 +135,7 @@ fn bench_svi_step(c: &mut Criterion) {
             AutoNormal::new().init_scale(1e-2),
         );
     let mut optim = Adam::new(vec![], 1e-2);
-    c.bench_function("svi_step_mlp_1x128x128x1_n256", |bch| {
+    bench_with_pool_stats(c, "svi_step_mlp_1x128x128x1_n256", |bch| {
         bch.iter(|| black_box(bnn.svi_step(&data.x, &data.y, &mut optim)))
     });
 }

@@ -15,6 +15,11 @@
 //! `TYXE_BENCH_FAST=1` drops to one sample of one iteration per
 //! benchmark, which is how the bench binaries are smoke-tested in CI.
 //!
+//! `TYXE_BENCH_FILTER=<substring>` skips every benchmark whose full name
+//! does not contain the substring (skipped cases report all-zero stats
+//! and emit nothing). `scripts/bench.sh` uses it to re-run just the
+//! full-SVI-step cases under `TYXE_POOL=0` / `=1`.
+//!
 //! `TYXE_BENCH_JSON=<path>` additionally appends one JSON object per
 //! benchmark to `<path>` (JSON-lines). Each line carries the legacy keys
 //! `{"name":…,"min_ns":…,"median_ns":…,"mean_ns":…}` first — which
@@ -29,6 +34,71 @@ use std::time::{Duration, Instant};
 
 /// Target duration for a single measured sample during calibration.
 const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Per-iteration timing summary returned by
+/// [`Criterion::bench_function_stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: u128,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: u128,
+    /// Mean across samples, nanoseconds per iteration.
+    pub mean_ns: u128,
+}
+
+fn append_json_line(path: &std::ffi::OsStr, line: &str) {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+        .unwrap_or_else(|e| eprintln!("bench: cannot append to {}: {e}", path.to_string_lossy()));
+}
+
+/// Runs a full-training-step benchmark and reports, alongside the usual
+/// timing columns, `steps/sec` and the buffer-pool allocation counters
+/// (`tensor.alloc.pool_hit` / `pool_miss` deltas across the whole run,
+/// calibration included — calibration doubles as pool warmup). When
+/// `TYXE_BENCH_JSON` is set, appends a second JSON line named
+/// `<name>/pool` carrying `steps_per_sec`, `pool_hit`, `pool_miss`,
+/// `hit_ratio` and `pool_enabled`; `scripts/bench.sh` reshapes those
+/// lines into `results/BENCH_SVI.json`.
+pub fn bench_with_pool_stats(
+    c: &mut Criterion,
+    name: &str,
+    f: impl FnMut(&mut Bencher),
+) -> BenchStats {
+    let hit = tyxe_obs::metrics::counter("tensor.alloc.pool_hit");
+    let miss = tyxe_obs::metrics::counter("tensor.alloc.pool_miss");
+    let (h0, m0) = (hit.get(), miss.get());
+    let stats = c.bench_function_stats(name, f);
+    if stats.median_ns == 0 {
+        // Filtered out (TYXE_BENCH_FILTER) — nothing ran, nothing to report.
+        return stats;
+    }
+    let (dh, dm) = (hit.get() - h0, miss.get() - m0);
+    let steps_per_sec = 1e9 / stats.median_ns.max(1) as f64;
+    let hit_ratio = if dh + dm > 0 {
+        dh as f64 / (dh + dm) as f64
+    } else {
+        0.0
+    };
+    let pool_on = std::env::var("TYXE_POOL").as_deref().map_or(true, |v| v.trim() != "0");
+    println!(
+        "bench {name:<40} steps/sec {steps_per_sec:>10.2}  pool_hit {dh:>9}  pool_miss {dm:>9}  hit_ratio {hit_ratio:.3}  (pool {})",
+        if pool_on { "on" } else { "off" },
+    );
+    if let Some(path) = std::env::var_os("TYXE_BENCH_JSON") {
+        let line = format!(
+            "{{\"name\":\"{}/pool\",\"steps_per_sec\":{steps_per_sec:.3},\"median_ns\":{},\"pool_hit\":{dh},\"pool_miss\":{dm},\"hit_ratio\":{hit_ratio:.4},\"pool_enabled\":{pool_on},\"value\":{steps_per_sec:.3},\"unit\":\"steps_per_sec\",\"tags\":{{\"source\":\"bench\"}}}}\n",
+            tyxe_obs::json::escape(name),
+            stats.median_ns,
+        );
+        append_json_line(&path, &line);
+    }
+    stats
+}
 
 /// Drives iteration timing inside a benchmark closure.
 pub struct Bencher {
@@ -62,6 +132,12 @@ fn fast_mode() -> bool {
     std::env::var_os("TYXE_BENCH_FAST").is_some_and(|v| v != "0")
 }
 
+/// `TYXE_BENCH_FILTER` predicate: empty filter runs everything,
+/// otherwise only names containing the substring run.
+fn name_passes_filter(name: &str, filter: &str) -> bool {
+    filter.is_empty() || name.contains(filter)
+}
+
 fn format_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 1_000 {
@@ -87,9 +163,29 @@ impl Criterion {
     pub fn bench_function(
         &mut self,
         name: impl Into<String>,
-        mut f: impl FnMut(&mut Bencher),
+        f: impl FnMut(&mut Bencher),
     ) -> &mut Criterion {
+        self.bench_function_stats(name, f);
+        self
+    }
+
+    /// Runs one named benchmark and returns its timing summary, for
+    /// callers that derive additional columns (e.g. the SVI steps/sec +
+    /// pool-counter report in [`bench_with_pool_stats`]).
+    pub fn bench_function_stats(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> BenchStats {
         let name = name.into();
+        let filter = std::env::var("TYXE_BENCH_FILTER").unwrap_or_default();
+        if !name_passes_filter(&name, &filter) {
+            return BenchStats {
+                min_ns: 0,
+                median_ns: 0,
+                mean_ns: 0,
+            };
+        }
         let (iters, samples) = if fast_mode() {
             (1, 1)
         } else {
@@ -130,16 +226,13 @@ impl Criterion {
                 mean.as_nanos(),
                 median.as_nanos(),
             );
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .and_then(|mut f| f.write_all(line.as_bytes()))
-                .unwrap_or_else(|e| {
-                    eprintln!("bench: cannot append to {}: {e}", path.to_string_lossy())
-                });
+            append_json_line(&path, &line);
         }
-        self
+        BenchStats {
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+        }
     }
 
     /// Opens a named group; member benchmarks are reported as
@@ -294,6 +387,14 @@ mod tests {
         );
         let tags = parsed.get("tags").and_then(|v| v.as_obj()).expect("tags object");
         assert!(tags.iter().any(|(k, v)| k == "source" && v.as_str() == Some("bench")));
+    }
+
+    #[test]
+    fn filter_matches_by_substring() {
+        assert!(name_passes_filter("svi_step_full", ""));
+        assert!(name_passes_filter("svi_step_full", "svi_step"));
+        assert!(name_passes_filter("group/svi_step_full", "svi_step"));
+        assert!(!name_passes_filter("elbo_step/vanilla", "svi_step"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use tyxe_nn::init::VarianceScheme;
 use tyxe_prob::dist::{boxed, Delta, DynDistribution, LowRankNormal, Normal};
 use tyxe_prob::poutine::sample;
 use tyxe_prob::rng;
+use tyxe_tensor::ops::ScaleMap;
 use tyxe_tensor::Tensor;
 
 use crate::bnn::BnnSite;
@@ -189,7 +190,9 @@ impl AutoNormal {
             Some(m) => log_scale.clamp_max(m.ln()),
             None => log_scale,
         };
-        Normal::new(loc, log_scale.exp())
+        // Keep exp() symbolic: same-shape sampling then runs the fused
+        // loc + eps * exp(log_scale) kernel in one pass.
+        Normal::from_raw_scale(loc, log_scale, ScaleMap::Exp)
     }
 
     /// Looks up the (live, undetached) distribution of a named site.

@@ -1,11 +1,12 @@
 //! Parameter-free activation and shape layers.
 
+use tyxe_tensor::ops::Activation;
 use tyxe_tensor::Tensor;
 
 use crate::module::{Forward, Module, ParamInfo};
 
 macro_rules! activation {
-    ($(#[$doc:meta])* $name:ident, $kind:literal, $f:expr) => {
+    ($(#[$doc:meta])* $name:ident, $kind:literal, $fuse:expr, $f:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, Default)]
         pub struct $name;
@@ -22,6 +23,9 @@ macro_rules! activation {
                 $kind
             }
             fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(ParamInfo)) {}
+            fn fusable_activation(&self) -> Option<Activation> {
+                $fuse
+            }
         }
 
         impl Forward<Tensor> for $name {
@@ -38,24 +42,29 @@ activation!(
     /// Rectified linear unit.
     Relu,
     "Relu",
+    Some(Activation::Relu),
     |x: &Tensor| x.relu()
 );
 activation!(
     /// Hyperbolic tangent.
     Tanh,
     "Tanh",
+    Some(Activation::Tanh),
     |x: &Tensor| x.tanh()
 );
 activation!(
     /// Logistic sigmoid.
     Sigmoid,
     "Sigmoid",
+    Some(Activation::Sigmoid),
     |x: &Tensor| x.sigmoid()
 );
 activation!(
-    /// Softplus.
+    /// Softplus. Not fusable: its derivative is not recoverable from its
+    /// output, so it stays a standalone graph node.
     Softplus,
     "Softplus",
+    None,
     |x: &Tensor| x.softplus()
 );
 

@@ -72,6 +72,11 @@ impl Module for Linear {
         "Linear"
     }
 
+    fn forward_act(&self, input: &Tensor, act: tyxe_tensor::ops::Activation) -> Option<Tensor> {
+        let bias = self.bias.as_ref().map(Param::value);
+        Some(effectful::linear_act(input, &self.weight.value(), bias.as_ref(), act))
+    }
+
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(ParamInfo)) {
         f(ParamInfo {
             name: join_path(prefix, "weight"),

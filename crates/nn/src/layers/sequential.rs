@@ -113,9 +113,28 @@ impl Forward<Tensor> for Sequential {
     type Output = Tensor;
 
     fn forward(&self, input: &Tensor) -> Tensor {
+        // Peephole fusion: a layer followed by a fusable elementwise
+        // activation (Relu/Tanh/Sigmoid after Linear/Conv2d) runs as one
+        // fused forward. Bit-identical to the unfused chain — the fused
+        // kernel applies the same scalar recipe in the same order — so this
+        // only saves a graph node and an output buffer.
         let mut x = input.clone();
-        for layer in &self.layers {
+        let mut i = 0;
+        while i < self.layers.len() {
+            let layer = &self.layers[i];
+            if let Some(act) = self
+                .layers
+                .get(i + 1)
+                .and_then(|a| a.as_module().fusable_activation())
+            {
+                if let Some(y) = layer.as_module().forward_act(&x, act) {
+                    x = y;
+                    i += 2;
+                    continue;
+                }
+            }
             x = layer.forward(&x);
+            i += 1;
         }
         x
     }

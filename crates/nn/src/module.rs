@@ -6,6 +6,7 @@
 //! and is generic over the input so graph networks (`(Graph, Tensor)`
 //! inputs) and renderers fit the same abstraction.
 
+use tyxe_tensor::ops::Activation;
 use tyxe_tensor::Tensor;
 
 use crate::param::Param;
@@ -50,6 +51,22 @@ pub trait Module {
         _prefix: &str,
         _f: &mut dyn FnMut(String, &std::cell::RefCell<Vec<f64>>),
     ) {
+    }
+
+    /// If this module is a stateless elementwise activation that the fused
+    /// affine kernels support, returns its tag so [`crate::layers::Sequential`]
+    /// can fold it into the preceding layer's forward pass. Results are
+    /// bit-identical either way; this only drops a graph node.
+    fn fusable_activation(&self) -> Option<Activation> {
+        None
+    }
+
+    /// Forward pass with a fused trailing activation, for modules whose
+    /// output feeds straight into `act` (currently `Linear` and `Conv2d`).
+    /// `None` means the caller must use plain `forward` plus a separate
+    /// activation layer.
+    fn forward_act(&self, _input: &Tensor, _act: Activation) -> Option<Tensor> {
+        None
     }
 
     /// Collects all parameters with their full names.

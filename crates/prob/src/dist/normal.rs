@@ -1,7 +1,9 @@
 //! Factorized (diagonal) Normal and LogNormal distributions.
 
 use std::any::Any;
+use std::cell::OnceCell;
 
+use tyxe_tensor::ops::ScaleMap;
 use tyxe_tensor::Tensor;
 
 use super::Distribution;
@@ -15,6 +17,13 @@ const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_8; // ln(sqrt(2*pi))
 /// broadcast shape. Sampling is reparameterized (`loc + scale * eps`), so
 /// gradients flow to both parameters.
 ///
+/// Guides usually parameterize the scale through a positivity map (e.g.
+/// `exp(log_scale)`); [`Normal::from_raw_scale`] keeps that map symbolic so
+/// same-shape sampling can run the fused one-pass
+/// `loc + eps * map(raw_scale)` kernel instead of materializing the mapped
+/// scale as a separate graph node. The materialized scale is still available
+/// lazily through [`Normal::scale`] for densities and moments.
+///
 /// # Examples
 ///
 /// ```
@@ -27,7 +36,9 @@ const LOG_SQRT_2PI: f64 = 0.918_938_533_204_672_8; // ln(sqrt(2*pi))
 #[derive(Debug, Clone)]
 pub struct Normal {
     loc: Tensor,
-    scale: Tensor,
+    raw_scale: Tensor,
+    map: ScaleMap,
+    scale: OnceCell<Tensor>,
     shape: Vec<usize>,
 }
 
@@ -40,7 +51,33 @@ impl Normal {
     pub fn new(loc: Tensor, scale: Tensor) -> Normal {
         let shape = tyxe_tensor::shape::broadcast_shapes(loc.shape(), scale.shape())
             .expect("Normal: loc/scale shapes must broadcast");
-        Normal { loc, scale, shape }
+        let cell = OnceCell::new();
+        let _ = cell.set(scale.clone());
+        Normal {
+            loc,
+            raw_scale: scale,
+            map: ScaleMap::Identity,
+            scale: cell,
+            shape,
+        }
+    }
+
+    /// Creates a Normal whose scale is `map(raw_scale)`, keeping the map
+    /// symbolic so sampling can fuse it into the reparameterization kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not broadcast.
+    pub fn from_raw_scale(loc: Tensor, raw_scale: Tensor, map: ScaleMap) -> Normal {
+        let shape = tyxe_tensor::shape::broadcast_shapes(loc.shape(), raw_scale.shape())
+            .expect("Normal: loc/scale shapes must broadcast");
+        Normal {
+            loc,
+            raw_scale,
+            map,
+            scale: OnceCell::new(),
+            shape,
+        }
     }
 
     /// A standard normal of the given shape.
@@ -58,24 +95,36 @@ impl Normal {
         &self.loc
     }
 
-    /// Scale parameter.
+    /// Scale parameter (materialized lazily from the raw scale when the
+    /// distribution was built with [`Normal::from_raw_scale`]).
     pub fn scale(&self) -> &Tensor {
-        &self.scale
+        self.scale.get_or_init(|| match self.map {
+            ScaleMap::Identity => self.raw_scale.clone(),
+            ScaleMap::Exp => self.raw_scale.exp(),
+            ScaleMap::Softplus => self.raw_scale.softplus(),
+        })
     }
 }
 
 impl Distribution for Normal {
     fn sample(&self) -> Tensor {
         let eps = rng::randn(&self.shape);
-        self.loc.add(&self.scale.mul(&eps))
+        // Fused one-pass sample when nothing broadcasts; the composite
+        // fallback handles broadcasting loc/scale.
+        if self.loc.shape() == &self.shape[..] && self.raw_scale.shape() == &self.shape[..] {
+            Tensor::fused_reparam_sample(&self.loc, &self.raw_scale, &eps, self.map)
+        } else {
+            self.loc.add(&self.scale().mul(&eps))
+        }
     }
 
     fn log_prob(&self, value: &Tensor) -> Tensor {
         // -(v - mu)^2 / (2 sigma^2) - ln(sigma) - ln(sqrt(2 pi))
-        let z = value.sub(&self.loc).div(&self.scale);
+        let scale = self.scale();
+        let z = value.sub(&self.loc).div(scale);
         z.square()
             .mul_scalar(-0.5)
-            .sub(&self.scale.ln())
+            .sub(&scale.ln())
             .add_scalar(-LOG_SQRT_2PI)
     }
 
@@ -92,7 +141,7 @@ impl Distribution for Normal {
     }
 
     fn variance(&self) -> Tensor {
-        self.scale.square().broadcast_to(&self.shape)
+        self.scale().square().broadcast_to(&self.shape)
     }
 
     fn as_any(&self) -> &dyn Any {

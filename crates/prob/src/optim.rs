@@ -119,15 +119,17 @@ impl Optimizer for Sgd {
 
     fn step(&mut self) {
         let _span = tyxe_obs::span!("prob.optim.step", "sgd");
+        let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
-            let Some(g) = p.grad() else { continue };
-            let mut data = p.to_vec();
-            for i in 0..data.len() {
-                let grad = g[i] + self.weight_decay * data[i];
-                v[i] = self.momentum * v[i] + grad;
-                data[i] -= self.lr * v[i];
-            }
-            p.set_data(data);
+            // Fused update: one pass over the data/grad/velocity lanes,
+            // in place — no parameter copy, no grad clone.
+            p.with_data_and_grad(|data, g| {
+                for i in 0..data.len() {
+                    let grad = g[i] + weight_decay * data[i];
+                    v[i] = momentum * v[i] + grad;
+                    data[i] -= lr * v[i];
+                }
+            });
         }
     }
 
@@ -226,18 +228,21 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps, weight_decay) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
-            let Some(g) = p.grad() else { continue };
-            let mut data = p.to_vec();
-            for i in 0..data.len() {
-                let grad = g[i] + self.weight_decay * data[i];
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
-            p.set_data(data);
+            // Fused update: a single loop over data/grad/moment lanes,
+            // writing the parameter in place — no copy, no grad clone.
+            p.with_data_and_grad(|data, g| {
+                for i in 0..data.len() {
+                    let grad = g[i] + weight_decay * data[i];
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * grad;
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * grad * grad;
+                    let mhat = m[i] / bc1;
+                    let vhat = v[i] / bc2;
+                    data[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
         }
     }
 

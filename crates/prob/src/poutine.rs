@@ -439,33 +439,63 @@ pub fn mask<R>(
 /// without bespoke layer classes.
 pub mod effectful {
     use super::*;
+    use tyxe_tensor::ops::Activation;
+
+    /// Applies a trailing activation as a standalone op (used when a handler
+    /// intercepted the affine part, so the fused kernel is unavailable).
+    fn apply_activation(t: Tensor, act: Activation) -> Tensor {
+        match act {
+            Activation::Identity => t,
+            Activation::Relu => t.relu(),
+            Activation::Tanh => t.tanh(),
+            Activation::Sigmoid => t.sigmoid(),
+        }
+    }
 
     /// Dense affine map `x @ w^T + b` with `x: [n, in]`, `w: [out, in]`.
     ///
     /// Handlers are consulted innermost-first; the first interception wins.
     pub fn linear(x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Tensor {
+        linear_act(x, w, b, Activation::Identity)
+    }
+
+    /// [`linear`] with a fused trailing elementwise activation.
+    ///
+    /// Handlers intercept the affine part exactly as for [`linear`]; the
+    /// activation is then applied on top of the intercepted result, so
+    /// messengers observe the same pre-activation computation either way.
+    pub fn linear_act(x: &Tensor, w: &Tensor, b: Option<&Tensor>, act: Activation) -> Tensor {
         let stack = snapshot_stack();
         for h in stack.iter().rev() {
             if let Some(out) = h.intercept_linear(x, w, b) {
-                return out;
+                return apply_activation(out, act);
             }
         }
-        let out = x.matmul(&w.t());
-        match b {
-            Some(b) => out.add(b),
-            None => out,
-        }
+        x.linear(w, b, act)
     }
 
     /// 2-D convolution with handler interception (see [`linear`]).
     pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+        conv2d_act(x, w, b, stride, pad, Activation::Identity)
+    }
+
+    /// [`conv2d`] with a fused trailing elementwise activation (same
+    /// interception contract as [`linear_act`]).
+    pub fn conv2d_act(
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+        act: Activation,
+    ) -> Tensor {
         let stack = snapshot_stack();
         for h in stack.iter().rev() {
             if let Some(out) = h.intercept_conv2d(x, w, b, stride, pad) {
-                return out;
+                return apply_activation(out, act);
             }
         }
-        x.conv2d(w, b, stride, pad)
+        x.conv2d_act(w, b, stride, pad, act)
     }
 
     /// Training-mode inverted dropout with handler interception. The

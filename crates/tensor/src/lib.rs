@@ -48,9 +48,22 @@
 //!   *machines* with different instruction sets — the usual BLAS caveat —
 //!   but never between runs, thread counts, or code paths on one machine.
 //!   See [`ops::gemm_kernels`] for the full contract.
+//!
+//! # Memory reuse
+//!
+//! Tensor data and gradient buffers are recycled through a thread-local,
+//! size-bucketed buffer pool ([`pool`]; `TYXE_POOL=0` disables it).
+//! Recycled buffers may be handed back with stale contents where the
+//! consumer provably overwrites every element — no result ever depends
+//! on a buffer's prior life, so numerics are **bit-identical with the
+//! pool on or off**, an invariant the determinism contract above extends
+//! to and `tests/pool_stress.rs` pins. See DESIGN.md §10 for the full
+//! memory-reuse contract and the fused hot-path kernels that accompany
+//! it.
 
 pub mod grad_check;
 pub mod ops;
+pub mod pool;
 pub mod shape;
 mod tensor;
 

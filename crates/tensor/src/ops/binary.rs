@@ -6,6 +6,7 @@
 //! stays sequential to keep its addition order fixed.
 
 use crate::ops::PAR_MIN_ELEMS;
+use crate::pool;
 use crate::shape::{broadcast_shapes, broadcast_source_index, numel, unravel_index};
 use crate::tensor::Tensor;
 
@@ -13,9 +14,10 @@ use crate::tensor::Tensor;
 /// operand shape by summing over broadcast dimensions.
 pub(crate) fn sum_to_shape(grad: &[f64], out_shape: &[usize], src_shape: &[usize]) -> Vec<f64> {
     if out_shape == src_shape {
-        return grad.to_vec();
+        return pool::alloc_copy(grad);
     }
-    let mut out = vec![0.0; numel(src_shape)];
+    // Genuine accumulator: stays zero-initialized.
+    let mut out = pool::alloc_zeroed(numel(src_shape));
     for (flat, &g) in grad.iter().enumerate() {
         let idx = unravel_index(flat, out_shape);
         out[broadcast_source_index(&idx, src_shape)] += g;
@@ -42,7 +44,7 @@ fn broadcast_binary(
     let ad = a.data();
     let bd = b.data();
     let fast = a.shape() == out_shape && b.shape() == out_shape;
-    let mut data = vec![0.0; n];
+    let mut data = pool::alloc_uninit(n);
     {
         let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
         let chunk = tyxe_par::chunk_len(n, 1, PAR_MIN_ELEMS);
@@ -78,8 +80,8 @@ fn broadcast_binary(
             let ad = ac.data();
             let bd = bc.data();
             let n = grad.len();
-            let mut ga = vec![0.0; n];
-            let mut gb = vec![0.0; n];
+            let mut ga = pool::alloc_uninit(n);
+            let mut gb = pool::alloc_uninit(n);
             {
                 let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
                 let chunk = tyxe_par::chunk_len(n, 1, PAR_MIN_ELEMS);
@@ -106,9 +108,20 @@ fn broadcast_binary(
             }
             drop(ad);
             drop(bd);
-            let ga = sum_to_shape(&ga, &out_shape_c, ac.shape());
-            let gb = sum_to_shape(&gb, &out_shape_c, bc.shape());
-            vec![Some(ga), Some(gb)]
+            // When an operand already has the output shape its gradient
+            // buffer is handed over as-is; only genuinely broadcast
+            // operands pay the reduction (and its fresh accumulator).
+            let ga = if ac.shape() == out_shape_c {
+                ga
+            } else {
+                sum_to_shape(&ga, &out_shape_c, ac.shape())
+            };
+            let gb = if bc.shape() == out_shape_c {
+                gb
+            } else {
+                sum_to_shape(&gb, &out_shape_c, bc.shape())
+            };
+            vec![Some(ga.into()), Some(gb.into())]
         }),
     )
 }

@@ -9,7 +9,9 @@
 //! order, which reproduces the sequential loop's addition chain exactly
 //! (see `tyxe-par`'s determinism contract).
 
-use crate::ops::matmul::{gemm, gemm_at, gemm_bt};
+use crate::ops::fused::Activation;
+use crate::ops::matmul::{gemm_at_ow, gemm_bt, gemm_bt_ow, gemm_ow};
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Cached tyxe-obs counter for im2col invocations (both directions);
@@ -126,6 +128,26 @@ impl Tensor {
     /// Panics on rank mismatch or if `Cin` disagrees between input and
     /// weight.
     pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+        self.conv2d_act(weight, bias, stride, pad, Activation::Identity)
+    }
+
+    /// 2-D convolution with bias and activation fused into the forward
+    /// pass: each output tile gets `act(conv + b)` applied while still
+    /// cache-hot, and the backward recovers the activation derivative
+    /// from the stored output. `act = Identity` is exactly [`Tensor::conv2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or if `Cin` disagrees between input and
+    /// weight.
+    pub fn conv2d_act(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+        act: Activation,
+    ) -> Tensor {
         assert_eq!(self.ndim(), 4, "conv2d: input must be [N, C, H, W]");
         assert_eq!(weight.ndim(), 4, "conv2d: weight must be [Cout, Cin, Kh, Kw]");
         let (n, cin, h, w) = (
@@ -159,7 +181,9 @@ impl Tensor {
 
         let sample_in = cin * h * w;
         let sample_out = cout * ncols;
-        let mut out = vec![0.0; n * sample_out];
+        // GEMM overwrites every output element ([`gemm_ow`]), so the
+        // buffer comes from the pool uninitialized.
+        let mut out = pool::alloc_uninit(n * sample_out);
         {
             let x = self.data();
             let wd = weight.data();
@@ -169,18 +193,29 @@ impl Tensor {
             let spl = tyxe_par::chunk_len(n, 1, 1);
             tyxe_par::parallel_for_chunks(&mut out, (spl * sample_out).max(1), |start, chunk| {
                 let s0 = start / sample_out.max(1);
-                let mut cols = vec![0.0; krows * ncols];
+                // im2col writes every element (padding becomes explicit
+                // zeros), so the worker scratch is also uninit-reused.
+                let mut cols = pool::alloc_uninit(krows * ncols);
                 for (si, o) in chunk.chunks_mut(sample_out.max(1)).enumerate() {
                     let s = s0 + si;
                     if tyxe_obs::enabled() {
                         im2col_counter().inc();
                     }
                     im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, &mut cols);
-                    gemm(wd, &cols, o, cout, krows, ncols);
-                    if let Some(bd) = bd {
-                        for co in 0..cout {
-                            for v in &mut o[co * ncols..(co + 1) * ncols] {
-                                *v += bd[co];
+                    gemm_ow(wd, &cols, o, cout, krows, ncols);
+                    match (bd, act) {
+                        (Some(bd), _) => {
+                            for co in 0..cout {
+                                let b = bd[co];
+                                for v in &mut o[co * ncols..(co + 1) * ncols] {
+                                    *v = act.apply(*v + b);
+                                }
+                            }
+                        }
+                        (None, Activation::Identity) => {}
+                        (None, _) => {
+                            for v in o.iter_mut() {
+                                *v = act.apply(*v);
                             }
                         }
                     }
@@ -199,33 +234,56 @@ impl Tensor {
             out,
             vec![n, cout, ho, wo],
             parents,
-            Box::new(move |_, grad| {
+            Box::new(move |out, grad| {
                 let _span = tyxe_obs::span!("tensor.conv2d.backward");
+                // Pre-activation gradient from the stored output; with
+                // Identity the incoming gradient is used directly.
+                let yd = out.data();
+                let gpre_buf: Option<Vec<f64>> = match act {
+                    Activation::Identity => None,
+                    _ => {
+                        let mut g = pool::alloc_uninit(grad.len());
+                        for ((slot, &y), &gv) in g.iter_mut().zip(yd.iter()).zip(grad.iter()) {
+                            *slot = act.grad_from_output(y, gv);
+                        }
+                        Some(g)
+                    }
+                };
+                drop(yd);
+                let grad: &[f64] = gpre_buf.as_deref().unwrap_or(grad);
                 let x = xc.data();
                 let wd = wc.data();
                 let (x, wd): (&[f64], &[f64]) = (&x, &wd);
                 let sample_in = cin * h * w;
                 let sample_out = cout * ncols;
                 let wlen = cout * krows;
-                let mut gx = vec![0.0; n * sample_in];
-                let mut gw = vec![0.0; wlen];
-                // Per-sample body: dW_s = G_s * cols^T (accumulated into
-                // `gws`), dX_s = col2im(W^T * G_s).
-                let do_sample = |s: usize, gxs: &mut [f64], gws: &mut [f64], cols: &mut [f64], gcols: &mut [f64]| {
+                // col2im accumulates overlapping windows into gx, so it
+                // genuinely needs the zeroed pool path.
+                let mut gx = pool::alloc_zeroed(n * sample_in);
+                let mut gw = pool::alloc_zeroed(wlen);
+                // Per-sample body: dW_s = G_s * cols^T (`overwrite` picks
+                // whether `gws` is a fresh per-sample partial or the
+                // sequential accumulator), dX_s = col2im(W^T * G_s).
+                let do_sample = |s: usize, gxs: &mut [f64], gws: &mut [f64], overwrite: bool, cols: &mut [f64], gcols: &mut [f64]| {
                     let gout = &grad[s * sample_out..(s + 1) * sample_out];
                     if tyxe_obs::enabled() {
                         im2col_counter().inc();
                     }
                     im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, cols);
-                    gemm_bt(gout, cols, gws, cout, ncols, krows);
-                    gcols.iter_mut().for_each(|v| *v = 0.0);
-                    gemm_at(wd, gout, gcols, krows, cout, ncols);
+                    if overwrite {
+                        gemm_bt_ow(gout, cols, gws, cout, ncols, krows);
+                    } else {
+                        gemm_bt(gout, cols, gws, cout, ncols, krows);
+                    }
+                    gemm_at_ow(wd, gout, gcols, krows, cout, ncols);
                     col2im(gcols, cin, h, w, kh, kw, stride, pad, gxs);
                 };
                 if n > 0 && sample_in > 0 && wlen > 0 {
                     // Disjoint per-sample partials for dW; samples
                     // partitioned across the pool in lock-step with dX.
-                    let mut gw_part = vec![0.0; n * wlen];
+                    // Each partial is written exactly once (overwrite
+                    // GEMM), so the scratch comes from the pool uninit.
+                    let mut gw_part = pool::alloc_uninit(n * wlen);
                     let spl = tyxe_par::chunk_len(n, 1, 1);
                     tyxe_par::parallel_for_chunks2(
                         &mut gx,
@@ -233,12 +291,12 @@ impl Tensor {
                         spl * sample_in,
                         spl * wlen,
                         |ci, gxc, gwc| {
-                            let mut cols = vec![0.0; krows * ncols];
-                            let mut gcols = vec![0.0; krows * ncols];
+                            let mut cols = pool::alloc_uninit(krows * ncols);
+                            let mut gcols = pool::alloc_uninit(krows * ncols);
                             for (si, (gxs, gws)) in
                                 gxc.chunks_mut(sample_in).zip(gwc.chunks_mut(wlen)).enumerate()
                             {
-                                do_sample(ci * spl + si, gxs, gws, &mut cols, &mut gcols);
+                                do_sample(ci * spl + si, gxs, gws, true, &mut cols, &mut gcols);
                             }
                         },
                     );
@@ -250,22 +308,22 @@ impl Tensor {
                         }
                     }
                 } else {
-                    let mut cols = vec![0.0; krows * ncols];
-                    let mut gcols = vec![0.0; krows * ncols];
+                    let mut cols = pool::alloc_uninit(krows * ncols);
+                    let mut gcols = pool::alloc_uninit(krows * ncols);
                     for s in 0..n {
-                        do_sample(s, &mut gx[s * sample_in..(s + 1) * sample_in], &mut gw, &mut cols, &mut gcols);
+                        do_sample(s, &mut gx[s * sample_in..(s + 1) * sample_in], &mut gw, false, &mut cols, &mut gcols);
                     }
                 }
-                let mut grads = vec![Some(gx), Some(gw)];
+                let mut grads = vec![Some(gx.into()), Some(gw.into())];
                 if has_bias {
-                    let mut gb = vec![0.0; cout];
+                    let mut gb = pool::alloc_zeroed(cout);
                     for s in 0..n {
                         for (co, g) in gb.iter_mut().enumerate() {
                             let base = (s * cout + co) * ncols;
                             *g += grad[base..base + ncols].iter().sum::<f64>();
                         }
                     }
-                    grads.push(Some(gb));
+                    grads.push(Some(gb.into()));
                 }
                 grads
             }),
@@ -289,7 +347,7 @@ impl Tensor {
         let ho = conv_out(h, k, s, 0);
         let wo = conv_out(w, k, s, 0);
         let img_out = ho * wo;
-        let mut out = vec![f64::NEG_INFINITY; n * c * img_out];
+        let mut out = pool::alloc_filled(n * c * img_out, f64::NEG_INFINITY);
         let mut arg = vec![0usize; n * c * img_out];
         {
             let x = self.data();
@@ -329,11 +387,12 @@ impl Tensor {
             vec![n, c, ho, wo],
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; total];
+                // Scatter-accumulate: zeroed pool path required.
+                let mut g = pool::alloc_zeroed(total);
                 for (o, &src) in arg.iter().enumerate() {
                     g[src] += grad[o];
                 }
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }

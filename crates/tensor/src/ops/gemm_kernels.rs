@@ -8,6 +8,15 @@
 //! * [`gemm_at`] — `C += Aᵀ·B`,  `A: [k×m]`, `B: [k×n]`
 //! * [`gemm_bt`] — `C += A·Bᵀ`,  `A: [m×k]`, `B: [n×k]`
 //!
+//! Each has an overwrite twin ([`gemm_ow`]/[`gemm_at_ow`]/[`gemm_bt_ow`],
+//! `C = A·B` etc.) that writes every element of `C` without reading it,
+//! so callers can hand over *uninitialized* (pool-recycled) output
+//! buffers and skip the zero-fill. The overwrite twins perform, per
+//! element, the exact floating-point sequence of "zero-fill `C`, then
+//! run the accumulating variant" — including the `0.0 + (-0.0) = +0.0`
+//! signed-zero normalization of `gemm_bt`'s final add — so switching a
+//! call site between the two formulations can never change a bit.
+//!
 //! # Determinism contract
 //!
 //! Every entry point computes, for each output element, the *same
@@ -40,7 +49,7 @@
 //! any BLAS. Rust never auto-contracts `a * b + c`, so the non-FMA path
 //! is stable too.
 
-// Microkernels take (k, ap, bp, c, ldc, rows, cols, from_c): the
+// Microkernels take (k, ap, bp, c, ldc, rows, cols, mode): the
 // signature is the MicroFn ABI shared by every `#[target_feature]`
 // instantiation, so bundling arguments into a struct would just move
 // the field list without removing it.
@@ -184,6 +193,24 @@ mod probe {
     }
 }
 
+/// How a kernel combines its finished register accumulators with `C`.
+///
+/// The two overwrite modes never *read* `C`, so they are safe on
+/// uninitialized buffers, and each mirrors one accumulating mode's
+/// floating-point recipe exactly (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Acc {
+    /// Seed accumulators from `C`, store `acc` (`gemm`/`gemm_at`: `C += A·B`).
+    FromC,
+    /// Seed from zero, store `C + acc` (`gemm_bt`: fresh dot added once).
+    AddDot,
+    /// Seed from zero, store `acc` — bit-identical to zero-filled [`Acc::FromC`].
+    Overwrite,
+    /// Seed from zero, store `0.0 + acc` — bit-identical to zero-filled
+    /// [`Acc::AddDot`] (the explicit add keeps `-0.0` dots normalizing to `+0.0`).
+    OverwriteDot,
+}
+
 /// The single multiply-add recipe all kernels share.
 #[inline(always)]
 fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
@@ -284,9 +311,85 @@ macro_rules! def_ref {
     };
 }
 
+// Overwrite twins of the reference bodies. The `p == 0` pass *writes*
+// `madd(0.0, a, b)` where the accumulating body would have read a
+// zero-filled `C` — the identical floating-point operation — and later
+// `p` passes accumulate as usual, so no element is ever read before it
+// is written and no zero-fill is needed. `k == 0` degenerates to the
+// zero-fill itself.
+
+#[inline(always)]
+fn gemm_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if k == 0 {
+        c[..m * n].fill(0.0);
+        return;
+    }
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        let av = a[i * k];
+        let brow = &b[..n];
+        for j in 0..n {
+            crow[j] = madd::<FMA>(0.0, av, brow[j]);
+        }
+        for p in 1..k {
+            let av = a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn gemm_at_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if k == 0 {
+        c[..m * n].fill(0.0);
+        return;
+    }
+    let brow0 = &b[..n];
+    for i in 0..m {
+        let av = a[i];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for j in 0..n {
+            crow[j] = madd::<FMA>(0.0, av, brow0[j]);
+        }
+    }
+    for p in 1..k {
+        for i in 0..m {
+            let av = a[p * m + i];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn gemm_bt_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc = madd::<FMA>(acc, arow[p], brow[p]);
+            }
+            // `0.0 + acc` mirrors the accumulating variant's add into a
+            // zeroed C (normalizes a `-0.0` dot product to `+0.0`).
+            c[i * n + j] = 0.0 + acc;
+        }
+    }
+}
+
 def_ref!(gemm_ref, gemm_ref_body, gemm_ref_fma, "Reference `C += A·B` (`A: [m×k]`, `B: [k×n]`).");
 def_ref!(gemm_at_ref, gemm_at_ref_body, gemm_at_ref_fma, "Reference `C += Aᵀ·B` (`A: [k×m]`, `B: [k×n]`).");
 def_ref!(gemm_bt_ref, gemm_bt_ref_body, gemm_bt_ref_fma, "Reference `C += A·Bᵀ` (`A: [m×k]`, `B: [n×k]`).");
+def_ref!(gemm_ow_ref, gemm_ow_ref_body, gemm_ow_ref_fma, "Reference overwrite `C = A·B` (`A: [m×k]`, `B: [k×n]`); `C` may be uninitialized.");
+def_ref!(gemm_at_ow_ref, gemm_at_ow_ref_body, gemm_at_ow_ref_fma, "Reference overwrite `C = Aᵀ·B` (`A: [k×m]`, `B: [k×n]`); `C` may be uninitialized.");
+def_ref!(gemm_bt_ow_ref, gemm_bt_ow_ref_body, gemm_bt_ow_ref_fma, "Reference overwrite `C = A·Bᵀ` (`A: [m×k]`, `B: [n×k]`); `C` may be uninitialized.");
 
 // ---------------------------------------------------------------------------
 // Packing
@@ -337,12 +440,11 @@ fn pack_b<const NR: usize>(
 // Microkernel
 // ---------------------------------------------------------------------------
 
-/// An MR×NR register tile over packed panels. `from_c` selects the
-/// accumulation mode: `true` seeds the accumulators from `C`
-/// (`gemm`/`gemm_at` semantics), `false` starts from zero and adds the
-/// finished dot products to `C` once (`gemm_bt` semantics). The
-/// full-tile fast path has compile-time bounds so LLVM keeps `acc`
-/// entirely in vector registers.
+/// An MR×NR register tile over packed panels. `mode` selects how the
+/// accumulators meet `C` (see [`Acc`]); only [`Acc::FromC`] reads `C`
+/// before the store, so both overwrite modes accept uninitialized
+/// output. The full-tile fast path has compile-time bounds so LLVM
+/// keeps `acc` entirely in vector registers.
 #[inline(always)]
 fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
     k: usize,
@@ -352,11 +454,19 @@ fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
     ldc: usize,
     rows: usize,
     cols: usize,
-    from_c: bool,
+    mode: Acc,
 ) {
+    #[inline(always)]
+    fn store(dst: &mut f64, acc: f64, mode: Acc) {
+        *dst = match mode {
+            Acc::FromC | Acc::Overwrite => acc,
+            Acc::AddDot => *dst + acc,
+            Acc::OverwriteDot => 0.0 + acc,
+        };
+    }
     let mut acc = [[0.0f64; NR]; MR];
     if rows == MR && cols == NR {
-        if from_c {
+        if mode == Acc::FromC {
             for ii in 0..MR {
                 for jj in 0..NR {
                     acc[ii][jj] = c[ii * ldc + jj];
@@ -375,15 +485,14 @@ fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
         }
         for ii in 0..MR {
             for jj in 0..NR {
-                let dst = &mut c[ii * ldc + jj];
-                *dst = if from_c { acc[ii][jj] } else { *dst + acc[ii][jj] };
+                store(&mut c[ii * ldc + jj], acc[ii][jj], mode);
             }
         }
         return;
     }
     // Edge tile: dynamic bounds on the C side, padded panels on the
     // packed side; the extra lanes are discarded below.
-    if from_c {
+    if mode == Acc::FromC {
         for ii in 0..rows {
             for jj in 0..cols {
                 acc[ii][jj] = c[ii * ldc + jj];
@@ -402,13 +511,12 @@ fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
     }
     for ii in 0..rows {
         for jj in 0..cols {
-            let dst = &mut c[ii * ldc + jj];
-            *dst = if from_c { acc[ii][jj] } else { *dst + acc[ii][jj] };
+            store(&mut c[ii * ldc + jj], acc[ii][jj], mode);
         }
     }
 }
 
-type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize, bool);
+type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize, Acc);
 
 /// Microkernel instantiations. Tile shapes were tuned on the dense 256³
 /// bench (see `results/BENCH_TENSOR.json`): wider tiles starve the
@@ -416,33 +524,33 @@ type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize,
 /// than 6×16), narrower ones starve the wide ISAs of independent
 /// accumulator chains (2×16 on AVX-512 is latency-bound at ~5× slower).
 unsafe fn micro_base(
-    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<2, 8, false>(k, ap, bp, c, ldc, rows, cols, from_c);
+    micro_body::<2, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn micro_avx2(
-    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<4, 8, false>(k, ap, bp, c, ldc, rows, cols, from_c);
+    micro_body::<4, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn micro_avx2_fma(
-    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<4, 8, true>(k, ap, bp, c, ldc, rows, cols, from_c);
+    micro_body::<4, 8, true>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f", enable = "fma")]
 unsafe fn micro_avx512_fma(
-    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, from_c: bool,
+    k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<6, 16, true>(k, ap, bp, c, ldc, rows, cols, from_c);
+    micro_body::<6, 16, true>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
 // ---------------------------------------------------------------------------
@@ -469,7 +577,7 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
     m: usize,
     k: usize,
     n: usize,
-    from_c: bool,
+    mode: Acc,
     micro: MicroFn,
 ) {
     if m == 0 || n == 0 {
@@ -513,7 +621,7 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
                     // SAFETY: `micro` was selected to match the features
                     // `isa()` detected on this CPU.
                     unsafe {
-                        micro(k, &ap, &bp[jp * panel..(jp + 1) * panel], &mut c_chunk[i * n + j..], n, rows, cols, from_c);
+                        micro(k, &ap, &bp[jp * panel..(jp + 1) * panel], &mut c_chunk[i * n + j..], n, rows, cols, mode);
                     }
                 }
                 i += MR;
@@ -523,7 +631,7 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
     }
 }
 
-fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usize, k: usize, n: usize, from_c: bool) {
+fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
     if tyxe_obs::enabled() {
         match isa() {
             #[cfg(target_arch = "x86_64")]
@@ -535,12 +643,12 @@ fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usiz
     }
     match isa() {
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512Fma => gemm_blocked_driver::<6, 16>(a, b, c, m, k, n, from_c, micro_avx512_fma),
+        Isa::Avx512Fma => gemm_blocked_driver::<6, 16>(a, b, c, m, k, n, mode, micro_avx512_fma),
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2Fma => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, from_c, micro_avx2_fma),
+        Isa::Avx2Fma => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, mode, micro_avx2_fma),
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2 => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, from_c, micro_avx2),
-        _ => gemm_blocked_driver::<2, 8>(a, b, c, m, k, n, from_c, micro_base),
+        Isa::Avx2 => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, mode, micro_avx2),
+        _ => gemm_blocked_driver::<2, 8>(a, b, c, m, k, n, mode, micro_base),
     }
 }
 
@@ -553,7 +661,7 @@ pub fn gemm_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: 
     blocked_dispatch(
         StridedMat { data: a, rs: k, cs: 1 },
         StridedMat { data: b, rs: n, cs: 1 },
-        c, m, k, n, true,
+        c, m, k, n, Acc::FromC,
     );
 }
 
@@ -562,7 +670,7 @@ pub fn gemm_at_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, 
     blocked_dispatch(
         StridedMat { data: a, rs: 1, cs: m },
         StridedMat { data: b, rs: n, cs: 1 },
-        c, m, k, n, true,
+        c, m, k, n, Acc::FromC,
     );
 }
 
@@ -571,7 +679,34 @@ pub fn gemm_bt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, 
     blocked_dispatch(
         StridedMat { data: a, rs: k, cs: 1 },
         StridedMat { data: b, rs: 1, cs: k },
-        c, m, k, n, false,
+        c, m, k, n, Acc::AddDot,
+    );
+}
+
+/// Blocked overwrite `C = A·B`, bypassing the small-size cutoff.
+pub fn gemm_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    blocked_dispatch(
+        StridedMat { data: a, rs: k, cs: 1 },
+        StridedMat { data: b, rs: n, cs: 1 },
+        c, m, k, n, Acc::Overwrite,
+    );
+}
+
+/// Blocked overwrite `C = Aᵀ·B` (`A: [k×m]`), bypassing the small-size cutoff.
+pub fn gemm_at_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    blocked_dispatch(
+        StridedMat { data: a, rs: 1, cs: m },
+        StridedMat { data: b, rs: n, cs: 1 },
+        c, m, k, n, Acc::Overwrite,
+    );
+}
+
+/// Blocked overwrite `C = A·Bᵀ` (`B: [n×k]`), bypassing the small-size cutoff.
+pub fn gemm_bt_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    blocked_dispatch(
+        StridedMat { data: a, rs: k, cs: 1 },
+        StridedMat { data: b, rs: 1, cs: k },
+        c, m, k, n, Acc::OverwriteDot,
     );
 }
 
@@ -610,6 +745,43 @@ pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
         gemm_bt_blocked(a, b, c, m, k, n);
     } else {
         gemm_bt_ref(a, b, c, m, k, n);
+    }
+}
+
+/// Overwrite `C = A·B`: every element of `C` is written without being
+/// read, so `C` may hold arbitrary (pool-recycled) garbage on entry.
+/// Bit-identical to zero-filling `C` and calling [`gemm`].
+pub fn gemm_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    let blocked = m * k * n >= BLOCK_MIN_MADDS;
+    let _span = probe::gemm(0, blocked, m, k, n);
+    if blocked {
+        gemm_ow_blocked(a, b, c, m, k, n);
+    } else {
+        gemm_ow_ref(a, b, c, m, k, n);
+    }
+}
+
+/// Overwrite `C = Aᵀ·B` (`A: [k×m]`); `C` may be uninitialized.
+/// Bit-identical to zero-filling `C` and calling [`gemm_at`].
+pub fn gemm_at_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    let blocked = m * k * n >= BLOCK_MIN_MADDS;
+    let _span = probe::gemm(1, blocked, m, k, n);
+    if blocked {
+        gemm_at_ow_blocked(a, b, c, m, k, n);
+    } else {
+        gemm_at_ow_ref(a, b, c, m, k, n);
+    }
+}
+
+/// Overwrite `C = A·Bᵀ` (`B: [n×k]`); `C` may be uninitialized.
+/// Bit-identical to zero-filling `C` and calling [`gemm_bt`].
+pub fn gemm_bt_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    let blocked = m * k * n >= BLOCK_MIN_MADDS;
+    let _span = probe::gemm(2, blocked, m, k, n);
+    if blocked {
+        gemm_bt_ow_blocked(a, b, c, m, k, n);
+    } else {
+        gemm_bt_ow_ref(a, b, c, m, k, n);
     }
 }
 
@@ -659,6 +831,40 @@ mod tests {
             gemm_bt_ref(&a_mk, &b_nk, &mut c_ref, m, k, n);
             gemm_bt_blocked(&a_mk, &b_nk, &mut c_blk, m, k, n);
             assert_bits_eq(&c_ref, &c_blk, "gemm_bt");
+        }
+    }
+
+    /// The overwrite twins must equal "zero-fill C, then accumulate"
+    /// bitwise, on garbage-filled output, for both the reference and the
+    /// forced-blocked paths — this is the uninit-reuse safety contract.
+    #[test]
+    fn overwrite_matches_zerofill_accumulate_bitwise() {
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(99);
+        type Fns = (
+            fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+            fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+        );
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 3, 5), (17, 33, 9), (40, 40, 40), (64, 1, 64), (1, 64, 1), (2, 0, 2)] {
+            let a_mk = rand_vec(&mut rng, m * k);
+            let a_km = rand_vec(&mut rng, k * m);
+            let b_kn = rand_vec(&mut rng, k * n);
+            let b_nk = rand_vec(&mut rng, n * k);
+            let garbage: Vec<f64> = (0..m * n).map(|i| f64::NAN * (i as f64 + 1.0)).collect();
+
+            let cases: [(&str, &[f64], &[f64], Fns, Fns); 3] = [
+                ("gemm", &a_mk, &b_kn, (gemm_ref, gemm_ow_ref), (gemm_blocked, gemm_ow_blocked)),
+                ("gemm_at", &a_km, &b_kn, (gemm_at_ref, gemm_at_ow_ref), (gemm_at_blocked, gemm_at_ow_blocked)),
+                ("gemm_bt", &a_mk, &b_nk, (gemm_bt_ref, gemm_bt_ow_ref), (gemm_bt_blocked, gemm_bt_ow_blocked)),
+            ];
+            for (name, a, b, refs, blks) in cases {
+                for (path, (acc_fn, ow_fn)) in [("reference", refs), ("blocked", blks)] {
+                    let mut c_acc = vec![0.0; m * n];
+                    acc_fn(a, b, &mut c_acc, m, k, n);
+                    let mut c_ow = garbage.clone();
+                    ow_fn(a, b, &mut c_ow, m, k, n);
+                    assert_bits_eq(&c_acc, &c_ow, &format!("{name}/{path} {m}x{k}x{n}"));
+                }
+            }
         }
     }
 

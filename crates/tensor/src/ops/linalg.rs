@@ -126,7 +126,7 @@ impl Tensor {
                 let mut ga = vec![0.0; n * n];
                 gemm(&tmp, &bt, &mut ga, n, n, n);
                 ga.iter_mut().for_each(|v| *v = -*v);
-                vec![Some(ga)]
+                vec![Some(ga.into())]
             }),
         )
     }
@@ -157,7 +157,7 @@ impl Tensor {
                         ga[i * n + j] = grad[0] * inv[j * n + i];
                     }
                 }
-                vec![Some(ga)]
+                vec![Some(ga.into())]
             }),
         )
     }

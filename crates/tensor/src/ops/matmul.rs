@@ -4,9 +4,10 @@
 //! re-exports below keep the historical `crate::ops::matmul::gemm*`
 //! paths working for `conv` and `linalg`.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
-pub(crate) use crate::ops::gemm_kernels::{gemm, gemm_at, gemm_bt};
+pub(crate) use crate::ops::gemm_kernels::{gemm, gemm_at_ow, gemm_bt, gemm_bt_ow, gemm_ow};
 
 use crate::ops::PAR_MIN_ELEMS;
 
@@ -46,8 +47,8 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul: inner dims {k} vs {k2} disagree");
-        let mut data = vec![0.0; m * n];
-        gemm(&self.data(), &other.data(), &mut data, m, k, n);
+        let mut data = pool::alloc_uninit(m * n);
+        gemm_ow(&self.data(), &other.data(), &mut data, m, k, n);
         let (ac, bc) = (self.clone(), other.clone());
         Tensor::make_op(
             data,
@@ -57,15 +58,15 @@ impl Tensor {
                 // dA = G * B^T ; dB = A^T * G — independent products, so
                 // they can run on separate threads; each is internally
                 // deterministic regardless of thread count.
-                let mut ga = vec![0.0; m * k];
-                let mut gb = vec![0.0; k * n];
+                let mut ga = pool::alloc_uninit(m * k);
+                let mut gb = pool::alloc_uninit(k * n);
                 let (bd, ad) = (bc.data(), ac.data());
                 let (bd, ad): (&[f64], &[f64]) = (&bd, &ad);
                 tyxe_par::join2(
-                    || gemm_bt(grad, bd, &mut ga, m, n, k),
-                    || gemm_at(ad, grad, &mut gb, k, m, n),
+                    || gemm_bt_ow(grad, bd, &mut ga, m, n, k),
+                    || gemm_at_ow(ad, grad, &mut gb, k, m, n),
                 );
-                vec![Some(ga), Some(gb)]
+                vec![Some(ga.into()), Some(gb.into())]
             }),
         )
     }
@@ -93,7 +94,9 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "t(): tensor must be 2-D, got {:?}", self.shape());
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let d = self.data();
-        let mut data = vec![0.0; m * n];
+        // Pure permutation: every output element is written exactly once,
+        // so the uninit pool path is safe in both directions.
+        let mut data = pool::alloc_uninit(m * n);
         transpose_into(&d, &mut data, m, n);
         drop(d);
         Tensor::make_op(
@@ -101,9 +104,9 @@ impl Tensor {
             vec![n, m],
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; m * n];
+                let mut g = pool::alloc_uninit(m * n);
                 transpose_into(grad, &mut g, n, m);
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }

@@ -5,6 +5,7 @@
 
 pub(crate) mod binary;
 pub(crate) mod conv;
+pub mod fused;
 pub mod gemm_kernels;
 pub(crate) mod linalg;
 pub(crate) mod matmul;
@@ -14,6 +15,7 @@ pub(crate) mod softmax;
 pub(crate) mod stats;
 pub(crate) mod unary;
 
+pub use fused::{Activation, ScaleMap};
 pub use unary::erf_scalar;
 
 /// Element count below which data-parallel kernels skip pool dispatch:

@@ -8,6 +8,7 @@
 //! sequential.
 
 use crate::ops::PAR_MIN_ELEMS;
+use crate::pool;
 use crate::shape::{normalize_axis, numel};
 use crate::tensor::Tensor;
 
@@ -32,7 +33,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |_, grad| {
                 let _ = &shape;
-                vec![Some(vec![grad[0]; n])]
+                vec![Some(pool::alloc_filled(n, grad[0]).into())]
             }),
         )
     }
@@ -54,7 +55,7 @@ impl Tensor {
         out_shape[ax] = 1;
         let out_n = numel(&out_shape);
         let (_, axn, inner) = axis_split(&in_shape, ax);
-        let mut data = vec![0.0; out_n];
+        let mut data = pool::alloc_uninit(out_n);
         {
             let d = self.data();
             let d: &[f64] = &d;
@@ -86,8 +87,8 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |_, grad| {
                 // Broadcast the output grad back along the reduced axis;
-                // pure gather, parallel-safe.
-                let mut g = vec![0.0; in_n];
+                // pure gather writing every element, parallel-safe.
+                let mut g = pool::alloc_uninit(in_n);
                 let chunk = tyxe_par::chunk_len(in_n, 1, PAR_MIN_ELEMS);
                 tyxe_par::parallel_for_chunks(&mut g, chunk, |start, piece| {
                     for (off, gv) in piece.iter_mut().enumerate() {
@@ -96,7 +97,7 @@ impl Tensor {
                         *gv = grad[(flat / block) * inner + flat % inner.max(1)];
                     }
                 });
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         );
         out
@@ -126,7 +127,7 @@ impl Tensor {
         out_shape[ax] = 1;
         let out_n = numel(&out_shape);
         let (_, axn, inner) = axis_split(&in_shape, ax);
-        let mut best = vec![if is_max { f64::NEG_INFINITY } else { f64::INFINITY }; out_n];
+        let mut best = pool::alloc_filled(out_n, if is_max { f64::NEG_INFINITY } else { f64::INFINITY });
         let mut arg = vec![0usize; out_n];
         {
             let d = self.data();
@@ -164,11 +165,12 @@ impl Tensor {
             final_shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; in_n];
+                // Scatter-accumulate: zeroed pool path required.
+                let mut g = pool::alloc_zeroed(in_n);
                 for (o, &src) in arg.iter().enumerate() {
                     g[src] += grad[o];
                 }
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }

@@ -1,6 +1,7 @@
 //! Shape-manipulating operations: reshape, permute, broadcast, concatenation,
 //! slicing and row gathering.
 
+use crate::pool;
 use crate::shape::{
     broadcast_source_index, numel, strides_for, unravel_index,
 };
@@ -25,12 +26,12 @@ impl Tensor {
         );
         let in_shape = self.shape().to_vec();
         Tensor::make_op(
-            self.to_vec(),
+            pool::alloc_copy(&self.data()),
             shape.to_vec(),
             vec![self.clone()],
             Box::new(move |_, grad| {
                 let _ = &in_shape;
-                vec![Some(grad.to_vec())]
+                vec![Some(pool::alloc_copy(grad).into())]
             }),
         )
     }
@@ -71,7 +72,7 @@ impl Tensor {
         let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
         let in_strides = strides_for(&in_shape);
         let n = self.numel();
-        let mut data = vec![0.0; n];
+        let mut data = pool::alloc_uninit(n);
         let mut flat_map = vec![0usize; n]; // out flat -> in flat
         {
             let d = self.data();
@@ -90,11 +91,12 @@ impl Tensor {
             out_shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; n];
+                // Scatter-accumulate through the permutation map: zeroed.
+                let mut g = pool::alloc_zeroed(n);
                 for (out_flat, &in_flat) in flat_map.iter().enumerate() {
                     g[in_flat] += grad[out_flat];
                 }
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }
@@ -115,7 +117,7 @@ impl Tensor {
             shape
         );
         let n = numel(shape);
-        let mut data = vec![0.0; n];
+        let mut data = pool::alloc_uninit(n);
         {
             let d = self.data();
             for (flat, slot) in data.iter_mut().enumerate() {
@@ -130,7 +132,7 @@ impl Tensor {
             shape.to_vec(),
             vec![self.clone()],
             Box::new(move |_, grad| {
-                vec![Some(super::binary::sum_to_shape(grad, &out_shape, &src_c))]
+                vec![Some(super::binary::sum_to_shape(grad, &out_shape, &src_c).into())]
             }),
         )
     }
@@ -159,7 +161,8 @@ impl Tensor {
         let inner: usize = base[axis + 1..].iter().product();
         let sizes: Vec<usize> = tensors.iter().map(|t| t.shape()[axis]).collect();
         let total_axis: usize = sizes.iter().sum();
-        let mut data = vec![0.0; outer * total_axis * inner];
+        // Every element is copied from exactly one input: uninit-safe.
+        let mut data = pool::alloc_uninit(outer * total_axis * inner);
         for o in 0..outer {
             let mut off = 0;
             for (t, &sz) in tensors.iter().zip(&sizes) {
@@ -176,9 +179,10 @@ impl Tensor {
             out_shape,
             tensors.to_vec(),
             Box::new(move |_, grad| {
+                // Each input grad is fully covered by copied runs.
                 let mut grads: Vec<Option<Vec<f64>>> = sizes_c
                     .iter()
-                    .map(|&sz| Some(vec![0.0; outer * sz * inner]))
+                    .map(|&sz| Some(pool::alloc_uninit(outer * sz * inner)))
                     .collect();
                 for o in 0..outer {
                     let mut off = 0;
@@ -190,7 +194,7 @@ impl Tensor {
                         off += sz;
                     }
                 }
-                grads
+                grads.into_iter().map(|g| g.map(Into::into)).collect()
             }),
         )
     }
@@ -221,7 +225,7 @@ impl Tensor {
         let len = end - start;
         let mut out_shape = shape.clone();
         out_shape[axis] = len;
-        let mut data = vec![0.0; outer * len * inner];
+        let mut data = pool::alloc_uninit(outer * len * inner);
         {
             let d = self.data();
             for o in 0..outer {
@@ -236,13 +240,14 @@ impl Tensor {
             out_shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; total];
+                // Un-sliced positions must read zero: zeroed pool path.
+                let mut g = pool::alloc_zeroed(total);
                 for o in 0..outer {
                     let dst_start = (o * ax + start) * inner;
                     g[dst_start..dst_start + len * inner]
                         .copy_from_slice(&grad[o * len * inner..(o + 1) * len * inner]);
                 }
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }
@@ -265,7 +270,7 @@ impl Tensor {
         let k = indices.len();
         let mut out_shape = shape.clone();
         out_shape[axis] = k;
-        let mut data = vec![0.0; outer * k * inner];
+        let mut data = pool::alloc_uninit(outer * k * inner);
         {
             let d = self.data();
             for o in 0..outer {
@@ -283,7 +288,8 @@ impl Tensor {
             out_shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; total];
+                // Repeated indices accumulate: zeroed pool path.
+                let mut g = pool::alloc_zeroed(total);
                 for o in 0..outer {
                     for (j, &i) in idx.iter().enumerate() {
                         let dst = (o * ax + i) * inner;
@@ -293,7 +299,7 @@ impl Tensor {
                         }
                     }
                 }
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }
@@ -308,7 +314,8 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "gather_rows: tensor must be 2-D");
         let (n, c) = (self.shape()[0], self.shape()[1]);
         assert_eq!(cols.len(), n, "gather_rows: one column index per row");
-        let mut data = vec![0.0; n];
+        // Every element of the gather output is written: uninit-safe.
+        let mut data = pool::alloc_uninit(n);
         {
             let d = self.data();
             for (i, (&col, slot)) in cols.iter().zip(data.iter_mut()).enumerate() {
@@ -322,11 +329,12 @@ impl Tensor {
             vec![n],
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = vec![0.0; n * c];
+                // Sparse scatter (one entry per row): zeroed pool path.
+                let mut g = pool::alloc_zeroed(n * c);
                 for (i, &col) in cols_c.iter().enumerate() {
                     g[i * c + col] = grad[i];
                 }
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }

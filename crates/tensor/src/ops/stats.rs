@@ -2,6 +2,7 @@
 //! cumulative sums, outer products, triangular masks and top-k selection.
 
 use crate::ops::PAR_MIN_ELEMS;
+use crate::pool;
 use crate::shape::normalize_axis;
 use crate::tensor::Tensor;
 
@@ -38,7 +39,7 @@ impl Tensor {
         let outer_chunk = move |total: usize| {
             (tyxe_par::chunk_len(total, 1, (PAR_MIN_ELEMS / block.max(1)).max(1)) * block).max(1)
         };
-        let mut data = self.to_vec();
+        let mut data = pool::alloc_copy(&self.data());
         tyxe_par::parallel_for_chunks(&mut data, outer_chunk(outer), |_, piece| {
             for ob in piece.chunks_mut(block) {
                 for i in 1..len {
@@ -53,7 +54,7 @@ impl Tensor {
             shape,
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = grad.to_vec();
+                let mut g = pool::alloc_copy(grad);
                 tyxe_par::parallel_for_chunks(&mut g, outer_chunk(outer), |_, piece| {
                     for ob in piece.chunks_mut(block) {
                         for i in (0..len - 1).rev() {
@@ -63,7 +64,7 @@ impl Tensor {
                         }
                     }
                 });
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }
@@ -117,16 +118,16 @@ impl Tensor {
                 }
             }
         };
-        let mut data = self.to_vec();
+        let mut data = pool::alloc_copy(&self.data());
         tyxe_par::parallel_for_chunks(&mut data, row_chunk, mask_rows);
         Tensor::make_op(
             data,
             vec![m, n],
             vec![self.clone()],
             Box::new(move |_, grad| {
-                let mut g = grad.to_vec();
+                let mut g = pool::alloc_copy(grad);
                 tyxe_par::parallel_for_chunks(&mut g, row_chunk, mask_rows);
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }

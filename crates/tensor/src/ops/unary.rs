@@ -5,6 +5,7 @@
 //! so thread count cannot affect results.
 
 use crate::ops::PAR_MIN_ELEMS;
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -16,7 +17,8 @@ impl Tensor {
         df: impl Fn(f64, f64, f64) -> f64 + Sync + 'static,
     ) -> Tensor {
         let xd = self.data();
-        let mut data = vec![0.0; xd.len()];
+        // Every element is written below, so recycled buffers skip zero-init.
+        let mut data = pool::alloc_uninit(xd.len());
         {
             let xs: &[f64] = &xd;
             let chunk = tyxe_par::chunk_len(xs.len(), 1, PAR_MIN_ELEMS);
@@ -36,7 +38,7 @@ impl Tensor {
                 let xd = src.data();
                 let yd = out.data();
                 let (xs, ys): (&[f64], &[f64]) = (&xd, &yd);
-                let mut g = vec![0.0; grad.len()];
+                let mut g = pool::alloc_uninit(grad.len());
                 let chunk = tyxe_par::chunk_len(g.len(), 1, PAR_MIN_ELEMS);
                 tyxe_par::parallel_for_chunks(&mut g, chunk, |start, piece| {
                     for (off, slot) in piece.iter_mut().enumerate() {
@@ -46,7 +48,7 @@ impl Tensor {
                 });
                 drop(yd);
                 drop(xd);
-                vec![Some(g)]
+                vec![Some(g.into())]
             }),
         )
     }

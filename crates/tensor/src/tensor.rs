@@ -11,12 +11,17 @@ use std::cell::{Cell, Ref, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
+use crate::pool::{self, PoolBuf};
 use crate::shape::{numel, strides_for};
 
 /// Backward closure: given the output node and the gradient with respect to
-/// it, produce gradient buffers for each parent (aligned with `parents`).
-/// `None` entries signal "no gradient flows to this parent".
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[f64]) -> Vec<Option<Vec<f64>>>>;
+/// it, produce one pool-managed gradient buffer per parent (aligned with
+/// `parents`). Returned buffers transfer **ownership**: the engine moves
+/// each into an empty parent gradient slot (no copy) or element-adds it and
+/// lets it recycle, so every buffer returns to the thread-local pool
+/// (`crate::pool`) once its slot clears. `None` entries signal "no gradient
+/// flows to this parent".
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[f64]) -> Vec<Option<PoolBuf>>>;
 
 thread_local! {
     static ID_COUNTER: Cell<u64> = const { Cell::new(1) };
@@ -31,13 +36,15 @@ fn next_id() -> u64 {
 }
 
 pub(crate) struct Inner {
-    pub(crate) data: RefCell<Vec<f64>>,
+    /// Pool-managed storage: recycled into `crate::pool` when the node
+    /// drops, so step `k+1` reuses step `k`'s buffers.
+    pub(crate) data: RefCell<PoolBuf>,
     pub(crate) shape: Vec<usize>,
     /// Whether gradients should be tracked through/into this node.
     pub(crate) requires_grad: Cell<bool>,
     /// Accumulated gradient, same length as `data`. Present only after a
-    /// backward pass touched this node.
-    pub(crate) grad: RefCell<Option<Vec<f64>>>,
+    /// backward pass touched this node; also pool-managed.
+    pub(crate) grad: RefCell<Option<PoolBuf>>,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward_fn: Option<BackwardFn>,
     pub(crate) id: u64,
@@ -89,7 +96,7 @@ impl Tensor {
         debug_assert_eq!(data.len(), numel(&shape), "data length must match shape");
         Tensor {
             inner: Rc::new(Inner {
-                data: RefCell::new(data),
+                data: RefCell::new(data.into()),
                 shape,
                 requires_grad: Cell::new(requires_grad),
                 grad: RefCell::new(None),
@@ -136,7 +143,14 @@ impl Tensor {
         backward: impl Fn(&Tensor, &[f64]) -> Vec<Option<Vec<f64>>> + 'static,
     ) -> Tensor {
         assert_eq!(data.len(), numel(shape), "custom_op: data length mismatch");
-        Tensor::make_op(data, shape.to_vec(), parents, Box::new(backward))
+        Tensor::make_op(
+            data,
+            shape.to_vec(),
+            parents,
+            Box::new(move |out, grad| {
+                backward(out, grad).into_iter().map(|g| g.map(PoolBuf::from)).collect()
+            }),
+        )
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -163,7 +177,7 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f64) -> Tensor {
-        Tensor::from_vec(vec![value; numel(shape)], shape)
+        Tensor::from_vec(pool::alloc_filled(numel(shape), value), shape)
     }
 
     /// Creates a tensor of zeros.
@@ -188,7 +202,7 @@ impl Tensor {
 
     /// Samples a tensor with i.i.d. standard normal entries.
     pub fn randn<R: tyxe_rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
-        let mut data = vec![0.0; numel(shape)];
+        let mut data = pool::alloc_uninit(numel(shape));
         tyxe_rand::fill::fill_standard_normal(&mut data, rng);
         Tensor::from_vec(data, shape)
     }
@@ -200,7 +214,7 @@ impl Tensor {
         hi: f64,
         rng: &mut R,
     ) -> Tensor {
-        let mut data = vec![0.0; numel(shape)];
+        let mut data = pool::alloc_uninit(numel(shape));
         tyxe_rand::fill::fill_uniform(&mut data, lo, hi, rng);
         Tensor::from_vec(data, shape)
     }
@@ -224,7 +238,7 @@ impl Tensor {
 
     /// Creates an identity matrix of size `n x n`.
     pub fn eye(n: usize) -> Tensor {
-        let mut data = vec![0.0; n * n];
+        let mut data = pool::alloc_zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
@@ -261,12 +275,12 @@ impl Tensor {
     ///
     /// Panics if the buffer is mutably borrowed (e.g. mid `set_data`).
     pub fn data(&self) -> Ref<'_, Vec<f64>> {
-        self.inner.data.borrow()
+        Ref::map(self.inner.data.borrow(), |b| &**b)
     }
 
     /// Copies the data out into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<f64> {
-        self.inner.data.borrow().clone()
+        (*self.inner.data.borrow()).clone()
     }
 
     /// Returns the single element of a one-element tensor.
@@ -300,7 +314,21 @@ impl Tensor {
     /// Panics if `data` has the wrong length.
     pub fn set_data(&self, data: Vec<f64>) {
         assert_eq!(data.len(), self.numel(), "set_data length mismatch");
-        *self.inner.data.borrow_mut() = data;
+        *self.inner.data.borrow_mut() = data.into();
+    }
+
+    /// Runs `f` over the data buffer (mutably) and the gradient buffer
+    /// simultaneously, returning `false` without calling `f` when no
+    /// gradient is present. This is the fused-optimizer entry point: an
+    /// update can walk data + grad (+ its own moment lanes) in a single
+    /// loop with no intermediate allocation. Out-of-band like
+    /// [`Tensor::set_data`]: no graph node is created.
+    pub fn with_data_and_grad(&self, f: impl FnOnce(&mut [f64], &[f64])) -> bool {
+        let grad = self.inner.grad.borrow();
+        let Some(g) = grad.as_ref() else { return false };
+        let mut data = self.inner.data.borrow_mut();
+        f(&mut data, g);
+        true
     }
 
     /// Unique node id (useful as a map key, e.g. for effect handlers that
@@ -323,7 +351,7 @@ impl Tensor {
 
     /// Returns the accumulated gradient, if a backward pass reached this node.
     pub fn grad(&self) -> Option<Vec<f64>> {
-        self.inner.grad.borrow().clone()
+        self.inner.grad.borrow().as_ref().map(|g| (**g).clone())
     }
 
     /// Returns the gradient as a (non-tracking) tensor.
@@ -346,13 +374,13 @@ impl Tensor {
         if let Some(g) = &grad {
             assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
         }
-        *self.inner.grad.borrow_mut() = grad;
+        *self.inner.grad.borrow_mut() = grad.map(PoolBuf::from);
     }
 
     /// Returns a new leaf tensor sharing **no** graph history with `self`.
     /// The data is copied; gradient tracking is off.
     pub fn detach(&self) -> Tensor {
-        Tensor::from_vec(self.to_vec(), self.shape())
+        Tensor::from_vec(pool::alloc_copy(&self.data()), self.shape())
     }
 
     // ------------------------------------------------------------------
@@ -393,25 +421,25 @@ impl Tensor {
         let topo = self.topo_order();
 
         // Seed.
-        accumulate_grad(self, grad_output);
+        accumulate_grad(self, pool::alloc_copy(grad_output).into());
 
         // Walk in reverse topological order, propagating to parents.
         for node in topo.iter().rev() {
             let Some(bw) = node.inner.backward_fn.as_ref() else { continue };
-            let grad = node.inner.grad.borrow().clone();
+            // Op nodes (the only nodes with a backward closure) never keep
+            // gradients past their visit, so move the buffer out instead of
+            // cloning; dropping it below recycles it for later nodes.
+            let grad = node.inner.grad.borrow_mut().take();
             let Some(grad) = grad else { continue };
             let parent_grads = bw(node, &grad);
+            drop(grad);
             debug_assert_eq!(parent_grads.len(), node.inner.parents.len());
             for (parent, pg) in node.inner.parents.iter().zip(parent_grads) {
                 if let Some(pg) = pg {
                     if parent.requires_grad_enabled() {
-                        accumulate_grad(parent, &pg);
+                        accumulate_grad(parent, pg);
                     }
                 }
-            }
-            // Free intermediate gradients: only leaves keep them.
-            if !node.inner.parents.is_empty() {
-                *node.inner.grad.borrow_mut() = None;
             }
         }
     }
@@ -438,15 +466,18 @@ impl Tensor {
     }
 }
 
-fn accumulate_grad(t: &Tensor, g: &[f64]) {
+/// Adds `g` into the node's gradient slot, taking ownership: an empty slot
+/// receives the buffer directly (no copy); an occupied slot element-adds
+/// and lets `g` drop back into the pool.
+fn accumulate_grad(t: &Tensor, g: PoolBuf) {
     let mut slot = t.inner.grad.borrow_mut();
     match slot.as_mut() {
         Some(acc) => {
-            for (a, b) in acc.iter_mut().zip(g) {
+            for (a, b) in acc.iter_mut().zip(g.iter()) {
                 *a += b;
             }
         }
-        None => *slot = Some(g.to_vec()),
+        None => *slot = Some(g),
     }
 }
 

@@ -1,0 +1,146 @@
+//! Buffer-pool stress tests from outside the crate: interleaved buffer
+//! sizes, cross-step reuse of recycled buffers, and bitwise parity
+//! between pool-on and pool-off execution (the `TYXE_POOL=0` kill-switch
+//! contract). The pool's uninit-reuse fast path hands out buffers still
+//! holding stale values, so any op that reads an output element it never
+//! wrote shows up here as a pool-on/pool-off divergence.
+//!
+//! `tyxe_tensor::pool::set_enabled` is process-global, so the tests that
+//! toggle it serialize on a local mutex (the harness runs tests in this
+//! binary concurrently).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+use tyxe_tensor::{pool, Tensor};
+
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A training-step-shaped workload mixing many buffer sizes: matmuls
+/// (overwrite-mode GEMM), elementwise maps, broadcasts, reductions,
+/// conv2d (im2col scratch), slicing/concat and a backward pass. Returns
+/// the bit patterns of every forward value and every gradient it
+/// produces, so callers can compare runs exactly.
+fn mixed_workload(seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bits: Vec<u64> = Vec::new();
+
+    fn collect(bits: &mut Vec<u64>, v: Vec<f64>) {
+        bits.extend(v.iter().map(|x| x.to_bits()));
+    }
+
+    // Dense chain over interleaved shapes — sizes deliberately share
+    // pool buckets (e.g. 96*64 and 64*80 both land in the 8192 bucket).
+    let x = Tensor::randn(&[96, 64], &mut rng).requires_grad(true);
+    let w1 = Tensor::randn(&[64, 80], &mut rng).requires_grad(true);
+    let b1 = Tensor::randn(&[80], &mut rng).requires_grad(true);
+    let h = x.matmul(&w1).add(&b1).tanh();
+    let w2 = Tensor::randn(&[80, 48], &mut rng).requires_grad(true);
+    let y = h.matmul(&w2).relu();
+    let loss = y.square().mean_axis(1, false).sum();
+    loss.backward();
+    collect(&mut bits, y.to_vec());
+    collect(&mut bits, x.grad().expect("x grad"));
+    collect(&mut bits, w1.grad().expect("w1 grad"));
+    collect(&mut bits, b1.grad().expect("b1 grad"));
+    collect(&mut bits, w2.grad().expect("w2 grad"));
+
+    // Conv path: im2col/col2im scratch plus pooling scatter.
+    let img = Tensor::randn(&[2, 3, 12, 12], &mut rng).requires_grad(true);
+    let kw = Tensor::randn(&[4, 3, 3, 3], &mut rng).requires_grad(true);
+    let kb = Tensor::randn(&[4], &mut rng).requires_grad(true);
+    let c = img.conv2d(&kw, Some(&kb), 1, 1).max_pool2d(2, 2);
+    c.sum().backward();
+    collect(&mut bits, c.to_vec());
+    collect(&mut bits, img.grad().expect("img grad"));
+    collect(&mut bits, kw.grad().expect("kw grad"));
+    collect(&mut bits, kb.grad().expect("kb grad"));
+
+    // Shape ops: cat/slice/index_select backward scatters must read as
+    // zero everywhere the forward didn't touch.
+    let a = Tensor::randn(&[5, 7], &mut rng).requires_grad(true);
+    let b = Tensor::randn(&[3, 7], &mut rng).requires_grad(true);
+    let catd = Tensor::cat(&[a.clone(), b.clone()], 0);
+    let sliced = catd.slice(0, 2, 6).index_select(1, &[0, 3, 3, 6]);
+    sliced.square().sum().backward();
+    collect(&mut bits, sliced.to_vec());
+    collect(&mut bits, a.grad().expect("a grad"));
+    collect(&mut bits, b.grad().expect("b grad"));
+
+    bits
+}
+
+/// Interleaved sizes + cross-step reuse: with the pool on, repeated runs
+/// recycle each other's buffers (step 2 onward runs almost entirely on
+/// stale uninit-reuse buffers) and must stay bit-identical to the first.
+#[test]
+fn repeated_workloads_reuse_buffers_bitwise_stable() {
+    let _guard = pool_lock();
+    let prev = pool::enabled();
+    pool::set_enabled(true);
+    let first = mixed_workload(11);
+    for _ in 0..4 {
+        assert_eq!(first, mixed_workload(11), "recycled buffers leaked state");
+    }
+    pool::set_enabled(prev);
+}
+
+/// `TYXE_POOL=0` parity: the same workload with recycling disabled must
+/// produce the same bits as with it enabled — including when the enabled
+/// run starts from free-lists already warmed by a different-shaped
+/// workload (worst case for stale contents).
+#[test]
+fn pool_on_off_parity_is_bitwise() {
+    let _guard = pool_lock();
+    let prev = pool::enabled();
+
+    pool::set_enabled(false);
+    let reference = mixed_workload(23);
+
+    pool::set_enabled(true);
+    // Warm the free-lists with a different seed (different values in the
+    // recycled buffers) before the measured run.
+    let _ = mixed_workload(99);
+    let pooled = mixed_workload(23);
+    assert_eq!(reference, pooled, "pool-on run diverged from pool-off run");
+
+    pool::set_enabled(prev);
+}
+
+/// Retention is bounded and reclaimable: after many runs the per-thread
+/// free-lists hold a bounded buffer population, and `trim_thread` drops
+/// this thread's share to zero.
+#[test]
+fn retention_plateaus_and_trim_releases() {
+    let _guard = pool_lock();
+    let prev = pool::enabled();
+    pool::set_enabled(true);
+
+    for _ in 0..3 {
+        let _ = mixed_workload(5);
+    }
+    let (count_mid, elems_mid) = pool::thread_stats();
+    assert!(count_mid > 0, "pool retained nothing on this thread");
+    for _ in 0..10 {
+        let _ = mixed_workload(5);
+    }
+    // Buffer count may still creep as small buckets fill toward their
+    // caps, but retained elements (≈ bytes) must plateau.
+    let (count_after, elems_after) = pool::thread_stats();
+    assert!(
+        count_after <= count_mid * 2 + 32 && elems_after <= elems_mid * 2,
+        "retention grew: {count_mid}/{elems_mid} -> {count_after}/{elems_after}"
+    );
+
+    pool::trim_thread();
+    let (count_trimmed, elems_trimmed) = pool::thread_stats();
+    assert_eq!((count_trimmed, elems_trimmed), (0, 0), "trim left buffers behind");
+
+    pool::set_enabled(prev);
+}

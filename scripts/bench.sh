@@ -8,10 +8,31 @@
 #       "1": { "<case>": {"min_ns":…, "median_ns":…, "mean_ns":…}, … },
 #       "4": { … } } }
 #
+# Then re-runs just the full-SVI-step cases (TYXE_BENCH_FILTER=svi_step,
+# from both the tensor_ops and inference bench binaries) at
+# TYXE_NUM_THREADS=1 with the buffer pool off and on, and writes the
+# pool-off/pool-on comparison — steps/sec, allocation counters, hit
+# ratio, and the off→on speedup per case — to results/BENCH_SVI.json:
+#
+#   { "date": …, "nproc": …,
+#     "pool_off": { "<case>": {"steps_per_sec":…, "median_ns":…,
+#                              "pool_hit":…, "pool_miss":…, …}, … },
+#     "pool_on":  { … },
+#     "speedup":  { "<case>": <off_min / on_min>, … },
+#     "speedup_vs_prev_commit": { "<case>": <HEAD min / on_min>, … } }
+#
+# "speedup" isolates the allocator (both sides run this tree's fused
+# kernels); "speedup_vs_prev_commit" compares the pool-on run against the
+# single-thread times committed at HEAD in results/BENCH_TENSOR.json —
+# the end-to-end effect of the PR that produced the run. Both ratios use
+# min-of-samples: on the shared runner, medians absorb co-tenant noise
+# that minima shrug off.
+#
 # The per-run JSON lines come from the in-tree harness's TYXE_BENCH_JSON
 # hook (see crates/bench/src/harness.rs). The kernels are bit-identical
-# at every thread count (see crates/tensor docs), so the two runs measure
-# scheduling only, never numerics.
+# at every thread count and with the pool on or off (see crates/tensor
+# docs), so every comparison here measures scheduling and allocation
+# only, never numerics.
 #
 # Usage: scripts/bench.sh [--fast]
 #   --fast   TYXE_BENCH_FAST=1: one iteration per case, smoke-testing the
@@ -77,3 +98,117 @@ mkdir -p results
 } > "$out"
 
 echo "bench: wrote $out"
+
+# ---------------------------------------------------------------------------
+# Full-SVI-step pool comparison: the same binaries, filtered down to the
+# svi_step cases, once with the buffer pool disabled and once enabled.
+# Single-threaded so the comparison isolates allocator behaviour.
+
+svi_out="results/BENCH_SVI.json"
+for pool in 0 1; do
+    echo "== svi_step @ TYXE_NUM_THREADS=1 TYXE_POOL=$pool =="
+    for bin in tensor_ops inference; do
+        TYXE_NUM_THREADS=1 TYXE_POOL="$pool" TYXE_BENCH_FILTER=svi_step \
+            TYXE_BENCH_JSON="$tmp/pool$pool.jsonl" CARGO_NET_OFFLINE=true \
+            cargo bench --offline -p tyxe-bench --bench "$bin"
+    done
+done
+
+# Keep only the harness's "<case>/pool" report lines (steps/sec + pool
+# counters; see bench_with_pool_stats) and re-key them by bare case name.
+svi_members() {
+    awk '
+        !/"name":"[^"]*\/pool"/ { next }
+        n++ { printf ",\n" }
+        {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 7, RLENGTH - 7)
+            sub(/\/pool"$/, "\"", name)
+            rest = $0
+            sub(/^\{"name":"[^"]*",/, "", rest)
+            sub(/\}[[:space:]]*$/, "", rest)
+            printf "    %s: {%s}", name, rest
+        }
+        END { printf "\n" }
+    ' "$1"
+}
+
+# Per-case speedup vs the single-thread times committed at HEAD
+# (results/BENCH_TENSOR.json), for cases present in both. Empty when git
+# or the prior record is unavailable.
+prev_json="$(git show HEAD:results/BENCH_TENSOR.json 2>/dev/null || true)"
+svi_vs_prev() {
+    awk -v prev="$prev_json" '
+        BEGIN {
+            n = split(prev, lines, "\n")
+            for (i = 1; i <= n; i++) {
+                line = lines[i]
+                if (!match(line, /"[A-Za-z0-9_\/]+": \{"min_ns"/)) continue
+                name = substr(line, RSTART + 1)
+                sub(/": .*/, "", name)
+                # First occurrence is the threads="1" section.
+                if (name in base) continue
+                if (match(line, /"min_ns":[0-9]+/))
+                    base[name] = substr(line, RSTART + 9, RLENGTH - 9) + 0
+            }
+        }
+        # The plain timing lines carry min_ns; skip the /pool reports.
+        /"name":"[^"]*\/pool"/ { next }
+        /"min_ns":/ {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 8, RLENGTH - 9)
+            match($0, /"min_ns":[0-9]+/)
+            min = substr($0, RSTART + 9, RLENGTH - 9) + 0
+            if ((name in base) && min > 0) {
+                printf "%s    \"%s\": %.3f", sep, name, base[name] / min
+                sep = ",\n"
+            }
+        }
+        END { printf "\n" }
+    ' "$1"
+}
+
+# Per-case speedup: pool-off min over pool-on min.
+svi_speedups() {
+    awk '
+        /"name":"[^"]*\/pool"/ { next }
+        /"min_ns":/ {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 8, RLENGTH - 9)
+            match($0, /"min_ns":[0-9]+/)
+            min = substr($0, RSTART + 9, RLENGTH - 9) + 0
+            if (FILENAME == ARGV[1]) off[name] = min
+            else on[name] = min
+        }
+        END {
+            sep = ""
+            for (name in on) {
+                if (!(name in off) || on[name] == 0) continue
+                printf "%s    \"%s\": %.3f", sep, name, off[name] / on[name]
+                sep = ",\n"
+            }
+            printf "\n"
+        }
+    ' "$1" "$2"
+}
+
+{
+    echo '{'
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"nproc\": $(nproc),"
+    echo '  "pool_off": {'
+    svi_members "$tmp/pool0.jsonl"
+    echo '  },'
+    echo '  "pool_on": {'
+    svi_members "$tmp/pool1.jsonl"
+    echo '  },'
+    echo '  "speedup": {'
+    svi_speedups "$tmp/pool0.jsonl" "$tmp/pool1.jsonl"
+    echo '  },'
+    echo '  "speedup_vs_prev_commit": {'
+    svi_vs_prev "$tmp/pool1.jsonl"
+    echo '  }'
+    echo '}'
+} > "$svi_out"
+
+echo "bench: wrote $svi_out"

@@ -20,13 +20,15 @@ fi
 # agree with the manifests, so resolution is fully deterministic.
 CARGO_NET_OFFLINE=true cargo build --release --frozen
 
-# The kernels promise bit-identical results at every thread count
-# (crates/tensor docs), so the whole suite must pass both with the
-# tyxe-par pool disabled and with it running 4 workers.
-echo "verify: test suite @ TYXE_NUM_THREADS=1"
-TYXE_NUM_THREADS=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
-echo "verify: test suite @ TYXE_NUM_THREADS=4"
-TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true cargo test -q --frozen
+# The kernels promise bit-identical results at every thread count AND
+# with the tensor buffer pool on or off (crates/tensor docs, DESIGN.md
+# §10), so the whole suite must pass across both axes: single-threaded
+# with recycling disabled (every allocation fresh from the system
+# allocator) and 4 worker threads with recycling on (the default).
+echo "verify: test suite @ TYXE_NUM_THREADS=1 TYXE_POOL=0"
+TYXE_NUM_THREADS=1 TYXE_POOL=0 CARGO_NET_OFFLINE=true cargo test -q --frozen
+echo "verify: test suite @ TYXE_NUM_THREADS=4 TYXE_POOL=1"
+TYXE_NUM_THREADS=4 TYXE_POOL=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
 
 # Fault-injection + observability smoke run: a short supervised fit with
 # 5% NaN-gradient injection (and pool panics, on a forced 4-thread pool)
@@ -60,13 +62,14 @@ CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
     --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.jsonl" \
     --require-span-names core.supervisor.step,prob.svi.guide,prob.svi.model,core.svi.backward,prob.optim.step,tensor.gemm.block,par.task \
     --require-threads 2 --require-depth 3 \
-    --require-metrics par.pool.tasks_queued,par.worker.tasks,par.fault.injected_panics,prob.mcmc.divergences,core.supervisor.steps,core.site.sample_ns,tensor.gemm.flops
+    --require-metrics par.pool.tasks_queued,par.worker.tasks,par.fault.injected_panics,prob.mcmc.divergences,core.supervisor.steps,core.site.sample_ns,tensor.gemm.flops,tensor.alloc.pool_hit,tensor.alloc.pool_miss,tensor.alloc.bytes_recycled,tensor.alloc.pool_size
 
 # Lint the resilience-critical crates at deny-warnings strictness: the
-# unsafe-heavy pool (scope lifetime erasure), the serialization substrate
-# and the supervisor should stay free of even stylistic lint debt.
+# unsafe-heavy pool (scope lifetime erasure), the buffer-recycling tensor
+# substrate, the serialization substrate and the supervisor should stay
+# free of even stylistic lint debt.
 if command -v cargo-clippy >/dev/null 2>&1; then
-    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-nn -p tyxe-prob -p tyxe \
+    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-tensor -p tyxe-nn -p tyxe-prob -p tyxe \
         --frozen -- -D warnings
 else
     echo "verify: cargo-clippy unavailable, skipping lint step" >&2

@@ -170,6 +170,51 @@ fn svi_step_is_bit_identical_with_observability_enabled() {
     tyxe_par::set_num_threads(prev);
 }
 
+/// The buffer pool's memory-reuse contract (DESIGN.md §10), checked at
+/// the very top of the stack: recycling tensor buffers through the
+/// thread-local pool must not perturb a single bit of a full SVI step —
+/// priors, guide sampling, fused forward, ELBO, backward, fused Adam
+/// update — sequentially or on a 4-thread kernel pool. Uninit-reuse is
+/// only allowed where every element is overwritten, so pool on/off can
+/// differ only if that classification is wrong somewhere; this test is
+/// the end-to-end pin.
+#[test]
+fn svi_step_is_bit_identical_with_pool_on_and_off() {
+    let prev_threads = tyxe_par::num_threads();
+    let prev_pool = tyxe_tensor::pool::enabled();
+    for threads in [1usize, 4] {
+        tyxe_par::set_num_threads(threads);
+        tyxe_tensor::pool::set_enabled(false);
+        let (losses_off, sites_off) = run_svi_wide(31, 2);
+        tyxe_tensor::pool::set_enabled(true);
+        let (losses_on, sites_on) = run_svi_wide(31, 2);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&losses_off),
+            bits(&losses_on),
+            "losses drifted with the buffer pool at {threads} threads"
+        );
+        assert_eq!(sites_off.len(), sites_on.len());
+        for ((name_off, loc_off, scale_off), (name_on, loc_on, scale_on)) in
+            sites_off.iter().zip(&sites_on)
+        {
+            assert_eq!(name_off, name_on);
+            assert_eq!(
+                bits(loc_off),
+                bits(loc_on),
+                "loc drifted with the buffer pool at {name_off} ({threads} threads)"
+            );
+            assert_eq!(
+                bits(scale_off),
+                bits(scale_on),
+                "scale drifted with the buffer pool at {name_off} ({threads} threads)"
+            );
+        }
+    }
+    tyxe_par::set_num_threads(prev_threads);
+    tyxe_tensor::pool::set_enabled(prev_pool);
+}
+
 /// Checkpoint/resume determinism, on top of the same contract: killing a
 /// supervised run between checkpoints and resuming from disk must land on
 /// bit-identical variational parameters, because the checkpoint carries

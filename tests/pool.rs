@@ -1,0 +1,75 @@
+//! Buffer-pool leak guard, at the top of the stack: a long SVI run must
+//! reach a steady state where (a) retained pool memory plateaus — the
+//! per-bucket caps in `crates/tensor/src/pool.rs` bound retention, so a
+//! training loop cannot grow the pool without bound — and (b) nearly
+//! every tensor allocation is served from a free-list (the ≥ 0.9 hit
+//! ratio the perf work is predicated on). Runs as its own test binary so
+//! the process-global obs counters are not polluted by unrelated tests.
+
+use tyxe::guides::AutoNormal;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::VariationalBnn;
+use tyxe_datasets::foong_regression;
+use tyxe_prob::optim::Adam;
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+
+type Bnn = VariationalBnn<tyxe_nn::layers::Sequential, HomoskedasticGaussian, AutoNormal>;
+
+/// Bytes currently retained across all thread free-lists, as mirrored
+/// into the `tensor.alloc.pool_size` gauge.
+fn pool_held_bytes() -> f64 {
+    tyxe_obs::metrics::gauge_tagged("tensor.alloc.pool_size", &[], "bytes").get()
+}
+
+#[test]
+fn pool_plateaus_and_mostly_hits_over_100_svi_steps() {
+    tyxe_tensor::pool::set_enabled(true);
+
+    tyxe_prob::rng::set_seed(3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = foong_regression(64, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 32, 32, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+
+    // Warmup: populate the free-lists with this graph's buffer multiset.
+    for _ in 0..20 {
+        bnn.svi_step(&data.x, &data.y, &mut optim);
+    }
+    let held_mid = pool_held_bytes();
+    assert!(held_mid > 0.0, "pool retained nothing after warmup");
+
+    let hit = tyxe_obs::metrics::counter("tensor.alloc.pool_hit");
+    let miss = tyxe_obs::metrics::counter("tensor.alloc.pool_miss");
+    let (h0, m0) = (hit.get(), miss.get());
+
+    for _ in 0..100 {
+        bnn.svi_step(&data.x, &data.y, &mut optim);
+    }
+
+    // Leak guard: the steady-state footprint must not creep. A small
+    // allowance covers stragglers (e.g. a worker thread first touched
+    // after warmup); unbounded growth would blow far past it.
+    let held_after = pool_held_bytes();
+    assert!(
+        held_after <= held_mid * 1.5 + 1024.0 * 1024.0,
+        "pool grew from {held_mid} to {held_after} bytes over 100 steps"
+    );
+
+    // After warmup the step's allocation multiset is stable, so almost
+    // every allocation must come from a free-list.
+    let (dh, dm) = (hit.get() - h0, miss.get() - m0);
+    assert!(dh + dm > 0, "no allocations observed over 100 SVI steps");
+    let ratio = dh as f64 / (dh + dm) as f64;
+    assert!(
+        ratio >= 0.9,
+        "pool hit ratio {ratio:.3} below 0.9 after warmup ({dh} hits, {dm} misses)"
+    );
+}
