@@ -1,0 +1,119 @@
+//! Phase-level wall-clock breakdown of one SVI training step, for
+//! deciding where step-time optimization effort should go. Prints the
+//! full step with plans off/on plus the raw cost of its dominant
+//! kernels (GEMMs, normal draws, log-prob chains, Adam update).
+//!
+//! Usage: cargo run --release -p tyxe-bench --bin profile_svi
+
+use std::time::Instant;
+
+use tyxe::guides::AutoNormal;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::VariationalBnn;
+use tyxe_prob::dist::Distribution;
+use tyxe_prob::optim::{Adam, Optimizer};
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+use tyxe_tensor::Tensor;
+
+fn time<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
+    // Warmup.
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("{label:<44} {:>10.1} us", best * 1e6);
+}
+
+fn main() {
+    tyxe_prob::rng::set_seed(5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = tyxe_datasets::foong_regression(256, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 128, 128, 1], false, &mut rng);
+    let bnn: VariationalBnn<tyxe_nn::layers::Sequential, HomoskedasticGaussian, AutoNormal> =
+        VariationalBnn::new(
+            net,
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(data.len(), 0.1),
+            AutoNormal::new().init_scale(1e-2),
+        );
+    let mut optim = Adam::new(vec![], 1e-2);
+
+    tyxe_tensor::plan::set_enabled(false);
+    time("svi_step (dynamic)", 1, || {
+        bnn.svi_step(&data.x, &data.y, &mut optim)
+    });
+    tyxe_tensor::plan::set_enabled(true);
+    time("svi_step (plan replay)", 1, || {
+        bnn.svi_step(&data.x, &data.y, &mut optim)
+    });
+
+    // Dominant raw kernels, outside the training loop.
+    let h = Tensor::randn(&[256, 128], &mut rng);
+    let w = Tensor::randn(&[128, 128], &mut rng);
+    time("gemm 256x128 @ 128x128 (fwd hidden)", 4, || h.matmul(&w));
+    let hg = h.clone().requires_grad(true);
+    time("hidden matmul fwd+bwd", 2, || {
+        let y = hg.matmul(&w).sum();
+        y.backward();
+    });
+
+    time("randn fill 16384", 8, || {
+        tyxe_prob::rng::randn(&[16384])
+    });
+
+    let x = Tensor::randn(&[16384], &mut rng);
+    let loc = Tensor::zeros(&[16384]);
+    let scale = Tensor::full(&[16384], 0.5);
+    let normal = tyxe_prob::dist::Normal::new(loc, scale);
+    time("Normal::log_prob(16384).sum fwd", 4, || {
+        normal.log_prob(&x).sum()
+    });
+    let xg = x.clone().requires_grad(true);
+    time("Normal::log_prob(16384).sum fwd+bwd", 2, || {
+        normal.log_prob(&xg).sum().backward()
+    });
+
+    time("adam step (16k+ params)", 2, || optim.step());
+
+    // Span-level breakdown via tyxe-obs: run a few steps each way and
+    // aggregate total duration per span name.
+    for (label, plan_on) in [("dynamic", false), ("plan replay", true)] {
+        tyxe_tensor::plan::set_enabled(plan_on);
+        bnn.svi_step(&data.x, &data.y, &mut optim); // settle (record if planning)
+        tyxe_obs::set_enabled(true);
+        tyxe_obs::trace::clear();
+        let t0 = Instant::now();
+        for _ in 0..8 {
+            bnn.svi_step(&data.x, &data.y, &mut optim);
+        }
+        let wall = t0.elapsed().as_secs_f64() / 8.0;
+        let spans = tyxe_obs::trace::drain();
+        tyxe_obs::set_enabled(false);
+        let mut agg: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for s in &spans {
+            let key = match (&*s.name, &s.arg) {
+                ("tensor.gemm", Some(arg)) => format!("tensor.gemm {arg}"),
+                (name, _) => name.to_string(),
+            };
+            let e = agg.entry(key).or_insert((0, 0));
+            e.0 += s.dur_ns;
+            e.1 += 1;
+        }
+        println!("\n-- span totals over 8 steps ({label}, {:.1} us/step wall) --", wall * 1e6);
+        let mut rows: Vec<_> = agg.into_iter().collect();
+        rows.sort_by_key(|(_, (d, _))| std::cmp::Reverse(*d));
+        for (name, (dur, n)) in rows {
+            println!("{name:<36} {:>10.1} us/step  x{:>5}", dur as f64 / 8.0 / 1e3, n / 8);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The top-level BNN classes (TyXe `tyxe/bnn.py`): [`VariationalBnn`],
 //! [`McmcBnn`] and the low-level, likelihood-free [`PytorchBnn`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -171,6 +171,31 @@ pub struct Evaluation {
 /// Per-epoch progress passed to fit callbacks.
 pub type FitCallback<'a> = &'a mut dyn FnMut(usize, f64) -> bool;
 
+/// How many consecutive signature-mismatch re-records the step driver
+/// tolerates before pinning the BNN to the dynamic path: a loop that
+/// alternates batch tensors every step would otherwise pay full
+/// recording overhead on every one of them.
+const REPLAN_STREAK_LIMIT: u32 = 3;
+
+/// Compiled-plan state for the SVI hot loop (see `tyxe_tensor::plan`
+/// and DESIGN.md §11). One slot: the driver re-records on signature
+/// change rather than caching per shape.
+#[derive(Debug)]
+enum PlanSlot {
+    /// A compiled plan plus the exact input/target tensors (by node id
+    /// and shape) it was recorded against.
+    Ready {
+        plan: tyxe_tensor::plan::StepPlan,
+        input_id: u64,
+        input_shape: Vec<usize>,
+        targets_id: u64,
+        targets_shape: Vec<usize>,
+    },
+    /// The model traced to something unreplayable, or thrashed on
+    /// signatures: stay dynamic for this BNN's lifetime.
+    Unsupported(String),
+}
+
 /// Variational Bayesian neural network for supervised learning
 /// (`tyxe.VariationalBNN`).
 ///
@@ -182,6 +207,13 @@ pub struct VariationalBnn<M, L, G> {
     likelihood: L,
     guide: G,
     estimator: ElboEstimator,
+    /// Compiled step plan (`TYXE_PLAN`): recorded on the first
+    /// tensor-input SVI step, replayed while input/target identity,
+    /// shapes and the global plan generation hold.
+    plan: RefCell<Option<PlanSlot>>,
+    /// Consecutive signature-mismatch re-records; at
+    /// [`REPLAN_STREAK_LIMIT`] the slot turns `Unsupported`.
+    plan_streak: Cell<u32>,
 }
 
 impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
@@ -195,6 +227,8 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
             likelihood,
             guide,
             estimator: ElboEstimator::MeanField,
+            plan: RefCell::new(None),
+            plan_streak: Cell::new(0),
         }
     }
 
@@ -253,10 +287,22 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         }
     }
 
+    /// Why the compiled-plan path is disabled for this BNN, if it is:
+    /// `Some(reason)` once a step traced to something unreplayable (or
+    /// kept thrashing input signatures), `None` while plans are live or
+    /// not yet attempted.
+    pub fn plan_unsupported_reason(&self) -> Option<String> {
+        match &*self.plan.borrow() {
+            Some(PlanSlot::Unsupported(r)) => Some(r.clone()),
+            _ => None,
+        }
+    }
+
     /// One SVI step on a single batch; returns the negative ELBO.
     pub fn svi_step<I>(&self, input: &I, targets: &Tensor, optim: &mut dyn Optimizer) -> f64
     where
         M: Forward<I, Output = Tensor>,
+        I: std::any::Any,
     {
         let loss = self.svi_forward_backward(input, targets, optim);
         optim.step();
@@ -267,7 +313,48 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
     /// ELBO and accumulates gradients without applying the optimizer
     /// update. A training supervisor can inspect the loss and gradients
     /// (NaN sentinels, clipping) before calling `optim.step()` itself.
+    ///
+    /// When `TYXE_PLAN` is enabled (the default) and `input` is a plain
+    /// [`Tensor`], the step runs through a compiled plan: the first call
+    /// records the op sequence while executing it dynamically, and later
+    /// calls with the same input/target tensors replay it without
+    /// rebuilding the graph or walking the poutine stack. Any divergence
+    /// (shapes, site structure, control flow, RNG use the recorder cannot
+    /// see) falls back to the dynamic path — same bits, just slower.
     pub fn svi_forward_backward<I>(
+        &self,
+        input: &I,
+        targets: &Tensor,
+        optim: &mut dyn Optimizer,
+    ) -> f64
+    where
+        M: Forward<I, Output = Tensor>,
+        I: std::any::Any,
+    {
+        if tyxe_tensor::plan::enabled() {
+            if let Some(x) = (input as &dyn std::any::Any).downcast_ref::<Tensor>() {
+                return self.svi_forward_backward_planned(input, x, targets, optim);
+            }
+        }
+        self.svi_forward_backward_dynamic(input, targets, optim)
+    }
+
+    /// Builds the negative-ELBO loss graph for one step (no backward).
+    fn svi_loss<I>(&self, input: &I, targets: &Tensor) -> Tensor
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let model = || {
+            let pred = self.module.sampled_forward(input);
+            self.likelihood.observe_data(&pred, targets);
+        };
+        let guide = || self.guide.sample_guide();
+        let (loss, _, _) = negative_elbo(&model, &guide, self.estimator);
+        loss
+    }
+
+    /// The uncompiled step: rebuilds the graph every call.
+    fn svi_forward_backward_dynamic<I>(
         &self,
         input: &I,
         targets: &Tensor,
@@ -280,12 +367,115 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         // Purely observational per-site timing handler; a no-op unless
         // observability is enabled (and bit-identical either way).
         let _obs = crate::poutine::obs_trace_if_enabled();
-        let model = || {
-            let pred = self.module.sampled_forward(input);
-            self.likelihood.observe_data(&pred, targets);
-        };
-        let guide = || self.guide.sample_guide();
-        let (loss, _, _) = negative_elbo(&model, &guide, self.estimator);
+        let loss = self.svi_loss(input, targets);
+        optim.zero_grad();
+        {
+            let _span = tyxe_obs::span!("core.svi.backward");
+            loss.backward();
+        }
+        loss.item()
+    }
+
+    /// The compiled step driver: replay on signature match, record on an
+    /// empty slot, dynamic otherwise. `x` is `input` downcast to a
+    /// [`Tensor`].
+    fn svi_forward_backward_planned<I>(
+        &self,
+        input: &I,
+        x: &Tensor,
+        targets: &Tensor,
+        optim: &mut dyn Optimizer,
+    ) -> f64
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        use tyxe_tensor::plan;
+
+        // Fast path: replay a still-valid plan.
+        {
+            let slot = self.plan.borrow();
+            if let Some(PlanSlot::Ready {
+                plan: p,
+                input_id,
+                input_shape,
+                targets_id,
+                targets_shape,
+            }) = slot.as_ref()
+            {
+                let fresh = p.generation() == plan::generation();
+                let matches = *input_id == x.id()
+                    && input_shape == x.shape()
+                    && *targets_id == targets.id()
+                    && targets_shape == targets.shape();
+                if fresh && matches {
+                    // Params can have been dropped from the optimizer by a
+                    // checkpoint restore; cheap no-op otherwise.
+                    self.register_params(optim);
+                    {
+                        let _span = tyxe_obs::span!("plan.replay");
+                        p.replay();
+                    }
+                    optim.zero_grad();
+                    {
+                        let _span = tyxe_obs::span!("core.svi.backward");
+                        p.backward();
+                    }
+                    plan::note_replay_hit();
+                    self.plan_streak.set(0);
+                    return p.loss().item();
+                }
+            }
+        }
+
+        // Slow path: discard a stale/mismatched plan, then re-record or
+        // stay dynamic.
+        {
+            let mut slot = self.plan.borrow_mut();
+            match slot.take() {
+                Some(PlanSlot::Ready { plan: p, .. }) => {
+                    if p.generation() == plan::generation() {
+                        // Input-signature mismatch (generation bumps are
+                        // counted by `invalidate_all` itself). Thrashing
+                        // signatures means recording overhead every step,
+                        // so after a streak pin this BNN to dynamic.
+                        plan::note_invalidated();
+                        let streak = self.plan_streak.get() + 1;
+                        self.plan_streak.set(streak);
+                        if streak >= REPLAN_STREAK_LIMIT {
+                            *slot = Some(PlanSlot::Unsupported(
+                                "input signature keeps changing".to_string(),
+                            ));
+                        }
+                    }
+                }
+                other => *slot = other,
+            }
+            if matches!(*slot, Some(PlanSlot::Unsupported(_))) {
+                drop(slot);
+                return self.svi_forward_backward_dynamic(input, targets, optim);
+            }
+        }
+
+        // Record: one dynamic step with the recorder attached.
+        let _record_span = tyxe_obs::span!("plan.record");
+        self.register_params(optim);
+        let _obs = crate::poutine::obs_trace_if_enabled();
+        plan::begin_record();
+        let loss = self.svi_loss(input, targets);
+        match plan::end_record(&loss) {
+            Ok(p) => {
+                *self.plan.borrow_mut() = Some(PlanSlot::Ready {
+                    plan: p,
+                    input_id: x.id(),
+                    input_shape: x.shape().to_vec(),
+                    targets_id: targets.id(),
+                    targets_shape: targets.shape().to_vec(),
+                });
+            }
+            Err(reason) => {
+                *self.plan.borrow_mut() = Some(PlanSlot::Unsupported(reason));
+            }
+        }
         optim.zero_grad();
         {
             let _span = tyxe_obs::span!("core.svi.backward");
@@ -309,6 +499,7 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
     ) -> Vec<f64>
     where
         M: Forward<I, Output = Tensor>,
+        I: std::any::Any,
     {
         assert!(!data.is_empty(), "fit: data must be non-empty");
         let mut history = Vec::with_capacity(num_epochs);

@@ -541,6 +541,9 @@ impl Supervisor {
             p.set_data(data.clone());
         }
         optim.load_state_buffers(&snap.optim_state);
+        // Conservative: any compiled step plan was recorded against the
+        // pre-rollback trajectory; force a re-record on the next step.
+        tyxe_tensor::plan::invalidate_all();
     }
 
     // -----------------------------------------------------------------
@@ -665,6 +668,9 @@ impl Supervisor {
         optim.set_learning_rate(lr);
         // The restored state is, by construction, the last trusted one.
         self.good = Some(self.capture(optim));
+        // Restoring params/RNG out-of-band invalidates any compiled step
+        // plan recorded before the checkpoint was applied.
+        tyxe_tensor::plan::invalidate_all();
         Ok(())
     }
 }
@@ -708,6 +714,7 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
     ) -> Vec<f64>
     where
         M: Forward<I, Output = Tensor>,
+        I: std::any::Any,
     {
         assert!(!data.is_empty(), "fit_supervised: data must be non-empty");
         let done = supervisor.steps_completed();

@@ -1,11 +1,13 @@
 //! Minimal JSON support: string escaping for the emitters and a small
 //! recursive-descent parser for the jq-free schema validator.
 //!
-//! The parser accepts standard JSON (RFC 8259) minus a few laxities we
-//! never emit: no `\uXXXX` surrogate-pair validation beyond hex-digit
-//! checks, and numbers are parsed through `f64`. It exists so
-//! `scripts/verify.sh` can validate trace/metric output with nothing
-//! but the workspace's own code.
+//! The parser accepts standard JSON (RFC 8259) with one laxity: numbers
+//! are parsed through `f64`. `\uXXXX` escapes decode fully, including
+//! astral characters split across surrogate pairs; an *unpaired*
+//! surrogate half decodes to U+FFFD rather than erroring (lenient, like
+//! most production parsers). It exists so `scripts/verify.sh` can
+//! validate trace/metric output with nothing but the workspace's own
+//! code.
 
 /// Escape a string for embedding inside a JSON string literal
 /// (quotes, backslashes and control characters).
@@ -148,6 +150,16 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|_| format!("invalid number `{s}` at byte {start}"))
 }
 
+/// Reads the four hex digits of a `\uXXXX` escape with `*pos` on the
+/// `u`; leaves `*pos` on the last digit.
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+    let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    let code = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+    *pos += 4;
+    Ok(code)
+}
+
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(b, pos, b'"')?;
     let mut out = Vec::new();
@@ -170,16 +182,43 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push(0x08),
                     Some(b'f') => out.push(0x0c),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code =
-                            u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape")?;
-                        let c = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let code = parse_hex4(b, pos)?;
+                        let c = match code {
+                            0xD800..=0xDBFF => {
+                                // High surrogate: pair it with an
+                                // immediately following `\uXXXX` low
+                                // surrogate to form one astral scalar.
+                                // (Decoding each half independently
+                                // through `char::from_u32` mangled every
+                                // valid pair into two U+FFFDs.)
+                                let save = *pos;
+                                if b.get(*pos + 1) == Some(&b'\\')
+                                    && b.get(*pos + 2) == Some(&b'u')
+                                {
+                                    *pos += 2;
+                                    let lo = parse_hex4(b, pos)?;
+                                    if (0xDC00..=0xDFFF).contains(&lo) {
+                                        let scalar = 0x10000
+                                            + ((code - 0xD800) << 10)
+                                            + (lo - 0xDC00);
+                                        char::from_u32(scalar).unwrap_or('\u{fffd}')
+                                    } else {
+                                        // Not a low half: leave it for
+                                        // the next loop iteration and
+                                        // replace the lone high half.
+                                        *pos = save;
+                                        '\u{fffd}'
+                                    }
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            }
+                            // Lone low surrogates land here and become
+                            // U+FFFD via the `None` branch.
+                            _ => char::from_u32(code).unwrap_or('\u{fffd}'),
+                        };
                         let mut buf = [0u8; 4];
                         out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
-                        *pos += 4;
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -262,6 +301,30 @@ mod tests {
         assert_eq!(a[2].as_num().unwrap(), -300.0);
         assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
         assert_eq!(v.get("e").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn surrogate_pair_decodes_to_astral_char() {
+        let v = parse(r#""\uD83D\uDE00 and \uD83D\uDE80""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600} and \u{1f680}"));
+        // BMP escapes are unaffected.
+        assert_eq!(parse(r#""A\u00E9""#).unwrap().as_str(), Some("A\u{e9}"));
+    }
+
+    #[test]
+    fn lone_high_surrogate_becomes_replacement_char() {
+        assert_eq!(parse(r#""\uD83D""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(parse(r#""\uD83Dx""#).unwrap().as_str(), Some("\u{fffd}x"));
+        // High surrogate followed by a non-surrogate escape: the escape
+        // must survive on its own.
+        assert_eq!(parse(r#""\uD800A""#).unwrap().as_str(), Some("\u{fffd}A"));
+        assert_eq!(parse(r#""\uD800\n""#).unwrap().as_str(), Some("\u{fffd}\n"));
+    }
+
+    #[test]
+    fn lone_low_surrogate_becomes_replacement_char() {
+        assert_eq!(parse(r#""\uDE00""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(parse(r#""a\uDC00b""#).unwrap().as_str(), Some("a\u{fffd}b"));
     }
 
     #[test]

@@ -140,6 +140,27 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_escapes_in_span_names_validate() {
+        // Span names (e.g. user-labelled sites) may carry astral chars,
+        // which the Chrome trace format writes as surrogate pairs. A
+        // valid pair must decode to the real character; unpaired halves
+        // must degrade to U+FFFD, not break validation.
+        let pair = "{\"traceEvents\":[\
+            {\"name\":\"fit \\uD83D\\uDE80\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1,\"dur\":2}]}";
+        let stats = validate_chrome_trace(pair).unwrap();
+        assert!(stats.span_names.contains("fit \u{1f680}"), "{:?}", stats.span_names);
+
+        let lone_high = "{\"traceEvents\":[\
+            {\"name\":\"x\\uD83D\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1,\"dur\":2}]}";
+        let stats = validate_chrome_trace(lone_high).unwrap();
+        assert!(stats.span_names.contains("x\u{fffd}"));
+
+        let lone_low = "{\"name\":\"m\\uDC00\",\"value\":1.0,\"unit\":\"u\",\"tags\":{}}\n";
+        let stats = validate_metrics_jsonl(lone_low).unwrap();
+        assert!(stats.names.contains("m\u{fffd}"));
+    }
+
+    #[test]
     fn validates_chrome_trace_shape() {
         let good = "{\"traceEvents\":[\
             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"t\"}},\

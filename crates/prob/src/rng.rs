@@ -4,13 +4,16 @@
 //! through every call, so — like Pyro/Pytorch — this crate keeps a
 //! thread-local generator seeded via [`set_seed`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use tyxe_rand::rngs::StdRng;
 use tyxe_rand::SeedableRng;
 
 thread_local! {
     static GLOBAL_RNG: RefCell<StdRng> = RefCell::new(StdRng::seed_from_u64(0));
+    /// Set while a draw that registered a plan-replay refresh is in
+    /// flight; see [`with_rng`].
+    static REGISTERED_DRAW: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Seeds the thread-local generator (deterministic across runs).
@@ -37,21 +40,64 @@ pub fn set_state(state: [u64; 4]) {
 
 /// Runs `f` with mutable access to the thread-local generator.
 ///
+/// Under plan recording (`tyxe_tensor::plan`), a raw draw poisons the
+/// trace: a replay could not reproduce it, and every later sample on
+/// the global stream would desync. The tensor-producing wrappers in
+/// this module ([`randn`], [`rand_uniform`]) register refresh closures
+/// and are exempt; any other draw marks the plan unsupported, which
+/// falls the step driver back to the dynamic path (never wrong
+/// answers).
+///
 /// # Panics
 ///
 /// Panics if called reentrantly from within another `with_rng` closure.
 pub fn with_rng<R>(f: impl FnOnce(&mut StdRng) -> R) -> R {
+    if tyxe_tensor::plan::is_recording() && !REGISTERED_DRAW.with(Cell::get) {
+        tyxe_tensor::plan::mark_unsupported(
+            "global RNG drawn during plan recording without a registered refresh",
+        );
+    }
     GLOBAL_RNG.with(|r| f(&mut r.borrow_mut()))
 }
 
+/// Runs `f` with the registered-draw flag set, so its `with_rng` calls
+/// are recognized as replay-refreshable.
+fn registered_draw<R>(f: impl FnOnce() -> R) -> R {
+    REGISTERED_DRAW.with(|c| c.set(true));
+    let out = f();
+    REGISTERED_DRAW.with(|c| c.set(false));
+    out
+}
+
 /// Draws a standard-normal tensor of the given shape from the global RNG.
+///
+/// Plan-recording aware: registers a refresh closure that re-draws the
+/// tensor in place on replay, consuming the global stream exactly as
+/// this call does.
 pub fn randn(shape: &[usize]) -> tyxe_tensor::Tensor {
-    with_rng(|rng| tyxe_tensor::Tensor::randn(shape, rng))
+    let t = registered_draw(|| with_rng(|rng| tyxe_tensor::Tensor::randn(shape, rng)));
+    if tyxe_tensor::plan::is_recording() {
+        let dst = t.clone();
+        tyxe_tensor::plan::record_leaf(&t, move || {
+            registered_draw(|| with_rng(|rng| dst.refill_randn(rng)));
+        });
+    }
+    t
 }
 
 /// Draws a uniform `[lo, hi)` tensor of the given shape from the global RNG.
+///
+/// Plan-recording aware, like [`randn`].
 pub fn rand_uniform(shape: &[usize], lo: f64, hi: f64) -> tyxe_tensor::Tensor {
-    with_rng(|rng| tyxe_tensor::Tensor::rand_uniform(shape, lo, hi, rng))
+    let t =
+        registered_draw(|| with_rng(|rng| tyxe_tensor::Tensor::rand_uniform(shape, lo, hi, rng)));
+    if tyxe_tensor::plan::is_recording() {
+        let dst = t.clone();
+        tyxe_tensor::plan::record_leaf(&t, move || {
+            registered_draw(|| with_rng(|rng| dst.refill_uniform(lo, hi, rng)));
+        });
+    }
+    t
 }
 
 #[cfg(test)]

@@ -60,9 +60,20 @@
 //! to and `tests/pool_stress.rs` pins. See DESIGN.md §10 for the full
 //! memory-reuse contract and the fused hot-path kernels that accompany
 //! it.
+//!
+//! # Compiled step plans
+//!
+//! On top of buffer recycling, [`plan`] removes per-step graph
+//! construction entirely: a recording pass traces one SVI step into a
+//! [`plan::StepPlan`] whose replay recomputes every op in place over
+//! the retained graph — zero allocation, bit-identical to the dynamic
+//! path, gated by `TYXE_PLAN` (default on, `0` disables). Traces that
+//! cannot be replayed (unsupported ops, unregistered RNG draws) fall
+//! back to the dynamic path; see DESIGN.md §11 for the contract.
 
 pub mod grad_check;
 pub mod ops;
+pub mod plan;
 pub mod pool;
 pub mod shape;
 mod tensor;

@@ -30,7 +30,7 @@ pub(crate) fn sum_to_shape(grad: &[f64], out_shape: &[usize], src_shape: &[usize
 fn broadcast_binary(
     a: &Tensor,
     b: &Tensor,
-    f: impl Fn(f64, f64) -> f64 + Sync,
+    f: impl Fn(f64, f64) -> f64 + Sync + 'static,
     df: impl Fn(f64, f64, f64) -> (f64, f64) + Sync + 'static,
 ) -> Tensor {
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
@@ -41,38 +41,44 @@ fn broadcast_binary(
         )
     });
     let n = numel(&out_shape);
-    let ad = a.data();
-    let bd = b.data();
-    let fast = a.shape() == out_shape && b.shape() == out_shape;
-    let mut data = pool::alloc_uninit(n);
-    {
-        let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
-        let chunk = tyxe_par::chunk_len(n, 1, PAR_MIN_ELEMS);
-        if fast {
-            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
-                for (off, slot) in piece.iter_mut().enumerate() {
-                    let i = start + off;
-                    *slot = f(ad[i], bd[i]);
-                }
-            });
-        } else {
-            let (ashape, bshape) = (a.shape(), b.shape());
-            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
-                for (off, slot) in piece.iter_mut().enumerate() {
-                    let idx = unravel_index(start + off, &out_shape);
-                    let av = ad[broadcast_source_index(&idx, ashape)];
-                    let bv = bd[broadcast_source_index(&idx, bshape)];
-                    *slot = f(av, bv);
-                }
-            });
+    // Shared forward kernel: fully overwrites `out` from the operands'
+    // *current* buffers. Runs once to build the node and again on every
+    // plan replay — same chunking, same arithmetic, bit-identical.
+    let compute = {
+        let (a, b) = (a.clone(), b.clone());
+        let out_shape = out_shape.clone();
+        move |out: &mut [f64]| {
+            let ad = a.data();
+            let bd = b.data();
+            let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
+            let chunk = tyxe_par::chunk_len(out.len(), 1, PAR_MIN_ELEMS);
+            let fast = a.shape() == out_shape.as_slice() && b.shape() == out_shape.as_slice();
+            if fast {
+                tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
+                    for (off, slot) in piece.iter_mut().enumerate() {
+                        let i = start + off;
+                        *slot = f(ad[i], bd[i]);
+                    }
+                });
+            } else {
+                let (ashape, bshape) = (a.shape(), b.shape());
+                tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
+                    for (off, slot) in piece.iter_mut().enumerate() {
+                        let idx = unravel_index(start + off, &out_shape);
+                        let av = ad[broadcast_source_index(&idx, ashape)];
+                        let bv = bd[broadcast_source_index(&idx, bshape)];
+                        *slot = f(av, bv);
+                    }
+                });
+            }
         }
-    }
-    drop(ad);
-    drop(bd);
+    };
+    let mut data = pool::alloc_uninit(n);
+    compute(data.as_mut_slice());
 
     let (ac, bc) = (a.clone(), b.clone());
     let out_shape_c = out_shape.clone();
-    Tensor::make_op(
+    let t = Tensor::make_op(
         data,
         out_shape,
         vec![a.clone(), b.clone()],
@@ -123,7 +129,9 @@ fn broadcast_binary(
             };
             vec![Some(ga.into()), Some(gb.into())]
         }),
-    )
+    );
+    crate::plan::record_op(&t, &[a, b], compute);
+    t
 }
 
 impl Tensor {

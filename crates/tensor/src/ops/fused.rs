@@ -24,6 +24,9 @@
 //! (`relu`, `tanh`, `sigmoid`) are fusable; `softplus` is not (its
 //! inverse is unstable), so softplus call sites keep the separate op.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::ops::gemm_kernels::{gemm_at_ow, gemm_bt_ow, gemm_ow};
 use crate::ops::PAR_MIN_ELEMS;
 use crate::pool;
@@ -146,28 +149,39 @@ impl Tensor {
             assert_eq!(b.shape(), &[n], "linear: bias must be [{n}]");
         }
 
-        let mut data = pool::alloc_uninit(m * n);
-        {
-            let xd = self.data();
-            let wd = w.data();
-            gemm_bt_ow(&xd, &wd, &mut data, m, k, n);
-        }
-        match (b, act) {
-            (Some(b), _) => {
-                let bd = b.data();
-                for row in data.chunks_mut(n.max(1)) {
-                    for (v, &bv) in row.iter_mut().zip(bd.iter()) {
-                        *v = act.apply(*v + bv);
+        // Shared forward kernel (initial build + plan replay): the GEMM
+        // runs in overwrite mode and the bias/activation pass rewrites
+        // every element, so a dirty replay buffer is fully refreshed.
+        let compute = {
+            let x = self.clone();
+            let w = w.clone();
+            let b = b.cloned();
+            move |out: &mut [f64]| {
+                {
+                    let xd = x.data();
+                    let wd = w.data();
+                    gemm_bt_ow(&xd, &wd, out, m, k, n);
+                }
+                match (&b, act) {
+                    (Some(b), _) => {
+                        let bd = b.data();
+                        for row in out.chunks_mut(n.max(1)) {
+                            for (v, &bv) in row.iter_mut().zip(bd.iter()) {
+                                *v = act.apply(*v + bv);
+                            }
+                        }
+                    }
+                    (None, Activation::Identity) => {}
+                    (None, _) => {
+                        for v in out.iter_mut() {
+                            *v = act.apply(*v);
+                        }
                     }
                 }
             }
-            (None, Activation::Identity) => {}
-            (None, _) => {
-                for v in data.iter_mut() {
-                    *v = act.apply(*v);
-                }
-            }
-        }
+        };
+        let mut data = pool::alloc_uninit(m * n);
+        compute(data.as_mut_slice());
 
         let (xc, wc) = (self.clone(), w.clone());
         let has_bias = b.is_some();
@@ -175,7 +189,7 @@ impl Tensor {
         if let Some(b) = b {
             parents.push(b.clone());
         }
-        Tensor::make_op(
+        let out = Tensor::make_op(
             data,
             vec![m, n],
             parents,
@@ -219,7 +233,13 @@ impl Tensor {
                 }
                 grads
             }),
-        )
+        );
+        let mut reads = vec![self, w];
+        if let Some(b) = b {
+            reads.push(b);
+        }
+        crate::plan::record_op(&out, &reads, compute);
+        out
     }
 
     /// Fused reparameterized-normal draw: `loc + eps ⊙ map(raw_scale)`
@@ -246,40 +266,51 @@ impl Tensor {
             "fused_reparam_sample: loc/eps shape mismatch"
         );
         let len = loc.numel();
-        let mut data = pool::alloc_uninit(len);
         // The transformed scale, kept for the backward (which needs
         // `map'` expressible in terms of it). For Identity the raw
-        // tensor itself is the scale, so nothing is stashed.
-        let mut sd_stash: Option<Vec<f64>> = None;
-        {
-            let ld = loc.data();
-            let rd = raw_scale.data();
-            let ed = eps.data();
-            let (ls, rs, es): (&[f64], &[f64], &[f64]) = (&ld, &rd, &ed);
-            let chunk = tyxe_par::chunk_len(len, 1, PAR_MIN_ELEMS);
-            if map == ScaleMap::Identity {
-                tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
-                    for (off, slot) in piece.iter_mut().enumerate() {
-                        let i = start + off;
-                        *slot = ls[i] + es[i] * rs[i];
-                    }
-                });
-            } else {
-                let mut sd = pool::alloc_uninit(len);
-                tyxe_par::parallel_for_chunks2(&mut data, &mut sd, chunk, chunk, |ci, po, ps| {
-                    let start = ci * chunk;
-                    for (off, (slot, sds)) in po.iter_mut().zip(ps.iter_mut()).enumerate() {
-                        let i = start + off;
-                        let s = map.apply(rs[i]);
-                        *sds = s;
-                        *slot = ls[i] + es[i] * s;
-                    }
-                });
-                sd_stash = Some(sd);
+        // tensor itself is the scale, so nothing is stashed. Shared
+        // between the forward kernel and the backward closure so a plan
+        // replay refreshes the stash in place (no allocation after the
+        // first pass) and the backward always reads the current values.
+        let sd_stash: Rc<RefCell<Option<Vec<f64>>>> = Rc::new(RefCell::new(None));
+        // Shared forward kernel (initial build + plan replay): every
+        // output and stash element is rewritten each pass.
+        let compute = {
+            let (loc, raw_scale, eps) = (loc.clone(), raw_scale.clone(), eps.clone());
+            let stash = Rc::clone(&sd_stash);
+            move |out: &mut [f64]| {
+                let ld = loc.data();
+                let rd = raw_scale.data();
+                let ed = eps.data();
+                let (ls, rs, es): (&[f64], &[f64], &[f64]) = (&ld, &rd, &ed);
+                let chunk = tyxe_par::chunk_len(out.len(), 1, PAR_MIN_ELEMS);
+                if map == ScaleMap::Identity {
+                    tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
+                        for (off, slot) in piece.iter_mut().enumerate() {
+                            let i = start + off;
+                            *slot = ls[i] + es[i] * rs[i];
+                        }
+                    });
+                } else {
+                    let mut stash = stash.borrow_mut();
+                    let sd = stash.get_or_insert_with(|| pool::alloc_uninit(out.len()));
+                    tyxe_par::parallel_for_chunks2(out, sd.as_mut_slice(), chunk, chunk, |ci, po, ps| {
+                        let start = ci * chunk;
+                        for (off, (slot, sds)) in po.iter_mut().zip(ps.iter_mut()).enumerate() {
+                            let i = start + off;
+                            let s = map.apply(rs[i]);
+                            *sds = s;
+                            *slot = ls[i] + es[i] * s;
+                        }
+                    });
+                }
             }
-        }
+        };
+        let mut data = pool::alloc_uninit(len);
+        compute(data.as_mut_slice());
         let ec = eps.clone();
-        Tensor::make_op(
+        let stash_bw = Rc::clone(&sd_stash);
+        let out = Tensor::make_op(
             data,
             loc.shape().to_vec(),
             vec![loc.clone(), raw_scale.clone()],
@@ -292,7 +323,7 @@ impl Tensor {
                 let ed = ec.data();
                 let es: &[f64] = &ed;
                 let mut draw = pool::alloc_uninit(grad.len());
-                match &sd_stash {
+                match &*stash_bw.borrow() {
                     None => {
                         for ((slot, &g), &e) in draw.iter_mut().zip(grad.iter()).zip(es.iter()) {
                             *slot = g * e;
@@ -308,7 +339,13 @@ impl Tensor {
                 }
                 vec![Some(dloc.into()), Some(draw.into())]
             }),
-        )
+        );
+        // `eps` is read but is not a graph parent (no gradient flows to
+        // it), so it must be declared to the coverage check explicitly:
+        // a per-step eps the plan cannot refresh would otherwise replay
+        // stale noise silently.
+        crate::plan::record_op(&out, &[loc, raw_scale, eps], compute);
+        out
     }
 }
 

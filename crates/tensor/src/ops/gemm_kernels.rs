@@ -392,6 +392,298 @@ def_ref!(gemm_at_ow_ref, gemm_at_ow_ref_body, gemm_at_ow_ref_fma, "Reference ove
 def_ref!(gemm_bt_ow_ref, gemm_bt_ow_ref_body, gemm_bt_ow_ref_fma, "Reference overwrite `C = A·Bᵀ` (`A: [m×k]`, `B: [n×k]`); `C` may be uninitialized.");
 
 // ---------------------------------------------------------------------------
+// Narrow-shape kernels (m == 1, n == 1, or k == 1)
+// ---------------------------------------------------------------------------
+//
+// Degenerate products — matrix·vector, vector·matrix, outer products —
+// are a terrible fit for the packed-panel path: an `n == 1` product
+// pads its B micropanels out to NR columns and burns NR× the madds, and
+// packing overhead dwarfs the O(m·k) useful work. They are also a bad
+// fit for the scalar references, which leave lanes and FMA ports idle.
+//
+// The kernels below keep the exact per-element recipe (each output is
+// one p-ascending madd chain; `bt` dots start from 0.0 and are added
+// once) but restructure the *loops* so the work vectorizes: dot-shaped
+// products run four independent rows per pass (independent chains hide
+// FMA latency), axpy-shaped products make the contiguous operand row
+// the inner loop, and outer products stream the contiguous side.
+// Multiplication order inside a madd is irrelevant to the result
+// (IEEE multiply is commutative), so pairing the swapped operand order
+// of some calls below with the shared recipe is still bit-identical to
+// the references — which the `narrow_matches_reference_bitwise` test
+// pins down.
+
+/// `c[i] ⊕= chain_p(rows[i·k + p] · coeff[p])` for `m` contiguous rows:
+/// the dot-shaped narrow case (`nn`/`bt` with `n == 1`, `bt` with
+/// `m == 1` after swapping roles). Four independent chains per pass.
+#[inline(always)]
+fn narrow_dots_body<const FMA: bool>(
+    rows: &[f64],
+    coeff: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    mode: Acc,
+) {
+    #[inline(always)]
+    fn store(dst: &mut f64, acc: f64, mode: Acc) {
+        *dst = match mode {
+            Acc::FromC | Acc::Overwrite => acc,
+            Acc::AddDot => *dst + acc,
+            Acc::OverwriteDot => 0.0 + acc,
+        };
+    }
+    let mut i = 0;
+    while i + 4 <= m {
+        let r0 = &rows[i * k..i * k + k];
+        let r1 = &rows[(i + 1) * k..(i + 1) * k + k];
+        let r2 = &rows[(i + 2) * k..(i + 2) * k + k];
+        let r3 = &rows[(i + 3) * k..(i + 3) * k + k];
+        // Only FromC seeds from C; the other modes must not read it
+        // (Overwrite/OverwriteDot accept uninitialized output).
+        let (mut s0, mut s1, mut s2, mut s3) = if mode == Acc::FromC {
+            (c[i], c[i + 1], c[i + 2], c[i + 3])
+        } else {
+            (0.0, 0.0, 0.0, 0.0)
+        };
+        for p in 0..k {
+            let bv = coeff[p];
+            s0 = madd::<FMA>(s0, r0[p], bv);
+            s1 = madd::<FMA>(s1, r1[p], bv);
+            s2 = madd::<FMA>(s2, r2[p], bv);
+            s3 = madd::<FMA>(s3, r3[p], bv);
+        }
+        store(&mut c[i], s0, mode);
+        store(&mut c[i + 1], s1, mode);
+        store(&mut c[i + 2], s2, mode);
+        store(&mut c[i + 3], s3, mode);
+        i += 4;
+    }
+    while i < m {
+        let row = &rows[i * k..i * k + k];
+        let mut s = if mode == Acc::FromC { c[i] } else { 0.0 };
+        for p in 0..k {
+            s = madd::<FMA>(s, row[p], coeff[p]);
+        }
+        store(&mut c[i], s, mode);
+        i += 1;
+    }
+}
+
+/// `c[j] ⊕= chain_p(coeff[p] · rows[p·stride + j])` for `l` outputs:
+/// the axpy-shaped narrow case (`at` with `n == 1`, `nn`/`at` with
+/// `m == 1`), `p` outermost so the contiguous operand row is the vector
+/// inner loop. `stride` is the full row length of `rows`; callers
+/// working a column window pass a pre-offset `rows` slice and keep the
+/// original stride. `overwrite` replays the ow-reference recipe: the
+/// `p == 0` pass writes `madd(0.0, …)` instead of reading `C`.
+#[inline(always)]
+fn narrow_axpy_body<const FMA: bool>(
+    coeff: &[f64],
+    rows: &[f64],
+    c: &mut [f64],
+    l: usize,
+    stride: usize,
+    k: usize,
+    overwrite: bool,
+) {
+    let mut p0 = 0;
+    if overwrite {
+        if k == 0 {
+            c[..l].fill(0.0);
+            return;
+        }
+        let av = coeff[0];
+        let row = &rows[..l];
+        for j in 0..l {
+            c[j] = madd::<FMA>(0.0, av, row[j]);
+        }
+        p0 = 1;
+    }
+    for p in p0..k {
+        let av = coeff[p];
+        let row = &rows[p * stride..p * stride + l];
+        let crow = &mut c[..l];
+        for j in 0..l {
+            crow[j] = madd::<FMA>(crow[j], av, row[j]);
+        }
+    }
+}
+
+/// `c[i,j] ⊕= a[i] · b[j]`: the `k == 1` outer-product case for all
+/// three variants (the length-1 "chain" is a single madd).
+#[inline(always)]
+fn narrow_outer_body<const FMA: bool>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    mode: Acc,
+) {
+    for i in 0..m {
+        let av = a[i];
+        let crow = &mut c[i * n..(i + 1) * n];
+        match mode {
+            Acc::FromC => {
+                for j in 0..n {
+                    crow[j] = madd::<FMA>(crow[j], av, b[j]);
+                }
+            }
+            Acc::Overwrite => {
+                for j in 0..n {
+                    crow[j] = madd::<FMA>(0.0, av, b[j]);
+                }
+            }
+            Acc::AddDot => {
+                for j in 0..n {
+                    crow[j] += madd::<FMA>(0.0, av, b[j]);
+                }
+            }
+            Acc::OverwriteDot => {
+                for j in 0..n {
+                    crow[j] = 0.0 + madd::<FMA>(0.0, av, b[j]);
+                }
+            }
+        }
+    }
+}
+
+/// ISA-dispatched wrappers for the narrow bodies: plain scalar on Base,
+/// AVX2-vectorized without FMA on `Isa::Avx2`, and AVX2+FMA otherwise
+/// (the AVX-512 machines run the 256-bit build of the same recipe —
+/// these kernels are load-bound, not ALU-bound).
+macro_rules! def_narrow {
+    ($name:ident, $body:ident, $avx2:ident, $fma:ident,
+     ($($arg:ident : $ty:ty),*)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2($($arg: $ty),*) {
+            $body::<false>($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        unsafe fn $fma($($arg: $ty),*) {
+            $body::<true>($($arg),*);
+        }
+
+        fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            match isa() {
+                // SAFETY: `isa()` verified the matching target features.
+                Isa::Avx2Fma | Isa::Avx512Fma => return unsafe { $fma($($arg),*) },
+                Isa::Avx2 => return unsafe { $avx2($($arg),*) },
+                Isa::Base => {}
+            }
+            $body::<false>($($arg),*);
+        }
+    };
+}
+
+def_narrow!(narrow_dots, narrow_dots_body, narrow_dots_avx2, narrow_dots_fma,
+    (rows: &[f64], coeff: &[f64], c: &mut [f64], m: usize, k: usize, mode: Acc));
+def_narrow!(narrow_axpy, narrow_axpy_body, narrow_axpy_avx2, narrow_axpy_fma,
+    (coeff: &[f64], rows: &[f64], c: &mut [f64], l: usize, stride: usize, k: usize, overwrite: bool));
+def_narrow!(narrow_outer, narrow_outer_body, narrow_outer_avx2, narrow_outer_fma,
+    (a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, mode: Acc));
+
+// Parallel drivers over the single-threaded cores. Each partitions `C`
+// along an axis that keeps every output element's whole madd chain on
+// one thread — rows for the dot/outer shapes, columns for axpy — so
+// thread count can never reorder a reduction, exactly like the blocked
+// driver's row partitioning. Products below the blocked path's work
+// cutoff stay inline; larger ones go through the pool (and emit the
+// same `tensor.gemm.block` per-chunk span, so traces keep showing where
+// GEMM work actually ran).
+
+fn narrow_dots_par(rows: &[f64], coeff: &[f64], c: &mut [f64], m: usize, k: usize, mode: Acc) {
+    if m * k < BLOCK_MIN_MADDS {
+        return narrow_dots(rows, coeff, c, m, k, mode);
+    }
+    let chunk = tyxe_par::chunk_len(m, 4, 4);
+    tyxe_par::parallel_for_chunks(c, chunk, |start, c_chunk| {
+        let _span = tyxe_obs::span!("tensor.gemm.block");
+        let rows_here = c_chunk.len();
+        narrow_dots(&rows[start * k..(start + rows_here) * k], coeff, c_chunk, rows_here, k, mode);
+    });
+}
+
+fn narrow_axpy_par(coeff: &[f64], rows: &[f64], c: &mut [f64], l: usize, k: usize, overwrite: bool) {
+    if l * k < BLOCK_MIN_MADDS {
+        return narrow_axpy(coeff, rows, c, l, l, k, overwrite);
+    }
+    let chunk = tyxe_par::chunk_len(l, 8, 8);
+    tyxe_par::parallel_for_chunks(c, chunk, |start, c_chunk| {
+        let _span = tyxe_obs::span!("tensor.gemm.block");
+        // Column window [start, start+len): offset the rows base, keep
+        // the full row stride.
+        narrow_axpy(coeff, &rows[start..], c_chunk, c_chunk.len(), l, k, overwrite);
+    });
+}
+
+fn narrow_outer_par(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, mode: Acc) {
+    if m * n < BLOCK_MIN_MADDS {
+        return narrow_outer(a, b, c, m, n, mode);
+    }
+    let chunk = tyxe_par::chunk_len(m, 1, 1) * n;
+    tyxe_par::parallel_for_chunks(c, chunk, |start, c_chunk| {
+        let _span = tyxe_obs::span!("tensor.gemm.block");
+        let (i0, rows_here) = (start / n, c_chunk.len() / n);
+        narrow_outer(&a[i0..i0 + rows_here], b, c_chunk, rows_here, n, mode);
+    });
+}
+
+/// Whether the public dispatchers should take the narrow path: some
+/// dimension is degenerate and none is empty (empty products fall
+/// through to the references, which handle `k == 0` zero-fills).
+#[inline]
+fn narrow_dims(m: usize, k: usize, n: usize) -> bool {
+    m.min(k).min(n) == 1
+}
+
+/// Narrow `nn` dispatch (`mode` is `FromC` or `Overwrite`).
+fn narrow_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+    if k == 1 {
+        narrow_outer_par(&a[..m], &b[..n], c, m, n, mode);
+    } else if m == 1 {
+        narrow_axpy_par(&a[..k], b, c, n, k, mode == Acc::Overwrite);
+    } else {
+        // n == 1: B is [k×1], i.e. a contiguous coefficient column.
+        narrow_dots_par(a, &b[..k], c, m, k, mode);
+    }
+}
+
+/// Narrow `at` dispatch (`A: [k×m]`; `mode` is `FromC` or `Overwrite`).
+fn narrow_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+    if k == 1 {
+        // A is [1×m]: an outer product, same as nn.
+        narrow_outer_par(&a[..m], &b[..n], c, m, n, mode);
+    } else if m == 1 {
+        // A is [k×1]: the coefficient column of an axpy over B's rows.
+        narrow_axpy_par(&a[..k], b, c, n, k, mode == Acc::Overwrite);
+    } else {
+        // n == 1: p-major A rows are contiguous — axpy over A's rows
+        // with B ([k×1]) as the coefficients.
+        narrow_axpy_par(&b[..k], a, c, m, k, mode == Acc::Overwrite);
+    }
+}
+
+/// Narrow `bt` dispatch (`B: [n×k]`; `mode` is `AddDot` or `OverwriteDot`).
+fn narrow_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+    if k == 1 {
+        // B is [n×1], contiguous: an outer product with dot-mode stores.
+        narrow_outer_par(&a[..m], &b[..n], c, m, n, mode);
+    } else if m == 1 {
+        // One A row dotted against every B row.
+        narrow_dots_par(b, &a[..k], c, n, k, mode);
+    } else {
+        // n == 1: one B row dotted against every A row.
+        narrow_dots_par(a, &b[..k], c, m, k, mode);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Packing
 // ---------------------------------------------------------------------------
 
@@ -520,9 +812,11 @@ type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize,
 
 /// Microkernel instantiations. Tile shapes were tuned on the dense 256³
 /// bench (see `results/BENCH_TENSOR.json`): wider tiles starve the
-/// narrow ISAs of registers (8×16 on AVX-512 spills and runs ~7× slower
-/// than 6×16), narrower ones starve the wide ISAs of independent
-/// accumulator chains (2×16 on AVX-512 is latency-bound at ~5× slower).
+/// narrow ISAs of registers, narrower ones starve the wide ISAs of
+/// independent accumulator chains. The autovectorized bodies cap out at
+/// 4×8 (32 accumulators — LLVM's SROA promotion limit; bigger Rust
+/// arrays spill to the stack), so the AVX-512 kernel is hand-written
+/// with intrinsics to hold a full 8×16 register tile.
 unsafe fn micro_base(
     k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
@@ -545,12 +839,68 @@ unsafe fn micro_avx2_fma(
     micro_body::<4, 8, true>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
+/// AVX-512 microkernel, written with explicit intrinsics: an 8×16 tile
+/// needs 16 zmm accumulators, and a `[[f64; 16]; 8]` Rust array is 128
+/// scalars — past LLVM's SROA promotion limit, so the autovectorized
+/// generic body spills every accumulator to the stack after each FMA
+/// and runs store-bound (measured ~2× slower). Holding the tile in 16
+/// `__m512d` values keeps it in registers. The per-element recipe is
+/// unchanged — one `vfmaddpd` (= `mul_add`) per `p`, `p` ascending —
+/// so results stay bit-identical to the generic body and references,
+/// which handle the (rare) partial edge tiles below.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f", enable = "fma")]
 unsafe fn micro_avx512_fma(
     k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<6, 16, true>(k, ap, bp, c, ldc, rows, cols, mode);
+    use core::arch::x86_64::*;
+    const MR: usize = 8;
+    const NR: usize = 16;
+    if rows != MR || cols != NR {
+        return micro_body::<MR, NR, true>(k, ap, bp, c, ldc, rows, cols, mode);
+    }
+    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    let mut acc = [[_mm512_setzero_pd(); 2]; MR];
+    if mode == Acc::FromC {
+        for (ii, a) in acc.iter_mut().enumerate() {
+            let row = c.as_ptr().add(ii * ldc);
+            a[0] = _mm512_loadu_pd(row);
+            a[1] = _mm512_loadu_pd(row.add(8));
+        }
+    }
+    let mut a_ptr = ap.as_ptr();
+    let mut b_ptr = bp.as_ptr();
+    for _ in 0..k {
+        let b0 = _mm512_loadu_pd(b_ptr);
+        let b1 = _mm512_loadu_pd(b_ptr.add(8));
+        for (ii, a) in acc.iter_mut().enumerate() {
+            let av = _mm512_set1_pd(*a_ptr.add(ii));
+            a[0] = _mm512_fmadd_pd(av, b0, a[0]);
+            a[1] = _mm512_fmadd_pd(av, b1, a[1]);
+        }
+        a_ptr = a_ptr.add(MR);
+        b_ptr = b_ptr.add(NR);
+    }
+    for (ii, a) in acc.iter().enumerate() {
+        let dst = c.as_mut_ptr().add(ii * ldc);
+        match mode {
+            Acc::FromC | Acc::Overwrite => {
+                _mm512_storeu_pd(dst, a[0]);
+                _mm512_storeu_pd(dst.add(8), a[1]);
+            }
+            Acc::AddDot => {
+                _mm512_storeu_pd(dst, _mm512_add_pd(_mm512_loadu_pd(dst), a[0]));
+                _mm512_storeu_pd(dst.add(8), _mm512_add_pd(_mm512_loadu_pd(dst.add(8)), a[1]));
+            }
+            Acc::OverwriteDot => {
+                // `0.0 + acc` mirrors the reference's signed-zero
+                // normalization of a `-0.0` dot product.
+                _mm512_storeu_pd(dst, _mm512_add_pd(_mm512_setzero_pd(), a[0]));
+                _mm512_storeu_pd(dst.add(8), _mm512_add_pd(_mm512_setzero_pd(), a[1]));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -635,7 +985,7 @@ fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usiz
     if tyxe_obs::enabled() {
         match isa() {
             #[cfg(target_arch = "x86_64")]
-            Isa::Avx512Fma => probe::panels(6, 16),
+            Isa::Avx512Fma => probe::panels(8, 16),
             #[cfg(target_arch = "x86_64")]
             Isa::Avx2Fma | Isa::Avx2 => probe::panels(4, 8),
             _ => probe::panels(2, 8),
@@ -643,7 +993,7 @@ fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usiz
     }
     match isa() {
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512Fma => gemm_blocked_driver::<6, 16>(a, b, c, m, k, n, mode, micro_avx512_fma),
+        Isa::Avx512Fma => gemm_blocked_driver::<8, 16>(a, b, c, m, k, n, mode, micro_avx512_fma),
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, mode, micro_avx2_fma),
         #[cfg(target_arch = "x86_64")]
@@ -714,9 +1064,13 @@ pub fn gemm_bt_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usiz
 // Public dispatching entry points (used by matmul / conv / linalg)
 // ---------------------------------------------------------------------------
 
-/// `C += A·B` — blocked + parallel above the size cutoff, reference
-/// below. Bit-identical either way.
+/// `C += A·B` — narrow kernels on degenerate shapes, blocked + parallel
+/// above the size cutoff, reference below. Bit-identical every way.
 pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if narrow_dims(m, k, n) {
+        let _span = probe::gemm(0, false, m, k, n);
+        return narrow_nn(a, b, c, m, k, n, Acc::FromC);
+    }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
     let _span = probe::gemm(0, blocked, m, k, n);
     if blocked {
@@ -728,6 +1082,10 @@ pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
 
 /// `C += Aᵀ·B` where `A` is `[k×m]`.
 pub fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if narrow_dims(m, k, n) {
+        let _span = probe::gemm(1, false, m, k, n);
+        return narrow_at(a, b, c, m, k, n, Acc::FromC);
+    }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
     let _span = probe::gemm(1, blocked, m, k, n);
     if blocked {
@@ -739,6 +1097,10 @@ pub fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 
 /// `C += A·Bᵀ` where `B` is `[n×k]`.
 pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if narrow_dims(m, k, n) {
+        let _span = probe::gemm(2, false, m, k, n);
+        return narrow_bt(a, b, c, m, k, n, Acc::AddDot);
+    }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
     let _span = probe::gemm(2, blocked, m, k, n);
     if blocked {
@@ -752,6 +1114,10 @@ pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 /// read, so `C` may hold arbitrary (pool-recycled) garbage on entry.
 /// Bit-identical to zero-filling `C` and calling [`gemm`].
 pub fn gemm_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if narrow_dims(m, k, n) {
+        let _span = probe::gemm(0, false, m, k, n);
+        return narrow_nn(a, b, c, m, k, n, Acc::Overwrite);
+    }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
     let _span = probe::gemm(0, blocked, m, k, n);
     if blocked {
@@ -764,6 +1130,10 @@ pub fn gemm_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 /// Overwrite `C = Aᵀ·B` (`A: [k×m]`); `C` may be uninitialized.
 /// Bit-identical to zero-filling `C` and calling [`gemm_at`].
 pub fn gemm_at_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if narrow_dims(m, k, n) {
+        let _span = probe::gemm(1, false, m, k, n);
+        return narrow_at(a, b, c, m, k, n, Acc::Overwrite);
+    }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
     let _span = probe::gemm(1, blocked, m, k, n);
     if blocked {
@@ -776,6 +1146,10 @@ pub fn gemm_at_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: us
 /// Overwrite `C = A·Bᵀ` (`B: [n×k]`); `C` may be uninitialized.
 /// Bit-identical to zero-filling `C` and calling [`gemm_bt`].
 pub fn gemm_bt_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    if narrow_dims(m, k, n) {
+        let _span = probe::gemm(2, false, m, k, n);
+        return narrow_bt(a, b, c, m, k, n, Acc::OverwriteDot);
+    }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
     let _span = probe::gemm(2, blocked, m, k, n);
     if blocked {
@@ -864,6 +1238,66 @@ mod tests {
                     ow_fn(a, b, &mut c_ow, m, k, n);
                     assert_bits_eq(&c_acc, &c_ow, &format!("{name}/{path} {m}x{k}x{n}"));
                 }
+            }
+        }
+    }
+
+    /// The public dispatchers route degenerate shapes to the narrow
+    /// kernels; every routed shape must stay bit-identical to the naive
+    /// references, for both the accumulating and the overwrite (garbage
+    /// C) entry points.
+    #[test]
+    fn narrow_matches_reference_bitwise() {
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1234);
+        let shapes: &[(usize, usize, usize)] = &[
+            (1, 1, 1),
+            (1, 7, 9),
+            (1, 128, 40),
+            (7, 9, 1),
+            (9, 128, 1),
+            (513, 128, 1),
+            (7, 1, 9),
+            (130, 1, 70),
+            (1, 5, 1),
+            (5, 1, 1),
+            (1, 1, 5),
+        ];
+        for &(m, k, n) in shapes {
+            assert!(narrow_dims(m, k, n), "test shape {m}x{k}x{n} must be narrow");
+            let a_mk = rand_vec(&mut rng, m * k);
+            let a_km = rand_vec(&mut rng, k * m);
+            let b_kn = rand_vec(&mut rng, k * n);
+            let b_nk = rand_vec(&mut rng, n * k);
+            let c0 = rand_vec(&mut rng, m * n);
+            let garbage: Vec<f64> = (0..m * n).map(|i| f64::NAN * (i as f64 + 1.0)).collect();
+
+            type Fns = (
+                fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+                fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+            );
+            let acc_cases: [(&str, &[f64], &[f64], Fns); 3] = [
+                ("gemm", &a_mk, &b_kn, (gemm, gemm_ref)),
+                ("gemm_at", &a_km, &b_kn, (gemm_at, gemm_at_ref)),
+                ("gemm_bt", &a_mk, &b_nk, (gemm_bt, gemm_bt_ref)),
+            ];
+            for (name, a, b, (pub_fn, ref_fn)) in acc_cases {
+                let mut c_pub = c0.clone();
+                let mut c_ref = c0.clone();
+                pub_fn(a, b, &mut c_pub, m, k, n);
+                ref_fn(a, b, &mut c_ref, m, k, n);
+                assert_bits_eq(&c_ref, &c_pub, &format!("{name} {m}x{k}x{n}"));
+            }
+            let ow_cases: [(&str, &[f64], &[f64], Fns); 3] = [
+                ("gemm_ow", &a_mk, &b_kn, (gemm_ow, gemm_ow_ref)),
+                ("gemm_at_ow", &a_km, &b_kn, (gemm_at_ow, gemm_at_ow_ref)),
+                ("gemm_bt_ow", &a_mk, &b_nk, (gemm_bt_ow, gemm_bt_ow_ref)),
+            ];
+            for (name, a, b, (pub_fn, ref_fn)) in ow_cases {
+                let mut c_pub = garbage.clone();
+                let mut c_ref = garbage.clone();
+                pub_fn(a, b, &mut c_pub, m, k, n);
+                ref_fn(a, b, &mut c_ref, m, k, n);
+                assert_bits_eq(&c_ref, &c_pub, &format!("{name} {m}x{k}x{n}"));
             }
         }
     }

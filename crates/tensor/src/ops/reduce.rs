@@ -24,18 +24,27 @@ fn axis_split(shape: &[usize], ax: usize) -> (usize, usize, usize) {
 impl Tensor {
     /// Sums all elements into a scalar.
     pub fn sum(&self) -> Tensor {
-        let total: f64 = self.data().iter().sum();
+        // Shared forward kernel (initial build + plan replay): a single
+        // sequential chain, so the result is order-fixed by definition.
+        let compute = {
+            let src = self.clone();
+            move |out: &mut [f64]| out[0] = src.data().iter().sum()
+        };
+        let mut data = vec![0.0];
+        compute(data.as_mut_slice());
         let n = self.numel();
         let shape = self.shape().to_vec();
-        Tensor::make_op(
-            vec![total],
+        let t = Tensor::make_op(
+            data,
             vec![],
             vec![self.clone()],
             Box::new(move |_, grad| {
                 let _ = &shape;
                 vec![Some(pool::alloc_filled(n, grad[0]).into())]
             }),
-        )
+        );
+        crate::plan::record_op(&t, &[self], compute);
+        t
     }
 
     /// Averages all elements into a scalar.

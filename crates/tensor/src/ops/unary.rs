@@ -13,24 +13,32 @@ impl Tensor {
     /// maps (input, output, grad_out) to grad_in.
     pub(crate) fn map_unary(
         &self,
-        f: impl Fn(f64) -> f64 + Sync,
+        f: impl Fn(f64) -> f64 + Sync + 'static,
         df: impl Fn(f64, f64, f64) -> f64 + Sync + 'static,
     ) -> Tensor {
-        let xd = self.data();
-        // Every element is written below, so recycled buffers skip zero-init.
-        let mut data = pool::alloc_uninit(xd.len());
-        {
-            let xs: &[f64] = &xd;
-            let chunk = tyxe_par::chunk_len(xs.len(), 1, PAR_MIN_ELEMS);
-            tyxe_par::parallel_for_chunks(&mut data, chunk, |start, piece| {
-                for (off, slot) in piece.iter_mut().enumerate() {
-                    *slot = f(xs[start + off]);
-                }
-            });
-        }
-        drop(xd);
+        // Shared forward kernel: fully overwrites `out` from the source
+        // tensor's *current* buffer. Runs once to build the node and
+        // again on every plan replay — same chunking, same arithmetic,
+        // bit-identical either way.
+        let compute = {
+            let src = self.clone();
+            move |out: &mut [f64]| {
+                let xd = src.data();
+                let xs: &[f64] = &xd;
+                let chunk = tyxe_par::chunk_len(xs.len(), 1, PAR_MIN_ELEMS);
+                tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
+                    for (off, slot) in piece.iter_mut().enumerate() {
+                        *slot = f(xs[start + off]);
+                    }
+                });
+            }
+        };
+        // Every element is written by `compute`, so recycled buffers
+        // skip zero-init.
+        let mut data = pool::alloc_uninit(self.numel());
+        compute(data.as_mut_slice());
         let src = self.clone();
-        Tensor::make_op(
+        let t = Tensor::make_op(
             data,
             self.shape().to_vec(),
             vec![self.clone()],
@@ -50,7 +58,9 @@ impl Tensor {
                 drop(xd);
                 vec![Some(g.into())]
             }),
-        )
+        );
+        crate::plan::record_op(&t, &[self], compute);
+        t
     }
 
     /// Element-wise negation.

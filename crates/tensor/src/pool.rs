@@ -103,9 +103,27 @@ fn bucket_cap(b: usize) -> usize {
     (BUCKET_TARGET_BYTES / ((1usize << b) * 8)).clamp(4, 256)
 }
 
+/// A thread's free-lists, wrapped so thread death gives the retained
+/// bytes back to the shared [`HELD_BYTES`] accounting. Without the
+/// [`Drop`] impl, every exiting worker thread stranded whatever its
+/// lists held in the `tensor.alloc.pool_size` gauge forever (the
+/// buffers themselves were freed — only the gauge leaked). Safe during
+/// TLS destruction: [`sub_held`] touches only process-global atomics.
+struct ThreadLists(RefCell<[Vec<Vec<f64>>; BUCKETS]>);
+
+impl Drop for ThreadLists {
+    fn drop(&mut self) {
+        for list in self.0.get_mut() {
+            for v in list.drain(..) {
+                sub_held(v.capacity());
+            }
+        }
+    }
+}
+
 thread_local! {
-    static FREE_LISTS: RefCell<[Vec<Vec<f64>>; BUCKETS]> =
-        RefCell::new(std::array::from_fn(|_| Vec::new()));
+    static FREE_LISTS: ThreadLists =
+        ThreadLists(RefCell::new(std::array::from_fn(|_| Vec::new())));
 }
 
 /// Bytes currently retained across all thread pools (mirrors into the
@@ -146,7 +164,7 @@ pub fn set_enabled(on: bool) {
 /// thread's free-lists.
 pub fn thread_stats() -> (usize, usize) {
     FREE_LISTS.with(|fl| {
-        let fl = fl.borrow();
+        let fl = fl.0.borrow();
         let count = fl.iter().map(Vec::len).sum();
         let elems = fl.iter().flatten().map(Vec::capacity).sum();
         (count, elems)
@@ -156,7 +174,7 @@ pub fn thread_stats() -> (usize, usize) {
 /// Frees every buffer retained by this thread's free-lists.
 pub fn trim_thread() {
     FREE_LISTS.with(|fl| {
-        for list in fl.borrow_mut().iter_mut() {
+        for list in fl.0.borrow_mut().iter_mut() {
             for v in list.drain(..) {
                 sub_held(v.capacity());
             }
@@ -188,7 +206,7 @@ fn take(n: usize, zero: bool) -> Vec<f64> {
         probe::pool_miss().inc();
         return vec![0.0; n];
     };
-    match FREE_LISTS.with(|fl| fl.borrow_mut()[b].pop()) {
+    match FREE_LISTS.with(|fl| fl.0.borrow_mut()[b].pop()) {
         Some(mut v) => {
             probe::pool_hit().inc();
             sub_held(v.capacity());
@@ -257,7 +275,7 @@ pub(crate) fn recycle(v: Vec<f64>) {
     }
     let b = cap.trailing_zeros() as usize;
     let stored = FREE_LISTS.with(|fl| {
-        let mut fl = fl.borrow_mut();
+        let mut fl = fl.0.borrow_mut();
         if fl[b].len() < bucket_cap(b) {
             fl[b].push(v);
             true
@@ -460,6 +478,39 @@ mod tests {
             let (count, _) = thread_stats();
             assert!(count <= (0..BUCKETS).map(bucket_cap).sum());
             trim_thread();
+        });
+    }
+
+    #[test]
+    fn dead_threads_release_their_gauge_bytes() {
+        with_pool_lock(|| {
+            set_enabled(true);
+            // Each worker retains bucket_cap(19) × 4 MiB buffers, then
+            // exits; the TLS Drop must hand those bytes back. Without it
+            // HELD_BYTES climbs by ~16 MiB per dead thread. Other tests
+            // churn the gauge concurrently, so assert a plateau (less
+            // than one thread's worth of growth) rather than equality.
+            let elems = 1usize << 19;
+            let cap = bucket_cap(19);
+            let per_thread = (cap * elems * 8) as i64;
+            let before = HELD_BYTES.load(Ordering::Relaxed);
+            for _ in 0..8 {
+                std::thread::spawn(move || {
+                    for _ in 0..cap + 2 {
+                        recycle(vec![0.0; elems]);
+                    }
+                    let (count, held) = thread_stats();
+                    assert_eq!(count, cap);
+                    assert_eq!(held, cap * elems);
+                })
+                .join()
+                .unwrap();
+            }
+            let after = HELD_BYTES.load(Ordering::Relaxed);
+            assert!(
+                after - before < per_thread,
+                "dead threads stranded pool_size bytes: before={before} after={after}"
+            );
         });
     }
 

@@ -35,6 +35,13 @@ fn next_id() -> u64 {
     })
 }
 
+/// The next id this thread will assign: nodes with `id >=` this value at
+/// `plan::begin_record` time were created during the recording. Used by
+/// the plan coverage check ([`crate::plan`]).
+pub(crate) fn id_watermark() -> u64 {
+    ID_COUNTER.with(Cell::get)
+}
+
 pub(crate) struct Inner {
     /// Pool-managed storage: recycled into `crate::pool` when the node
     /// drops, so step `k+1` reuses step `k`'s buffers.
@@ -171,13 +178,21 @@ impl Tensor {
     }
 
     /// Creates a rank-0 (scalar) tensor.
+    ///
+    /// A constant under plan recording: its value is frozen into the
+    /// trace ([`crate::plan`]).
     pub fn scalar(value: f64) -> Tensor {
-        Tensor::from_vec(vec![value], &[])
+        let t = Tensor::from_vec(vec![value], &[]);
+        crate::plan::record_const(&t);
+        t
     }
 
-    /// Creates a tensor filled with `value`.
+    /// Creates a tensor filled with `value`. A plan-recording constant,
+    /// like [`Tensor::scalar`].
     pub fn full(shape: &[usize], value: f64) -> Tensor {
-        Tensor::from_vec(pool::alloc_filled(numel(shape), value), shape)
+        let t = Tensor::from_vec(pool::alloc_filled(numel(shape), value), shape);
+        crate::plan::record_const(&t);
+        t
     }
 
     /// Creates a tensor of zeros.
@@ -207,6 +222,21 @@ impl Tensor {
         Tensor::from_vec(data, shape)
     }
 
+    /// Redraws this tensor's contents as i.i.d. standard normals, in
+    /// place, consuming `rng` exactly as the [`Tensor::randn`]
+    /// constructor does. Out of band (no graph node): this is the plan
+    /// replay path's RNG-refresh primitive.
+    pub fn refill_randn<R: tyxe_rand::Rng + ?Sized>(&self, rng: &mut R) {
+        tyxe_rand::fill::fill_standard_normal(self.inner.data.borrow_mut().as_mut_slice(), rng);
+    }
+
+    /// Redraws this tensor's contents uniformly from `[lo, hi)` in
+    /// place, consuming `rng` exactly as [`Tensor::rand_uniform`] does.
+    /// Out of band, like [`Tensor::refill_randn`].
+    pub fn refill_uniform<R: tyxe_rand::Rng + ?Sized>(&self, lo: f64, hi: f64, rng: &mut R) {
+        tyxe_rand::fill::fill_uniform(self.inner.data.borrow_mut().as_mut_slice(), lo, hi, rng);
+    }
+
     /// Samples a tensor with entries drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform<R: tyxe_rand::Rng + ?Sized>(
         shape: &[usize],
@@ -228,12 +258,16 @@ impl Tensor {
     pub fn linspace(lo: f64, hi: f64, n: usize) -> Tensor {
         assert!(n >= 2, "linspace needs at least two points");
         let step = (hi - lo) / (n - 1) as f64;
-        Tensor::from_vec((0..n).map(|i| lo + step * i as f64).collect(), &[n])
+        let t = Tensor::from_vec((0..n).map(|i| lo + step * i as f64).collect(), &[n]);
+        crate::plan::record_const(&t);
+        t
     }
 
     /// Creates a 1-D tensor `[0, 1, ..., n-1]`.
     pub fn arange(n: usize) -> Tensor {
-        Tensor::from_vec((0..n).map(|i| i as f64).collect(), &[n])
+        let t = Tensor::from_vec((0..n).map(|i| i as f64).collect(), &[n]);
+        crate::plan::record_const(&t);
+        t
     }
 
     /// Creates an identity matrix of size `n x n`.
@@ -242,7 +276,9 @@ impl Tensor {
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
-        Tensor::from_vec(data, &[n, n])
+        let t = Tensor::from_vec(data, &[n, n]);
+        crate::plan::record_const(&t);
+        t
     }
 
     // ------------------------------------------------------------------
@@ -378,9 +414,15 @@ impl Tensor {
     }
 
     /// Returns a new leaf tensor sharing **no** graph history with `self`.
-    /// The data is copied; gradient tracking is off.
+    /// The data is copied; gradient tracking is off. Under plan
+    /// recording the copy replays (reads `self` fresh each step), so
+    /// detached values — frozen guide sites, stop-gradient terms — stay
+    /// current without poisoning the plan.
     pub fn detach(&self) -> Tensor {
-        Tensor::from_vec(pool::alloc_copy(&self.data()), self.shape())
+        let t = Tensor::from_vec(pool::alloc_copy(&self.data()), self.shape());
+        let src = self.clone();
+        crate::plan::record_op(&t, &[self], move |buf| buf.copy_from_slice(&src.data()));
+        t
     }
 
     // ------------------------------------------------------------------
@@ -419,7 +461,16 @@ impl Tensor {
 
         // Topological order via iterative post-order DFS.
         let topo = self.topo_order();
+        self.backward_over(&topo, grad_output);
+    }
 
+    /// The reverse-mode walk over an explicit topological order — the
+    /// shared tail of [`Tensor::backward_with_grad`] and the plan replay
+    /// path ([`crate::plan::StepPlan::backward`]), which caches the
+    /// order instead of recomputing it. `topo_order` is deterministic
+    /// for a fixed graph, so both callers walk the identical sequence
+    /// and produce bit-identical gradients.
+    pub(crate) fn backward_over(&self, topo: &[Tensor], grad_output: &[f64]) {
         // Seed.
         accumulate_grad(self, pool::alloc_copy(grad_output).into());
 
@@ -444,7 +495,7 @@ impl Tensor {
         }
     }
 
-    fn topo_order(&self) -> Vec<Tensor> {
+    pub(crate) fn topo_order(&self) -> Vec<Tensor> {
         use std::collections::HashSet;
         let mut topo: Vec<Tensor> = Vec::new();
         let mut visited: HashSet<u64> = HashSet::new();

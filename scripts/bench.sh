@@ -133,12 +133,20 @@ svi_members() {
     ' "$1"
 }
 
-# Per-case speedup vs the single-thread times committed at HEAD
-# (results/BENCH_TENSOR.json), for cases present in both. Empty when git
-# or the prior record is unavailable.
+# Per-case speedup vs the previous commit. Baseline preference per case:
+# the single-thread min_ns committed at HEAD in results/BENCH_TENSOR.json
+# (same min-of-samples statistic as this run's timing lines); cases the
+# tensor record never carries — the inference bench's svi_step_full —
+# fall back to the pool_on median_ns committed at HEAD in
+# results/BENCH_SVI.json against this run's pool-on /pool median
+# (median-vs-median, so the statistics still match). A case with no
+# usable baseline, or a zero/absent measurement, emits an explicit
+# null: consumers must see "no comparison", never a silently missing
+# key.
 prev_json="$(git show HEAD:results/BENCH_TENSOR.json 2>/dev/null || true)"
+prev_svi_json="$(git show HEAD:results/BENCH_SVI.json 2>/dev/null || true)"
 svi_vs_prev() {
-    awk -v prev="$prev_json" '
+    awk -v prev="$prev_json" -v prevsvi="$prev_svi_json" '
         BEGIN {
             n = split(prev, lines, "\n")
             for (i = 1; i <= n; i++) {
@@ -151,20 +159,52 @@ svi_vs_prev() {
                 if (match(line, /"min_ns":[0-9]+/))
                     base[name] = substr(line, RSTART + 9, RLENGTH - 9) + 0
             }
+            # Fallback baselines: pool_on medians from the HEAD SVI record.
+            m = split(prevsvi, slines, "\n")
+            inpool = 0
+            for (i = 1; i <= m; i++) {
+                line = slines[i]
+                if (line ~ /^  "pool_on": \{/) { inpool = 1; continue }
+                if (inpool && line ~ /^  \}/) inpool = 0
+                if (!inpool) continue
+                if (!match(line, /"[A-Za-z0-9_]+": \{/)) continue
+                name = substr(line, RSTART + 1, RLENGTH - 5)
+                if (match(line, /"median_ns":[0-9]+/))
+                    svibase[name] = substr(line, RSTART + 12, RLENGTH - 12) + 0
+            }
         }
-        # The plain timing lines carry min_ns; skip the /pool reports.
-        /"name":"[^"]*\/pool"/ { next }
+        # The /pool report lines carry this runs pool-on medians.
+        /"name":"[^"]*\/pool"/ {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 8, RLENGTH - 9)
+            sub(/\/pool$/, "", name)
+            if (!(name in seen)) { seen[name]; names[++k] = name }
+            if (match($0, /"median_ns":[0-9]+/))
+                cur_med[name] = substr($0, RSTART + 12, RLENGTH - 12) + 0
+            next
+        }
+        # The plain timing lines carry min_ns.
         /"min_ns":/ {
             match($0, /"name":"[^"]*"/)
             name = substr($0, RSTART + 8, RLENGTH - 9)
+            if (!(name in seen)) { seen[name]; names[++k] = name }
             match($0, /"min_ns":[0-9]+/)
-            min = substr($0, RSTART + 9, RLENGTH - 9) + 0
-            if ((name in base) && min > 0) {
-                printf "%s    \"%s\": %.3f", sep, name, base[name] / min
+            cur_min[name] = substr($0, RSTART + 9, RLENGTH - 9) + 0
+        }
+        END {
+            sep = ""
+            for (i = 1; i <= k; i++) {
+                name = names[i]
+                if ((name in base) && cur_min[name] > 0)
+                    printf "%s    \"%s\": %.3f", sep, name, base[name] / cur_min[name]
+                else if ((name in svibase) && cur_med[name] > 0)
+                    printf "%s    \"%s\": %.3f", sep, name, svibase[name] / cur_med[name]
+                else
+                    printf "%s    \"%s\": null", sep, name
                 sep = ",\n"
             }
+            printf "\n"
         }
-        END { printf "\n" }
     ' "$1"
 }
 

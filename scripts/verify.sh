@@ -20,15 +20,16 @@ fi
 # agree with the manifests, so resolution is fully deterministic.
 CARGO_NET_OFFLINE=true cargo build --release --frozen
 
-# The kernels promise bit-identical results at every thread count AND
-# with the tensor buffer pool on or off (crates/tensor docs, DESIGN.md
-# §10), so the whole suite must pass across both axes: single-threaded
-# with recycling disabled (every allocation fresh from the system
-# allocator) and 4 worker threads with recycling on (the default).
-echo "verify: test suite @ TYXE_NUM_THREADS=1 TYXE_POOL=0"
-TYXE_NUM_THREADS=1 TYXE_POOL=0 CARGO_NET_OFFLINE=true cargo test -q --frozen
-echo "verify: test suite @ TYXE_NUM_THREADS=4 TYXE_POOL=1"
-TYXE_NUM_THREADS=4 TYXE_POOL=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
+# The kernels promise bit-identical results at every thread count, with
+# the tensor buffer pool on or off (crates/tensor docs, DESIGN.md §10),
+# AND with compiled step plans on or off (DESIGN.md §11), so the whole
+# suite must pass across all three axes: single-threaded with recycling
+# and plans disabled (every allocation fresh, every graph rebuilt) and
+# 4 worker threads with both enabled (the defaults).
+echo "verify: test suite @ TYXE_NUM_THREADS=1 TYXE_POOL=0 TYXE_PLAN=0"
+TYXE_NUM_THREADS=1 TYXE_POOL=0 TYXE_PLAN=0 CARGO_NET_OFFLINE=true cargo test -q --frozen
+echo "verify: test suite @ TYXE_NUM_THREADS=4 TYXE_POOL=1 TYXE_PLAN=1"
+TYXE_NUM_THREADS=4 TYXE_POOL=1 TYXE_PLAN=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
 
 # Fault-injection + observability smoke run: a short supervised fit with
 # 5% NaN-gradient injection (and pool panics, on a forced 4-thread pool)
@@ -62,7 +63,7 @@ CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
     --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.jsonl" \
     --require-span-names core.supervisor.step,prob.svi.guide,prob.svi.model,core.svi.backward,prob.optim.step,tensor.gemm.block,par.task \
     --require-threads 2 --require-depth 3 \
-    --require-metrics par.pool.tasks_queued,par.worker.tasks,par.fault.injected_panics,prob.mcmc.divergences,core.supervisor.steps,core.site.sample_ns,tensor.gemm.flops,tensor.alloc.pool_hit,tensor.alloc.pool_miss,tensor.alloc.bytes_recycled,tensor.alloc.pool_size
+    --require-metrics par.pool.tasks_queued,par.worker.tasks,par.fault.injected_panics,prob.mcmc.divergences,core.supervisor.steps,core.site.sample_ns,tensor.gemm.flops,tensor.alloc.pool_hit,tensor.alloc.pool_miss,tensor.alloc.bytes_recycled,tensor.alloc.pool_size,plan.hit,plan.invalidated
 
 # Lint the resilience-critical crates at deny-warnings strictness: the
 # unsafe-heavy pool (scope lifetime erasure), the buffer-recycling tensor

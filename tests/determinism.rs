@@ -215,6 +215,128 @@ fn svi_step_is_bit_identical_with_pool_on_and_off() {
     tyxe_tensor::pool::set_enabled(prev_pool);
 }
 
+/// The compiled-step-plan contract (DESIGN.md §11), checked at the very
+/// top of the stack: replaying a recorded plan must be bit-identical to
+/// rebuilding the graph dynamically — across thread counts and with the
+/// buffer pool off or on, since replay reuses retained buffers where the
+/// dynamic path allocates fresh ones. Four steps, so replay (not just
+/// the recording step, which *is* a dynamic step) dominates the run.
+#[test]
+fn svi_step_is_bit_identical_with_plan_on_and_off() {
+    let prev_threads = tyxe_par::num_threads();
+    let prev_pool = tyxe_tensor::pool::enabled();
+    let prev_plan = tyxe_tensor::plan::enabled();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for threads in [1usize, 4] {
+        for pool in [false, true] {
+            tyxe_par::set_num_threads(threads);
+            tyxe_tensor::pool::set_enabled(pool);
+            tyxe_tensor::plan::set_enabled(false);
+            let (losses_dyn, sites_dyn) = run_svi_wide(37, 4);
+            tyxe_tensor::plan::set_enabled(true);
+            let (losses_plan, sites_plan) = run_svi_wide(37, 4);
+            assert_eq!(
+                bits(&losses_dyn),
+                bits(&losses_plan),
+                "losses drifted with plan replay ({threads} threads, pool {pool})"
+            );
+            assert_eq!(sites_dyn.len(), sites_plan.len());
+            for ((name_d, loc_d, scale_d), (name_p, loc_p, scale_p)) in
+                sites_dyn.iter().zip(&sites_plan)
+            {
+                assert_eq!(name_d, name_p);
+                assert_eq!(
+                    bits(loc_d),
+                    bits(loc_p),
+                    "loc drifted with plan replay at {name_d} ({threads} threads, pool {pool})"
+                );
+                assert_eq!(
+                    bits(scale_d),
+                    bits(scale_p),
+                    "scale drifted with plan replay at {name_d} ({threads} threads, pool {pool})"
+                );
+            }
+        }
+    }
+    tyxe_par::set_num_threads(prev_threads);
+    tyxe_tensor::pool::set_enabled(prev_pool);
+    tyxe_tensor::plan::set_enabled(prev_plan);
+}
+
+/// Plan invalidation must never change answers: switching to a batch of
+/// a different shape mid-run forces a signature mismatch and a
+/// re-record, and the whole trajectory must still match the dynamic
+/// path bit for bit.
+#[test]
+fn plan_invalidation_on_shape_change_matches_dynamic_bitwise() {
+    let run = |plan_on: bool| -> Vec<u64> {
+        tyxe_tensor::plan::set_enabled(plan_on);
+        tyxe_prob::rng::set_seed(43);
+        let mut rng = StdRng::seed_from_u64(43);
+        let big = foong_regression(64, 0.1, 0);
+        let small = foong_regression(16, 0.1, 1);
+        let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+        let bnn: Bnn = VariationalBnn::new(
+            net,
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(big.len(), 0.1),
+            AutoNormal::new().init_scale(1e-2),
+        );
+        let mut optim = Adam::new(vec![], 1e-2);
+        let mut losses = Vec::new();
+        // Three steps on the big batch (record + replays), then the
+        // batch shape changes: the plan must invalidate and re-record,
+        // then replay the new shape.
+        for _ in 0..3 {
+            losses.push(bnn.svi_step(&big.x, &big.y, &mut optim));
+        }
+        for _ in 0..3 {
+            losses.push(bnn.svi_step(&small.x, &small.y, &mut optim));
+        }
+        losses.iter().map(|l| l.to_bits()).collect()
+    };
+    let prev_plan = tyxe_tensor::plan::enabled();
+    let dynamic = run(false);
+    let planned = run(true);
+    tyxe_tensor::plan::set_enabled(prev_plan);
+    assert_eq!(dynamic, planned, "re-recorded plan drifted from the dynamic path");
+}
+
+/// The acceptance gate on plan efficacy: over a 100-step single-batch
+/// fit, at least 95% of steps must be served by plan replay (1 records,
+/// 99 replay; concurrent tests can only add hits or force the odd
+/// re-record).
+#[test]
+fn plan_hit_ratio_is_at_least_95_percent_over_100_step_fit() {
+    let prev_plan = tyxe_tensor::plan::enabled();
+    tyxe_tensor::plan::set_enabled(true);
+    tyxe_prob::rng::set_seed(47);
+    let mut rng = StdRng::seed_from_u64(47);
+    let data = foong_regression(32, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+    let hits_before = tyxe_obs::metrics::counter("plan.hit").get();
+    let batches = vec![(data.x.clone(), data.y.clone())];
+    bnn.fit(&batches, &mut optim, 100, None);
+    let hits = tyxe_obs::metrics::counter("plan.hit").get() - hits_before;
+    tyxe_tensor::plan::set_enabled(prev_plan);
+    assert!(
+        bnn.plan_unsupported_reason().is_none(),
+        "plan unexpectedly unsupported: {:?}",
+        bnn.plan_unsupported_reason()
+    );
+    assert!(
+        hits >= 95,
+        "plan hit ratio too low: {hits}/100 steps replayed"
+    );
+}
+
 /// Checkpoint/resume determinism, on top of the same contract: killing a
 /// supervised run between checkpoints and resuming from disk must land on
 /// bit-identical variational parameters, because the checkpoint carries
