@@ -73,6 +73,21 @@ fn bench_svi_step_end_to_end(c: &mut Criterion) {
     bench_with_pool_stats(c, "svi_step_full", |b| {
         b.iter(|| black_box(bnn.svi_step(&data.x, &data.y, &mut optim)))
     });
+    // Reduced-precision variants of the same step (DESIGN.md §12);
+    // storage converts in place so the optimizer and compiled plan
+    // machinery see the same tensor identities.
+    for (tag, suffix, precision) in [
+        ("f32", "_f32", tyxe::Precision::F32),
+        ("mixed", "_mixed", tyxe::Precision::Mixed),
+    ] {
+        bnn.set_precision(precision);
+        std::env::set_var("TYXE_BENCH_DTYPE", tag);
+        bench_with_pool_stats(c, &format!("svi_step_full{suffix}"), |b| {
+            b.iter(|| black_box(bnn.svi_step(&data.x, &data.y, &mut optim)))
+        });
+        std::env::remove_var("TYXE_BENCH_DTYPE");
+    }
+    bnn.set_precision(tyxe::Precision::F64);
 }
 
 fn bench_prediction(c: &mut Criterion) {

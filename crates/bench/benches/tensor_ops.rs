@@ -21,6 +21,23 @@ fn bench_gemm_sweep(c: &mut Criterion) {
             bch.iter(|| black_box(a.matmul(&b)))
         });
     }
+    // The same 256-cube in f32 storage: half the memory traffic and the
+    // widened AVX-512 f32 microkernel tiles. `scripts/bench.sh` derives
+    // `f32_speedup_vs_f64` in `results/BENCH_TENSOR.json` from this case
+    // against `gemm_256x256x256` above.
+    {
+        let n = 256;
+        let a64 = Tensor::randn(&[n, n], &mut rng);
+        let b64 = Tensor::randn(&[n, n], &mut rng);
+        let a32 = a64.cast(tyxe_tensor::DType::F32).detach();
+        let b32 = b64.cast(tyxe_tensor::DType::F32).detach();
+        std::env::set_var("TYXE_BENCH_DTYPE", "f32");
+        c.bench_function(format!("gemm_{n}x{n}x{n}_f32"), |bch| {
+            bch.iter(|| black_box(a32.matmul(&b32)))
+        });
+        std::env::remove_var("TYXE_BENCH_DTYPE");
+    }
+
     // Two baselines for the speedup denominator, both on raw slices:
     // the retained reference kernel (shared madd recipe, used below the
     // size cutoff), and the exact pre-blocked-kernel matmul inner loop —
@@ -138,6 +155,23 @@ fn bench_svi_step(c: &mut Criterion) {
     bench_with_pool_stats(c, "svi_step_mlp_1x128x128x1_n256", |bch| {
         bch.iter(|| black_box(bnn.svi_step(&data.x, &data.y, &mut optim)))
     });
+
+    // The same end-to-end step under the two reduced-precision policies
+    // (DESIGN.md §12). Parameter storage converts in place, so the
+    // optimizer keeps tracking the same leaves across variants; the
+    // `TYXE_BENCH_DTYPE` tag routes each case into its per-dtype section
+    // of `results/BENCH_SVI.json`.
+    for (tag, suffix, precision) in [
+        ("f32", "_f32", tyxe::Precision::F32),
+        ("mixed", "_mixed", tyxe::Precision::Mixed),
+    ] {
+        bnn.set_precision(precision);
+        std::env::set_var("TYXE_BENCH_DTYPE", tag);
+        bench_with_pool_stats(c, &format!("svi_step_mlp_1x128x128x1_n256{suffix}"), |bch| {
+            bch.iter(|| black_box(bnn.svi_step(&data.x, &data.y, &mut optim)))
+        });
+        std::env::remove_var("TYXE_BENCH_DTYPE");
+    }
 }
 
 fn bench_graph_aggregate(c: &mut Criterion) {

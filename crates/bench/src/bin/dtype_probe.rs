@@ -1,0 +1,84 @@
+//! Per-dtype microbenchmark of the non-GEMM kernels that dominate the
+//! SVI step (activation, reparam draw, log-prob chain, normal draws).
+//! This is the probe that located the libm-`tanh` bottleneck behind the
+//! `tanh_f32`/`exp_f32` fast paths (DESIGN.md §12); keep it around for
+//! the next dtype-cost question. Min-of-7 timing, so run it on an idle
+//! machine and compare labels within one run only.
+
+use std::time::Instant;
+
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+use tyxe_tensor::ops::fused::ScaleMap;
+use tyxe_tensor::{DType, Tensor};
+
+fn time<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("{label:<52} {:>10.1} us", best * 1e6);
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 32768;
+
+    let x64 = Tensor::randn(&[n], &mut rng);
+    let x32 = x64.cast(DType::F32).detach();
+    time("tanh 32768 f64", 4, || x64.tanh());
+    time("tanh 32768 f32", 4, || x32.tanh());
+
+    // Raw libm comparison.
+    let v64: Vec<f64> = x64.to_vec();
+    let v32: Vec<f32> = v64.iter().map(|&x| x as f32).collect();
+    time("raw tanh loop f64", 4, || {
+        v64.iter().map(|&x| x.tanh()).sum::<f64>()
+    });
+    time("raw tanhf loop f32", 4, || {
+        v32.iter().map(|&x| x.tanh()).sum::<f32>()
+    });
+    time("raw tanh-via-f64 loop f32", 4, || {
+        v32.iter().map(|&x| (f64::from(x).tanh()) as f32).sum::<f32>()
+    });
+
+    let m = 16897;
+    let loc64 = Tensor::randn(&[m], &mut rng).requires_grad(true);
+    let raw64 = Tensor::full(&[m], -2.0).requires_grad(true);
+    let eps64 = Tensor::randn(&[m], &mut rng);
+    let loc32 = loc64.cast(DType::F32).detach().requires_grad(true);
+    let raw32 = raw64.cast(DType::F32).detach().requires_grad(true);
+    let eps32 = eps64.cast(DType::F32).detach();
+    time("fused_reparam_sample 16897 f64 (exp map)", 4, || {
+        Tensor::fused_reparam_sample(&loc64, &raw64, &eps64, ScaleMap::Exp)
+    });
+    time("fused_reparam_sample 16897 f32 (exp map)", 4, || {
+        Tensor::fused_reparam_sample(&loc32, &raw32, &eps32, ScaleMap::Exp)
+    });
+
+    // Standard-normal log-prob chain (prior + guide KL shape).
+    let th64 = Tensor::randn(&[m], &mut rng);
+    let th32 = th64.cast(DType::F32).detach();
+    time("x*x mul 16897 f64", 8, || th64.mul(&th64));
+    time("x*x mul 16897 f32", 8, || th32.mul(&th32));
+    time("add 16897 f64", 8, || th64.add(&th64));
+    time("add 16897 f32", 8, || th32.add(&th32));
+    time("mul_scalar 16897 f64", 8, || th64.mul_scalar(0.5));
+    time("mul_scalar 16897 f32", 8, || th32.mul_scalar(0.5));
+    time("sum 16897 f64", 8, || th64.sum());
+    time("sum 16897 f32", 8, || th32.sum());
+    time("exp 16897 f64", 8, || th64.exp());
+    time("exp 16897 f32", 8, || th32.exp());
+
+    time("randn 16897 (always f64)", 4, || {
+        tyxe_prob::rng::randn(&[m])
+    });
+    time("cast f64->f32 16897", 8, || th64.cast(DType::F32));
+}

@@ -84,9 +84,89 @@ fn main() {
 
     time("adam step (16k+ params)", 2, || optim.step());
 
+    // Per-precision step cost, measured pairwise. This box's wall-clock
+    // noise swamps sequential A-then-B comparisons, so build separate
+    // BNN instances per precision (each keeps its own compiled plan —
+    // `set_precision` is only called once per instance, so the global
+    // plan generation then stays put) and interleave the timing rounds.
+    let make = |rng: &mut StdRng| -> VariationalBnn<_, HomoskedasticGaussian, AutoNormal> {
+        VariationalBnn::new(
+            tyxe_nn::layers::mlp(&[1, 128, 128, 1], false, rng),
+            &IIDPrior::standard_normal(),
+            HomoskedasticGaussian::new(data.len(), 0.1),
+            AutoNormal::new().init_scale(1e-2),
+        )
+    };
+    let precisions = [
+        ("svi_step replay (f64)", tyxe::Precision::F64),
+        ("svi_step replay (f32 storage)", tyxe::Precision::F32),
+        ("svi_step replay (mixed precision)", tyxe::Precision::Mixed),
+    ];
+    let pack: Vec<_> = precisions
+        .iter()
+        .map(|&(label, p)| {
+            let b = make(&mut rng);
+            b.set_precision(p);
+            let mut o = Adam::new(vec![], 1e-2);
+            for _ in 0..6 {
+                b.svi_step(&data.x, &data.y, &mut o);
+            }
+            (label, b, o, f64::INFINITY)
+        })
+        .collect();
+    let mut pack = pack;
+    let hits0 = tyxe_obs::metrics::counter("plan.hit").get();
+    let iters = 4;
+    for _round in 0..8 {
+        for (_, b, o, best) in pack.iter_mut() {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(b.svi_step(&data.x, &data.y, o));
+            }
+            *best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+    let hits = tyxe_obs::metrics::counter("plan.hit").get() - hits0;
+    for (label, b, _, best) in &pack {
+        println!("{label:<44} {:>10.1} us", best * 1e6);
+        if let Some(reason) = b.plan_unsupported_reason() {
+            println!("    (plan unsupported: {reason})");
+        }
+    }
+    println!("{:<44} {hits:>10} / {}", "plan replay hits in paired rounds", 8 * iters * pack.len());
+
+    // Pool accounting after the warmups above. Everything size-bearing
+    // here is byte-denominated (the free-lists are dtype-blind byte
+    // buckets): `bytes_recycled` and `pool_size` report bytes of word
+    // storage, never element counts; the hit/miss counters are events.
+    let (bufs, thread_bytes) = tyxe_tensor::pool::thread_stats();
+    println!("\n-- pool accounting (byte-denominated) --");
+    println!(
+        "{:<36} {:>12} bytes",
+        "tensor.alloc.pool_size (gauge)",
+        tyxe_obs::metrics::gauge_tagged("tensor.alloc.pool_size", &[], "bytes").get() as u64
+    );
+    println!(
+        "{:<36} {:>12} bytes",
+        "tensor.alloc.bytes_recycled",
+        tyxe_obs::metrics::counter_tagged("tensor.alloc.bytes_recycled", &[], "bytes").get()
+    );
+    println!("{:<36} {:>12} bytes ({bufs} buffers)", "this-thread free lists", thread_bytes);
+    for dt in ["f32", "f64"] {
+        let hit = tyxe_obs::metrics::counter(&format!("tensor.alloc.pool_hit.{dt}")).get();
+        let miss = tyxe_obs::metrics::counter(&format!("tensor.alloc.pool_miss.{dt}")).get();
+        println!("{:<36} {hit:>12} hits / {miss} misses", format!("pool events ({dt})"));
+    }
+
     // Span-level breakdown via tyxe-obs: run a few steps each way and
     // aggregate total duration per span name.
-    for (label, plan_on) in [("dynamic", false), ("plan replay", true)] {
+    for (label, plan_on, precision) in [
+        ("dynamic", false, tyxe::Precision::F64),
+        ("plan replay", true, tyxe::Precision::F64),
+        ("plan replay f32", true, tyxe::Precision::F32),
+        ("plan replay mixed", true, tyxe::Precision::Mixed),
+    ] {
+        bnn.set_precision(precision);
         tyxe_tensor::plan::set_enabled(plan_on);
         bnn.svi_step(&data.x, &data.y, &mut optim); // settle (record if planning)
         tyxe_obs::set_enabled(true);

@@ -25,7 +25,8 @@
 //! `{"name":…,"min_ns":…,"median_ns":…,"mean_ns":…}` first — which
 //! `scripts/bench.sh` and existing `results/BENCH_TENSOR.json` readers key
 //! on — followed by the `tyxe-obs` metric-record keys `"value"` (the
-//! median), `"unit":"ns"` and `"tags"` (stat/source plus the active
+//! median), `"unit":"ns"` and `"tags"` (stat/source, the `dtype` the
+//! case ran at — `TYXE_BENCH_DTYPE`, default `"f64"` — plus the active
 //! `TYXE_NUM_THREADS`, when set), so bench output and
 //! [`tyxe_obs::metrics::snapshot_jsonl`] share one schema.
 
@@ -34,6 +35,14 @@ use std::time::{Duration, Instant};
 
 /// Target duration for a single measured sample during calibration.
 const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// The dtype tag stamped on every JSON line: `TYXE_BENCH_DTYPE` when the
+/// running benchmark set it (`"f32"`, `"mixed"`), `"f64"` otherwise —
+/// the substrate's default storage dtype. `scripts/bench.sh` groups the
+/// per-dtype sections of `results/BENCH_SVI.json` by this tag.
+fn dtype_tag() -> String {
+    std::env::var("TYXE_BENCH_DTYPE").unwrap_or_else(|_| "f64".to_string())
+}
 
 /// Per-iteration timing summary returned by
 /// [`Criterion::bench_function_stats`].
@@ -91,9 +100,10 @@ pub fn bench_with_pool_stats(
     );
     if let Some(path) = std::env::var_os("TYXE_BENCH_JSON") {
         let line = format!(
-            "{{\"name\":\"{}/pool\",\"steps_per_sec\":{steps_per_sec:.3},\"median_ns\":{},\"pool_hit\":{dh},\"pool_miss\":{dm},\"hit_ratio\":{hit_ratio:.4},\"pool_enabled\":{pool_on},\"value\":{steps_per_sec:.3},\"unit\":\"steps_per_sec\",\"tags\":{{\"source\":\"bench\"}}}}\n",
+            "{{\"name\":\"{}/pool\",\"steps_per_sec\":{steps_per_sec:.3},\"median_ns\":{},\"pool_hit\":{dh},\"pool_miss\":{dm},\"hit_ratio\":{hit_ratio:.4},\"pool_enabled\":{pool_on},\"value\":{steps_per_sec:.3},\"unit\":\"steps_per_sec\",\"tags\":{{\"source\":\"bench\",\"dtype\":\"{}\"}}}}\n",
             tyxe_obs::json::escape(name),
             stats.median_ns,
+            tyxe_obs::json::escape(&dtype_tag()),
         );
         append_json_line(&path, &line);
     }
@@ -211,7 +221,10 @@ impl Criterion {
             format_duration(mean),
         );
         if let Some(path) = std::env::var_os("TYXE_BENCH_JSON") {
-            let mut tags = String::from("\"stat\":\"median\",\"source\":\"bench\"");
+            let mut tags = format!(
+                "\"stat\":\"median\",\"source\":\"bench\",\"dtype\":\"{}\"",
+                tyxe_obs::json::escape(&dtype_tag())
+            );
             if let Ok(threads) = std::env::var("TYXE_NUM_THREADS") {
                 tags.push_str(&format!(
                     ",\"threads\":\"{}\"",
@@ -387,6 +400,12 @@ mod tests {
         );
         let tags = parsed.get("tags").and_then(|v| v.as_obj()).expect("tags object");
         assert!(tags.iter().any(|(k, v)| k == "source" && v.as_str() == Some("bench")));
+        // Without TYXE_BENCH_DTYPE the line is tagged with the default
+        // storage dtype.
+        assert!(
+            tags.iter().any(|(k, v)| k == "dtype" && v.as_str() == Some("f64")),
+            "{line}"
+        );
     }
 
     #[test]

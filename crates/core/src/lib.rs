@@ -56,13 +56,13 @@ pub mod poutine;
 pub mod priors;
 pub mod vcl;
 
-pub use bnn::{BayesianModule, BnnSite, Evaluation, McmcBnn, PytorchBnn, VariationalBnn};
+pub use bnn::{BayesianModule, BnnSite, Evaluation, McmcBnn, Precision, PytorchBnn, VariationalBnn};
 pub use fit::{FitEvent, FitReport, Supervisor, SupervisorConfig};
 
 /// Re-exports of the probabilistic substrate most users need alongside the
 /// BNN classes.
 pub mod prelude {
-    pub use crate::bnn::{Evaluation, McmcBnn, PytorchBnn, VariationalBnn};
+    pub use crate::bnn::{Evaluation, McmcBnn, Precision, PytorchBnn, VariationalBnn};
     pub use crate::guides::{AutoDelta, AutoLowRankNormal, AutoNormal, Guide, InitLoc};
     pub use crate::guides_ktied::AutoKTiedNormal;
     pub use crate::mc_dropout::McDropout;

@@ -4,20 +4,31 @@
 //! element, read-only inputs), so both are chunked across the thread
 //! pool for large tensors; the broadcast *reduction* in [`sum_to_shape`]
 //! stays sequential to keep its addition order fixed.
+//!
+//! Dtype: mixed operands promote to the wider type
+//! ([`crate::element::DType::promote`]) through [`Tensor::cast`] nodes,
+//! then a monomorphic kernel runs in the promoted type. The per-element
+//! recipes are written once as `f64` closures and applied under the
+//! widen-compute-round contract of [`crate::element`].
 
+use crate::element::{Element, dispatch_dtype};
 use crate::ops::PAR_MIN_ELEMS;
-use crate::pool;
+use crate::pool::{self, PoolBuf};
 use crate::shape::{broadcast_shapes, broadcast_source_index, numel, unravel_index};
 use crate::tensor::Tensor;
 
 /// Reduces a gradient computed in the broadcast output shape back down to the
-/// operand shape by summing over broadcast dimensions.
-pub(crate) fn sum_to_shape(grad: &[f64], out_shape: &[usize], src_shape: &[usize]) -> Vec<f64> {
+/// operand shape by summing (natively, in `E`) over broadcast dimensions.
+pub(crate) fn sum_to_shape<E: Element>(
+    grad: &[E],
+    out_shape: &[usize],
+    src_shape: &[usize],
+) -> PoolBuf<E> {
     if out_shape == src_shape {
         return pool::alloc_copy(grad);
     }
     // Genuine accumulator: stays zero-initialized.
-    let mut out = pool::alloc_zeroed(numel(src_shape));
+    let mut out = pool::alloc_zeroed::<E>(numel(src_shape));
     for (flat, &g) in grad.iter().enumerate() {
         let idx = unravel_index(flat, out_shape);
         out[broadcast_source_index(&idx, src_shape)] += g;
@@ -26,13 +37,23 @@ pub(crate) fn sum_to_shape(grad: &[f64], out_shape: &[usize], src_shape: &[usize
 }
 
 /// Applies `f` elementwise with broadcasting; `df` returns (dl/da, dl/db) per
-/// element given (a, b, grad_out).
+/// element given (a, b, grad_out). Promotes mixed dtypes first.
 fn broadcast_binary(
     a: &Tensor,
     b: &Tensor,
     f: impl Fn(f64, f64) -> f64 + Sync + 'static,
     df: impl Fn(f64, f64, f64) -> (f64, f64) + Sync + 'static,
 ) -> Tensor {
+    let dt = a.dtype().promote(b.dtype());
+    let (a, b) = (a.cast(dt), b.cast(dt));
+    dispatch_dtype!(dt, E => broadcast_binary_t::<E, _, _>(&a, &b, f, df))
+}
+
+fn broadcast_binary_t<E: Element, F, DF>(a: &Tensor, b: &Tensor, f: F, df: DF) -> Tensor
+where
+    F: Fn(f64, f64) -> f64 + Sync + 'static,
+    DF: Fn(f64, f64, f64) -> (f64, f64) + Sync + 'static,
+{
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
         panic!(
             "cannot broadcast shapes {:?} and {:?}",
@@ -47,17 +68,17 @@ fn broadcast_binary(
     let compute = {
         let (a, b) = (a.clone(), b.clone());
         let out_shape = out_shape.clone();
-        move |out: &mut [f64]| {
-            let ad = a.data();
-            let bd = b.data();
-            let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
+        move |out: &mut [E]| {
+            let ad = a.data_of::<E>();
+            let bd = b.data_of::<E>();
+            let (ad, bd): (&[E], &[E]) = (&ad, &bd);
             let chunk = tyxe_par::chunk_len(out.len(), 1, PAR_MIN_ELEMS);
             let fast = a.shape() == out_shape.as_slice() && b.shape() == out_shape.as_slice();
             if fast {
                 tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
                     for (off, slot) in piece.iter_mut().enumerate() {
                         let i = start + off;
-                        *slot = f(ad[i], bd[i]);
+                        *slot = E::from_f64(f(ad[i].to_f64(), bd[i].to_f64()));
                     }
                 });
             } else {
@@ -67,29 +88,29 @@ fn broadcast_binary(
                         let idx = unravel_index(start + off, &out_shape);
                         let av = ad[broadcast_source_index(&idx, ashape)];
                         let bv = bd[broadcast_source_index(&idx, bshape)];
-                        *slot = f(av, bv);
+                        *slot = E::from_f64(f(av.to_f64(), bv.to_f64()));
                     }
                 });
             }
         }
     };
-    let mut data = pool::alloc_uninit(n);
+    let mut data = pool::alloc_uninit::<E>(n);
     compute(data.as_mut_slice());
 
     let (ac, bc) = (a.clone(), b.clone());
     let out_shape_c = out_shape.clone();
-    let t = Tensor::make_op(
+    let t = Tensor::make_op_t::<E>(
         data,
         out_shape,
         vec![a.clone(), b.clone()],
-        Box::new(move |_out, grad| {
-            let ad = ac.data();
-            let bd = bc.data();
+        move |_out, grad| {
+            let ad = ac.data_of::<E>();
+            let bd = bc.data_of::<E>();
             let n = grad.len();
-            let mut ga = pool::alloc_uninit(n);
-            let mut gb = pool::alloc_uninit(n);
+            let mut ga = pool::alloc_uninit::<E>(n);
+            let mut gb = pool::alloc_uninit::<E>(n);
             {
-                let (ad, bd): (&[f64], &[f64]) = (&ad, &bd);
+                let (ad, bd): (&[E], &[E]) = (&ad, &bd);
                 let chunk = tyxe_par::chunk_len(n, 1, PAR_MIN_ELEMS);
                 let fast = ac.shape() == out_shape_c && bc.shape() == out_shape_c;
                 let (ashape, bshape) = (ac.shape(), bc.shape());
@@ -106,9 +127,9 @@ fn broadcast_binary(
                                 bd[broadcast_source_index(&idx, bshape)],
                             )
                         };
-                        let (da, db) = df(av, bv, grad[i]);
-                        *sa = da;
-                        *sb = db;
+                        let (da, db) = df(av.to_f64(), bv.to_f64(), grad[i].to_f64());
+                        *sa = E::from_f64(da);
+                        *sb = E::from_f64(db);
                     }
                 });
             }
@@ -127,10 +148,10 @@ fn broadcast_binary(
             } else {
                 sum_to_shape(&gb, &out_shape_c, bc.shape())
             };
-            vec![Some(ga.into()), Some(gb.into())]
-        }),
+            vec![Some(ga), Some(gb)]
+        },
     );
-    crate::plan::record_op(&t, &[a, b], compute);
+    crate::plan::record_op_t::<E>(&t, &[a, b], compute);
     t
 }
 
@@ -222,6 +243,7 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::element::DType;
 
     #[test]
     fn add_broadcast_row() {
@@ -285,5 +307,33 @@ mod tests {
         let s = Tensor::scalar(10.0);
         assert_eq!(a.add(&s).to_vec(), vec![11.0, 12.0]);
         assert_eq!(s.sub(&a).to_vec(), vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn f32_ops_match_native_f32_arithmetic() {
+        let av = [0.1f32, -2.5, 3.75, 1e-4];
+        let bv = [7.3f32, 0.2, -1.25, 4e4];
+        let a = Tensor::from_vec_f32(av.to_vec(), &[4]);
+        let b = Tensor::from_vec_f32(bv.to_vec(), &[4]);
+        let sum = a.add(&b);
+        assert_eq!(sum.dtype(), DType::F32);
+        for i in 0..4 {
+            assert_eq!(sum.to_vec()[i], f64::from(av[i] + bv[i]));
+            assert_eq!(a.mul(&b).to_vec()[i], f64::from(av[i] * bv[i]));
+            assert_eq!(a.div(&b).to_vec()[i], f64::from(av[i] / bv[i]));
+        }
+    }
+
+    #[test]
+    fn mixed_dtype_promotes_to_f64() {
+        let a = Tensor::from_vec_f32(vec![0.1, 2.0], &[2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).requires_grad(true);
+        let c = a.mul(&b);
+        assert_eq!(c.dtype(), DType::F64);
+        assert_eq!(c.to_vec()[0], f64::from(0.1f32) * 3.0);
+        c.sum().backward();
+        // a's gradient arrives rounded back to f32 through the cast edge.
+        assert_eq!(a.grad().unwrap(), vec![3.0, 4.0]);
+        assert_eq!(b.grad().unwrap(), vec![f64::from(0.1f32), 2.0]);
     }
 }

@@ -8,7 +8,13 @@
 //! per-sample partials and reduced sequentially in ascending sample
 //! order, which reproduces the sequential loop's addition chain exactly
 //! (see `tyxe-par`'s determinism contract).
+//!
+//! Everything is generic over the storage dtype: data movement
+//! (im2col/col2im, pooling argmax scatter) and all accumulations run
+//! natively in the element type, and the fused bias/activation pass
+//! rounds at the same boundaries as the standalone ops.
 
+use crate::element::{Element, dispatch_dtype};
 use crate::ops::fused::Activation;
 use crate::ops::matmul::{gemm_at_ow, gemm_bt, gemm_bt_ow, gemm_ow};
 use crate::pool;
@@ -38,8 +44,8 @@ fn conv_out(size: usize, k: usize, stride: usize, pad: usize) -> usize {
 
 /// Unfolds one image `[C, H, W]` into columns `[C*Kh*Kw, Ho*Wo]`.
 #[allow(clippy::too_many_arguments)]
-fn im2col(
-    img: &[f64],
+fn im2col<E: Element>(
+    img: &[E],
     c: usize,
     h: usize,
     w: usize,
@@ -47,7 +53,7 @@ fn im2col(
     kw: usize,
     stride: usize,
     pad: usize,
-    cols: &mut [f64],
+    cols: &mut [E],
 ) {
     let ho = conv_out(h, kh, stride, pad);
     let wo = conv_out(w, kw, stride, pad);
@@ -65,7 +71,7 @@ fn im2col(
                         {
                             img[(ch * h + iy as usize) * w + ix as usize]
                         } else {
-                            0.0
+                            E::ZERO
                         };
                     }
                 }
@@ -75,10 +81,11 @@ fn im2col(
 }
 
 /// Folds columns `[C*Kh*Kw, Ho*Wo]` back into an image `[C, H, W]`,
-/// accumulating overlapping contributions (the adjoint of [`im2col`]).
+/// accumulating overlapping contributions (the adjoint of [`im2col`])
+/// natively in the element type.
 #[allow(clippy::too_many_arguments)]
-fn col2im(
-    cols: &[f64],
+fn col2im<E: Element>(
+    cols: &[E],
     c: usize,
     h: usize,
     w: usize,
@@ -86,7 +93,7 @@ fn col2im(
     kw: usize,
     stride: usize,
     pad: usize,
-    img: &mut [f64],
+    img: &mut [E],
 ) {
     let ho = conv_out(h, kh, stride, pad);
     let wo = conv_out(w, kw, stride, pad);
@@ -114,6 +121,188 @@ fn col2im(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn conv2d_act_t<E: Element>(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    act: Activation,
+) -> Tensor {
+    let (n, cin, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (cout, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let ho = conv_out(h, kh, stride, pad);
+    let wo = conv_out(w, kw, stride, pad);
+    let krows = cin * kh * kw;
+    let ncols = ho * wo;
+
+    let sample_in = cin * h * w;
+    let sample_out = cout * ncols;
+    // GEMM overwrites every output element ([`gemm_ow`]), so the
+    // buffer comes from the pool uninitialized.
+    let mut out = pool::alloc_uninit::<E>(n * sample_out);
+    {
+        let x = input.data_of::<E>();
+        let wd = weight.data_of::<E>();
+        let (x, wd): (&[E], &[E]) = (&x, &wd);
+        let bref = bias.map(|b| b.data_of::<E>());
+        let bd: Option<&[E]> = bref.as_ref().map(|r| &r[..]);
+        let spl = tyxe_par::chunk_len(n, 1, 1);
+        tyxe_par::parallel_for_chunks(&mut out, (spl * sample_out).max(1), |start, chunk| {
+            let s0 = start / sample_out.max(1);
+            // im2col writes every element (padding becomes explicit
+            // zeros), so the worker scratch is also uninit-reused.
+            let mut cols = pool::alloc_uninit::<E>(krows * ncols);
+            for (si, o) in chunk.chunks_mut(sample_out.max(1)).enumerate() {
+                let s = s0 + si;
+                if tyxe_obs::enabled() {
+                    im2col_counter().inc();
+                }
+                im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, &mut cols);
+                gemm_ow(wd, &cols, o, cout, krows, ncols);
+                match (bd, act) {
+                    (Some(bd), _) => {
+                        for co in 0..cout {
+                            let b = bd[co];
+                            for v in &mut o[co * ncols..(co + 1) * ncols] {
+                                // Round the biased pre-activation to
+                                // storage before the activation, as the
+                                // unfused add → act chain would.
+                                let pre = E::from_f64(v.to_f64() + b.to_f64());
+                                *v = act.apply_e(pre);
+                            }
+                        }
+                    }
+                    (None, Activation::Identity) => {}
+                    (None, _) => {
+                        for v in o.iter_mut() {
+                            *v = act.apply_e(*v);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    let xc = input.clone();
+    let wc = weight.clone();
+    let has_bias = bias.is_some();
+    let mut parents = vec![input.clone(), weight.clone()];
+    if let Some(b) = bias {
+        parents.push(b.clone());
+    }
+    Tensor::make_op_t::<E>(out, vec![n, cout, ho, wo], parents, move |out, grad| {
+        let _span = tyxe_obs::span!("tensor.conv2d.backward");
+        // Pre-activation gradient from the stored output; with
+        // Identity the incoming gradient is used directly.
+        let yd = out.data_of::<E>();
+        let gpre_buf: Option<pool::PoolBuf<E>> = match act {
+            Activation::Identity => None,
+            _ => {
+                let mut g = pool::alloc_uninit::<E>(grad.len());
+                for ((slot, &y), &gv) in g.iter_mut().zip(yd.iter()).zip(grad.iter()) {
+                    *slot = E::from_f64(act.grad_from_output(y.to_f64(), gv.to_f64()));
+                }
+                Some(g)
+            }
+        };
+        drop(yd);
+        let grad: &[E] = gpre_buf.as_deref().unwrap_or(grad);
+        let x = xc.data_of::<E>();
+        let wd = wc.data_of::<E>();
+        let (x, wd): (&[E], &[E]) = (&x, &wd);
+        let sample_in = cin * h * w;
+        let sample_out = cout * ncols;
+        let wlen = cout * krows;
+        // col2im accumulates overlapping windows into gx, so it
+        // genuinely needs the zeroed pool path.
+        let mut gx = pool::alloc_zeroed::<E>(n * sample_in);
+        let mut gw = pool::alloc_zeroed::<E>(wlen);
+        // Per-sample body: dW_s = G_s * cols^T (`overwrite` picks
+        // whether `gws` is a fresh per-sample partial or the
+        // sequential accumulator), dX_s = col2im(W^T * G_s).
+        let do_sample = |s: usize, gxs: &mut [E], gws: &mut [E], overwrite: bool, cols: &mut [E], gcols: &mut [E]| {
+            let gout = &grad[s * sample_out..(s + 1) * sample_out];
+            if tyxe_obs::enabled() {
+                im2col_counter().inc();
+            }
+            im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, cols);
+            if overwrite {
+                gemm_bt_ow(gout, cols, gws, cout, ncols, krows);
+            } else {
+                gemm_bt(gout, cols, gws, cout, ncols, krows);
+            }
+            gemm_at_ow(wd, gout, gcols, krows, cout, ncols);
+            col2im(gcols, cin, h, w, kh, kw, stride, pad, gxs);
+        };
+        if n > 0 && sample_in > 0 && wlen > 0 {
+            // Disjoint per-sample partials for dW; samples
+            // partitioned across the pool in lock-step with dX.
+            // Each partial is written exactly once (overwrite
+            // GEMM), so the scratch comes from the pool uninit.
+            let mut gw_part = pool::alloc_uninit::<E>(n * wlen);
+            let spl = tyxe_par::chunk_len(n, 1, 1);
+            tyxe_par::parallel_for_chunks2(
+                &mut gx,
+                &mut gw_part,
+                spl * sample_in,
+                spl * wlen,
+                |ci, gxc, gwc| {
+                    let mut cols = pool::alloc_uninit::<E>(krows * ncols);
+                    let mut gcols = pool::alloc_uninit::<E>(krows * ncols);
+                    for (si, (gxs, gws)) in
+                        gxc.chunks_mut(sample_in).zip(gwc.chunks_mut(wlen)).enumerate()
+                    {
+                        do_sample(ci * spl + si, gxs, gws, true, &mut cols, &mut gcols);
+                    }
+                },
+            );
+            // Ascending-s reduction: the same per-element addition
+            // chain as the sequential accumulation it replaces.
+            for part in gw_part.chunks(wlen) {
+                for (g, p) in gw.iter_mut().zip(part) {
+                    *g += *p;
+                }
+            }
+        } else {
+            let mut cols = pool::alloc_uninit::<E>(krows * ncols);
+            let mut gcols = pool::alloc_uninit::<E>(krows * ncols);
+            for s in 0..n {
+                do_sample(s, &mut gx[s * sample_in..(s + 1) * sample_in], &mut gw, false, &mut cols, &mut gcols);
+            }
+        }
+        let mut grads = vec![Some(gx), Some(gw)];
+        if has_bias {
+            // db[co] = Σ_{s, pixels} gpre, accumulated natively in E in
+            // the same nested order as the sequential loop.
+            let mut gb = pool::alloc_zeroed::<E>(cout);
+            for s in 0..n {
+                for (co, g) in gb.iter_mut().enumerate() {
+                    let base = (s * cout + co) * ncols;
+                    let mut acc = E::ZERO;
+                    for &v in &grad[base..base + ncols] {
+                        acc += v;
+                    }
+                    *g += acc;
+                }
+            }
+            grads.push(Some(gb));
+        }
+        grads
+    })
+}
+
 impl Tensor {
     /// 2-D convolution.
     ///
@@ -135,6 +324,11 @@ impl Tensor {
     /// pass: each output tile gets `act(conv + b)` applied while still
     /// cache-hot, and the backward recovers the activation derivative
     /// from the stored output. `act = Identity` is exactly [`Tensor::conv2d`].
+    ///
+    /// Dtype follows [`Tensor::matmul`]: mixed operands promote to the
+    /// wider type, and under an active [`crate::autocast`] guard the
+    /// convolution computes in the autocast target with the operand
+    /// casts recorded as graph nodes.
     ///
     /// # Panics
     ///
@@ -166,10 +360,6 @@ impl Tensor {
         if let Some(b) = bias {
             assert_eq!(b.shape(), &[cout], "conv2d: bias must be [Cout]");
         }
-        let ho = conv_out(h, kh, stride, pad);
-        let wo = conv_out(w, kw, stride, pad);
-        let krows = cin * kh * kw;
-        let ncols = ho * wo;
 
         let _span = tyxe_obs::enabled().then(|| {
             tyxe_obs::metrics::counter("tensor.conv2d.calls").inc();
@@ -179,155 +369,15 @@ impl Tensor {
             )
         });
 
-        let sample_in = cin * h * w;
-        let sample_out = cout * ncols;
-        // GEMM overwrites every output element ([`gemm_ow`]), so the
-        // buffer comes from the pool uninitialized.
-        let mut out = pool::alloc_uninit(n * sample_out);
-        {
-            let x = self.data();
-            let wd = weight.data();
-            let (x, wd): (&[f64], &[f64]) = (&x, &wd);
-            let bref = bias.map(|b| b.data());
-            let bd: Option<&[f64]> = bref.as_ref().map(|r| &r[..]);
-            let spl = tyxe_par::chunk_len(n, 1, 1);
-            tyxe_par::parallel_for_chunks(&mut out, (spl * sample_out).max(1), |start, chunk| {
-                let s0 = start / sample_out.max(1);
-                // im2col writes every element (padding becomes explicit
-                // zeros), so the worker scratch is also uninit-reused.
-                let mut cols = pool::alloc_uninit(krows * ncols);
-                for (si, o) in chunk.chunks_mut(sample_out.max(1)).enumerate() {
-                    let s = s0 + si;
-                    if tyxe_obs::enabled() {
-                        im2col_counter().inc();
-                    }
-                    im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, &mut cols);
-                    gemm_ow(wd, &cols, o, cout, krows, ncols);
-                    match (bd, act) {
-                        (Some(bd), _) => {
-                            for co in 0..cout {
-                                let b = bd[co];
-                                for v in &mut o[co * ncols..(co + 1) * ncols] {
-                                    *v = act.apply(*v + b);
-                                }
-                            }
-                        }
-                        (None, Activation::Identity) => {}
-                        (None, _) => {
-                            for v in o.iter_mut() {
-                                *v = act.apply(*v);
-                            }
-                        }
-                    }
-                }
-            });
-        }
-
-        let xc = self.clone();
-        let wc = weight.clone();
-        let has_bias = bias.is_some();
-        let mut parents = vec![self.clone(), weight.clone()];
+        let mut dt = self.dtype().promote(weight.dtype());
         if let Some(b) = bias {
-            parents.push(b.clone());
+            dt = dt.promote(b.dtype());
         }
-        Tensor::make_op(
-            out,
-            vec![n, cout, ho, wo],
-            parents,
-            Box::new(move |out, grad| {
-                let _span = tyxe_obs::span!("tensor.conv2d.backward");
-                // Pre-activation gradient from the stored output; with
-                // Identity the incoming gradient is used directly.
-                let yd = out.data();
-                let gpre_buf: Option<Vec<f64>> = match act {
-                    Activation::Identity => None,
-                    _ => {
-                        let mut g = pool::alloc_uninit(grad.len());
-                        for ((slot, &y), &gv) in g.iter_mut().zip(yd.iter()).zip(grad.iter()) {
-                            *slot = act.grad_from_output(y, gv);
-                        }
-                        Some(g)
-                    }
-                };
-                drop(yd);
-                let grad: &[f64] = gpre_buf.as_deref().unwrap_or(grad);
-                let x = xc.data();
-                let wd = wc.data();
-                let (x, wd): (&[f64], &[f64]) = (&x, &wd);
-                let sample_in = cin * h * w;
-                let sample_out = cout * ncols;
-                let wlen = cout * krows;
-                // col2im accumulates overlapping windows into gx, so it
-                // genuinely needs the zeroed pool path.
-                let mut gx = pool::alloc_zeroed(n * sample_in);
-                let mut gw = pool::alloc_zeroed(wlen);
-                // Per-sample body: dW_s = G_s * cols^T (`overwrite` picks
-                // whether `gws` is a fresh per-sample partial or the
-                // sequential accumulator), dX_s = col2im(W^T * G_s).
-                let do_sample = |s: usize, gxs: &mut [f64], gws: &mut [f64], overwrite: bool, cols: &mut [f64], gcols: &mut [f64]| {
-                    let gout = &grad[s * sample_out..(s + 1) * sample_out];
-                    if tyxe_obs::enabled() {
-                        im2col_counter().inc();
-                    }
-                    im2col(&x[s * sample_in..(s + 1) * sample_in], cin, h, w, kh, kw, stride, pad, cols);
-                    if overwrite {
-                        gemm_bt_ow(gout, cols, gws, cout, ncols, krows);
-                    } else {
-                        gemm_bt(gout, cols, gws, cout, ncols, krows);
-                    }
-                    gemm_at_ow(wd, gout, gcols, krows, cout, ncols);
-                    col2im(gcols, cin, h, w, kh, kw, stride, pad, gxs);
-                };
-                if n > 0 && sample_in > 0 && wlen > 0 {
-                    // Disjoint per-sample partials for dW; samples
-                    // partitioned across the pool in lock-step with dX.
-                    // Each partial is written exactly once (overwrite
-                    // GEMM), so the scratch comes from the pool uninit.
-                    let mut gw_part = pool::alloc_uninit(n * wlen);
-                    let spl = tyxe_par::chunk_len(n, 1, 1);
-                    tyxe_par::parallel_for_chunks2(
-                        &mut gx,
-                        &mut gw_part,
-                        spl * sample_in,
-                        spl * wlen,
-                        |ci, gxc, gwc| {
-                            let mut cols = pool::alloc_uninit(krows * ncols);
-                            let mut gcols = pool::alloc_uninit(krows * ncols);
-                            for (si, (gxs, gws)) in
-                                gxc.chunks_mut(sample_in).zip(gwc.chunks_mut(wlen)).enumerate()
-                            {
-                                do_sample(ci * spl + si, gxs, gws, true, &mut cols, &mut gcols);
-                            }
-                        },
-                    );
-                    // Ascending-s reduction: the same per-element addition
-                    // chain as the sequential accumulation it replaces.
-                    for part in gw_part.chunks(wlen) {
-                        for (g, p) in gw.iter_mut().zip(part) {
-                            *g += p;
-                        }
-                    }
-                } else {
-                    let mut cols = pool::alloc_uninit(krows * ncols);
-                    let mut gcols = pool::alloc_uninit(krows * ncols);
-                    for s in 0..n {
-                        do_sample(s, &mut gx[s * sample_in..(s + 1) * sample_in], &mut gw, false, &mut cols, &mut gcols);
-                    }
-                }
-                let mut grads = vec![Some(gx.into()), Some(gw.into())];
-                if has_bias {
-                    let mut gb = pool::alloc_zeroed(cout);
-                    for s in 0..n {
-                        for (co, g) in gb.iter_mut().enumerate() {
-                            let base = (s * cout + co) * ncols;
-                            *g += grad[base..base + ncols].iter().sum::<f64>();
-                        }
-                    }
-                    grads.push(Some(gb.into()));
-                }
-                grads
-            }),
-        )
+        let dt = crate::autocast::compute_dtype(dt);
+        let x = self.cast(dt);
+        let weight = weight.cast(dt);
+        let bias = bias.map(|b| b.cast(dt));
+        dispatch_dtype!(dt, E => conv2d_act_t::<E>(&x, &weight, bias.as_ref(), stride, pad, act))
     }
 
     /// 2-D max pooling with square kernel `k` and stride `s` over
@@ -347,54 +397,56 @@ impl Tensor {
         let ho = conv_out(h, k, s, 0);
         let wo = conv_out(w, k, s, 0);
         let img_out = ho * wo;
-        let mut out = pool::alloc_filled(n * c * img_out, f64::NEG_INFINITY);
-        let mut arg = vec![0usize; n * c * img_out];
-        {
-            let x = self.data();
-            let x: &[f64] = &x;
-            // Each (image, output position) scans its own window in the
-            // same ki/kj order at any thread count; ties keep the first
-            // maximum, exactly as the sequential scan did.
-            let ipc = tyxe_par::chunk_len(n * c, 1, 1);
-            let chunk = (ipc * img_out).max(1);
-            tyxe_par::parallel_for_chunks2(&mut out, &mut arg, chunk, chunk, |ci, oc, ac| {
-                for (li, (ov, av)) in oc.chunks_mut(img_out).zip(ac.chunks_mut(img_out)).enumerate() {
-                    let img = ci * ipc + li;
-                    for oy in 0..ho {
-                        for ox in 0..wo {
-                            let o = oy * wo + ox;
-                            for ki in 0..k {
-                                for kj in 0..k {
-                                    let iy = oy * s + ki;
-                                    let ix = ox * s + kj;
-                                    if iy < h && ix < w {
-                                        let src = (img * h + iy) * w + ix;
-                                        if x[src] > ov[o] {
-                                            ov[o] = x[src];
-                                            av[o] = src;
+        dispatch_dtype!(self.dtype(), E => {
+            let mut out = pool::alloc_filled::<E>(n * c * img_out, E::from_f64(f64::NEG_INFINITY));
+            let mut arg = vec![0usize; n * c * img_out];
+            {
+                let x = self.data_of::<E>();
+                let x: &[E] = &x;
+                // Each (image, output position) scans its own window in the
+                // same ki/kj order at any thread count; ties keep the first
+                // maximum, exactly as the sequential scan did.
+                let ipc = tyxe_par::chunk_len(n * c, 1, 1);
+                let chunk = (ipc * img_out).max(1);
+                tyxe_par::parallel_for_chunks2(&mut out, &mut arg, chunk, chunk, |ci, oc, ac| {
+                    for (li, (ov, av)) in oc.chunks_mut(img_out).zip(ac.chunks_mut(img_out)).enumerate() {
+                        let img = ci * ipc + li;
+                        for oy in 0..ho {
+                            for ox in 0..wo {
+                                let o = oy * wo + ox;
+                                for ki in 0..k {
+                                    for kj in 0..k {
+                                        let iy = oy * s + ki;
+                                        let ix = ox * s + kj;
+                                        if iy < h && ix < w {
+                                            let src = (img * h + iy) * w + ix;
+                                            if x[src] > ov[o] {
+                                                ov[o] = x[src];
+                                                av[o] = src;
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
                     }
-                }
-            });
-        }
-        let total = self.numel();
-        Tensor::make_op(
-            out,
-            vec![n, c, ho, wo],
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                // Scatter-accumulate: zeroed pool path required.
-                let mut g = pool::alloc_zeroed(total);
-                for (o, &src) in arg.iter().enumerate() {
-                    g[src] += grad[o];
-                }
-                vec![Some(g.into())]
-            }),
-        )
+                });
+            }
+            let total = self.numel();
+            Tensor::make_op_t::<E>(
+                out,
+                vec![n, c, ho, wo],
+                vec![self.clone()],
+                move |_, grad| {
+                    // Scatter-accumulate: zeroed pool path required.
+                    let mut g = pool::alloc_zeroed::<E>(total);
+                    for (o, &src) in arg.iter().enumerate() {
+                        g[src] += grad[o];
+                    }
+                    vec![Some(g)]
+                },
+            )
+        })
     }
 
     /// Global average pooling over the spatial dims of `[N, C, H, W]`,
@@ -410,6 +462,7 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::element::DType;
 
     #[test]
     fn conv_identity_kernel() {
@@ -497,6 +550,53 @@ mod tests {
         assert!((fd - x.grad().unwrap()[10]).abs() < 1e-5);
     }
 
+    /// An all-f32 convolution stays f32 end to end, agrees with the f64
+    /// run to f32 working precision, and produces f32 gradients.
+    #[test]
+    fn f32_conv_matches_f64_within_tolerance() {
+        use tyxe_rand::SeedableRng;
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(17);
+        let x64 = Tensor::randn(&[2, 2, 4, 4], &mut rng).requires_grad(true);
+        let w64 = Tensor::randn(&[3, 2, 3, 3], &mut rng).requires_grad(true);
+        let b64 = Tensor::randn(&[3], &mut rng).requires_grad(true);
+        let y64 = x64.conv2d_act(&w64, Some(&b64), 2, 1, Activation::Relu);
+        y64.sum().backward();
+
+        let x = x64.detach().cast(DType::F32).detach().requires_grad(true);
+        let w = w64.detach().cast(DType::F32).detach().requires_grad(true);
+        let b = b64.detach().cast(DType::F32).detach().requires_grad(true);
+        let y = x.conv2d_act(&w, Some(&b), 2, 1, Activation::Relu);
+        assert_eq!(y.dtype(), DType::F32);
+        y.sum().backward();
+        for (a, b) in y.to_vec().iter().zip(y64.to_vec().iter()) {
+            assert!((a - b).abs() < 1e-4, "f32 conv value: {a} vs {b}");
+        }
+        for (g32, g64) in [(&x, &x64), (&w, &w64), (&b, &b64)] {
+            for (a, b) in g32.grad().unwrap().iter().zip(g64.grad().unwrap().iter()) {
+                assert!((a - b).abs() < 1e-3, "f32 conv grad: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Under an autocast guard an all-f64 convolution computes in f32;
+    /// the f64 masters still receive gradients.
+    #[test]
+    fn autocast_demotes_conv2d() {
+        use tyxe_rand::SeedableRng;
+        let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(18);
+        let x = Tensor::randn(&[1, 2, 4, 4], &mut rng).requires_grad(true);
+        let w = Tensor::randn(&[2, 2, 3, 3], &mut rng).requires_grad(true);
+        let g = crate::autocast::autocast(DType::F32);
+        let y = x.conv2d(&w, None, 1, 1);
+        assert_eq!(y.dtype(), DType::F32);
+        drop(g);
+        y.sum().backward();
+        assert_eq!(x.dtype(), DType::F64);
+        assert!(x.grad().is_some());
+        assert!(w.grad().is_some());
+        assert_eq!(x.conv2d(&w, None, 1, 1).dtype(), DType::F64);
+    }
+
     #[test]
     fn max_pool_values_and_grad() {
         let x = Tensor::from_vec(
@@ -510,6 +610,22 @@ mod tests {
         y.sum().backward();
         let g = x.grad().unwrap();
         assert_eq!(g.iter().sum::<f64>(), 4.0);
+        assert_eq!(g[5], 1.0);
+        assert_eq!(g[15], 1.0);
+    }
+
+    #[test]
+    fn f32_max_pool_values_and_grad() {
+        let x = Tensor::from_vec_f32(
+            (1..=16).map(|v| v as f32).collect(),
+            &[1, 1, 4, 4],
+        )
+        .requires_grad(true);
+        let y = x.max_pool2d(2, 2);
+        assert_eq!(y.dtype(), DType::F32);
+        assert_eq!(y.to_vec(), vec![6.0, 8.0, 14.0, 16.0]);
+        y.sum().backward();
+        let g = x.grad().unwrap();
         assert_eq!(g[5], 1.0);
         assert_eq!(g[15], 1.0);
     }

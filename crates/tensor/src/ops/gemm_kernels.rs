@@ -1,5 +1,5 @@
 //! Cache-blocked, SIMD-dispatched, multi-threaded GEMM kernels with a
-//! bit-exact determinism contract.
+//! bit-exact determinism contract, generic over the element type.
 //!
 //! Three accumulation variants back every matrix product in the crate
 //! (see [`crate::Tensor::matmul`] and `conv2d`'s im2col formulation):
@@ -16,6 +16,17 @@
 //! run the accumulating variant" — including the `0.0 + (-0.0) = +0.0`
 //! signed-zero normalization of `gemm_bt`'s final add — so switching a
 //! call site between the two formulations can never change a bit.
+//!
+//! # Dtype
+//!
+//! Every entry point is generic over [`Element`] (`f32` or `f64`) and
+//! computes *natively* in that type: an `f32` GEMM runs f32 madd chains
+//! in f32 registers — it is not an f64 product rounded down. The
+//! per-element recipe below therefore holds independently per dtype,
+//! and the determinism contract is **per dtype**: f32 results are
+//! bit-identical across thread counts / blocking / the reference
+//! kernels, and f64 results are (separately) bit-identical — but f32
+//! and f64 products of the same operands differ, as they must.
 //!
 //! # Determinism contract
 //!
@@ -39,15 +50,16 @@
 //!
 //! # SIMD dispatch and the `madd` recipe
 //!
-//! Kernels are compiled per ISA via `#[target_feature]` and selected once
-//! at runtime. On CPUs with FMA the multiply-add is a true fused
-//! `mul_add` (single rounding) in *both* the blocked and the reference
-//! kernels; without FMA both use plain `mul` + `add`. Results are
-//! therefore bit-identical across thread counts and against the
-//! reference on any given machine, though they may differ *between*
-//! machines with different FMA support — the same caveat that applies to
-//! any BLAS. Rust never auto-contracts `a * b + c`, so the non-FMA path
-//! is stable too.
+//! Kernels are compiled per ISA via `#[target_feature]` on monomorphic
+//! per-dtype wrappers (a `#[target_feature]` generic fn would not
+//! monomorphize with the feature applied) and selected once at runtime.
+//! On CPUs with FMA the multiply-add is a true fused `mul_add` (single
+//! rounding) in *both* the blocked and the reference kernels; without
+//! FMA both use plain `mul` + `add`. Results are therefore bit-identical
+//! across thread counts and against the reference on any given machine,
+//! though they may differ *between* machines with different FMA support
+//! — the same caveat that applies to any BLAS. Rust never auto-contracts
+//! `a * b + c`, so the non-FMA path is stable too.
 
 // Microkernels take (k, ap, bp, c, ldc, rows, cols, mode): the
 // signature is the MicroFn ABI shared by every `#[target_feature]`
@@ -57,14 +69,18 @@
 
 use std::sync::OnceLock;
 
+use crate::element::{DType, Element, same_slice, same_slice_mut};
+
 /// Work (in multiply-adds, `m·k·n`) below which the blocked path is not
 /// worth its packing and dispatch overhead; small products use the
 /// reference kernels directly. Both paths obey the same per-element
 /// recipe, so the cutoff never affects results.
 const BLOCK_MIN_MADDS: usize = 32 * 32 * 32;
 
-/// Column-block width: `bp` holds `NC` packed columns (`k × NC` doubles),
-/// sized to stay comfortably inside L2 for the `k` ranges seen here.
+/// Column-block width in *elements*: `bp` holds `NC` packed columns
+/// (`k × NC` elements), sized to stay comfortably inside L2 for the `k`
+/// ranges seen here (f32 panels are half the bytes of f64 ones — also
+/// fine).
 const NC: usize = 256;
 
 // ---------------------------------------------------------------------------
@@ -119,14 +135,15 @@ pub fn simd_label() -> &'static str {
 // ---------------------------------------------------------------------------
 
 /// tyxe-obs instrumentation for the public GEMM entry points: per-call
-/// span (shape + kernel variant + ISA as the span arg), call counters
-/// tagged by `variant`/`path`, a FLOP counter, and panel-size gauges.
-/// Everything downstream of the single `tyxe_obs::enabled()` load is
-/// skipped when observability is off.
+/// span (shape + kernel variant + ISA + dtype as the span arg), call
+/// counters tagged by `variant`/`path`, a FLOP counter, and per-dtype
+/// panel-size gauges. Everything downstream of the single
+/// `tyxe_obs::enabled()` load is skipped when observability is off.
 mod probe {
     use std::sync::OnceLock;
 
-    use tyxe_obs::metrics::Counter;
+    use crate::element::DType;
+    use tyxe_obs::metrics::{Counter, Gauge};
     use tyxe_obs::trace::SpanGuard;
 
     /// Transpose variants of the public entry points, probe index order.
@@ -167,18 +184,43 @@ mod probe {
         })
     }
 
-    /// Record panel geometry of the selected blocked microkernel.
-    pub fn panels(mr: usize, nr: usize) {
-        static MR: OnceLock<tyxe_obs::metrics::Gauge> = OnceLock::new();
-        static NR: OnceLock<tyxe_obs::metrics::Gauge> = OnceLock::new();
-        MR.get_or_init(|| tyxe_obs::metrics::gauge("tensor.gemm.panel_mr")).set(mr as f64);
-        NR.get_or_init(|| tyxe_obs::metrics::gauge("tensor.gemm.panel_nr")).set(nr as f64);
+    /// Record panel geometry of the selected blocked microkernel. Tile
+    /// shapes differ per dtype (f32 tiles are twice as wide), so the
+    /// gauges are dtype-tagged.
+    pub fn panels(dt: DType, mr: usize, nr: usize) {
+        static G: OnceLock<[(Gauge, Gauge); 2]> = OnceLock::new();
+        let gs = G.get_or_init(|| {
+            [DType::F32, DType::F64].map(|d| {
+                (
+                    tyxe_obs::metrics::gauge_tagged(
+                        "tensor.gemm.panel_mr",
+                        &[("dtype", d.name())],
+                        "count",
+                    ),
+                    tyxe_obs::metrics::gauge_tagged(
+                        "tensor.gemm.panel_nr",
+                        &[("dtype", d.name())],
+                        "count",
+                    ),
+                )
+            })
+        });
+        let (mr_g, nr_g) = &gs[usize::from(dt == DType::F64)];
+        mr_g.set(mr as f64);
+        nr_g.set(nr as f64);
     }
 
     /// One probe per public GEMM call. Returns the call's span guard
     /// (`None` when observability is disabled: one atomic load).
     #[inline]
-    pub fn gemm(variant: usize, blocked: bool, m: usize, k: usize, n: usize) -> Option<SpanGuard> {
+    pub fn gemm(
+        dt: DType,
+        variant: usize,
+        blocked: bool,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Option<SpanGuard> {
         if !tyxe_obs::enabled() {
             return None;
         }
@@ -188,7 +230,12 @@ mod probe {
         let path = if blocked { "blocked" } else { "reference" };
         Some(SpanGuard::enter_with_arg(
             "tensor.gemm",
-            format!("{}/{path} {m}x{k}x{n} {}", VARIANTS[variant], super::simd_label()),
+            format!(
+                "{}/{path} {m}x{k}x{n} {} {}",
+                VARIANTS[variant],
+                super::simd_label(),
+                dt
+            ),
         ))
     }
 }
@@ -211,9 +258,9 @@ enum Acc {
     OverwriteDot,
 }
 
-/// The single multiply-add recipe all kernels share.
+/// The single multiply-add recipe all kernels share, native in `E`.
 #[inline(always)]
-fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
+fn madd<E: Element, const FMA: bool>(acc: E, a: E, b: E) -> E {
     if FMA {
         a.mul_add(b, acc)
     } else {
@@ -225,6 +272,16 @@ fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
 /// so tests can build independent references (e.g. a direct convolution)
 /// that stay bit-comparable to the tensor ops.
 pub fn madd_runtime(acc: f64, a: f64, b: f64) -> f64 {
+    if uses_fma() {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// `f32` counterpart of [`madd_runtime`]: a *native* f32 multiply-add
+/// (not an f64 madd rounded down), matching the f32 kernels.
+pub fn madd_runtime_f32(acc: f32, a: f32, b: f32) -> f32 {
     if uses_fma() {
         a.mul_add(b, acc)
     } else {
@@ -244,71 +301,46 @@ pub fn madd_runtime(acc: f64, a: f64, b: f64) -> f64 {
 // these references and the branch-free blocked kernels.
 
 #[inline(always)]
-fn gemm_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+fn gemm_ref_body<E: Element, const FMA: bool>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for p in 0..k {
             let av = a[i * k + p];
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
             for j in 0..n {
-                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+                crow[j] = madd::<E, FMA>(crow[j], av, brow[j]);
             }
         }
     }
 }
 
 #[inline(always)]
-fn gemm_at_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+fn gemm_at_ref_body<E: Element, const FMA: bool>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     for p in 0..k {
         for i in 0..m {
             let av = a[p * m + i];
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
             for j in 0..n {
-                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+                crow[j] = madd::<E, FMA>(crow[j], av, brow[j]);
             }
         }
     }
 }
 
 #[inline(always)]
-fn gemm_bt_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+fn gemm_bt_ref_body<E: Element, const FMA: bool>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for j in 0..n {
             let arow = &a[i * k..(i + 1) * k];
             let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
+            let mut acc = E::ZERO;
             for p in 0..k {
-                acc = madd::<FMA>(acc, arow[p], brow[p]);
+                acc = madd::<E, FMA>(acc, arow[p], brow[p]);
             }
             c[i * n + j] += acc;
         }
     }
-}
-
-macro_rules! def_ref {
-    ($pub_name:ident, $body:ident, $fma_name:ident, $doc:literal) => {
-        #[cfg(target_arch = "x86_64")]
-        #[target_feature(enable = "fma")]
-        unsafe fn $fma_name(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-            $body::<true>(a, b, c, m, k, n);
-        }
-
-        #[doc = $doc]
-        ///
-        /// This is the retained naive reference: a plain triple loop
-        /// following the shared per-element recipe. The blocked kernels
-        /// are bit-identical to it (see the module docs).
-        pub fn $pub_name(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-            #[cfg(target_arch = "x86_64")]
-            if uses_fma() {
-                // SAFETY: `uses_fma()` implies the `fma` target feature.
-                unsafe { $fma_name(a, b, c, m, k, n) };
-                return;
-            }
-            $body::<false>(a, b, c, m, k, n);
-        }
-    };
 }
 
 // Overwrite twins of the reference bodies. The `p == 0` pass *writes*
@@ -319,9 +351,9 @@ macro_rules! def_ref {
 // zero-fill itself.
 
 #[inline(always)]
-fn gemm_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+fn gemm_ow_ref_body<E: Element, const FMA: bool>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if k == 0 {
-        c[..m * n].fill(0.0);
+        c[..m * n].fill(E::ZERO);
         return;
     }
     for i in 0..m {
@@ -329,22 +361,22 @@ fn gemm_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usi
         let av = a[i * k];
         let brow = &b[..n];
         for j in 0..n {
-            crow[j] = madd::<FMA>(0.0, av, brow[j]);
+            crow[j] = madd::<E, FMA>(E::ZERO, av, brow[j]);
         }
         for p in 1..k {
             let av = a[i * k + p];
             let brow = &b[p * n..(p + 1) * n];
             for j in 0..n {
-                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+                crow[j] = madd::<E, FMA>(crow[j], av, brow[j]);
             }
         }
     }
 }
 
 #[inline(always)]
-fn gemm_at_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+fn gemm_at_ow_ref_body<E: Element, const FMA: bool>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if k == 0 {
-        c[..m * n].fill(0.0);
+        c[..m * n].fill(E::ZERO);
         return;
     }
     let brow0 = &b[..n];
@@ -352,7 +384,7 @@ fn gemm_at_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: 
         let av = a[i];
         let crow = &mut c[i * n..(i + 1) * n];
         for j in 0..n {
-            crow[j] = madd::<FMA>(0.0, av, brow0[j]);
+            crow[j] = madd::<E, FMA>(E::ZERO, av, brow0[j]);
         }
     }
     for p in 1..k {
@@ -361,35 +393,75 @@ fn gemm_at_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: 
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
             for j in 0..n {
-                crow[j] = madd::<FMA>(crow[j], av, brow[j]);
+                crow[j] = madd::<E, FMA>(crow[j], av, brow[j]);
             }
         }
     }
 }
 
 #[inline(always)]
-fn gemm_bt_ow_ref_body<const FMA: bool>(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+fn gemm_bt_ow_ref_body<E: Element, const FMA: bool>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for j in 0..n {
             let arow = &a[i * k..(i + 1) * k];
             let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
+            let mut acc = E::ZERO;
             for p in 0..k {
-                acc = madd::<FMA>(acc, arow[p], brow[p]);
+                acc = madd::<E, FMA>(acc, arow[p], brow[p]);
             }
             // `0.0 + acc` mirrors the accumulating variant's add into a
             // zeroed C (normalizes a `-0.0` dot product to `+0.0`).
-            c[i * n + j] = 0.0 + acc;
+            c[i * n + j] = E::ZERO + acc;
         }
     }
 }
 
-def_ref!(gemm_ref, gemm_ref_body, gemm_ref_fma, "Reference `C += A·B` (`A: [m×k]`, `B: [k×n]`).");
-def_ref!(gemm_at_ref, gemm_at_ref_body, gemm_at_ref_fma, "Reference `C += Aᵀ·B` (`A: [k×m]`, `B: [k×n]`).");
-def_ref!(gemm_bt_ref, gemm_bt_ref_body, gemm_bt_ref_fma, "Reference `C += A·Bᵀ` (`A: [m×k]`, `B: [n×k]`).");
-def_ref!(gemm_ow_ref, gemm_ow_ref_body, gemm_ow_ref_fma, "Reference overwrite `C = A·B` (`A: [m×k]`, `B: [k×n]`); `C` may be uninitialized.");
-def_ref!(gemm_at_ow_ref, gemm_at_ow_ref_body, gemm_at_ow_ref_fma, "Reference overwrite `C = Aᵀ·B` (`A: [k×m]`, `B: [k×n]`); `C` may be uninitialized.");
-def_ref!(gemm_bt_ow_ref, gemm_bt_ow_ref_body, gemm_bt_ow_ref_fma, "Reference overwrite `C = A·Bᵀ` (`A: [m×k]`, `B: [n×k]`); `C` may be uninitialized.");
+// `#[target_feature]` must sit on a monomorphic fn to take effect, so
+// each reference gets one FMA instantiation per dtype; the generic pub
+// entry routes to them by `E::DTYPE` (the `same_slice` casts are
+// same-type reinterprets, checked by TypeId).
+macro_rules! def_ref {
+    ($pub_name:ident, $body:ident, $fma64:ident, $fma32:ident, $doc:literal) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "fma")]
+        unsafe fn $fma64(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+            $body::<f64, true>(a, b, c, m, k, n);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "fma")]
+        unsafe fn $fma32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+            $body::<f32, true>(a, b, c, m, k, n);
+        }
+
+        #[doc = $doc]
+        ///
+        /// This is the retained naive reference: a plain triple loop
+        /// following the shared per-element recipe, native in `E`. The
+        /// blocked kernels are bit-identical to it (see the module docs).
+        pub fn $pub_name<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
+            #[cfg(target_arch = "x86_64")]
+            if uses_fma() {
+                // SAFETY: `uses_fma()` implies the `fma` target feature.
+                unsafe {
+                    match E::DTYPE {
+                        DType::F64 => $fma64(same_slice(a), same_slice(b), same_slice_mut(c), m, k, n),
+                        DType::F32 => $fma32(same_slice(a), same_slice(b), same_slice_mut(c), m, k, n),
+                    }
+                }
+                return;
+            }
+            $body::<E, false>(a, b, c, m, k, n);
+        }
+    };
+}
+
+def_ref!(gemm_ref, gemm_ref_body, gemm_ref_fma_f64, gemm_ref_fma_f32, "Reference `C += A·B` (`A: [m×k]`, `B: [k×n]`).");
+def_ref!(gemm_at_ref, gemm_at_ref_body, gemm_at_ref_fma_f64, gemm_at_ref_fma_f32, "Reference `C += Aᵀ·B` (`A: [k×m]`, `B: [k×n]`).");
+def_ref!(gemm_bt_ref, gemm_bt_ref_body, gemm_bt_ref_fma_f64, gemm_bt_ref_fma_f32, "Reference `C += A·Bᵀ` (`A: [m×k]`, `B: [n×k]`).");
+def_ref!(gemm_ow_ref, gemm_ow_ref_body, gemm_ow_ref_fma_f64, gemm_ow_ref_fma_f32, "Reference overwrite `C = A·B` (`A: [m×k]`, `B: [k×n]`); `C` may be uninitialized.");
+def_ref!(gemm_at_ow_ref, gemm_at_ow_ref_body, gemm_at_ow_ref_fma_f64, gemm_at_ow_ref_fma_f32, "Reference overwrite `C = Aᵀ·B` (`A: [k×m]`, `B: [k×n]`); `C` may be uninitialized.");
+def_ref!(gemm_bt_ow_ref, gemm_bt_ow_ref_body, gemm_bt_ow_ref_fma_f64, gemm_bt_ow_ref_fma_f32, "Reference overwrite `C = A·Bᵀ` (`A: [m×k]`, `B: [n×k]`); `C` may be uninitialized.");
 
 // ---------------------------------------------------------------------------
 // Narrow-shape kernels (m == 1, n == 1, or k == 1)
@@ -417,20 +489,20 @@ def_ref!(gemm_bt_ow_ref, gemm_bt_ow_ref_body, gemm_bt_ow_ref_fma, "Reference ove
 /// the dot-shaped narrow case (`nn`/`bt` with `n == 1`, `bt` with
 /// `m == 1` after swapping roles). Four independent chains per pass.
 #[inline(always)]
-fn narrow_dots_body<const FMA: bool>(
-    rows: &[f64],
-    coeff: &[f64],
-    c: &mut [f64],
+fn narrow_dots_body<E: Element, const FMA: bool>(
+    rows: &[E],
+    coeff: &[E],
+    c: &mut [E],
     m: usize,
     k: usize,
     mode: Acc,
 ) {
     #[inline(always)]
-    fn store(dst: &mut f64, acc: f64, mode: Acc) {
+    fn store<E: Element>(dst: &mut E, acc: E, mode: Acc) {
         *dst = match mode {
             Acc::FromC | Acc::Overwrite => acc,
             Acc::AddDot => *dst + acc,
-            Acc::OverwriteDot => 0.0 + acc,
+            Acc::OverwriteDot => E::ZERO + acc,
         };
     }
     let mut i = 0;
@@ -444,14 +516,14 @@ fn narrow_dots_body<const FMA: bool>(
         let (mut s0, mut s1, mut s2, mut s3) = if mode == Acc::FromC {
             (c[i], c[i + 1], c[i + 2], c[i + 3])
         } else {
-            (0.0, 0.0, 0.0, 0.0)
+            (E::ZERO, E::ZERO, E::ZERO, E::ZERO)
         };
         for p in 0..k {
             let bv = coeff[p];
-            s0 = madd::<FMA>(s0, r0[p], bv);
-            s1 = madd::<FMA>(s1, r1[p], bv);
-            s2 = madd::<FMA>(s2, r2[p], bv);
-            s3 = madd::<FMA>(s3, r3[p], bv);
+            s0 = madd::<E, FMA>(s0, r0[p], bv);
+            s1 = madd::<E, FMA>(s1, r1[p], bv);
+            s2 = madd::<E, FMA>(s2, r2[p], bv);
+            s3 = madd::<E, FMA>(s3, r3[p], bv);
         }
         store(&mut c[i], s0, mode);
         store(&mut c[i + 1], s1, mode);
@@ -461,9 +533,9 @@ fn narrow_dots_body<const FMA: bool>(
     }
     while i < m {
         let row = &rows[i * k..i * k + k];
-        let mut s = if mode == Acc::FromC { c[i] } else { 0.0 };
+        let mut s = if mode == Acc::FromC { c[i] } else { E::ZERO };
         for p in 0..k {
-            s = madd::<FMA>(s, row[p], coeff[p]);
+            s = madd::<E, FMA>(s, row[p], coeff[p]);
         }
         store(&mut c[i], s, mode);
         i += 1;
@@ -478,10 +550,10 @@ fn narrow_dots_body<const FMA: bool>(
 /// original stride. `overwrite` replays the ow-reference recipe: the
 /// `p == 0` pass writes `madd(0.0, …)` instead of reading `C`.
 #[inline(always)]
-fn narrow_axpy_body<const FMA: bool>(
-    coeff: &[f64],
-    rows: &[f64],
-    c: &mut [f64],
+fn narrow_axpy_body<E: Element, const FMA: bool>(
+    coeff: &[E],
+    rows: &[E],
+    c: &mut [E],
     l: usize,
     stride: usize,
     k: usize,
@@ -490,13 +562,13 @@ fn narrow_axpy_body<const FMA: bool>(
     let mut p0 = 0;
     if overwrite {
         if k == 0 {
-            c[..l].fill(0.0);
+            c[..l].fill(E::ZERO);
             return;
         }
         let av = coeff[0];
         let row = &rows[..l];
         for j in 0..l {
-            c[j] = madd::<FMA>(0.0, av, row[j]);
+            c[j] = madd::<E, FMA>(E::ZERO, av, row[j]);
         }
         p0 = 1;
     }
@@ -505,7 +577,7 @@ fn narrow_axpy_body<const FMA: bool>(
         let row = &rows[p * stride..p * stride + l];
         let crow = &mut c[..l];
         for j in 0..l {
-            crow[j] = madd::<FMA>(crow[j], av, row[j]);
+            crow[j] = madd::<E, FMA>(crow[j], av, row[j]);
         }
     }
 }
@@ -513,10 +585,10 @@ fn narrow_axpy_body<const FMA: bool>(
 /// `c[i,j] ⊕= a[i] · b[j]`: the `k == 1` outer-product case for all
 /// three variants (the length-1 "chain" is a single madd).
 #[inline(always)]
-fn narrow_outer_body<const FMA: bool>(
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
+fn narrow_outer_body<E: Element, const FMA: bool>(
+    a: &[E],
+    b: &[E],
+    c: &mut [E],
     m: usize,
     n: usize,
     mode: Acc,
@@ -527,45 +599,46 @@ fn narrow_outer_body<const FMA: bool>(
         match mode {
             Acc::FromC => {
                 for j in 0..n {
-                    crow[j] = madd::<FMA>(crow[j], av, b[j]);
+                    crow[j] = madd::<E, FMA>(crow[j], av, b[j]);
                 }
             }
             Acc::Overwrite => {
                 for j in 0..n {
-                    crow[j] = madd::<FMA>(0.0, av, b[j]);
+                    crow[j] = madd::<E, FMA>(E::ZERO, av, b[j]);
                 }
             }
             Acc::AddDot => {
                 for j in 0..n {
-                    crow[j] += madd::<FMA>(0.0, av, b[j]);
+                    crow[j] += madd::<E, FMA>(E::ZERO, av, b[j]);
                 }
             }
             Acc::OverwriteDot => {
                 for j in 0..n {
-                    crow[j] = 0.0 + madd::<FMA>(0.0, av, b[j]);
+                    crow[j] = E::ZERO + madd::<E, FMA>(E::ZERO, av, b[j]);
                 }
             }
         }
     }
 }
 
-/// ISA-dispatched wrappers for the narrow bodies: plain scalar on Base,
-/// AVX2-vectorized without FMA on `Isa::Avx2`, and AVX2+FMA otherwise
-/// (the AVX-512 machines run the 256-bit build of the same recipe —
-/// these kernels are load-bound, not ALU-bound).
+/// ISA-dispatched monomorphic wrappers for one narrow body at one dtype:
+/// plain scalar on Base, AVX2-vectorized without FMA on `Isa::Avx2`, and
+/// AVX2+FMA otherwise (the AVX-512 machines run the 256-bit build of the
+/// same recipe — these kernels are load-bound, not ALU-bound). The
+/// generic dispatchers below route to them by `E::DTYPE`.
 macro_rules! def_narrow {
-    ($name:ident, $body:ident, $avx2:ident, $fma:ident,
+    ($name:ident, $e:ty, $body:ident, $avx2:ident, $fma:ident,
      ($($arg:ident : $ty:ty),*)) => {
         #[cfg(target_arch = "x86_64")]
         #[target_feature(enable = "avx2")]
         unsafe fn $avx2($($arg: $ty),*) {
-            $body::<false>($($arg),*);
+            $body::<$e, false>($($arg),*);
         }
 
         #[cfg(target_arch = "x86_64")]
         #[target_feature(enable = "avx2", enable = "fma")]
         unsafe fn $fma($($arg: $ty),*) {
-            $body::<true>($($arg),*);
+            $body::<$e, true>($($arg),*);
         }
 
         fn $name($($arg: $ty),*) {
@@ -576,17 +649,44 @@ macro_rules! def_narrow {
                 Isa::Avx2 => return unsafe { $avx2($($arg),*) },
                 Isa::Base => {}
             }
-            $body::<false>($($arg),*);
+            $body::<$e, false>($($arg),*);
         }
     };
 }
 
-def_narrow!(narrow_dots, narrow_dots_body, narrow_dots_avx2, narrow_dots_fma,
+def_narrow!(narrow_dots_f64, f64, narrow_dots_body, narrow_dots_avx2_f64, narrow_dots_fma_f64,
     (rows: &[f64], coeff: &[f64], c: &mut [f64], m: usize, k: usize, mode: Acc));
-def_narrow!(narrow_axpy, narrow_axpy_body, narrow_axpy_avx2, narrow_axpy_fma,
+def_narrow!(narrow_dots_f32, f32, narrow_dots_body, narrow_dots_avx2_f32, narrow_dots_fma_f32,
+    (rows: &[f32], coeff: &[f32], c: &mut [f32], m: usize, k: usize, mode: Acc));
+def_narrow!(narrow_axpy_f64, f64, narrow_axpy_body, narrow_axpy_avx2_f64, narrow_axpy_fma_f64,
     (coeff: &[f64], rows: &[f64], c: &mut [f64], l: usize, stride: usize, k: usize, overwrite: bool));
-def_narrow!(narrow_outer, narrow_outer_body, narrow_outer_avx2, narrow_outer_fma,
+def_narrow!(narrow_axpy_f32, f32, narrow_axpy_body, narrow_axpy_avx2_f32, narrow_axpy_fma_f32,
+    (coeff: &[f32], rows: &[f32], c: &mut [f32], l: usize, stride: usize, k: usize, overwrite: bool));
+def_narrow!(narrow_outer_f64, f64, narrow_outer_body, narrow_outer_avx2_f64, narrow_outer_fma_f64,
     (a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, mode: Acc));
+def_narrow!(narrow_outer_f32, f32, narrow_outer_body, narrow_outer_avx2_f32, narrow_outer_fma_f32,
+    (a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, mode: Acc));
+
+fn narrow_dots<E: Element>(rows: &[E], coeff: &[E], c: &mut [E], m: usize, k: usize, mode: Acc) {
+    match E::DTYPE {
+        DType::F64 => narrow_dots_f64(same_slice(rows), same_slice(coeff), same_slice_mut(c), m, k, mode),
+        DType::F32 => narrow_dots_f32(same_slice(rows), same_slice(coeff), same_slice_mut(c), m, k, mode),
+    }
+}
+
+fn narrow_axpy<E: Element>(coeff: &[E], rows: &[E], c: &mut [E], l: usize, stride: usize, k: usize, overwrite: bool) {
+    match E::DTYPE {
+        DType::F64 => narrow_axpy_f64(same_slice(coeff), same_slice(rows), same_slice_mut(c), l, stride, k, overwrite),
+        DType::F32 => narrow_axpy_f32(same_slice(coeff), same_slice(rows), same_slice_mut(c), l, stride, k, overwrite),
+    }
+}
+
+fn narrow_outer<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, n: usize, mode: Acc) {
+    match E::DTYPE {
+        DType::F64 => narrow_outer_f64(same_slice(a), same_slice(b), same_slice_mut(c), m, n, mode),
+        DType::F32 => narrow_outer_f32(same_slice(a), same_slice(b), same_slice_mut(c), m, n, mode),
+    }
+}
 
 // Parallel drivers over the single-threaded cores. Each partitions `C`
 // along an axis that keeps every output element's whole madd chain on
@@ -597,7 +697,7 @@ def_narrow!(narrow_outer, narrow_outer_body, narrow_outer_avx2, narrow_outer_fma
 // same `tensor.gemm.block` per-chunk span, so traces keep showing where
 // GEMM work actually ran).
 
-fn narrow_dots_par(rows: &[f64], coeff: &[f64], c: &mut [f64], m: usize, k: usize, mode: Acc) {
+fn narrow_dots_par<E: Element>(rows: &[E], coeff: &[E], c: &mut [E], m: usize, k: usize, mode: Acc) {
     if m * k < BLOCK_MIN_MADDS {
         return narrow_dots(rows, coeff, c, m, k, mode);
     }
@@ -609,7 +709,7 @@ fn narrow_dots_par(rows: &[f64], coeff: &[f64], c: &mut [f64], m: usize, k: usiz
     });
 }
 
-fn narrow_axpy_par(coeff: &[f64], rows: &[f64], c: &mut [f64], l: usize, k: usize, overwrite: bool) {
+fn narrow_axpy_par<E: Element>(coeff: &[E], rows: &[E], c: &mut [E], l: usize, k: usize, overwrite: bool) {
     if l * k < BLOCK_MIN_MADDS {
         return narrow_axpy(coeff, rows, c, l, l, k, overwrite);
     }
@@ -622,7 +722,7 @@ fn narrow_axpy_par(coeff: &[f64], rows: &[f64], c: &mut [f64], l: usize, k: usiz
     });
 }
 
-fn narrow_outer_par(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, mode: Acc) {
+fn narrow_outer_par<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, n: usize, mode: Acc) {
     if m * n < BLOCK_MIN_MADDS {
         return narrow_outer(a, b, c, m, n, mode);
     }
@@ -643,7 +743,7 @@ fn narrow_dims(m: usize, k: usize, n: usize) -> bool {
 }
 
 /// Narrow `nn` dispatch (`mode` is `FromC` or `Overwrite`).
-fn narrow_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+fn narrow_nn<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize, mode: Acc) {
     if k == 1 {
         narrow_outer_par(&a[..m], &b[..n], c, m, n, mode);
     } else if m == 1 {
@@ -655,7 +755,7 @@ fn narrow_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, 
 }
 
 /// Narrow `at` dispatch (`A: [k×m]`; `mode` is `FromC` or `Overwrite`).
-fn narrow_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+fn narrow_at<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize, mode: Acc) {
     if k == 1 {
         // A is [1×m]: an outer product, same as nn.
         narrow_outer_par(&a[..m], &b[..n], c, m, n, mode);
@@ -670,7 +770,7 @@ fn narrow_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, 
 }
 
 /// Narrow `bt` dispatch (`B: [n×k]`; `mode` is `AddDot` or `OverwriteDot`).
-fn narrow_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+fn narrow_bt<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize, mode: Acc) {
     if k == 1 {
         // B is [n×1], contiguous: an outer product with dot-mode stores.
         narrow_outer_par(&a[..m], &b[..n], c, m, n, mode);
@@ -690,19 +790,19 @@ fn narrow_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, 
 /// Packs `rows ≤ MR` rows of the logical `A[i,p]` (element stride
 /// `a[i·ris + p·pis]`) into a `k × MR` p-major micropanel, zero-padding
 /// missing rows.
-fn pack_a<const MR: usize>(
-    a: &[f64],
+fn pack_a<E: Element, const MR: usize>(
+    a: &[E],
     ris: usize,
     pis: usize,
     i0: usize,
     rows: usize,
     k: usize,
-    ap: &mut [f64],
+    ap: &mut [E],
 ) {
     for p in 0..k {
         let dst = &mut ap[p * MR..(p + 1) * MR];
         for (ii, slot) in dst.iter_mut().enumerate() {
-            *slot = if ii < rows { a[(i0 + ii) * ris + p * pis] } else { 0.0 };
+            *slot = if ii < rows { a[(i0 + ii) * ris + p * pis] } else { E::ZERO };
         }
     }
 }
@@ -711,19 +811,19 @@ fn pack_a<const MR: usize>(
 /// `b[p·pis + j·cis]`) into a `k × NR` p-major micropanel, zero-padding
 /// missing columns. The pad multiplies into accumulator lanes that are
 /// never stored.
-fn pack_b<const NR: usize>(
-    b: &[f64],
+fn pack_b<E: Element, const NR: usize>(
+    b: &[E],
     pis: usize,
     cis: usize,
     j0: usize,
     cols: usize,
     k: usize,
-    bp: &mut [f64],
+    bp: &mut [E],
 ) {
     for p in 0..k {
         let dst = &mut bp[p * NR..(p + 1) * NR];
         for (jj, slot) in dst.iter_mut().enumerate() {
-            *slot = if jj < cols { b[p * pis + (j0 + jj) * cis] } else { 0.0 };
+            *slot = if jj < cols { b[p * pis + (j0 + jj) * cis] } else { E::ZERO };
         }
     }
 }
@@ -738,25 +838,25 @@ fn pack_b<const NR: usize>(
 /// output. The full-tile fast path has compile-time bounds so LLVM
 /// keeps `acc` entirely in vector registers.
 #[inline(always)]
-fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
+fn micro_body<E: Element, const MR: usize, const NR: usize, const FMA: bool>(
     k: usize,
-    ap: &[f64],
-    bp: &[f64],
-    c: &mut [f64],
+    ap: &[E],
+    bp: &[E],
+    c: &mut [E],
     ldc: usize,
     rows: usize,
     cols: usize,
     mode: Acc,
 ) {
     #[inline(always)]
-    fn store(dst: &mut f64, acc: f64, mode: Acc) {
+    fn store<E: Element>(dst: &mut E, acc: E, mode: Acc) {
         *dst = match mode {
             Acc::FromC | Acc::Overwrite => acc,
             Acc::AddDot => *dst + acc,
-            Acc::OverwriteDot => 0.0 + acc,
+            Acc::OverwriteDot => E::ZERO + acc,
         };
     }
-    let mut acc = [[0.0f64; NR]; MR];
+    let mut acc = [[E::ZERO; NR]; MR];
     if rows == MR && cols == NR {
         if mode == Acc::FromC {
             for ii in 0..MR {
@@ -766,12 +866,12 @@ fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
             }
         }
         for p in 0..k {
-            let av: &[f64; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
-            let bv: &[f64; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+            let av: &[E; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+            let bv: &[E; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
             for ii in 0..MR {
                 let a = av[ii];
                 for jj in 0..NR {
-                    acc[ii][jj] = madd::<FMA>(acc[ii][jj], a, bv[jj]);
+                    acc[ii][jj] = madd::<E, FMA>(acc[ii][jj], a, bv[jj]);
                 }
             }
         }
@@ -792,12 +892,12 @@ fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
         }
     }
     for p in 0..k {
-        let av: &[f64; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
-        let bv: &[f64; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        let av: &[E; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[E; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
         for ii in 0..MR {
             let a = av[ii];
             for jj in 0..NR {
-                acc[ii][jj] = madd::<FMA>(acc[ii][jj], a, bv[jj]);
+                acc[ii][jj] = madd::<E, FMA>(acc[ii][jj], a, bv[jj]);
             }
         }
     }
@@ -808,40 +908,64 @@ fn micro_body<const MR: usize, const NR: usize, const FMA: bool>(
     }
 }
 
-type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize, Acc);
+type MicroFn<E> = unsafe fn(usize, &[E], &[E], &mut [E], usize, usize, usize, Acc);
 
 /// Microkernel instantiations. Tile shapes were tuned on the dense 256³
 /// bench (see `results/BENCH_TENSOR.json`): wider tiles starve the
 /// narrow ISAs of registers, narrower ones starve the wide ISAs of
-/// independent accumulator chains. The autovectorized bodies cap out at
-/// 4×8 (32 accumulators — LLVM's SROA promotion limit; bigger Rust
-/// arrays spill to the stack), so the AVX-512 kernel is hand-written
-/// with intrinsics to hold a full 8×16 register tile.
-unsafe fn micro_base(
+/// independent accumulator chains. f32 tiles double NR relative to f64
+/// on the AVX ISAs — same register count, twice the lanes per register.
+/// The autovectorized bodies cap out around 32 accumulator *registers*
+/// (LLVM's SROA promotion limit; bigger tiles spill to the stack), so
+/// both AVX-512 kernels are hand-written with intrinsics to hold a full
+/// 8×2-zmm register tile.
+unsafe fn micro_base_f64(
     k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<2, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
+    micro_body::<f64, 2, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
+}
+
+unsafe fn micro_base_f32(
+    k: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, rows: usize, cols: usize, mode: Acc,
+) {
+    micro_body::<f32, 2, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn micro_avx2(
+unsafe fn micro_avx2_f64(
     k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<4, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
+    micro_body::<f64, 4, 8, false>(k, ap, bp, c, ldc, rows, cols, mode);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_avx2_f32(
+    k: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, rows: usize, cols: usize, mode: Acc,
+) {
+    micro_body::<f32, 4, 16, false>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn micro_avx2_fma(
+unsafe fn micro_avx2_fma_f64(
     k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
-    micro_body::<4, 8, true>(k, ap, bp, c, ldc, rows, cols, mode);
+    micro_body::<f64, 4, 8, true>(k, ap, bp, c, ldc, rows, cols, mode);
 }
 
-/// AVX-512 microkernel, written with explicit intrinsics: an 8×16 tile
-/// needs 16 zmm accumulators, and a `[[f64; 16]; 8]` Rust array is 128
-/// scalars — past LLVM's SROA promotion limit, so the autovectorized
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_avx2_fma_f32(
+    k: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, rows: usize, cols: usize, mode: Acc,
+) {
+    micro_body::<f32, 4, 16, true>(k, ap, bp, c, ldc, rows, cols, mode);
+}
+
+/// AVX-512 f64 microkernel, written with explicit intrinsics: an 8×16
+/// tile needs 16 zmm accumulators, and a `[[f64; 16]; 8]` Rust array is
+/// 128 scalars — past LLVM's SROA promotion limit, so the autovectorized
 /// generic body spills every accumulator to the stack after each FMA
 /// and runs store-bound (measured ~2× slower). Holding the tile in 16
 /// `__m512d` values keeps it in registers. The per-element recipe is
@@ -850,14 +974,14 @@ unsafe fn micro_avx2_fma(
 /// which handle the (rare) partial edge tiles below.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f", enable = "fma")]
-unsafe fn micro_avx512_fma(
+unsafe fn micro_avx512_fma_f64(
     k: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, rows: usize, cols: usize, mode: Acc,
 ) {
     use core::arch::x86_64::*;
     const MR: usize = 8;
     const NR: usize = 16;
     if rows != MR || cols != NR {
-        return micro_body::<MR, NR, true>(k, ap, bp, c, ldc, rows, cols, mode);
+        return micro_body::<f64, MR, NR, true>(k, ap, bp, c, ldc, rows, cols, mode);
     }
     debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
     debug_assert!(c.len() >= (MR - 1) * ldc + NR);
@@ -903,16 +1027,83 @@ unsafe fn micro_avx512_fma(
     }
 }
 
+/// AVX-512 f32 microkernel: the same 8-row × 2-zmm register tile as the
+/// f64 kernel, but each zmm holds 16 f32 lanes, so the tile is 8×32.
+/// Same rationale (a `[[f32; 32]; 8]` array spills) and the same
+/// p-ascending single-`vfmaddps` recipe, so results stay bit-identical
+/// to the generic f32 body and references.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "fma")]
+unsafe fn micro_avx512_fma_f32(
+    k: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, rows: usize, cols: usize, mode: Acc,
+) {
+    use core::arch::x86_64::*;
+    const MR: usize = 8;
+    const NR: usize = 32;
+    if rows != MR || cols != NR {
+        return micro_body::<f32, MR, NR, true>(k, ap, bp, c, ldc, rows, cols, mode);
+    }
+    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    let mut acc = [[_mm512_setzero_ps(); 2]; MR];
+    if mode == Acc::FromC {
+        for (ii, a) in acc.iter_mut().enumerate() {
+            let row = c.as_ptr().add(ii * ldc);
+            a[0] = _mm512_loadu_ps(row);
+            a[1] = _mm512_loadu_ps(row.add(16));
+        }
+    }
+    let mut a_ptr = ap.as_ptr();
+    let mut b_ptr = bp.as_ptr();
+    for _ in 0..k {
+        let b0 = _mm512_loadu_ps(b_ptr);
+        let b1 = _mm512_loadu_ps(b_ptr.add(16));
+        for (ii, a) in acc.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(*a_ptr.add(ii));
+            a[0] = _mm512_fmadd_ps(av, b0, a[0]);
+            a[1] = _mm512_fmadd_ps(av, b1, a[1]);
+        }
+        a_ptr = a_ptr.add(MR);
+        b_ptr = b_ptr.add(NR);
+    }
+    for (ii, a) in acc.iter().enumerate() {
+        let dst = c.as_mut_ptr().add(ii * ldc);
+        match mode {
+            Acc::FromC | Acc::Overwrite => {
+                _mm512_storeu_ps(dst, a[0]);
+                _mm512_storeu_ps(dst.add(16), a[1]);
+            }
+            Acc::AddDot => {
+                _mm512_storeu_ps(dst, _mm512_add_ps(_mm512_loadu_ps(dst), a[0]));
+                _mm512_storeu_ps(dst.add(16), _mm512_add_ps(_mm512_loadu_ps(dst.add(16)), a[1]));
+            }
+            Acc::OverwriteDot => {
+                // `0.0 + acc` mirrors the reference's signed-zero
+                // normalization of a `-0.0` dot product.
+                _mm512_storeu_ps(dst, _mm512_add_ps(_mm512_setzero_ps(), a[0]));
+                _mm512_storeu_ps(dst.add(16), _mm512_add_ps(_mm512_setzero_ps(), a[1]));
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Blocked driver
 // ---------------------------------------------------------------------------
 
 /// Strided view of a logical operand: `elem(r, c) = data[r·rs + c·cs]`.
 #[derive(Clone, Copy)]
-struct StridedMat<'a> {
-    data: &'a [f64],
+struct StridedMat<'a, E: Element> {
+    data: &'a [E],
     rs: usize,
     cs: usize,
+}
+
+/// Same-type reinterpret of a strided view (TypeId-checked), bridging
+/// the generic dispatchers to the monomorphic per-dtype paths.
+#[inline(always)]
+fn recast_mat<A: Element, B: Element>(m: StridedMat<'_, A>) -> StridedMat<'_, B> {
+    StridedMat { data: same_slice(m.data), rs: m.rs, cs: m.cs }
 }
 
 /// Packed-panel blocked GEMM: columns are processed in `NC`-wide blocks
@@ -920,20 +1111,20 @@ struct StridedMat<'a> {
 /// MR-aligned blocks partitioned across the thread pool (each task packs
 /// its own A micropanels). `k` is deliberately never tiled — see the
 /// module-level determinism contract.
-fn gemm_blocked_driver<const MR: usize, const NR: usize>(
-    a: StridedMat<'_>,
-    b: StridedMat<'_>,
-    c: &mut [f64],
+fn gemm_blocked_driver<E: Element, const MR: usize, const NR: usize>(
+    a: StridedMat<'_, E>,
+    b: StridedMat<'_, E>,
+    c: &mut [E],
     m: usize,
     k: usize,
     n: usize,
     mode: Acc,
-    micro: MicroFn,
+    micro: MicroFn<E>,
 ) {
     if m == 0 || n == 0 {
         return;
     }
-    let mut bp = vec![0.0f64; k.max(1) * NR * NC.div_ceil(NR)];
+    let mut bp = vec![E::ZERO; k.max(1) * NR * NC.div_ceil(NR)];
     let mut j0 = 0;
     while j0 < n {
         let ncb = NC.min(n - j0);
@@ -941,7 +1132,7 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
         let panel = k * NR;
         for jp in 0..npanels {
             let j = j0 + jp * NR;
-            pack_b::<NR>(
+            pack_b::<E, NR>(
                 b.data,
                 b.rs,
                 b.cs,
@@ -960,11 +1151,11 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
             let _span = tyxe_obs::span!("tensor.gemm.block");
             let i_base = start / n;
             let rows_here = c_chunk.len() / n;
-            let mut ap = vec![0.0f64; k.max(1) * MR];
+            let mut ap = vec![E::ZERO; k.max(1) * MR];
             let mut i = 0;
             while i < rows_here {
                 let rows = MR.min(rows_here - i);
-                pack_a::<MR>(a.data, a.rs, a.cs, i_base + i, rows, k, &mut ap);
+                pack_a::<E, MR>(a.data, a.rs, a.cs, i_base + i, rows, k, &mut ap);
                 for jp in 0..npanels {
                     let j = j0 + jp * NR;
                     let cols = NR.min(n - j);
@@ -981,24 +1172,52 @@ fn gemm_blocked_driver<const MR: usize, const NR: usize>(
     }
 }
 
-fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
+fn blocked_dispatch_f64(a: StridedMat<'_, f64>, b: StridedMat<'_, f64>, c: &mut [f64], m: usize, k: usize, n: usize, mode: Acc) {
     if tyxe_obs::enabled() {
         match isa() {
             #[cfg(target_arch = "x86_64")]
-            Isa::Avx512Fma => probe::panels(8, 16),
+            Isa::Avx512Fma => probe::panels(DType::F64, 8, 16),
             #[cfg(target_arch = "x86_64")]
-            Isa::Avx2Fma | Isa::Avx2 => probe::panels(4, 8),
-            _ => probe::panels(2, 8),
+            Isa::Avx2Fma | Isa::Avx2 => probe::panels(DType::F64, 4, 8),
+            _ => probe::panels(DType::F64, 2, 8),
         }
     }
     match isa() {
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512Fma => gemm_blocked_driver::<8, 16>(a, b, c, m, k, n, mode, micro_avx512_fma),
+        Isa::Avx512Fma => gemm_blocked_driver::<f64, 8, 16>(a, b, c, m, k, n, mode, micro_avx512_fma_f64),
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2Fma => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, mode, micro_avx2_fma),
+        Isa::Avx2Fma => gemm_blocked_driver::<f64, 4, 8>(a, b, c, m, k, n, mode, micro_avx2_fma_f64),
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2 => gemm_blocked_driver::<4, 8>(a, b, c, m, k, n, mode, micro_avx2),
-        _ => gemm_blocked_driver::<2, 8>(a, b, c, m, k, n, mode, micro_base),
+        Isa::Avx2 => gemm_blocked_driver::<f64, 4, 8>(a, b, c, m, k, n, mode, micro_avx2_f64),
+        _ => gemm_blocked_driver::<f64, 2, 8>(a, b, c, m, k, n, mode, micro_base_f64),
+    }
+}
+
+fn blocked_dispatch_f32(a: StridedMat<'_, f32>, b: StridedMat<'_, f32>, c: &mut [f32], m: usize, k: usize, n: usize, mode: Acc) {
+    if tyxe_obs::enabled() {
+        match isa() {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512Fma => probe::panels(DType::F32, 8, 32),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2Fma | Isa::Avx2 => probe::panels(DType::F32, 4, 16),
+            _ => probe::panels(DType::F32, 2, 8),
+        }
+    }
+    match isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512Fma => gemm_blocked_driver::<f32, 8, 32>(a, b, c, m, k, n, mode, micro_avx512_fma_f32),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => gemm_blocked_driver::<f32, 4, 16>(a, b, c, m, k, n, mode, micro_avx2_fma_f32),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => gemm_blocked_driver::<f32, 4, 16>(a, b, c, m, k, n, mode, micro_avx2_f32),
+        _ => gemm_blocked_driver::<f32, 2, 8>(a, b, c, m, k, n, mode, micro_base_f32),
+    }
+}
+
+fn blocked_dispatch<E: Element>(a: StridedMat<'_, E>, b: StridedMat<'_, E>, c: &mut [E], m: usize, k: usize, n: usize, mode: Acc) {
+    match E::DTYPE {
+        DType::F64 => blocked_dispatch_f64(recast_mat(a), recast_mat(b), same_slice_mut(c), m, k, n, mode),
+        DType::F32 => blocked_dispatch_f32(recast_mat(a), recast_mat(b), same_slice_mut(c), m, k, n, mode),
     }
 }
 
@@ -1007,7 +1226,7 @@ fn blocked_dispatch(a: StridedMat<'_>, b: StridedMat<'_>, c: &mut [f64], m: usiz
 // ---------------------------------------------------------------------------
 
 /// Blocked `C += A·B`, bypassing the small-size cutoff.
-pub fn gemm_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_blocked<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     blocked_dispatch(
         StridedMat { data: a, rs: k, cs: 1 },
         StridedMat { data: b, rs: n, cs: 1 },
@@ -1016,7 +1235,7 @@ pub fn gemm_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: 
 }
 
 /// Blocked `C += Aᵀ·B` (`A: [k×m]`), bypassing the small-size cutoff.
-pub fn gemm_at_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_at_blocked<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     blocked_dispatch(
         StridedMat { data: a, rs: 1, cs: m },
         StridedMat { data: b, rs: n, cs: 1 },
@@ -1025,7 +1244,7 @@ pub fn gemm_at_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, 
 }
 
 /// Blocked `C += A·Bᵀ` (`B: [n×k]`), bypassing the small-size cutoff.
-pub fn gemm_bt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_bt_blocked<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     blocked_dispatch(
         StridedMat { data: a, rs: k, cs: 1 },
         StridedMat { data: b, rs: 1, cs: k },
@@ -1034,7 +1253,7 @@ pub fn gemm_bt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, 
 }
 
 /// Blocked overwrite `C = A·B`, bypassing the small-size cutoff.
-pub fn gemm_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_ow_blocked<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     blocked_dispatch(
         StridedMat { data: a, rs: k, cs: 1 },
         StridedMat { data: b, rs: n, cs: 1 },
@@ -1043,7 +1262,7 @@ pub fn gemm_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, 
 }
 
 /// Blocked overwrite `C = Aᵀ·B` (`A: [k×m]`), bypassing the small-size cutoff.
-pub fn gemm_at_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_at_ow_blocked<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     blocked_dispatch(
         StridedMat { data: a, rs: 1, cs: m },
         StridedMat { data: b, rs: n, cs: 1 },
@@ -1052,7 +1271,7 @@ pub fn gemm_at_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usiz
 }
 
 /// Blocked overwrite `C = A·Bᵀ` (`B: [n×k]`), bypassing the small-size cutoff.
-pub fn gemm_bt_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_bt_ow_blocked<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     blocked_dispatch(
         StridedMat { data: a, rs: k, cs: 1 },
         StridedMat { data: b, rs: 1, cs: k },
@@ -1066,13 +1285,13 @@ pub fn gemm_bt_ow_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usiz
 
 /// `C += A·B` — narrow kernels on degenerate shapes, blocked + parallel
 /// above the size cutoff, reference below. Bit-identical every way.
-pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if narrow_dims(m, k, n) {
-        let _span = probe::gemm(0, false, m, k, n);
+        let _span = probe::gemm(E::DTYPE, 0, false, m, k, n);
         return narrow_nn(a, b, c, m, k, n, Acc::FromC);
     }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
-    let _span = probe::gemm(0, blocked, m, k, n);
+    let _span = probe::gemm(E::DTYPE, 0, blocked, m, k, n);
     if blocked {
         gemm_blocked(a, b, c, m, k, n);
     } else {
@@ -1081,13 +1300,13 @@ pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
 }
 
 /// `C += Aᵀ·B` where `A` is `[k×m]`.
-pub fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_at<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if narrow_dims(m, k, n) {
-        let _span = probe::gemm(1, false, m, k, n);
+        let _span = probe::gemm(E::DTYPE, 1, false, m, k, n);
         return narrow_at(a, b, c, m, k, n, Acc::FromC);
     }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
-    let _span = probe::gemm(1, blocked, m, k, n);
+    let _span = probe::gemm(E::DTYPE, 1, blocked, m, k, n);
     if blocked {
         gemm_at_blocked(a, b, c, m, k, n);
     } else {
@@ -1096,13 +1315,13 @@ pub fn gemm_at(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 }
 
 /// `C += A·Bᵀ` where `B` is `[n×k]`.
-pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_bt<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if narrow_dims(m, k, n) {
-        let _span = probe::gemm(2, false, m, k, n);
+        let _span = probe::gemm(E::DTYPE, 2, false, m, k, n);
         return narrow_bt(a, b, c, m, k, n, Acc::AddDot);
     }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
-    let _span = probe::gemm(2, blocked, m, k, n);
+    let _span = probe::gemm(E::DTYPE, 2, blocked, m, k, n);
     if blocked {
         gemm_bt_blocked(a, b, c, m, k, n);
     } else {
@@ -1113,13 +1332,13 @@ pub fn gemm_bt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 /// Overwrite `C = A·B`: every element of `C` is written without being
 /// read, so `C` may hold arbitrary (pool-recycled) garbage on entry.
 /// Bit-identical to zero-filling `C` and calling [`gemm`].
-pub fn gemm_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_ow<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if narrow_dims(m, k, n) {
-        let _span = probe::gemm(0, false, m, k, n);
+        let _span = probe::gemm(E::DTYPE, 0, false, m, k, n);
         return narrow_nn(a, b, c, m, k, n, Acc::Overwrite);
     }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
-    let _span = probe::gemm(0, blocked, m, k, n);
+    let _span = probe::gemm(E::DTYPE, 0, blocked, m, k, n);
     if blocked {
         gemm_ow_blocked(a, b, c, m, k, n);
     } else {
@@ -1129,13 +1348,13 @@ pub fn gemm_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 
 /// Overwrite `C = Aᵀ·B` (`A: [k×m]`); `C` may be uninitialized.
 /// Bit-identical to zero-filling `C` and calling [`gemm_at`].
-pub fn gemm_at_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_at_ow<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if narrow_dims(m, k, n) {
-        let _span = probe::gemm(1, false, m, k, n);
+        let _span = probe::gemm(E::DTYPE, 1, false, m, k, n);
         return narrow_at(a, b, c, m, k, n, Acc::Overwrite);
     }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
-    let _span = probe::gemm(1, blocked, m, k, n);
+    let _span = probe::gemm(E::DTYPE, 1, blocked, m, k, n);
     if blocked {
         gemm_at_ow_blocked(a, b, c, m, k, n);
     } else {
@@ -1145,13 +1364,13 @@ pub fn gemm_at_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: us
 
 /// Overwrite `C = A·Bᵀ` (`B: [n×k]`); `C` may be uninitialized.
 /// Bit-identical to zero-filling `C` and calling [`gemm_bt`].
-pub fn gemm_bt_ow(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_bt_ow<E: Element>(a: &[E], b: &[E], c: &mut [E], m: usize, k: usize, n: usize) {
     if narrow_dims(m, k, n) {
-        let _span = probe::gemm(2, false, m, k, n);
+        let _span = probe::gemm(E::DTYPE, 2, false, m, k, n);
         return narrow_bt(a, b, c, m, k, n, Acc::OverwriteDot);
     }
     let blocked = m * k * n >= BLOCK_MIN_MADDS;
-    let _span = probe::gemm(2, blocked, m, k, n);
+    let _span = probe::gemm(E::DTYPE, 2, blocked, m, k, n);
     if blocked {
         gemm_bt_ow_blocked(a, b, c, m, k, n);
     } else {
@@ -1168,25 +1387,28 @@ mod tests {
         (0..len).map(|_| rng.gen_range(-1.0..1.0f64)).collect()
     }
 
-    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    fn rand_vec_e<E: Element>(rng: &mut tyxe_rand::rngs::StdRng, len: usize) -> Vec<E> {
+        (0..len).map(|_| E::from_f64(rng.gen_range(-1.0..1.0f64))).collect()
+    }
+
+    fn assert_bits_eq<E: Element>(a: &[E], b: &[E], what: &str) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
             assert!(
-                x.to_bits() == y.to_bits(),
-                "{what}: element {i} differs: {x:e} vs {y:e}"
+                x.to_bits_u64() == y.to_bits_u64(),
+                "{what}: element {i} differs: {x:?} vs {y:?}"
             );
         }
     }
 
-    #[test]
-    fn blocked_matches_reference_bitwise_all_variants() {
+    fn blocked_matches_reference_bitwise_for<E: Element>() {
         let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(42);
         for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 3, 5), (17, 33, 9), (40, 40, 40), (64, 1, 64), (1, 64, 1)] {
-            let a_mk = rand_vec(&mut rng, m * k);
-            let a_km = rand_vec(&mut rng, k * m);
-            let b_kn = rand_vec(&mut rng, k * n);
-            let b_nk = rand_vec(&mut rng, n * k);
-            let c0 = rand_vec(&mut rng, m * n);
+            let a_mk = rand_vec_e::<E>(&mut rng, m * k);
+            let a_km = rand_vec_e::<E>(&mut rng, k * m);
+            let b_kn = rand_vec_e::<E>(&mut rng, k * n);
+            let b_nk = rand_vec_e::<E>(&mut rng, n * k);
+            let c0 = rand_vec_e::<E>(&mut rng, m * n);
 
             let mut c_ref = c0.clone();
             let mut c_blk = c0.clone();
@@ -1208,31 +1430,41 @@ mod tests {
         }
     }
 
+    #[test]
+    fn blocked_matches_reference_bitwise_all_variants() {
+        blocked_matches_reference_bitwise_for::<f64>();
+    }
+
+    #[test]
+    fn blocked_matches_reference_bitwise_all_variants_f32() {
+        blocked_matches_reference_bitwise_for::<f32>();
+    }
+
     /// The overwrite twins must equal "zero-fill C, then accumulate"
     /// bitwise, on garbage-filled output, for both the reference and the
     /// forced-blocked paths — this is the uninit-reuse safety contract.
-    #[test]
-    fn overwrite_matches_zerofill_accumulate_bitwise() {
+    #[allow(clippy::type_complexity)]
+    fn overwrite_matches_zerofill_accumulate_for<E: Element>() {
         let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(99);
-        type Fns = (
-            fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
-            fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+        type Fns<E> = (
+            fn(&[E], &[E], &mut [E], usize, usize, usize),
+            fn(&[E], &[E], &mut [E], usize, usize, usize),
         );
         for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 3, 5), (17, 33, 9), (40, 40, 40), (64, 1, 64), (1, 64, 1), (2, 0, 2)] {
-            let a_mk = rand_vec(&mut rng, m * k);
-            let a_km = rand_vec(&mut rng, k * m);
-            let b_kn = rand_vec(&mut rng, k * n);
-            let b_nk = rand_vec(&mut rng, n * k);
-            let garbage: Vec<f64> = (0..m * n).map(|i| f64::NAN * (i as f64 + 1.0)).collect();
+            let a_mk = rand_vec_e::<E>(&mut rng, m * k);
+            let a_km = rand_vec_e::<E>(&mut rng, k * m);
+            let b_kn = rand_vec_e::<E>(&mut rng, k * n);
+            let b_nk = rand_vec_e::<E>(&mut rng, n * k);
+            let garbage: Vec<E> = (0..m * n).map(|i| E::from_f64(f64::NAN * (i as f64 + 1.0))).collect();
 
-            let cases: [(&str, &[f64], &[f64], Fns, Fns); 3] = [
+            let cases: [(&str, &[E], &[E], Fns<E>, Fns<E>); 3] = [
                 ("gemm", &a_mk, &b_kn, (gemm_ref, gemm_ow_ref), (gemm_blocked, gemm_ow_blocked)),
                 ("gemm_at", &a_km, &b_kn, (gemm_at_ref, gemm_at_ow_ref), (gemm_at_blocked, gemm_at_ow_blocked)),
                 ("gemm_bt", &a_mk, &b_nk, (gemm_bt_ref, gemm_bt_ow_ref), (gemm_bt_blocked, gemm_bt_ow_blocked)),
             ];
             for (name, a, b, refs, blks) in cases {
                 for (path, (acc_fn, ow_fn)) in [("reference", refs), ("blocked", blks)] {
-                    let mut c_acc = vec![0.0; m * n];
+                    let mut c_acc = vec![E::ZERO; m * n];
                     acc_fn(a, b, &mut c_acc, m, k, n);
                     let mut c_ow = garbage.clone();
                     ow_fn(a, b, &mut c_ow, m, k, n);
@@ -1242,12 +1474,22 @@ mod tests {
         }
     }
 
+    #[test]
+    fn overwrite_matches_zerofill_accumulate_bitwise() {
+        overwrite_matches_zerofill_accumulate_for::<f64>();
+    }
+
+    #[test]
+    fn overwrite_matches_zerofill_accumulate_bitwise_f32() {
+        overwrite_matches_zerofill_accumulate_for::<f32>();
+    }
+
     /// The public dispatchers route degenerate shapes to the narrow
     /// kernels; every routed shape must stay bit-identical to the naive
     /// references, for both the accumulating and the overwrite (garbage
     /// C) entry points.
-    #[test]
-    fn narrow_matches_reference_bitwise() {
+    #[allow(clippy::type_complexity)]
+    fn narrow_matches_reference_for<E: Element>() {
         let mut rng = tyxe_rand::rngs::StdRng::seed_from_u64(1234);
         let shapes: &[(usize, usize, usize)] = &[
             (1, 1, 1),
@@ -1264,18 +1506,18 @@ mod tests {
         ];
         for &(m, k, n) in shapes {
             assert!(narrow_dims(m, k, n), "test shape {m}x{k}x{n} must be narrow");
-            let a_mk = rand_vec(&mut rng, m * k);
-            let a_km = rand_vec(&mut rng, k * m);
-            let b_kn = rand_vec(&mut rng, k * n);
-            let b_nk = rand_vec(&mut rng, n * k);
-            let c0 = rand_vec(&mut rng, m * n);
-            let garbage: Vec<f64> = (0..m * n).map(|i| f64::NAN * (i as f64 + 1.0)).collect();
+            let a_mk = rand_vec_e::<E>(&mut rng, m * k);
+            let a_km = rand_vec_e::<E>(&mut rng, k * m);
+            let b_kn = rand_vec_e::<E>(&mut rng, k * n);
+            let b_nk = rand_vec_e::<E>(&mut rng, n * k);
+            let c0 = rand_vec_e::<E>(&mut rng, m * n);
+            let garbage: Vec<E> = (0..m * n).map(|i| E::from_f64(f64::NAN * (i as f64 + 1.0))).collect();
 
-            type Fns = (
-                fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
-                fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+            type Fns<E> = (
+                fn(&[E], &[E], &mut [E], usize, usize, usize),
+                fn(&[E], &[E], &mut [E], usize, usize, usize),
             );
-            let acc_cases: [(&str, &[f64], &[f64], Fns); 3] = [
+            let acc_cases: [(&str, &[E], &[E], Fns<E>); 3] = [
                 ("gemm", &a_mk, &b_kn, (gemm, gemm_ref)),
                 ("gemm_at", &a_km, &b_kn, (gemm_at, gemm_at_ref)),
                 ("gemm_bt", &a_mk, &b_nk, (gemm_bt, gemm_bt_ref)),
@@ -1287,7 +1529,7 @@ mod tests {
                 ref_fn(a, b, &mut c_ref, m, k, n);
                 assert_bits_eq(&c_ref, &c_pub, &format!("{name} {m}x{k}x{n}"));
             }
-            let ow_cases: [(&str, &[f64], &[f64], Fns); 3] = [
+            let ow_cases: [(&str, &[E], &[E], Fns<E>); 3] = [
                 ("gemm_ow", &a_mk, &b_kn, (gemm_ow, gemm_ow_ref)),
                 ("gemm_at_ow", &a_km, &b_kn, (gemm_at_ow, gemm_at_ow_ref)),
                 ("gemm_bt_ow", &a_mk, &b_nk, (gemm_bt_ow, gemm_bt_ow_ref)),
@@ -1303,15 +1545,25 @@ mod tests {
     }
 
     #[test]
+    fn narrow_matches_reference_bitwise() {
+        narrow_matches_reference_for::<f64>();
+    }
+
+    #[test]
+    fn narrow_matches_reference_bitwise_f32() {
+        narrow_matches_reference_for::<f32>();
+    }
+
+    #[test]
     fn k_zero_is_identity_for_accumulation() {
         let mut c = vec![1.5, -2.5, 0.0, -0.0];
-        gemm_blocked(&[], &[], &mut c, 2, 0, 2);
+        gemm_blocked::<f64>(&[], &[], &mut c, 2, 0, 2);
         assert_eq!(c, vec![1.5, -2.5, 0.0, -0.0]);
         let before: Vec<u64> = c.iter().map(|v| v.to_bits()).collect();
         let mut c_bt = c.clone();
-        gemm_bt_ref(&[], &[], &mut c_bt, 2, 0, 2);
+        gemm_bt_ref::<f64>(&[], &[], &mut c_bt, 2, 0, 2);
         let mut c_bt_blk = c.clone();
-        gemm_bt_blocked(&[], &[], &mut c_bt_blk, 2, 0, 2);
+        gemm_bt_blocked::<f64>(&[], &[], &mut c_bt_blk, 2, 0, 2);
         let bt_bits: Vec<u64> = c_bt.iter().map(|v| v.to_bits()).collect();
         let blk_bits: Vec<u64> = c_bt_blk.iter().map(|v| v.to_bits()).collect();
         assert_eq!(bt_bits, blk_bits);
@@ -1338,10 +1590,35 @@ mod tests {
         assert_bits_eq(&c1, &c4, "threads 1 vs 4");
     }
 
+    /// f32 must be computed natively — a genuinely different reduction
+    /// from "f64 then round", which this input distinguishes: with
+    /// a = [1e8, 1, -1e8] (all exact f32) and b = 1s, native f32
+    /// accumulation loses the 1 (1e8 + 1 rounds to 1e8 in f32), while
+    /// f64 accumulation keeps it.
+    #[test]
+    fn f32_accumulates_natively_not_via_f64() {
+        let a = [1.0e8f32, 1.0, -1.0e8];
+        let b = [1.0f32, 1.0, 1.0];
+        let mut c = [0.0f32];
+        gemm_ref(&a, &b, &mut c, 1, 3, 1);
+        // Every product is exact, so FMA's single rounding changes
+        // nothing: each partial sum still rounds to f32, and 1e8 + 1
+        // rounds back to 1e8 before the -1e8 cancels it.
+        assert_eq!(c[0], 0.0f32);
+        // The f64 chain keeps the 1 — proof the f32 arithmetic above
+        // ran in f32 registers rather than "f64 then round once".
+        let mut c64 = [0.0f64];
+        gemm_ref(&[1.0e8f64, 1.0, -1.0e8], &[1.0, 1.0, 1.0], &mut c64, 1, 3, 1);
+        assert_eq!(c64[0], 1.0);
+    }
+
     #[test]
     fn madd_runtime_matches_kernel_semantics() {
         let (acc, a, b) = (0.1f64, 0.2f64, 0.3f64);
         let expected = if uses_fma() { a.mul_add(b, acc) } else { acc + a * b };
         assert_eq!(madd_runtime(acc, a, b).to_bits(), expected.to_bits());
+        let (acc, a, b) = (0.1f32, 0.2f32, 0.3f32);
+        let expected = if uses_fma() { a.mul_add(b, acc) } else { acc + a * b };
+        assert_eq!(madd_runtime_f32(acc, a, b).to_bits(), expected.to_bits());
     }
 }

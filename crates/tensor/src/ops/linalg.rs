@@ -5,6 +5,7 @@
 //! log density needs `logdet` and `inverse` of a small `r x r` capacitance
 //! matrix.
 
+use crate::element::DType;
 use crate::ops::matmul::gemm;
 use crate::tensor::Tensor;
 
@@ -107,28 +108,30 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "inverse: tensor must be 2-D");
         let n = self.shape()[0];
         assert_eq!(n, self.shape()[1], "inverse: tensor must be square");
+        // Pivoted elimination is precision-critical, so the factorization
+        // always runs in f64; narrower inputs round-trip through cast
+        // nodes (which stay differentiable) and keep their dtype.
+        if self.dtype() != DType::F64 {
+            let dt = self.dtype();
+            return self.cast(DType::F64).inverse().cast(dt);
+        }
         let inv = invert_raw(&self.data(), n).expect("inverse: singular matrix");
-        Tensor::make_op(
-            inv,
-            vec![n, n],
-            vec![self.clone()],
-            Box::new(move |out, grad| {
-                // dA = -B^T * G * B^T
-                let b = out.data();
-                let mut bt = vec![0.0; n * n];
-                for i in 0..n {
-                    for j in 0..n {
-                        bt[j * n + i] = b[i * n + j];
-                    }
+        Tensor::make_op(inv, vec![n, n], vec![self.clone()], move |out, grad| {
+            // dA = -B^T * G * B^T
+            let b = out.data();
+            let mut bt = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    bt[j * n + i] = b[i * n + j];
                 }
-                let mut tmp = vec![0.0; n * n];
-                gemm(&bt, grad, &mut tmp, n, n, n);
-                let mut ga = vec![0.0; n * n];
-                gemm(&tmp, &bt, &mut ga, n, n, n);
-                ga.iter_mut().for_each(|v| *v = -*v);
-                vec![Some(ga.into())]
-            }),
-        )
+            }
+            let mut tmp = vec![0.0; n * n];
+            gemm(&bt, grad, &mut tmp, n, n, n);
+            let mut ga = vec![0.0; n * n];
+            gemm(&tmp, &bt, &mut ga, n, n, n);
+            ga.iter_mut().for_each(|v| *v = -*v);
+            vec![Some(ga.into())]
+        })
     }
 
     /// Log-determinant of a square, positive-determinant 2-D tensor,
@@ -142,24 +145,26 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "logdet: tensor must be 2-D");
         let n = self.shape()[0];
         assert_eq!(n, self.shape()[1], "logdet: tensor must be square");
+        // LU with partial pivoting runs in f64 only; narrower inputs
+        // upcast through a differentiable cast and the scalar result is
+        // cast back to the input dtype.
+        if self.dtype() != DType::F64 {
+            let dt = self.dtype();
+            return self.cast(DType::F64).logdet().cast(dt);
+        }
         let (ld, sign) = logdet_raw(&self.data(), n);
         assert!(sign > 0.0, "logdet: determinant must be positive");
         let src = self.clone();
-        Tensor::make_op(
-            vec![ld],
-            vec![],
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                let inv = invert_raw(&src.data(), n).expect("logdet backward: singular");
-                let mut ga = vec![0.0; n * n];
-                for i in 0..n {
-                    for j in 0..n {
-                        ga[i * n + j] = grad[0] * inv[j * n + i];
-                    }
+        Tensor::make_op(vec![ld], vec![], vec![self.clone()], move |_, grad| {
+            let inv = invert_raw(&src.data(), n).expect("logdet backward: singular");
+            let mut ga = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    ga[i * n + j] = grad[0] * inv[j * n + i];
                 }
-                vec![Some(ga.into())]
-            }),
-        )
+            }
+            vec![Some(ga.into())]
+        })
     }
 
     /// Solves `A x = b` for square `A` `[n, n]` and `b` `[n]`, via the
@@ -178,6 +183,12 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "cholesky: tensor must be 2-D");
         let n = self.shape()[0];
         assert_eq!(n, self.shape()[1], "cholesky: tensor must be square");
+        // Factorization is f64-only; narrower inputs upcast and the
+        // factor is cast back (non-differentiable either way).
+        if self.dtype() != DType::F64 {
+            let dt = self.dtype();
+            return self.cast(DType::F64).cholesky().cast(dt);
+        }
         let a = self.data();
         let mut l = vec![0.0; n * n];
         for i in 0..n {
@@ -278,5 +289,25 @@ mod tests {
     fn singular_inverse_panics() {
         let a = Tensor::zeros(&[2, 2]);
         let _ = a.inverse();
+    }
+
+    /// f32 inputs upcast through the f64 factorizations and come back
+    /// as f32, with gradients flowing through the cast nodes.
+    #[test]
+    fn f32_linalg_upcasts_and_returns_f32() {
+        use crate::element::DType;
+        let a64 = random_spd(3, 6);
+        let a = a64.cast(DType::F32).detach().requires_grad(true);
+        let inv = a.inverse();
+        assert_eq!(inv.dtype(), DType::F32);
+        let prod = inv.matmul(&a);
+        for (p, e) in prod.to_vec().iter().zip(Tensor::eye(3).to_vec()) {
+            assert!((p - e).abs() < 1e-4, "{p} vs {e}");
+        }
+        let ld = a.logdet();
+        assert_eq!(ld.dtype(), DType::F32);
+        ld.backward();
+        assert!(a.grad().is_some());
+        assert_eq!(a.cholesky().dtype(), DType::F32);
     }
 }

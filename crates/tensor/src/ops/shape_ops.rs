@@ -1,6 +1,12 @@
 //! Shape-manipulating operations: reshape, permute, broadcast, concatenation,
 //! slicing and row gathering.
+//!
+//! All of these are pure data movement (plus scatter-`+=` in the
+//! backward passes), so they run natively on either storage dtype and
+//! preserve the input's dtype bit-for-bit. `cat`/`stack` promote mixed
+//! operands to the widest dtype first, like the binary ops.
 
+use crate::element::{DType, dispatch_dtype};
 use crate::pool;
 use crate::shape::{
     broadcast_source_index, numel, strides_for, unravel_index,
@@ -24,16 +30,12 @@ impl Tensor {
             self.shape(),
             shape
         );
-        let in_shape = self.shape().to_vec();
-        Tensor::make_op(
-            pool::alloc_copy(&self.data()),
+        dispatch_dtype!(self.dtype(), E => Tensor::make_op_t::<E>(
+            pool::alloc_copy::<E>(&self.data_of::<E>()),
             shape.to_vec(),
             vec![self.clone()],
-            Box::new(move |_, grad| {
-                let _ = &in_shape;
-                vec![Some(pool::alloc_copy(grad).into())]
-            }),
-        )
+            move |_, grad| vec![Some(pool::alloc_copy(grad))],
+        ))
     }
 
     /// Inserts a size-1 dimension at `axis`.
@@ -72,33 +74,37 @@ impl Tensor {
         let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
         let in_strides = strides_for(&in_shape);
         let n = self.numel();
-        let mut data = pool::alloc_uninit(n);
         let mut flat_map = vec![0usize; n]; // out flat -> in flat
-        {
-            let d = self.data();
-            for (out_flat, slot) in data.iter_mut().enumerate() {
-                let out_idx = unravel_index(out_flat, &out_shape);
-                let mut in_flat = 0;
-                for (i, &p) in perm.iter().enumerate() {
-                    in_flat += out_idx[i] * in_strides[p];
-                }
-                flat_map[out_flat] = in_flat;
-                *slot = d[in_flat];
+        for (out_flat, slot) in flat_map.iter_mut().enumerate() {
+            let out_idx = unravel_index(out_flat, &out_shape);
+            let mut in_flat = 0;
+            for (i, &p) in perm.iter().enumerate() {
+                in_flat += out_idx[i] * in_strides[p];
             }
+            *slot = in_flat;
         }
-        Tensor::make_op(
-            data,
-            out_shape,
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                // Scatter-accumulate through the permutation map: zeroed.
-                let mut g = pool::alloc_zeroed(n);
-                for (out_flat, &in_flat) in flat_map.iter().enumerate() {
-                    g[in_flat] += grad[out_flat];
+        dispatch_dtype!(self.dtype(), E => {
+            let mut data = pool::alloc_uninit::<E>(n);
+            {
+                let d = self.data_of::<E>();
+                for (slot, &in_flat) in data.iter_mut().zip(&flat_map) {
+                    *slot = d[in_flat];
                 }
-                vec![Some(g.into())]
-            }),
-        )
+            }
+            Tensor::make_op_t::<E>(
+                data,
+                out_shape,
+                vec![self.clone()],
+                move |_, grad| {
+                    // Scatter-accumulate through the permutation map: zeroed.
+                    let mut g = pool::alloc_zeroed::<E>(n);
+                    for (out_flat, &in_flat) in flat_map.iter().enumerate() {
+                        g[in_flat] += grad[out_flat];
+                    }
+                    vec![Some(g)]
+                },
+            )
+        })
     }
 
     /// Materializes `self` broadcast to `shape`.
@@ -117,28 +123,30 @@ impl Tensor {
             shape
         );
         let n = numel(shape);
-        let mut data = pool::alloc_uninit(n);
-        {
-            let d = self.data();
-            for (flat, slot) in data.iter_mut().enumerate() {
-                let idx = unravel_index(flat, shape);
-                *slot = d[broadcast_source_index(&idx, &src)];
+        dispatch_dtype!(self.dtype(), E => {
+            let mut data = pool::alloc_uninit::<E>(n);
+            {
+                let d = self.data_of::<E>();
+                for (flat, slot) in data.iter_mut().enumerate() {
+                    let idx = unravel_index(flat, shape);
+                    *slot = d[broadcast_source_index(&idx, &src)];
+                }
             }
-        }
-        let out_shape = shape.to_vec();
-        let src_c = src.clone();
-        Tensor::make_op(
-            data,
-            shape.to_vec(),
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                vec![Some(super::binary::sum_to_shape(grad, &out_shape, &src_c).into())]
-            }),
-        )
+            let out_shape = shape.to_vec();
+            let src_c = src.clone();
+            Tensor::make_op_t::<E>(
+                data,
+                shape.to_vec(),
+                vec![self.clone()],
+                move |_, grad| {
+                    vec![Some(super::binary::sum_to_shape::<E>(grad, &out_shape, &src_c))]
+                },
+            )
+        })
     }
 
     /// Concatenates tensors along `axis`. All inputs must agree on every
-    /// other dimension.
+    /// other dimension. Mixed dtypes promote to the widest.
     ///
     /// # Panics
     ///
@@ -152,6 +160,8 @@ impl Tensor {
                 assert!(i == axis || a == b, "cat: off-axis dim mismatch at {i}");
             }
         }
+        let dt = tensors.iter().fold(DType::F32, |d, t| d.promote(t.dtype()));
+        let tensors: Vec<Tensor> = tensors.iter().map(|t| t.cast(dt)).collect();
         let mut out_shape = base.clone();
         out_shape[axis] = tensors.iter().map(|t| t.shape()[axis]).sum();
 
@@ -161,42 +171,44 @@ impl Tensor {
         let inner: usize = base[axis + 1..].iter().product();
         let sizes: Vec<usize> = tensors.iter().map(|t| t.shape()[axis]).collect();
         let total_axis: usize = sizes.iter().sum();
-        // Every element is copied from exactly one input: uninit-safe.
-        let mut data = pool::alloc_uninit(outer * total_axis * inner);
-        for o in 0..outer {
-            let mut off = 0;
-            for (t, &sz) in tensors.iter().zip(&sizes) {
-                let d = t.data();
-                let src = &d[o * sz * inner..(o + 1) * sz * inner];
-                let dst_start = (o * total_axis + off) * inner;
-                data[dst_start..dst_start + sz * inner].copy_from_slice(src);
-                off += sz;
-            }
-        }
-        let sizes_c = sizes.clone();
-        Tensor::make_op(
-            data,
-            out_shape,
-            tensors.to_vec(),
-            Box::new(move |_, grad| {
-                // Each input grad is fully covered by copied runs.
-                let mut grads: Vec<Option<Vec<f64>>> = sizes_c
-                    .iter()
-                    .map(|&sz| Some(pool::alloc_uninit(outer * sz * inner)))
-                    .collect();
-                for o in 0..outer {
-                    let mut off = 0;
-                    for (gi, &sz) in sizes_c.iter().enumerate() {
-                        let src_start = (o * total_axis + off) * inner;
-                        let dst = grads[gi].as_mut().expect("grad slot");
-                        dst[o * sz * inner..(o + 1) * sz * inner]
-                            .copy_from_slice(&grad[src_start..src_start + sz * inner]);
-                        off += sz;
-                    }
+        dispatch_dtype!(dt, E => {
+            // Every element is copied from exactly one input: uninit-safe.
+            let mut data = pool::alloc_uninit::<E>(outer * total_axis * inner);
+            for o in 0..outer {
+                let mut off = 0;
+                for (t, &sz) in tensors.iter().zip(&sizes) {
+                    let d = t.data_of::<E>();
+                    let src = &d[o * sz * inner..(o + 1) * sz * inner];
+                    let dst_start = (o * total_axis + off) * inner;
+                    data[dst_start..dst_start + sz * inner].copy_from_slice(src);
+                    off += sz;
                 }
-                grads.into_iter().map(|g| g.map(Into::into)).collect()
-            }),
-        )
+            }
+            let sizes_c = sizes.clone();
+            Tensor::make_op_t::<E>(
+                data,
+                out_shape,
+                tensors.clone(),
+                move |_, grad| {
+                    // Each input grad is fully covered by copied runs.
+                    let mut grads: Vec<Option<pool::PoolBuf<E>>> = sizes_c
+                        .iter()
+                        .map(|&sz| Some(pool::alloc_uninit::<E>(outer * sz * inner)))
+                        .collect();
+                    for o in 0..outer {
+                        let mut off = 0;
+                        for (gi, &sz) in sizes_c.iter().enumerate() {
+                            let src_start = (o * total_axis + off) * inner;
+                            let dst = grads[gi].as_mut().expect("grad slot");
+                            dst[o * sz * inner..(o + 1) * sz * inner]
+                                .copy_from_slice(&grad[src_start..src_start + sz * inner]);
+                            off += sz;
+                        }
+                    }
+                    grads
+                },
+            )
+        })
     }
 
     /// Stacks tensors of identical shape along a new leading `axis`.
@@ -225,31 +237,33 @@ impl Tensor {
         let len = end - start;
         let mut out_shape = shape.clone();
         out_shape[axis] = len;
-        let mut data = pool::alloc_uninit(outer * len * inner);
-        {
-            let d = self.data();
-            for o in 0..outer {
-                let src_start = (o * ax + start) * inner;
-                data[o * len * inner..(o + 1) * len * inner]
-                    .copy_from_slice(&d[src_start..src_start + len * inner]);
-            }
-        }
         let total = self.numel();
-        Tensor::make_op(
-            data,
-            out_shape,
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                // Un-sliced positions must read zero: zeroed pool path.
-                let mut g = pool::alloc_zeroed(total);
+        dispatch_dtype!(self.dtype(), E => {
+            let mut data = pool::alloc_uninit::<E>(outer * len * inner);
+            {
+                let d = self.data_of::<E>();
                 for o in 0..outer {
-                    let dst_start = (o * ax + start) * inner;
-                    g[dst_start..dst_start + len * inner]
-                        .copy_from_slice(&grad[o * len * inner..(o + 1) * len * inner]);
+                    let src_start = (o * ax + start) * inner;
+                    data[o * len * inner..(o + 1) * len * inner]
+                        .copy_from_slice(&d[src_start..src_start + len * inner]);
                 }
-                vec![Some(g.into())]
-            }),
-        )
+            }
+            Tensor::make_op_t::<E>(
+                data,
+                out_shape,
+                vec![self.clone()],
+                move |_, grad| {
+                    // Un-sliced positions must read zero: zeroed pool path.
+                    let mut g = pool::alloc_zeroed::<E>(total);
+                    for o in 0..outer {
+                        let dst_start = (o * ax + start) * inner;
+                        g[dst_start..dst_start + len * inner]
+                            .copy_from_slice(&grad[o * len * inner..(o + 1) * len * inner]);
+                    }
+                    vec![Some(g)]
+                },
+            )
+        })
     }
 
     /// Gathers sub-tensors by index along `axis` (like
@@ -270,38 +284,40 @@ impl Tensor {
         let k = indices.len();
         let mut out_shape = shape.clone();
         out_shape[axis] = k;
-        let mut data = pool::alloc_uninit(outer * k * inner);
-        {
-            let d = self.data();
-            for o in 0..outer {
-                for (j, &i) in indices.iter().enumerate() {
-                    let src = (o * ax + i) * inner;
-                    let dst = (o * k + j) * inner;
-                    data[dst..dst + inner].copy_from_slice(&d[src..src + inner]);
-                }
-            }
-        }
-        let idx = indices.to_vec();
         let total = self.numel();
-        Tensor::make_op(
-            data,
-            out_shape,
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                // Repeated indices accumulate: zeroed pool path.
-                let mut g = pool::alloc_zeroed(total);
+        dispatch_dtype!(self.dtype(), E => {
+            let mut data = pool::alloc_uninit::<E>(outer * k * inner);
+            {
+                let d = self.data_of::<E>();
                 for o in 0..outer {
-                    for (j, &i) in idx.iter().enumerate() {
-                        let dst = (o * ax + i) * inner;
-                        let src = (o * k + j) * inner;
-                        for q in 0..inner {
-                            g[dst + q] += grad[src + q];
-                        }
+                    for (j, &i) in indices.iter().enumerate() {
+                        let src = (o * ax + i) * inner;
+                        let dst = (o * k + j) * inner;
+                        data[dst..dst + inner].copy_from_slice(&d[src..src + inner]);
                     }
                 }
-                vec![Some(g.into())]
-            }),
-        )
+            }
+            let idx = indices.to_vec();
+            Tensor::make_op_t::<E>(
+                data,
+                out_shape,
+                vec![self.clone()],
+                move |_, grad| {
+                    // Repeated indices accumulate: zeroed pool path.
+                    let mut g = pool::alloc_zeroed::<E>(total);
+                    for o in 0..outer {
+                        for (j, &i) in idx.iter().enumerate() {
+                            let dst = (o * ax + i) * inner;
+                            let src = (o * k + j) * inner;
+                            for q in 0..inner {
+                                g[dst + q] += grad[src + q];
+                            }
+                        }
+                    }
+                    vec![Some(g)]
+                },
+            )
+        })
     }
 
     /// For a 2-D tensor `[n, c]`, picks element `cols[i]` from row `i`,
@@ -314,29 +330,31 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "gather_rows: tensor must be 2-D");
         let (n, c) = (self.shape()[0], self.shape()[1]);
         assert_eq!(cols.len(), n, "gather_rows: one column index per row");
-        // Every element of the gather output is written: uninit-safe.
-        let mut data = pool::alloc_uninit(n);
-        {
-            let d = self.data();
-            for (i, (&col, slot)) in cols.iter().zip(data.iter_mut()).enumerate() {
-                assert!(col < c, "gather_rows: column {col} out of bounds");
-                *slot = d[i * c + col];
-            }
-        }
-        let cols_c = cols.to_vec();
-        Tensor::make_op(
-            data,
-            vec![n],
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                // Sparse scatter (one entry per row): zeroed pool path.
-                let mut g = pool::alloc_zeroed(n * c);
-                for (i, &col) in cols_c.iter().enumerate() {
-                    g[i * c + col] = grad[i];
+        dispatch_dtype!(self.dtype(), E => {
+            // Every element of the gather output is written: uninit-safe.
+            let mut data = pool::alloc_uninit::<E>(n);
+            {
+                let d = self.data_of::<E>();
+                for (i, (&col, slot)) in cols.iter().zip(data.iter_mut()).enumerate() {
+                    assert!(col < c, "gather_rows: column {col} out of bounds");
+                    *slot = d[i * c + col];
                 }
-                vec![Some(g.into())]
-            }),
-        )
+            }
+            let cols_c = cols.to_vec();
+            Tensor::make_op_t::<E>(
+                data,
+                vec![n],
+                vec![self.clone()],
+                move |_, grad| {
+                    // Sparse scatter (one entry per row): zeroed pool path.
+                    let mut g = pool::alloc_zeroed::<E>(n * c);
+                    for (i, &col) in cols_c.iter().enumerate() {
+                        g[i * c + col] = grad[i];
+                    }
+                    vec![Some(g)]
+                },
+            )
+        })
     }
 }
 
@@ -433,5 +451,30 @@ mod tests {
         let y = x.unsqueeze(1);
         assert_eq!(y.shape(), &[2, 1, 3]);
         assert_eq!(y.squeeze(1).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn f32_shape_ops_keep_dtype_and_grads() {
+        use crate::element::DType;
+        let x = Tensor::from_vec_f32((0..6).map(|v| v as f32).collect::<Vec<_>>(), &[2, 3])
+            .requires_grad(true);
+        let y = x.reshape(&[3, 2]).permute(&[1, 0]).slice(1, 0, 2);
+        assert_eq!(y.dtype(), DType::F32);
+        // Column 0 of the permuted/sliced view is x's values {0, 1}
+        // (flat indices 0 and 1), each selected twice.
+        y.index_select(1, &[0, 0]).sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![2.0, 2.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cat_promotes_mixed_dtypes() {
+        use crate::element::DType;
+        let a = Tensor::from_vec_f32(vec![1.0, 2.0], &[2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![3.0], &[1]).requires_grad(true);
+        let c = Tensor::cat(&[a.clone(), b.clone()], 0);
+        assert_eq!(c.dtype(), DType::F64);
+        c.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0, 1.0]);
+        assert_eq!(b.grad().unwrap(), vec![1.0]);
     }
 }

@@ -1,10 +1,83 @@
 //! Statistical and structural convenience ops: variance/standard deviation,
 //! cumulative sums, outer products, triangular masks and top-k selection.
 
+use crate::element::{Element, dispatch_dtype};
 use crate::ops::PAR_MIN_ELEMS;
 use crate::pool;
 use crate::shape::normalize_axis;
 use crate::tensor::Tensor;
+
+fn cumsum_t<E: Element>(src: &Tensor, ax: usize) -> Tensor {
+    let shape = src.shape().to_vec();
+    let outer: usize = shape[..ax].iter().product();
+    let len = shape[ax];
+    let inner: usize = shape[ax + 1..].iter().product();
+    // Each (outer, inner) pair owns an independent recurrence chain,
+    // so outer-aligned chunks can run on separate threads without
+    // touching any chain's order. The running sums accumulate natively
+    // in the storage dtype.
+    let block = len * inner;
+    let outer_chunk = move |total: usize| {
+        (tyxe_par::chunk_len(total, 1, (PAR_MIN_ELEMS / block.max(1)).max(1)) * block).max(1)
+    };
+    let mut data = pool::alloc_copy::<E>(&src.data_of::<E>());
+    tyxe_par::parallel_for_chunks(&mut data, outer_chunk(outer), |_, piece| {
+        for ob in piece.chunks_mut(block) {
+            for i in 1..len {
+                for q in 0..inner {
+                    let prev = ob[(i - 1) * inner + q];
+                    ob[i * inner + q] += prev;
+                }
+            }
+        }
+    });
+    Tensor::make_op_t::<E>(data, shape, vec![src.clone()], move |_, grad| {
+        let mut g = pool::alloc_copy::<E>(grad);
+        tyxe_par::parallel_for_chunks(&mut g, outer_chunk(outer), |_, piece| {
+            for ob in piece.chunks_mut(block) {
+                for i in (0..len - 1).rev() {
+                    for q in 0..inner {
+                        let next = ob[(i + 1) * inner + q];
+                        ob[i * inner + q] += next;
+                    }
+                }
+            }
+        });
+        vec![Some(g)]
+    })
+}
+
+fn triangular_mask_t<E: Element>(src: &Tensor, k: isize, lower: bool) -> Tensor {
+    let (m, n) = (src.shape()[0], src.shape()[1]);
+    let keep = move |i: usize, j: usize| {
+        let d = j as isize - i as isize;
+        if lower {
+            d <= k
+        } else {
+            d >= k
+        }
+    };
+    // Row-aligned chunks; the mask is elementwise, so partitioning is
+    // free to vary.
+    let row_chunk = (tyxe_par::chunk_len(m, 1, (PAR_MIN_ELEMS / n.max(1)).max(1)) * n).max(1);
+    let mask_rows = move |start: usize, piece: &mut [E]| {
+        let i0 = start / n.max(1);
+        for (li, row) in piece.chunks_mut(n).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                if !keep(i0 + li, j) {
+                    *v = E::ZERO;
+                }
+            }
+        }
+    };
+    let mut data = pool::alloc_copy::<E>(&src.data_of::<E>());
+    tyxe_par::parallel_for_chunks(&mut data, row_chunk, mask_rows);
+    Tensor::make_op_t::<E>(data, vec![m, n], vec![src.clone()], move |_, grad| {
+        let mut g = pool::alloc_copy::<E>(grad);
+        tyxe_par::parallel_for_chunks(&mut g, row_chunk, mask_rows);
+        vec![Some(g)]
+    })
+}
 
 impl Tensor {
     /// Population variance of all elements (differentiable).
@@ -28,45 +101,7 @@ impl Tensor {
     /// reversed cumulative sum).
     pub fn cumsum(&self, axis: isize) -> Tensor {
         let ax = normalize_axis(axis, self.ndim());
-        let shape = self.shape().to_vec();
-        let outer: usize = shape[..ax].iter().product();
-        let len = shape[ax];
-        let inner: usize = shape[ax + 1..].iter().product();
-        // Each (outer, inner) pair owns an independent recurrence chain,
-        // so outer-aligned chunks can run on separate threads without
-        // touching any chain's order.
-        let block = len * inner;
-        let outer_chunk = move |total: usize| {
-            (tyxe_par::chunk_len(total, 1, (PAR_MIN_ELEMS / block.max(1)).max(1)) * block).max(1)
-        };
-        let mut data = pool::alloc_copy(&self.data());
-        tyxe_par::parallel_for_chunks(&mut data, outer_chunk(outer), |_, piece| {
-            for ob in piece.chunks_mut(block) {
-                for i in 1..len {
-                    for q in 0..inner {
-                        ob[i * inner + q] += ob[(i - 1) * inner + q];
-                    }
-                }
-            }
-        });
-        Tensor::make_op(
-            data,
-            shape,
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                let mut g = pool::alloc_copy(grad);
-                tyxe_par::parallel_for_chunks(&mut g, outer_chunk(outer), |_, piece| {
-                    for ob in piece.chunks_mut(block) {
-                        for i in (0..len - 1).rev() {
-                            for q in 0..inner {
-                                ob[i * inner + q] += ob[(i + 1) * inner + q];
-                            }
-                        }
-                    }
-                });
-                vec![Some(g.into())]
-            }),
-        )
+        dispatch_dtype!(self.dtype(), E => cumsum_t::<E>(self, ax))
     }
 
     /// Outer product of two 1-D tensors: `[m] x [n] -> [m, n]`.
@@ -96,40 +131,7 @@ impl Tensor {
 
     fn triangular_mask(&self, k: isize, lower: bool) -> Tensor {
         assert_eq!(self.ndim(), 2, "tril/triu: tensor must be 2-D");
-        let (m, n) = (self.shape()[0], self.shape()[1]);
-        let keep = move |i: usize, j: usize| {
-            let d = j as isize - i as isize;
-            if lower {
-                d <= k
-            } else {
-                d >= k
-            }
-        };
-        // Row-aligned chunks; the mask is elementwise, so partitioning is
-        // free to vary.
-        let row_chunk = (tyxe_par::chunk_len(m, 1, (PAR_MIN_ELEMS / n.max(1)).max(1)) * n).max(1);
-        let mask_rows = move |start: usize, piece: &mut [f64]| {
-            let i0 = start / n.max(1);
-            for (li, row) in piece.chunks_mut(n).enumerate() {
-                for (j, v) in row.iter_mut().enumerate() {
-                    if !keep(i0 + li, j) {
-                        *v = 0.0;
-                    }
-                }
-            }
-        };
-        let mut data = pool::alloc_copy(&self.data());
-        tyxe_par::parallel_for_chunks(&mut data, row_chunk, mask_rows);
-        Tensor::make_op(
-            data,
-            vec![m, n],
-            vec![self.clone()],
-            Box::new(move |_, grad| {
-                let mut g = pool::alloc_copy(grad);
-                tyxe_par::parallel_for_chunks(&mut g, row_chunk, mask_rows);
-                vec![Some(g.into())]
-            }),
-        )
+        dispatch_dtype!(self.dtype(), E => triangular_mask_t::<E>(self, k, lower))
     }
 
     /// Indices of the `k` largest elements of a 1-D tensor, in descending
@@ -142,7 +144,9 @@ impl Tensor {
         assert_eq!(self.ndim(), 1, "topk_indices: tensor must be 1-D");
         let n = self.shape()[0];
         assert!(k <= n, "topk_indices: k = {k} exceeds length {n}");
-        let d = self.data();
+        // Widened staging read keeps the comparison dtype-independent
+        // (f32 → f64 is exact, so the order is unchanged).
+        let d = self.to_vec();
         let mut idx: Vec<usize> = (0..n).collect();
         idx.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("no NaNs in topk"));
         idx.truncate(k);
@@ -235,5 +239,23 @@ mod tests {
     #[should_panic]
     fn topk_rejects_large_k() {
         let _ = Tensor::zeros(&[2]).topk_indices(3);
+    }
+
+    #[test]
+    fn f32_cumsum_tril_topk() {
+        let x = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0], &[3]).requires_grad(true);
+        let y = x.cumsum(0);
+        assert_eq!(y.dtype(), crate::element::DType::F32);
+        assert_eq!(y.to_vec(), vec![1.0, 3.0, 6.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![3.0, 2.0, 1.0]);
+
+        let m = Tensor::from_vec_f32((1..=4).map(|v| v as f32).collect(), &[2, 2]);
+        let low = m.tril(0);
+        assert_eq!(low.dtype(), crate::element::DType::F32);
+        assert_eq!(low.to_vec(), vec![1.0, 0.0, 3.0, 4.0]);
+
+        let t = Tensor::from_vec_f32(vec![0.1, 5.0, -2.0, 3.0], &[4]);
+        assert_eq!(t.topk_indices(2), vec![1, 3]);
     }
 }

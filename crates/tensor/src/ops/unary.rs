@@ -3,64 +3,86 @@
 //! Both directions of [`Tensor::map_unary`] are chunked across the
 //! thread pool for large tensors; each element is computed independently,
 //! so thread count cannot affect results.
+//!
+//! Dtype: the output follows the input's storage dtype. Recipes are
+//! `f64` closures applied under the widen-compute-round contract of
+//! [`crate::element`] — on `f64` storage that is the historical bitwise
+//! behavior; on `f32` each recipe rounds once into storage.
 
+use crate::element::{Element, dispatch_dtype};
 use crate::ops::PAR_MIN_ELEMS;
 use crate::pool;
 use crate::tensor::Tensor;
 
+/// Monomorphic body of [`Tensor::map_unary`]. The forward map runs
+/// directly on storage elements so per-dtype recipes (the fast `f32`
+/// transcendentals of [`crate::element`]) plug in without a widening
+/// round-trip; the backward keeps the shared `f64` recipe.
+fn map_unary_t<E: Element, F, DF>(src_t: &Tensor, f: F, df: DF) -> Tensor
+where
+    F: Fn(E) -> E + Sync + 'static,
+    DF: Fn(f64, f64, f64) -> f64 + Sync + 'static,
+{
+    // Shared forward kernel: fully overwrites `out` from the source
+    // tensor's *current* buffer. Runs once to build the node and
+    // again on every plan replay — same chunking, same arithmetic,
+    // bit-identical either way.
+    let compute = {
+        let src = src_t.clone();
+        move |out: &mut [E]| {
+            let xd = src.data_of::<E>();
+            let xs: &[E] = &xd;
+            let chunk = tyxe_par::chunk_len(xs.len(), 1, PAR_MIN_ELEMS);
+            tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    *slot = f(xs[start + off]);
+                }
+            });
+        }
+    };
+    // Every element is written by `compute`, so recycled buffers
+    // skip zero-init.
+    let mut data = pool::alloc_uninit::<E>(src_t.numel());
+    compute(data.as_mut_slice());
+    let src = src_t.clone();
+    let t = Tensor::make_op_t::<E>(
+        data,
+        src_t.shape().to_vec(),
+        vec![src_t.clone()],
+        move |out, grad| {
+            let xd = src.data_of::<E>();
+            let yd = out.data_of::<E>();
+            let (xs, ys): (&[E], &[E]) = (&xd, &yd);
+            let mut g = pool::alloc_uninit::<E>(grad.len());
+            let chunk = tyxe_par::chunk_len(g.len(), 1, PAR_MIN_ELEMS);
+            tyxe_par::parallel_for_chunks(&mut g, chunk, |start, piece| {
+                for (off, slot) in piece.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = E::from_f64(df(xs[i].to_f64(), ys[i].to_f64(), grad[i].to_f64()));
+                }
+            });
+            drop(yd);
+            drop(xd);
+            vec![Some(g)]
+        },
+    );
+    crate::plan::record_op_t::<E>(&t, &[src_t], compute);
+    t
+}
+
 impl Tensor {
-    /// Generic differentiable elementwise map. `f` computes the value; `df`
-    /// maps (input, output, grad_out) to grad_in.
+    /// Generic differentiable elementwise map. `f` computes the value
+    /// under the widen-compute-round contract; `df` maps
+    /// (input, output, grad_out) to grad_in.
     pub(crate) fn map_unary(
         &self,
-        f: impl Fn(f64) -> f64 + Sync + 'static,
+        f: impl Fn(f64) -> f64 + Sync + Clone + 'static,
         df: impl Fn(f64, f64, f64) -> f64 + Sync + 'static,
     ) -> Tensor {
-        // Shared forward kernel: fully overwrites `out` from the source
-        // tensor's *current* buffer. Runs once to build the node and
-        // again on every plan replay — same chunking, same arithmetic,
-        // bit-identical either way.
-        let compute = {
-            let src = self.clone();
-            move |out: &mut [f64]| {
-                let xd = src.data();
-                let xs: &[f64] = &xd;
-                let chunk = tyxe_par::chunk_len(xs.len(), 1, PAR_MIN_ELEMS);
-                tyxe_par::parallel_for_chunks(out, chunk, |start, piece| {
-                    for (off, slot) in piece.iter_mut().enumerate() {
-                        *slot = f(xs[start + off]);
-                    }
-                });
-            }
-        };
-        // Every element is written by `compute`, so recycled buffers
-        // skip zero-init.
-        let mut data = pool::alloc_uninit(self.numel());
-        compute(data.as_mut_slice());
-        let src = self.clone();
-        let t = Tensor::make_op(
-            data,
-            self.shape().to_vec(),
-            vec![self.clone()],
-            Box::new(move |out, grad| {
-                let xd = src.data();
-                let yd = out.data();
-                let (xs, ys): (&[f64], &[f64]) = (&xd, &yd);
-                let mut g = pool::alloc_uninit(grad.len());
-                let chunk = tyxe_par::chunk_len(g.len(), 1, PAR_MIN_ELEMS);
-                tyxe_par::parallel_for_chunks(&mut g, chunk, |start, piece| {
-                    for (off, slot) in piece.iter_mut().enumerate() {
-                        let i = start + off;
-                        *slot = df(xs[i], ys[i], grad[i]);
-                    }
-                });
-                drop(yd);
-                drop(xd);
-                vec![Some(g.into())]
-            }),
-        );
-        crate::plan::record_op(&t, &[self], compute);
-        t
+        dispatch_dtype!(self.dtype(), E => {
+            let f = f.clone();
+            map_unary_t::<E, _, _>(self, move |x: E| E::from_f64(f(x.to_f64())), df)
+        })
     }
 
     /// Element-wise negation.
@@ -68,9 +90,12 @@ impl Tensor {
         self.map_unary(|x| -x, |_, _, g| -g)
     }
 
-    /// Element-wise exponential.
+    /// Element-wise exponential. Forward runs the per-dtype recipe
+    /// [`Element::exp_e`] (libm for `f64`, the fast approximant for
+    /// `f32`), shared with the fused reparam draw's exp scale map.
     pub fn exp(&self) -> Tensor {
-        self.map_unary(f64::exp, |_, y, g| g * y)
+        dispatch_dtype!(self.dtype(), E =>
+            map_unary_t::<E, _, _>(self, E::exp_e, |_, y, g| g * y))
     }
 
     /// Element-wise natural logarithm.
@@ -98,9 +123,13 @@ impl Tensor {
         self.map_unary(f64::abs, |x, _, g| g * x.signum() * f64::from(u8::from(x != 0.0)))
     }
 
-    /// Element-wise hyperbolic tangent.
+    /// Element-wise hyperbolic tangent. Forward runs the per-dtype
+    /// recipe [`Element::tanh_e`] (libm for `f64`, the fast rational
+    /// approximant for `f32`), shared with the fused linear/conv
+    /// activation pass.
     pub fn tanh(&self) -> Tensor {
-        self.map_unary(f64::tanh, |_, y, g| g * (1.0 - y * y))
+        dispatch_dtype!(self.dtype(), E =>
+            map_unary_t::<E, _, _>(self, E::tanh_e, |_, y, g| g * (1.0 - y * y)))
     }
 
     /// Element-wise sine.
@@ -252,6 +281,18 @@ mod tests {
         assert!((s * s + c * c - 1.0).abs() < 1e-12);
         assert!((ds - c).abs() < 1e-12);
         assert!((dc + s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_unary_rounds_once_into_storage() {
+        let xs = [0.3f32, -1.7, 2.9];
+        let t = Tensor::from_vec_f32(xs.to_vec(), &[3]);
+        let y = t.square();
+        assert_eq!(y.dtype(), crate::element::DType::F32);
+        for (i, &x) in xs.iter().enumerate() {
+            // Single IEEE multiply: widen-compute-round == native f32.
+            assert_eq!(y.to_vec()[i], f64::from(x * x));
+        }
     }
 
     #[test]

@@ -204,9 +204,17 @@ pub fn mark_unsupported(reason: &str) {
 
 /// Registers an op output with its replay closure. `compute` must
 /// recompute the op's forward values into the (fully overwritten)
-/// output buffer from the same retained inputs; `reads` lists those
-/// inputs for the end-of-record coverage check.
-pub(crate) fn record_op(out: &Tensor, reads: &[&Tensor], compute: impl Fn(&mut [f64]) + 'static) {
+/// output buffer — viewed in the output's element type `E` — from the
+/// same retained inputs; `reads` lists those inputs for the
+/// end-of-record coverage check. Replay panics (via the typed-buffer
+/// accessor) if the output's dtype changed after recording, but drivers
+/// key their plan signatures on dtype and re-record first, and
+/// [`Tensor::convert_dtype_inplace`] bumps the generation besides.
+pub(crate) fn record_op_t<E: crate::element::Element>(
+    out: &Tensor,
+    reads: &[&Tensor],
+    compute: impl Fn(&mut [E]) + 'static,
+) {
     if !is_recording() {
         return;
     }
@@ -215,8 +223,9 @@ pub(crate) fn record_op(out: &Tensor, reads: &[&Tensor], compute: impl Fn(&mut [
             rec.covered.insert(out.id());
             rec.reads.extend(reads.iter().map(|t| t.id()));
             let dst = out.clone();
-            rec.ops
-                .push(Box::new(move || compute(dst.inner.data.borrow_mut().as_mut_slice())));
+            rec.ops.push(Box::new(move || {
+                compute(dst.inner.data.borrow_mut().as_mut_slice::<E>())
+            }));
         }
     });
 }

@@ -1,28 +1,33 @@
 //! Thread-local, size-bucketed buffer pool for tensor storage.
 //!
 //! SVI training rebuilds the same computation graph every step, so the
-//! engine allocates (and frees) an identical multiset of `Vec<f64>`
-//! buffers thousands of times. This module recycles them: freed buffers
-//! go into per-thread power-of-2 free-lists and are handed back out by
+//! engine allocates (and frees) an identical multiset of buffers
+//! thousands of times. This module recycles them: freed buffers go into
+//! per-thread power-of-2 free-lists and are handed back out by
 //! [`alloc_uninit`]/[`alloc_zeroed`] instead of hitting the system
 //! allocator. See DESIGN.md §10 for the full memory-reuse contract.
 //!
-//! # Bucket layout
+//! # Bucket layout — bytes, not elements
 //!
-//! A request for `n` elements is served from bucket `ceil(log2(n))`,
-//! whose buffers all have capacity exactly `2^b`. Requests above
-//! [`MAX_POOL_ELEMS`] elements (and zero-length requests) bypass the
-//! pool. Each bucket retains at most [`bucket_cap`] buffers — generous
-//! for small buckets (a live autodiff graph holds hundreds of small
-//! tensors at once), tight for multi-MiB ones — and excess returns are
-//! simply freed, so pool growth plateaus (the leak guard in
-//! `tests/pool.rs` pins this).
+//! Storage is dtype-agnostic: every pooled buffer is a `Vec<u64>` of
+//! 8-byte words, and free-lists are keyed by **byte capacity** (bucket
+//! `b` holds buffers of `2^b` words = `2^(b+3)` bytes). A [`PoolBuf<E>`]
+//! of `n` elements views `ceil(n·size_of::<E>() / 8)` words as `[E]`,
+//! so an `f32` buffer and an `f64` buffer of the same byte footprint
+//! recycle through the *same* bucket — freeing an `f32` activation can
+//! serve the next `f64` gradient and vice versa, with no per-dtype
+//! fragmentation. Requests above [`MAX_POOL_WORDS`] words (32 MiB) and
+//! zero-length requests bypass the pool. Each bucket retains at most
+//! [`bucket_cap`] buffers — generous for small buckets (a live autodiff
+//! graph holds hundreds of small tensors at once), tight for multi-MiB
+//! ones — and excess returns are simply freed, so pool growth plateaus
+//! (the leak guard in `tests/pool.rs` pins this).
 //!
 //! # Uninit-overwrite safety
 //!
-//! [`alloc_uninit`] may return a buffer still holding **stale values
-//! from its previous life** (always valid `f64`s — never uninitialized
-//! memory in the UB sense; everything here is safe Rust). Callers must
+//! [`alloc_uninit`] may return a buffer still holding **stale bytes
+//! from its previous life** (always initialized memory — everything
+//! here is safe Rust; "uninit" refers only to the values). Callers must
 //! therefore overwrite every element before any read. This is only used
 //! where full overwrite is structural: elementwise map outputs,
 //! overwrite-mode GEMM outputs (`ops::gemm_kernels`), gather/copy
@@ -30,22 +35,27 @@
 //! (`col2im`, scatter-adds, broadcast reductions) use [`alloc_zeroed`].
 //! Because results never depend on a buffer's prior contents, numerics
 //! are bit-identical with the pool on or off — pinned end to end by
-//! `svi_step_is_bit_identical_with_pool_on_and_off` in
-//! `tests/determinism.rs`.
+//! `tests/determinism.rs`, per dtype.
 //!
 //! # `TYXE_POOL` semantics
 //!
 //! `TYXE_POOL=0` disables recycling at process start: every allocation
-//! falls back to a plain `vec![0.0; n]` and every return is freed. Any
+//! falls back to a plain zeroed vector and every return is freed. Any
 //! other value (or unset) enables the pool. [`set_enabled`] toggles at
 //! runtime (used by the parity tests). Obs counters
-//! `tensor.alloc.pool_hit`/`pool_miss`/`bytes_recycled` and the
-//! `tensor.alloc.pool_size` gauge (bytes currently retained, across all
-//! threads) are updated unconditionally so hit-rate accounting stays
-//! exact — same policy as the PR 3/4 exactness-critical counters.
+//! `tensor.alloc.pool_hit`/`pool_miss`/`bytes_recycled`, their
+//! per-dtype variants (`tensor.alloc.pool_hit.f32`, …) and the
+//! `tensor.alloc.pool_size` gauge are updated unconditionally so
+//! hit-rate accounting stays exact — same policy as the PR 3/4
+//! exactness-critical counters. **All pool metrics are
+//! byte-denominated** where they carry a size: `bytes_recycled` and
+//! `pool_size` count bytes of word storage, never element counts.
 
 use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use crate::element::Element;
 
 /// Cached tyxe-obs handles. Ungated: pool accounting must stay exact
 /// (the bench harness and the hit-ratio acceptance gate read these).
@@ -53,6 +63,8 @@ mod probe {
     use std::sync::OnceLock;
 
     use tyxe_obs::metrics::{Counter, Gauge};
+
+    use crate::element::DType;
 
     /// Allocations served from a free-list.
     pub fn pool_hit() -> &'static Counter {
@@ -65,6 +77,33 @@ mod probe {
     pub fn pool_miss() -> &'static Counter {
         static C: OnceLock<Counter> = OnceLock::new();
         C.get_or_init(|| tyxe_obs::metrics::counter("tensor.alloc.pool_miss"))
+    }
+
+    /// Per-dtype hit/miss splits of the aggregate counters above: the
+    /// free-lists themselves are dtype-blind (byte buckets), but the
+    /// allocation *traffic* is attributed to the element type that
+    /// requested it, so a mixed-precision run shows both streams.
+    pub fn pool_hit_dtype(dt: DType) -> &'static Counter {
+        static F32: OnceLock<Counter> = OnceLock::new();
+        static F64: OnceLock<Counter> = OnceLock::new();
+        match dt {
+            DType::F32 => F32.get_or_init(|| tyxe_obs::metrics::counter("tensor.alloc.pool_hit.f32")),
+            DType::F64 => F64.get_or_init(|| tyxe_obs::metrics::counter("tensor.alloc.pool_hit.f64")),
+        }
+    }
+
+    /// See [`pool_hit_dtype`].
+    pub fn pool_miss_dtype(dt: DType) -> &'static Counter {
+        static F32: OnceLock<Counter> = OnceLock::new();
+        static F64: OnceLock<Counter> = OnceLock::new();
+        match dt {
+            DType::F32 => {
+                F32.get_or_init(|| tyxe_obs::metrics::counter("tensor.alloc.pool_miss.f32"))
+            }
+            DType::F64 => {
+                F64.get_or_init(|| tyxe_obs::metrics::counter("tensor.alloc.pool_miss.f64"))
+            }
+        }
     }
 
     /// Total bytes returned to free-lists over the process lifetime.
@@ -82,12 +121,14 @@ mod probe {
     }
 }
 
-/// Number of size buckets: bucket `b` holds buffers of capacity `2^b`.
+/// Number of size buckets: bucket `b` holds buffers of capacity `2^b`
+/// words (= `2^(b+3)` bytes).
 const BUCKETS: usize = 23;
 
-/// Largest pooled buffer, in elements (`2^22` f64s = 32 MiB). Bigger
-/// allocations go straight to the system allocator.
-const MAX_POOL_ELEMS: usize = 1 << (BUCKETS - 1);
+/// Largest pooled buffer, in 8-byte words (`2^22` words = 32 MiB, the
+/// same byte ceiling the f64-only pool had). Bigger allocations go
+/// straight to the system allocator.
+const MAX_POOL_WORDS: usize = 1 << (BUCKETS - 1);
 
 /// Retained-bytes target per bucket, used to derive [`bucket_cap`].
 const BUCKET_TARGET_BYTES: usize = 2 << 20;
@@ -103,13 +144,19 @@ fn bucket_cap(b: usize) -> usize {
     (BUCKET_TARGET_BYTES / ((1usize << b) * 8)).clamp(4, 256)
 }
 
+/// Words needed to back `n` elements of `E`.
+#[inline(always)]
+fn words_for<E: Element>(n: usize) -> usize {
+    n.div_ceil(8 / std::mem::size_of::<E>())
+}
+
 /// A thread's free-lists, wrapped so thread death gives the retained
 /// bytes back to the shared [`HELD_BYTES`] accounting. Without the
 /// [`Drop`] impl, every exiting worker thread stranded whatever its
 /// lists held in the `tensor.alloc.pool_size` gauge forever (the
 /// buffers themselves were freed — only the gauge leaked). Safe during
 /// TLS destruction: [`sub_held`] touches only process-global atomics.
-struct ThreadLists(RefCell<[Vec<Vec<f64>>; BUCKETS]>);
+struct ThreadLists(RefCell<[Vec<Vec<u64>>; BUCKETS]>);
 
 impl Drop for ThreadLists {
     fn drop(&mut self) {
@@ -160,14 +207,15 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on as usize, Ordering::Relaxed);
 }
 
-/// (buffer count, total elements) currently retained by **this**
-/// thread's free-lists.
+/// (buffer count, total bytes) currently retained by **this** thread's
+/// free-lists. Byte-denominated: an `f32` and an `f64` buffer of equal
+/// byte footprint report identically.
 pub fn thread_stats() -> (usize, usize) {
     FREE_LISTS.with(|fl| {
         let fl = fl.0.borrow();
         let count = fl.iter().map(Vec::len).sum();
-        let elems = fl.iter().flatten().map(Vec::capacity).sum();
-        (count, elems)
+        let bytes = fl.iter().flatten().map(|v| v.capacity() * 8).sum();
+        (count, bytes)
     })
 }
 
@@ -182,95 +230,109 @@ pub fn trim_thread() {
     });
 }
 
-fn bucket_index(n: usize) -> Option<usize> {
-    if n == 0 || n > MAX_POOL_ELEMS {
+fn bucket_index(words: usize) -> Option<usize> {
+    if words == 0 || words > MAX_POOL_WORDS {
         return None;
     }
-    // ceil(log2(n)): n=1 -> 0, n in (2^(b-1), 2^b] -> b.
-    Some((usize::BITS - (n - 1).leading_zeros()) as usize)
+    // ceil(log2(words)): 1 -> 0, w in (2^(b-1), 2^b] -> b.
+    Some((usize::BITS - (words - 1).leading_zeros()) as usize)
 }
 
-fn add_held(elems: usize) {
-    let now = HELD_BYTES.fetch_add((elems * 8) as i64, Ordering::Relaxed) + (elems * 8) as i64;
+fn add_held(words: usize) {
+    let now = HELD_BYTES.fetch_add((words * 8) as i64, Ordering::Relaxed) + (words * 8) as i64;
     probe::pool_size().set(now as f64);
 }
 
-fn sub_held(elems: usize) {
-    let now = HELD_BYTES.fetch_sub((elems * 8) as i64, Ordering::Relaxed) - (elems * 8) as i64;
+fn sub_held(words: usize) {
+    let now = HELD_BYTES.fetch_sub((words * 8) as i64, Ordering::Relaxed) - (words * 8) as i64;
     probe::pool_size().set(now as f64);
 }
 
-fn take(n: usize, zero: bool) -> Vec<f64> {
-    let bucket = if enabled() { bucket_index(n) } else { None };
+/// Takes a word buffer of length `words` from the free-lists (or the
+/// system allocator), returning it together with whether it was a pool
+/// hit. On a hit with `zero == false` the buffer keeps stale words up
+/// to its previously stored length; the gap to `words` (if it grew
+/// within its bucket) is zero-filled.
+fn take(words: usize, zero: bool) -> (Vec<u64>, bool) {
+    let bucket = if enabled() { bucket_index(words) } else { None };
     let Some(b) = bucket else {
-        probe::pool_miss().inc();
-        return vec![0.0; n];
+        return (vec![0u64; words], false);
     };
     match FREE_LISTS.with(|fl| fl.0.borrow_mut()[b].pop()) {
         Some(mut v) => {
-            probe::pool_hit().inc();
             sub_held(v.capacity());
             if zero {
                 v.clear();
-                v.resize(n, 0.0);
-            } else if v.len() >= n {
+                v.resize(words, 0);
+            } else if v.len() >= words {
                 // Stale contents stay — this is the "uninit" fast path;
                 // the caller overwrites every element.
-                v.truncate(n);
+                v.truncate(words);
             } else {
-                v.resize(n, 0.0);
+                v.resize(words, 0);
             }
-            v
+            (v, true)
         }
         None => {
-            probe::pool_miss().inc();
             // Allocate the full bucket so the buffer recycles into the
-            // same bucket later; `vec![0.0; _]` is a calloc, so this
+            // same bucket later; `vec![0; _]` is a calloc, so this
             // costs no explicit memset.
-            let mut v = vec![0.0; 1 << b];
-            v.truncate(n);
-            v
+            let mut v = vec![0u64; 1 << b];
+            v.truncate(words);
+            (v, false)
         }
     }
+}
+
+fn take_counted<E: Element>(n: usize, zero: bool) -> Vec<u64> {
+    let (v, hit) = take(words_for::<E>(n), zero);
+    if hit {
+        probe::pool_hit().inc();
+        probe::pool_hit_dtype(E::DTYPE).inc();
+    } else {
+        probe::pool_miss().inc();
+        probe::pool_miss_dtype(E::DTYPE).inc();
+    }
+    v
 }
 
 /// A length-`n` buffer whose contents are **unspecified** (stale values
 /// from a previous tensor, or zeros on a pool miss). The caller must
 /// overwrite every element before reading any.
-pub(crate) fn alloc_uninit(n: usize) -> Vec<f64> {
-    take(n, false)
+pub(crate) fn alloc_uninit<E: Element>(n: usize) -> PoolBuf<E> {
+    PoolBuf { words: take_counted::<E>(n, false), len: n, _e: PhantomData }
 }
 
 /// A length-`n` buffer of zeros, for kernels that accumulate into their
 /// output.
-pub(crate) fn alloc_zeroed(n: usize) -> Vec<f64> {
-    take(n, true)
+pub(crate) fn alloc_zeroed<E: Element>(n: usize) -> PoolBuf<E> {
+    PoolBuf { words: take_counted::<E>(n, true), len: n, _e: PhantomData }
 }
 
 /// A pooled copy of `src`.
-pub(crate) fn alloc_copy(src: &[f64]) -> Vec<f64> {
-    let mut v = take(src.len(), false);
+pub(crate) fn alloc_copy<E: Element>(src: &[E]) -> PoolBuf<E> {
+    let mut v = alloc_uninit(src.len());
     v.copy_from_slice(src);
     v
 }
 
 /// A length-`n` buffer filled with `value`.
-pub(crate) fn alloc_filled(n: usize, value: f64) -> Vec<f64> {
-    let mut v = take(n, false);
+pub(crate) fn alloc_filled<E: Element>(n: usize, value: E) -> PoolBuf<E> {
+    let mut v = alloc_uninit(n);
     v.fill(value);
     v
 }
 
-/// Returns a buffer to this thread's free-lists. Only buffers whose
-/// capacity is exactly a bucket size are retained (pool-allocated
-/// buffers and exact-sized `vec![_; 2^b]`s qualify); everything else —
-/// and everything beyond the per-bucket cap — is freed normally.
-pub(crate) fn recycle(v: Vec<f64>) {
+/// Returns a word buffer to this thread's free-lists. Only buffers
+/// whose word capacity is exactly a bucket size are retained
+/// (pool-allocated buffers qualify); everything else — and everything
+/// beyond the per-bucket cap — is freed normally.
+fn recycle_words(v: Vec<u64>) {
     if !enabled() {
         return;
     }
     let cap = v.capacity();
-    if cap == 0 || !cap.is_power_of_two() || cap > MAX_POOL_ELEMS {
+    if cap == 0 || !cap.is_power_of_two() || cap > MAX_POOL_WORDS {
         return;
     }
     let b = cap.trailing_zeros() as usize;
@@ -289,40 +351,104 @@ pub(crate) fn recycle(v: Vec<f64>) {
     }
 }
 
-/// Owning wrapper for a tensor's data or gradient buffer: recycles the
-/// buffer into the pool when dropped, so graph teardown (and
-/// `zero_grad`) feeds the next step's allocations.
-pub(crate) struct PoolBuf(Vec<f64>);
+/// Owning, dtype-typed view over pooled word storage: recycles the
+/// words into the (byte-bucketed, dtype-blind) free-lists when dropped,
+/// so graph teardown — and `zero_grad` — feeds the next step's
+/// allocations regardless of which dtype asks next.
+pub(crate) struct PoolBuf<E: Element> {
+    /// Backing storage. `words.len() == words_for::<E>(len)`; 8-byte
+    /// alignment satisfies both element types, and any slack bytes in
+    /// the final word are simply never part of the element view.
+    words: Vec<u64>,
+    /// Element count of the `[E]` view.
+    len: usize,
+    _e: PhantomData<E>,
+}
 
-impl From<Vec<f64>> for PoolBuf {
-    fn from(v: Vec<f64>) -> PoolBuf {
-        PoolBuf(v)
+impl<E: Element> PoolBuf<E> {
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline(always)]
+    pub(crate) fn as_slice(&self) -> &[E] {
+        // SAFETY: the words vec holds at least `words_for::<E>(len)`
+        // initialized 8-byte words (alignment 8 ≥ align_of::<E>()), and
+        // every bit pattern is a valid f32/f64.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<E>(), self.len) }
+    }
+
+    #[inline(always)]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [E] {
+        // SAFETY: as in `as_slice`; `&mut self` gives unique access.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<E>(), self.len) }
+    }
+
+    /// Word capacity of the backing storage (test introspection).
+    #[cfg(test)]
+    pub(crate) fn word_capacity(&self) -> usize {
+        self.words.capacity()
+    }
+
+    /// Moves this buffer into a differently-parameterized `PoolBuf`
+    /// where the caller holds runtime proof (a match on
+    /// [`Element::DTYPE`]) that `B` *is* `E`. Bridges generic code to
+    /// the concrete `Buf` enum variants without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B` and `E` are different types.
+    pub(crate) fn retype<B: Element>(self) -> PoolBuf<B> {
+        assert_eq!(
+            std::any::TypeId::of::<E>(),
+            std::any::TypeId::of::<B>(),
+            "PoolBuf::retype: dtype mismatch"
+        );
+        let mut this = std::mem::ManuallyDrop::new(self);
+        PoolBuf { words: std::mem::take(&mut this.words), len: this.len, _e: PhantomData }
     }
 }
 
-impl Drop for PoolBuf {
+impl<E: Element> From<Vec<E>> for PoolBuf<E> {
+    /// Copies a plain vector into pooled word storage. Constructor-path
+    /// only (`from_vec`, `set_data`); kernels allocate through
+    /// [`alloc_uninit`]/[`alloc_zeroed`] and never pay this copy.
+    fn from(v: Vec<E>) -> PoolBuf<E> {
+        alloc_copy(&v)
+    }
+}
+
+impl<E: Element> Drop for PoolBuf<E> {
     fn drop(&mut self) {
-        recycle(std::mem::take(&mut self.0));
+        recycle_words(std::mem::take(&mut self.words));
     }
 }
 
-impl std::ops::Deref for PoolBuf {
-    type Target = Vec<f64>;
-    fn deref(&self) -> &Vec<f64> {
-        &self.0
+impl<E: Element> std::ops::Deref for PoolBuf<E> {
+    type Target = [E];
+    fn deref(&self) -> &[E] {
+        self.as_slice()
     }
 }
 
-impl std::ops::DerefMut for PoolBuf {
-    fn deref_mut(&mut self) -> &mut Vec<f64> {
-        &mut self.0
+impl<E: Element> std::ops::DerefMut for PoolBuf<E> {
+    fn deref_mut(&mut self) -> &mut [E] {
+        self.as_mut_slice()
     }
 }
 
-impl std::fmt::Debug for PoolBuf {
+impl<E: Element> std::fmt::Debug for PoolBuf<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.as_slice().fmt(f)
     }
+}
+
+/// Recycles a raw `Vec<u64>` word buffer (test helper mirror of the
+/// old element-vec recycle entry point).
+#[cfg(test)]
+pub(crate) fn recycle_raw(v: Vec<u64>) {
+    recycle_words(v);
 }
 
 #[cfg(test)]
@@ -348,9 +474,18 @@ mod tests {
         assert_eq!(bucket_index(2), Some(1));
         assert_eq!(bucket_index(3), Some(2));
         assert_eq!(bucket_index(4), Some(2));
-        assert_eq!(bucket_index(5), Some(3));
-        assert_eq!(bucket_index(MAX_POOL_ELEMS), Some(BUCKETS - 1));
-        assert_eq!(bucket_index(MAX_POOL_ELEMS + 1), None);
+        assert_eq!(bucket_index(MAX_POOL_WORDS), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(MAX_POOL_WORDS + 1), None);
+    }
+
+    #[test]
+    fn words_for_rounds_up_subword_tails() {
+        assert_eq!(words_for::<f64>(100), 100);
+        assert_eq!(words_for::<f32>(100), 50);
+        assert_eq!(words_for::<f32>(101), 51);
+        assert_eq!(words_for::<f32>(1), 1);
+        assert_eq!(words_for::<f32>(0), 0);
+        assert_eq!(words_for::<f64>(0), 0);
     }
 
     #[test]
@@ -358,19 +493,44 @@ mod tests {
         with_pool_lock(|| {
             set_enabled(true);
             trim_thread();
-            let mut v = alloc_uninit(100);
+            let mut v = alloc_uninit::<f64>(100);
             assert_eq!(v.len(), 100);
-            assert_eq!(v.capacity(), 128);
+            assert_eq!(v.word_capacity(), 128);
             v.fill(7.25);
-            recycle(v);
+            drop(v);
             assert_eq!(thread_stats().0, 1);
             // Same bucket, smaller request: stale contents visible.
-            let v2 = alloc_uninit(65);
+            let v2 = alloc_uninit::<f64>(65);
             assert_eq!(v2.len(), 65);
             assert!(v2.iter().all(|&x| x == 7.25));
             // Zeroed requests scrub.
-            recycle(v2);
-            let v3 = alloc_zeroed(80);
+            drop(v2);
+            let v3 = alloc_zeroed::<f64>(80);
+            assert!(v3.iter().all(|&x| x == 0.0));
+            trim_thread();
+        });
+    }
+
+    #[test]
+    fn f32_and_f64_share_byte_buckets() {
+        with_pool_lock(|| {
+            set_enabled(true);
+            trim_thread();
+            // 100 f64s = 800 bytes = 100 words -> bucket 7 (128 words).
+            let mut v = alloc_uninit::<f64>(100);
+            v.fill(-1.5);
+            drop(v);
+            assert_eq!(thread_stats(), (1, 128 * 8));
+            // 200 f32s = 800 bytes = the same bucket: the f64 buffer is
+            // reused, stale bits and all.
+            let v2 = alloc_uninit::<f32>(200);
+            assert_eq!(v2.len(), 200);
+            assert_eq!(v2.word_capacity(), 128);
+            assert_eq!(thread_stats().0, 0, "served from the shared bucket");
+            // And back: recycling the f32 buffer serves f64 again.
+            drop(v2);
+            let v3 = alloc_zeroed::<f64>(128);
+            assert_eq!(thread_stats().0, 0);
             assert!(v3.iter().all(|&x| x == 0.0));
             trim_thread();
         });
@@ -381,10 +541,10 @@ mod tests {
         with_pool_lock(|| {
             set_enabled(true);
             trim_thread();
-            let mut v = alloc_uninit(60);
+            let mut v = alloc_uninit::<f64>(60);
             v.fill(3.0);
-            recycle(v);
-            let v2 = alloc_uninit(64); // same bucket, longer than stored len
+            drop(v);
+            let v2 = alloc_uninit::<f64>(64); // same bucket, longer than stored len
             assert_eq!(v2.len(), 64);
             assert!(v2[..60].iter().all(|&x| x == 3.0));
             assert!(v2[60..].iter().all(|&x| x == 0.0));
@@ -398,9 +558,9 @@ mod tests {
             set_enabled(true);
             trim_thread();
             set_enabled(false);
-            let v = alloc_uninit(50);
+            let v = alloc_uninit::<f64>(50);
             assert!(v.iter().all(|&x| x == 0.0), "disabled alloc must be plain");
-            recycle(v);
+            drop(v);
             assert_eq!(thread_stats().0, 0, "disabled recycle must drop");
         });
     }
@@ -412,11 +572,11 @@ mod tests {
             trim_thread();
             let cap = bucket_cap(4);
             for _ in 0..(cap + 10) {
-                recycle(vec![0.0; 16]);
+                recycle_raw(vec![0u64; 16]);
             }
-            let (count, elems) = thread_stats();
+            let (count, bytes) = thread_stats();
             assert_eq!(count, cap);
-            assert_eq!(elems, cap * 16);
+            assert_eq!(bytes, cap * 16 * 8);
             trim_thread();
             assert_eq!(thread_stats(), (0, 0));
         });
@@ -441,40 +601,47 @@ mod tests {
         with_pool_lock(|| {
             set_enabled(true);
             trim_thread();
-            let mut odd = Vec::with_capacity(24);
-            odd.resize(24, 0.0);
-            recycle(odd);
-            recycle(Vec::new());
+            let odd = vec![0u64; 24];
+            recycle_raw(odd);
+            recycle_raw(Vec::new());
             assert_eq!(thread_stats().0, 0);
         });
     }
 
     #[test]
-    fn interleaved_sizes_stress() {
+    fn interleaved_sizes_and_dtypes_stress() {
         with_pool_lock(|| {
             set_enabled(true);
             trim_thread();
-            let mut live: Vec<Vec<f64>> = Vec::new();
+            let mut live64: Vec<PoolBuf<f64>> = Vec::new();
+            let mut live32: Vec<PoolBuf<f32>> = Vec::new();
             let sizes = [1usize, 3, 17, 64, 100, 257, 1024, 4000, 5000, 33];
             for round in 0..50 {
                 for (i, &n) in sizes.iter().enumerate() {
-                    let mut v = if (round + i) % 2 == 0 {
-                        alloc_uninit(n)
+                    if (round + i) % 3 == 0 {
+                        let mut v = alloc_uninit::<f32>(n);
+                        assert_eq!(v.len(), n);
+                        v.fill(round as f32);
+                        live32.push(v);
                     } else {
-                        alloc_zeroed(n)
-                    };
-                    assert_eq!(v.len(), n);
-                    v.fill(round as f64);
-                    live.push(v);
+                        let mut v = if (round + i) % 2 == 0 {
+                            alloc_uninit::<f64>(n)
+                        } else {
+                            alloc_zeroed::<f64>(n)
+                        };
+                        assert_eq!(v.len(), n);
+                        v.fill(round as f64);
+                        live64.push(v);
+                    }
                 }
                 // Return half, keep half across "steps".
-                for v in live.drain(..sizes.len() / 2) {
-                    recycle(v);
-                }
+                let k64 = (live64.len() / 2).min(sizes.len() / 2);
+                drop(live64.drain(..k64).collect::<Vec<_>>());
+                let k32 = live32.len() / 2;
+                drop(live32.drain(..k32).collect::<Vec<_>>());
             }
-            for v in live.drain(..) {
-                recycle(v);
-            }
+            live64.clear();
+            live32.clear();
             let (count, _) = thread_stats();
             assert!(count <= (0..BUCKETS).map(bucket_cap).sum());
             trim_thread();
@@ -490,18 +657,18 @@ mod tests {
             // HELD_BYTES climbs by ~16 MiB per dead thread. Other tests
             // churn the gauge concurrently, so assert a plateau (less
             // than one thread's worth of growth) rather than equality.
-            let elems = 1usize << 19;
+            let words = 1usize << 19;
             let cap = bucket_cap(19);
-            let per_thread = (cap * elems * 8) as i64;
+            let per_thread = (cap * words * 8) as i64;
             let before = HELD_BYTES.load(Ordering::Relaxed);
             for _ in 0..8 {
                 std::thread::spawn(move || {
                     for _ in 0..cap + 2 {
-                        recycle(vec![0.0; elems]);
+                        recycle_raw(vec![0u64; words]);
                     }
                     let (count, held) = thread_stats();
                     assert_eq!(count, cap);
-                    assert_eq!(held, cap * elems);
+                    assert_eq!(held, cap * words * 8);
                 })
                 .join()
                 .unwrap();
@@ -520,9 +687,15 @@ mod tests {
             set_enabled(true);
             trim_thread();
             {
-                let _b = PoolBuf::from(alloc_uninit(512));
+                let _b = alloc_uninit::<f64>(512);
             }
-            assert_eq!(thread_stats(), (1, 512));
+            assert_eq!(thread_stats(), (1, 512 * 8));
+            // The f32 twin of the same byte footprint lands in the same
+            // bucket.
+            {
+                let _b = alloc_uninit::<f32>(1024);
+            }
+            assert_eq!(thread_stats(), (1, 512 * 8));
             trim_thread();
         });
     }

@@ -1,18 +1,169 @@
 //! The core [`Tensor`] type and the reverse-mode autodiff engine.
 //!
-//! A `Tensor` is a cheaply clonable handle (`Rc`) to a dense, row-major `f64`
-//! buffer together with the computation-graph metadata needed for reverse-mode
-//! automatic differentiation. Every differentiable operation returns a fresh
-//! tensor whose node records its parents and a backward closure; calling
+//! A `Tensor` is a cheaply clonable handle (`Rc`) to a dense, row-major
+//! buffer — `f64` or `f32`, see [`crate::element::DType`] — together with the
+//! computation-graph metadata needed for reverse-mode automatic
+//! differentiation. Every differentiable operation returns a fresh tensor
+//! whose node records its parents and a backward closure; calling
 //! [`Tensor::backward`] on a scalar output topologically sorts the graph and
 //! accumulates gradients into every node that requires them.
+//!
+//! Dtype lives at runtime in the storage enum [`Buf`], so graph plumbing
+//! (topological order, gradient slots, plan recording) is written once;
+//! kernels dispatch to monomorphic code via
+//! [`crate::element::dispatch_dtype`]. Gradients always carry the dtype of
+//! the node they belong to — the only place a gradient changes dtype is the
+//! backward edge of [`Tensor::cast`], which is exactly the mixed-precision
+//! cast boundary (DESIGN.md §12).
 
 use std::cell::{Cell, Ref, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
+use crate::element::{DType, Element, dispatch_dtype};
 use crate::pool::{self, PoolBuf};
 use crate::shape::{numel, strides_for};
+
+/// Dtype-tagged, pool-managed storage for one tensor's data or gradient.
+///
+/// The enum (rather than a generic `Tensor<E>`) keeps the graph machinery
+/// and every downstream crate monomorphic over a single `Tensor` type;
+/// kernels reach the typed slice through [`Buf::as_slice`] after matching
+/// on [`Buf::dtype`].
+pub(crate) enum Buf {
+    F32(PoolBuf<f32>),
+    F64(PoolBuf<f64>),
+}
+
+impl Buf {
+    /// Wraps a generic pooled buffer into the matching variant (no copy).
+    #[inline]
+    pub(crate) fn from_pool<E: Element>(b: PoolBuf<E>) -> Buf {
+        match E::DTYPE {
+            DType::F64 => Buf::F64(b.retype::<f64>()),
+            DType::F32 => Buf::F32(b.retype::<f32>()),
+        }
+    }
+
+    /// Pooled storage holding `src` converted to `dt` (round on narrow).
+    pub(crate) fn from_f64_slice(src: &[f64], dt: DType) -> Buf {
+        match dt {
+            DType::F64 => Buf::F64(pool::alloc_copy(src)),
+            DType::F32 => {
+                let mut v = pool::alloc_uninit::<f32>(src.len());
+                for (o, &x) in v.iter_mut().zip(src) {
+                    *o = x as f32;
+                }
+                Buf::F32(v)
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn dtype(&self) -> DType {
+        match self {
+            Buf::F32(_) => DType::F32,
+            Buf::F64(_) => DType::F64,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Buf::F32(v) => v.len(),
+            Buf::F64(v) => v.len(),
+        }
+    }
+
+    /// The typed element view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `E` is not this buffer's dtype — kernels must dispatch
+    /// on [`Buf::dtype`] (or the tensor's) first.
+    #[inline(always)]
+    pub(crate) fn as_slice<E: Element>(&self) -> &[E] {
+        match self {
+            Buf::F64(v) => crate::element::same_slice::<f64, E>(v),
+            Buf::F32(v) => crate::element::same_slice::<f32, E>(v),
+        }
+    }
+
+    /// Mutable variant of [`Buf::as_slice`].
+    #[inline(always)]
+    pub(crate) fn as_mut_slice<E: Element>(&mut self) -> &mut [E] {
+        match self {
+            Buf::F64(v) => crate::element::same_slice_mut::<f64, E>(v),
+            Buf::F32(v) => crate::element::same_slice_mut::<f32, E>(v),
+        }
+    }
+
+    /// Reads one element, widened to `f64` (dtype-transparent accessor
+    /// path: `item`, `at`, top-k selection).
+    #[inline(always)]
+    pub(crate) fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Buf::F64(v) => v[i],
+            Buf::F32(v) => f64::from(v[i]),
+        }
+    }
+
+    /// Copies out, widened to `f64`.
+    pub(crate) fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            Buf::F64(v) => v.to_vec(),
+            Buf::F32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+        }
+    }
+
+    /// Overwrites every element from an `f64` slice, rounding on narrow
+    /// storage. Keeps the buffer's dtype and capacity.
+    pub(crate) fn copy_from_f64(&mut self, src: &[f64]) {
+        match self {
+            Buf::F64(v) => v.copy_from_slice(src),
+            Buf::F32(v) => {
+                for (o, &x) in v.iter_mut().zip(src) {
+                    *o = x as f32;
+                }
+            }
+        }
+    }
+
+    /// A pooled copy with the same dtype.
+    pub(crate) fn clone_pooled(&self) -> Buf {
+        match self {
+            Buf::F64(v) => Buf::F64(pool::alloc_copy(v)),
+            Buf::F32(v) => Buf::F32(pool::alloc_copy(v)),
+        }
+    }
+
+    /// A pooled copy converted to `dt` (identity dtype included).
+    pub(crate) fn cast_to(&self, dt: DType) -> Buf {
+        match (self, dt) {
+            (Buf::F64(v), DType::F32) => {
+                let mut o = pool::alloc_uninit::<f32>(v.len());
+                for (o, &x) in o.iter_mut().zip(v.iter()) {
+                    *o = x as f32;
+                }
+                Buf::F32(o)
+            }
+            (Buf::F32(v), DType::F64) => {
+                let mut o = pool::alloc_uninit::<f64>(v.len());
+                for (o, &x) in o.iter_mut().zip(v.iter()) {
+                    *o = f64::from(x);
+                }
+                Buf::F64(o)
+            }
+            _ => self.clone_pooled(),
+        }
+    }
+}
+
+impl From<Vec<f64>> for Buf {
+    fn from(v: Vec<f64>) -> Buf {
+        Buf::F64(pool::alloc_copy(&v))
+    }
+}
 
 /// Backward closure: given the output node and the gradient with respect to
 /// it, produce one pool-managed gradient buffer per parent (aligned with
@@ -20,8 +171,10 @@ use crate::shape::{numel, strides_for};
 /// each into an empty parent gradient slot (no copy) or element-adds it and
 /// lets it recycle, so every buffer returns to the thread-local pool
 /// (`crate::pool`) once its slot clears. `None` entries signal "no gradient
-/// flows to this parent".
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[f64]) -> Vec<Option<PoolBuf>>>;
+/// flows to this parent". Each returned buffer must carry its parent's
+/// dtype (only [`Tensor::cast`] produces a grad dtype different from its
+/// own).
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &Buf) -> Vec<Option<Buf>>>;
 
 thread_local! {
     static ID_COUNTER: Cell<u64> = const { Cell::new(1) };
@@ -45,20 +198,20 @@ pub(crate) fn id_watermark() -> u64 {
 pub(crate) struct Inner {
     /// Pool-managed storage: recycled into `crate::pool` when the node
     /// drops, so step `k+1` reuses step `k`'s buffers.
-    pub(crate) data: RefCell<PoolBuf>,
+    pub(crate) data: RefCell<Buf>,
     pub(crate) shape: Vec<usize>,
     /// Whether gradients should be tracked through/into this node.
     pub(crate) requires_grad: Cell<bool>,
-    /// Accumulated gradient, same length as `data`. Present only after a
-    /// backward pass touched this node; also pool-managed.
-    pub(crate) grad: RefCell<Option<PoolBuf>>,
+    /// Accumulated gradient, same length and dtype as `data`. Present only
+    /// after a backward pass touched this node; also pool-managed.
+    pub(crate) grad: RefCell<Option<Buf>>,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward_fn: Option<BackwardFn>,
     pub(crate) id: u64,
 }
 
-/// A dense, row-major `f64` tensor participating in a reverse-mode autodiff
-/// graph.
+/// A dense, row-major tensor (`f64` or `f32` storage) participating in a
+/// reverse-mode autodiff graph.
 ///
 /// Cloning a `Tensor` is cheap: clones share storage and gradient state.
 ///
@@ -79,9 +232,10 @@ pub struct Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let data = self.inner.data.borrow();
-        let preview: Vec<f64> = data.iter().take(8).copied().collect();
+        let preview: Vec<f64> = (0..data.len().min(8)).map(|i| data.get_f64(i)).collect();
         f.debug_struct("Tensor")
             .field("shape", &self.inner.shape)
+            .field("dtype", &data.dtype())
             .field("requires_grad", &self.inner.requires_grad.get())
             .field("data[..8]", &preview)
             .finish()
@@ -93,8 +247,8 @@ impl Tensor {
     // Constructors
     // ------------------------------------------------------------------
 
-    pub(crate) fn new_node(
-        data: Vec<f64>,
+    pub(crate) fn new_node_buf(
+        data: Buf,
         shape: Vec<usize>,
         parents: Vec<Tensor>,
         backward_fn: Option<BackwardFn>,
@@ -103,7 +257,7 @@ impl Tensor {
         debug_assert_eq!(data.len(), numel(&shape), "data length must match shape");
         Tensor {
             inner: Rc::new(Inner {
-                data: RefCell::new(data.into()),
+                data: RefCell::new(data),
                 shape,
                 requires_grad: Cell::new(requires_grad),
                 grad: RefCell::new(None),
@@ -114,26 +268,54 @@ impl Tensor {
         }
     }
 
-    /// Builds a differentiable op node. Gradient tracking is enabled iff any
-    /// parent requires it; otherwise the parents and closure are dropped so
-    /// inference-time graphs stay flat.
-    pub(crate) fn make_op(
-        data: Vec<f64>,
+    /// Non-tracking leaf over prebuilt storage — the terminal constructor
+    /// every dtype-aware path funnels through.
+    pub(crate) fn leaf_from_buf(data: Buf, shape: &[usize]) -> Tensor {
+        Tensor::new_node_buf(data, shape.to_vec(), Vec::new(), None, false)
+    }
+
+    /// Builds a differentiable op node over `E`-typed storage. Gradient
+    /// tracking is enabled iff any parent requires it; otherwise the
+    /// parents and closure are dropped so inference-time graphs stay flat.
+    /// The typed backward closure is erased into [`BackwardFn`] here —
+    /// its `&[E]` incoming gradient and `PoolBuf<E>` outputs all carry
+    /// the node's own dtype.
+    pub(crate) fn make_op_t<E: Element>(
+        data: impl Into<PoolBuf<E>>,
         shape: Vec<usize>,
         parents: Vec<Tensor>,
-        backward_fn: BackwardFn,
+        backward: impl Fn(&Tensor, &[E]) -> Vec<Option<PoolBuf<E>>> + 'static,
     ) -> Tensor {
         let rg = parents.iter().any(Tensor::requires_grad_enabled);
         if rg {
-            Tensor::new_node(data, shape, parents, Some(backward_fn), true)
+            let bw: BackwardFn = Box::new(move |out, grad| {
+                backward(out, grad.as_slice::<E>())
+                    .into_iter()
+                    .map(|g| g.map(Buf::from_pool))
+                    .collect()
+            });
+            Tensor::new_node_buf(Buf::from_pool(data.into()), shape, parents, Some(bw), true)
         } else {
-            Tensor::new_node(data, shape, Vec::new(), None, false)
+            Tensor::new_node_buf(Buf::from_pool(data.into()), shape, Vec::new(), None, false)
         }
+    }
+
+    /// The `f64` [`Tensor::make_op_t`] — the op-constructor surface from
+    /// before storage went dtype-generic, kept for the ops that are
+    /// defined to compute in `f64` (e.g. `linalg`).
+    pub(crate) fn make_op(
+        data: impl Into<PoolBuf<f64>>,
+        shape: Vec<usize>,
+        parents: Vec<Tensor>,
+        backward: impl Fn(&Tensor, &[f64]) -> Vec<Option<PoolBuf<f64>>> + 'static,
+    ) -> Tensor {
+        Tensor::make_op_t::<f64>(data, shape, parents, backward)
     }
 
     /// Builds a custom differentiable operation node — the extension point
     /// for ops this crate does not provide (e.g. sparse matrix products in
-    /// the graph crate).
+    /// the graph crate). Always `f64` (the public extension surface is
+    /// dtype-stable; cast inputs up if needed).
     ///
     /// `backward` receives the output node and the gradient with respect to
     /// it, and must return one gradient buffer per parent (in order;
@@ -142,7 +324,8 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if `data.len()` does not match `shape`.
+    /// Panics if `data.len()` does not match `shape`, or if any parent is
+    /// not `f64` (cast first).
     pub fn custom_op(
         data: Vec<f64>,
         shape: &[usize],
@@ -150,17 +333,20 @@ impl Tensor {
         backward: impl Fn(&Tensor, &[f64]) -> Vec<Option<Vec<f64>>> + 'static,
     ) -> Tensor {
         assert_eq!(data.len(), numel(shape), "custom_op: data length mismatch");
-        Tensor::make_op(
+        for p in &parents {
+            assert_eq!(p.dtype(), DType::F64, "custom_op: parents must be f64");
+        }
+        Tensor::make_op_t::<f64>(
             data,
             shape.to_vec(),
             parents,
-            Box::new(move |out, grad| {
+            move |out, grad| {
                 backward(out, grad).into_iter().map(|g| g.map(PoolBuf::from)).collect()
-            }),
+            },
         )
     }
 
-    /// Creates a tensor from a flat row-major buffer.
+    /// Creates an `f64` tensor from a flat row-major buffer.
     ///
     /// # Panics
     ///
@@ -174,10 +360,27 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor::new_node(data, shape.to_vec(), Vec::new(), None, false)
+        Tensor::leaf_from_buf(Buf::F64(pool::alloc_copy(&data)), shape)
     }
 
-    /// Creates a rank-0 (scalar) tensor.
+    /// Creates an `f32` tensor from a flat row-major buffer (no
+    /// conversion — the bits are stored as given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `shape`.
+    pub fn from_vec_f32(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "from_vec_f32: data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor::leaf_from_buf(Buf::F32(pool::alloc_copy(&data)), shape)
+    }
+
+    /// Creates a rank-0 (scalar) `f64` tensor.
     ///
     /// A constant under plan recording: its value is frozen into the
     /// trace ([`crate::plan`]).
@@ -187,12 +390,22 @@ impl Tensor {
         t
     }
 
-    /// Creates a tensor filled with `value`. A plan-recording constant,
-    /// like [`Tensor::scalar`].
-    pub fn full(shape: &[usize], value: f64) -> Tensor {
-        let t = Tensor::from_vec(pool::alloc_filled(numel(shape), value), shape);
+    /// Creates a tensor filled with `value` (rounded into `dt`). A
+    /// plan-recording constant, like [`Tensor::scalar`].
+    pub fn full_dtype(shape: &[usize], value: f64, dt: DType) -> Tensor {
+        let buf = dispatch_dtype!(dt, E => Buf::from_pool(pool::alloc_filled::<E>(
+            numel(shape),
+            E::from_f64(value),
+        )));
+        let t = Tensor::leaf_from_buf(buf, shape);
         crate::plan::record_const(&t);
         t
+    }
+
+    /// Creates an `f64` tensor filled with `value`. A plan-recording
+    /// constant, like [`Tensor::scalar`].
+    pub fn full(shape: &[usize], value: f64) -> Tensor {
+        Tensor::full_dtype(shape, value, DType::F64)
     }
 
     /// Creates a tensor of zeros.
@@ -200,57 +413,98 @@ impl Tensor {
         Tensor::full(shape, 0.0)
     }
 
+    /// Creates a tensor of zeros with the given dtype.
+    pub fn zeros_dtype(shape: &[usize], dt: DType) -> Tensor {
+        Tensor::full_dtype(shape, 0.0, dt)
+    }
+
     /// Creates a tensor of ones.
     pub fn ones(shape: &[usize]) -> Tensor {
         Tensor::full(shape, 1.0)
     }
 
-    /// Creates a tensor of zeros with the same shape as `self`.
+    /// Creates a tensor of zeros with the same shape and dtype as `self`.
     pub fn zeros_like(&self) -> Tensor {
-        Tensor::zeros(self.shape())
+        Tensor::full_dtype(self.shape(), 0.0, self.dtype())
     }
 
-    /// Creates a tensor of ones with the same shape as `self`.
+    /// Creates a tensor of ones with the same shape and dtype as `self`.
     pub fn ones_like(&self) -> Tensor {
-        Tensor::ones(self.shape())
+        Tensor::full_dtype(self.shape(), 1.0, self.dtype())
     }
 
-    /// Samples a tensor with i.i.d. standard normal entries.
+    /// Samples an `f64` tensor with i.i.d. standard normal entries.
     pub fn randn<R: tyxe_rand::Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
-        let mut data = pool::alloc_uninit(numel(shape));
-        tyxe_rand::fill::fill_standard_normal(&mut data, rng);
-        Tensor::from_vec(data, shape)
+        Tensor::randn_dtype(shape, DType::F64, rng)
+    }
+
+    /// [`Tensor::randn`] with explicit storage dtype. The draw itself is
+    /// always the `f64` stream (rounded on narrow storage), so an `f32`
+    /// and an `f64` tensor sampled from the same seed hold the same
+    /// values up to rounding — and consume the generator identically.
+    pub fn randn_dtype<R: tyxe_rand::Rng + ?Sized>(
+        shape: &[usize],
+        dt: DType,
+        rng: &mut R,
+    ) -> Tensor {
+        let buf = dispatch_dtype!(dt, E => Buf::from_pool(pool::alloc_uninit::<E>(numel(shape))));
+        let t = Tensor::leaf_from_buf(buf, shape);
+        t.refill_randn(rng);
+        t
     }
 
     /// Redraws this tensor's contents as i.i.d. standard normals, in
     /// place, consuming `rng` exactly as the [`Tensor::randn`]
-    /// constructor does. Out of band (no graph node): this is the plan
-    /// replay path's RNG-refresh primitive.
+    /// constructor does (for either storage dtype). Out of band (no
+    /// graph node): this is the plan replay path's RNG-refresh
+    /// primitive.
     pub fn refill_randn<R: tyxe_rand::Rng + ?Sized>(&self, rng: &mut R) {
-        tyxe_rand::fill::fill_standard_normal(self.inner.data.borrow_mut().as_mut_slice(), rng);
+        let mut b = self.inner.data.borrow_mut();
+        match &mut *b {
+            Buf::F64(v) => tyxe_rand::fill::fill_standard_normal(v, rng),
+            Buf::F32(v) => {
+                // Draw through a pooled f64 stage so the f32 path consumes
+                // the stream identically, then round per element.
+                let mut stage = pool::alloc_uninit::<f64>(v.len());
+                tyxe_rand::fill::fill_standard_normal(&mut stage, rng);
+                for (o, &x) in v.iter_mut().zip(stage.iter()) {
+                    *o = x as f32;
+                }
+            }
+        }
     }
 
     /// Redraws this tensor's contents uniformly from `[lo, hi)` in
     /// place, consuming `rng` exactly as [`Tensor::rand_uniform`] does.
     /// Out of band, like [`Tensor::refill_randn`].
     pub fn refill_uniform<R: tyxe_rand::Rng + ?Sized>(&self, lo: f64, hi: f64, rng: &mut R) {
-        tyxe_rand::fill::fill_uniform(self.inner.data.borrow_mut().as_mut_slice(), lo, hi, rng);
+        let mut b = self.inner.data.borrow_mut();
+        match &mut *b {
+            Buf::F64(v) => tyxe_rand::fill::fill_uniform(v, lo, hi, rng),
+            Buf::F32(v) => {
+                let mut stage = pool::alloc_uninit::<f64>(v.len());
+                tyxe_rand::fill::fill_uniform(&mut stage, lo, hi, rng);
+                for (o, &x) in v.iter_mut().zip(stage.iter()) {
+                    *o = x as f32;
+                }
+            }
+        }
     }
 
-    /// Samples a tensor with entries drawn uniformly from `[lo, hi)`.
+    /// Samples an `f64` tensor with entries drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform<R: tyxe_rand::Rng + ?Sized>(
         shape: &[usize],
         lo: f64,
         hi: f64,
         rng: &mut R,
     ) -> Tensor {
-        let mut data = pool::alloc_uninit(numel(shape));
+        let mut data = pool::alloc_uninit::<f64>(numel(shape));
         tyxe_rand::fill::fill_uniform(&mut data, lo, hi, rng);
-        Tensor::from_vec(data, shape)
+        Tensor::leaf_from_buf(Buf::F64(data), shape)
     }
 
-    /// Creates a 1-D tensor holding `n` evenly spaced values from `lo` to
-    /// `hi` inclusive.
+    /// Creates a 1-D `f64` tensor holding `n` evenly spaced values from `lo`
+    /// to `hi` inclusive.
     ///
     /// # Panics
     ///
@@ -263,22 +517,93 @@ impl Tensor {
         t
     }
 
-    /// Creates a 1-D tensor `[0, 1, ..., n-1]`.
+    /// Creates a 1-D `f64` tensor `[0, 1, ..., n-1]`.
     pub fn arange(n: usize) -> Tensor {
         let t = Tensor::from_vec((0..n).map(|i| i as f64).collect(), &[n]);
         crate::plan::record_const(&t);
         t
     }
 
-    /// Creates an identity matrix of size `n x n`.
+    /// Creates an `f64` identity matrix of size `n x n`.
     pub fn eye(n: usize) -> Tensor {
-        let mut data = pool::alloc_zeroed(n * n);
+        let mut data = pool::alloc_zeroed::<f64>(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
-        let t = Tensor::from_vec(data, &[n, n]);
+        let t = Tensor::leaf_from_buf(Buf::F64(data), &[n, n]);
         crate::plan::record_const(&t);
         t
+    }
+
+    // ------------------------------------------------------------------
+    // Dtype
+    // ------------------------------------------------------------------
+
+    /// This tensor's storage dtype.
+    pub fn dtype(&self) -> DType {
+        self.inner.data.borrow().dtype()
+    }
+
+    /// Returns a tensor whose storage is `self` converted to `dt`, or
+    /// `self` (same node) when the dtype already matches. Differentiable:
+    /// the backward edge converts the gradient back to the source dtype —
+    /// widening on the way to `f64` masters, rounding on the way to `f32`
+    /// — which makes this op the mixed-precision **cast boundary**.
+    /// Replayable under plan recording (the conversion re-reads the
+    /// source each step).
+    pub fn cast(&self, dt: DType) -> Tensor {
+        let src_dt = self.dtype();
+        if src_dt == dt {
+            return self.clone();
+        }
+        let data = self.inner.data.borrow().cast_to(dt);
+        let t = if self.requires_grad_enabled() {
+            let bw: BackwardFn =
+                Box::new(move |_out, grad| vec![Some(grad.cast_to(src_dt))]);
+            Tensor::new_node_buf(
+                data,
+                self.shape().to_vec(),
+                vec![self.clone()],
+                Some(bw),
+                true,
+            )
+        } else {
+            Tensor::leaf_from_buf(data, self.shape())
+        };
+        let src = self.clone();
+        dispatch_dtype!(dt, E => {
+            crate::plan::record_op_t::<E>(&t, &[self], move |buf: &mut [E]| {
+                let b = src.inner.data.borrow();
+                match &*b {
+                    Buf::F64(v) => {
+                        for (o, &x) in buf.iter_mut().zip(v.iter()) {
+                            *o = E::from_f64(x);
+                        }
+                    }
+                    Buf::F32(v) => {
+                        for (o, &x) in buf.iter_mut().zip(v.iter()) {
+                            *o = E::from_f64(f64::from(x));
+                        }
+                    }
+                }
+            });
+        });
+        t
+    }
+
+    /// Converts this tensor's storage (and clears any gradient) to `dt`,
+    /// **in place**, preserving the node id — so optimizer registrations
+    /// and guide site maps keyed by [`Tensor::id`] survive a precision
+    /// switch. Out of band; invalidates all compiled step plans (a traced
+    /// graph bakes in slot dtypes, cf. `plan` slot signatures).
+    pub fn convert_dtype_inplace(&self, dt: DType) {
+        if self.dtype() == dt {
+            return;
+        }
+        let converted = self.inner.data.borrow().cast_to(dt);
+        *self.inner.data.borrow_mut() = converted;
+        *self.inner.grad.borrow_mut() = None;
+        crate::plan::invalidate_all();
     }
 
     // ------------------------------------------------------------------
@@ -305,21 +630,37 @@ impl Tensor {
         strides_for(&self.inner.shape)
     }
 
-    /// Borrows the flat row-major data buffer.
+    /// Borrows the flat row-major data buffer of an `f64` tensor.
     ///
     /// # Panics
     ///
-    /// Panics if the buffer is mutably borrowed (e.g. mid `set_data`).
-    pub fn data(&self) -> Ref<'_, Vec<f64>> {
-        Ref::map(self.inner.data.borrow(), |b| &**b)
+    /// Panics if the buffer is mutably borrowed (e.g. mid `set_data`), or
+    /// if the tensor stores `f32` — use [`Tensor::to_vec`] (converting) or
+    /// dispatch on [`Tensor::dtype`] for dtype-generic reads.
+    pub fn data(&self) -> Ref<'_, [f64]> {
+        Ref::map(self.inner.data.borrow(), |b| match b {
+            Buf::F64(v) => v.as_slice(),
+            Buf::F32(_) => panic!("Tensor::data() on an f32 tensor; use to_vec()"),
+        })
     }
 
-    /// Copies the data out into a fresh `Vec`.
+    /// Borrows the typed data buffer (dtype-dispatched kernel path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `E` is not this tensor's dtype, or if the buffer is
+    /// mutably borrowed.
+    pub(crate) fn data_of<E: Element>(&self) -> Ref<'_, [E]> {
+        Ref::map(self.inner.data.borrow(), |b| b.as_slice::<E>())
+    }
+
+    /// Copies the data out into a fresh `Vec<f64>`, widening `f32`
+    /// storage (dtype-transparent: the checkpoint/metrics path).
     pub fn to_vec(&self) -> Vec<f64> {
-        (*self.inner.data.borrow()).clone()
+        self.inner.data.borrow().to_f64_vec()
     }
 
-    /// Returns the single element of a one-element tensor.
+    /// Returns the single element of a one-element tensor (widened).
     ///
     /// # Panics
     ///
@@ -327,10 +668,10 @@ impl Tensor {
     pub fn item(&self) -> f64 {
         let data = self.inner.data.borrow();
         assert_eq!(data.len(), 1, "item() requires a single-element tensor");
-        data[0]
+        data.get_f64(0)
     }
 
-    /// Reads the element at a multi-dimensional index.
+    /// Reads the element at a multi-dimensional index (widened).
     ///
     /// # Panics
     ///
@@ -338,10 +679,11 @@ impl Tensor {
     pub fn at(&self, idx: &[usize]) -> f64 {
         assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
         let flat = crate::shape::ravel_index(idx, self.shape());
-        self.inner.data.borrow()[flat]
+        self.inner.data.borrow().get_f64(flat)
     }
 
-    /// Overwrites this tensor's buffer in place (used by optimizers).
+    /// Overwrites this tensor's buffer in place (used by optimizers),
+    /// rounding into `f32` storage when applicable — the dtype is kept.
     ///
     /// This does **not** create a graph node; it is an out-of-band update.
     ///
@@ -350,7 +692,7 @@ impl Tensor {
     /// Panics if `data` has the wrong length.
     pub fn set_data(&self, data: Vec<f64>) {
         assert_eq!(data.len(), self.numel(), "set_data length mismatch");
-        *self.inner.data.borrow_mut() = data.into();
+        self.inner.data.borrow_mut().copy_from_f64(&data);
     }
 
     /// Runs `f` over the data buffer (mutably) and the gradient buffer
@@ -359,11 +701,34 @@ impl Tensor {
     /// update can walk data + grad (+ its own moment lanes) in a single
     /// loop with no intermediate allocation. Out-of-band like
     /// [`Tensor::set_data`]: no graph node is created.
+    ///
+    /// The view is always `f64`. For `f32` tensors the data and gradient
+    /// are staged through pooled `f64` buffers and the updated data is
+    /// rounded back once — i.e. optimizer arithmetic runs in `f64`
+    /// regardless of storage dtype, a deliberate master-weights-style
+    /// choice (DESIGN.md §12).
     pub fn with_data_and_grad(&self, f: impl FnOnce(&mut [f64], &[f64])) -> bool {
         let grad = self.inner.grad.borrow();
         let Some(g) = grad.as_ref() else { return false };
         let mut data = self.inner.data.borrow_mut();
-        f(&mut data, g);
+        match (&mut *data, g) {
+            (Buf::F64(d), Buf::F64(g)) => f(d, g),
+            (d @ Buf::F32(_), Buf::F32(gs)) => {
+                let mut dstage = pool::alloc_uninit::<f64>(d.len());
+                for (o, &x) in dstage.iter_mut().zip(d.as_slice::<f32>()) {
+                    *o = f64::from(x);
+                }
+                let mut gstage = pool::alloc_uninit::<f64>(gs.len());
+                for (o, &x) in gstage.iter_mut().zip(gs.iter()) {
+                    *o = f64::from(x);
+                }
+                f(&mut dstage, &gstage);
+                for (o, &x) in d.as_mut_slice::<f32>().iter_mut().zip(dstage.iter()) {
+                    *o = x as f32;
+                }
+            }
+            _ => panic!("with_data_and_grad: gradient dtype differs from data"),
+        }
         true
     }
 
@@ -385,14 +750,20 @@ impl Tensor {
         self
     }
 
-    /// Returns the accumulated gradient, if a backward pass reached this node.
+    /// Returns the accumulated gradient as `f64` (widening `f32`
+    /// storage), if a backward pass reached this node.
     pub fn grad(&self) -> Option<Vec<f64>> {
-        self.inner.grad.borrow().as_ref().map(|g| (**g).clone())
+        self.inner.grad.borrow().as_ref().map(Buf::to_f64_vec)
     }
 
-    /// Returns the gradient as a (non-tracking) tensor.
+    /// Returns the gradient as a (non-tracking) tensor with this node's
+    /// dtype.
     pub fn grad_tensor(&self) -> Option<Tensor> {
-        self.grad().map(|g| Tensor::from_vec(g, self.shape()))
+        self.inner
+            .grad
+            .borrow()
+            .as_ref()
+            .map(|g| Tensor::leaf_from_buf(g.clone_pooled(), self.shape()))
     }
 
     /// Clears the accumulated gradient.
@@ -400,8 +771,9 @@ impl Tensor {
         *self.inner.grad.borrow_mut() = None;
     }
 
-    /// Overwrites the accumulated gradient (used by gradient clipping and
-    /// fault-injection harnesses; `None` clears it like [`Tensor::zero_grad`]).
+    /// Overwrites the accumulated gradient, rounding into this node's
+    /// dtype (used by gradient clipping and fault-injection harnesses;
+    /// `None` clears it like [`Tensor::zero_grad`]).
     ///
     /// # Panics
     ///
@@ -410,19 +782,27 @@ impl Tensor {
         if let Some(g) = &grad {
             assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
         }
-        *self.inner.grad.borrow_mut() = grad.map(PoolBuf::from);
+        let dt = self.dtype();
+        *self.inner.grad.borrow_mut() = grad.map(|g| Buf::from_f64_slice(&g, dt));
     }
 
-    /// Returns a new leaf tensor sharing **no** graph history with `self`.
-    /// The data is copied; gradient tracking is off. Under plan
-    /// recording the copy replays (reads `self` fresh each step), so
+    /// Returns a new leaf tensor sharing **no** graph history with `self`
+    /// (same dtype). The data is copied; gradient tracking is off. Under
+    /// plan recording the copy replays (reads `self` fresh each step), so
     /// detached values — frozen guide sites, stop-gradient terms — stay
     /// current without poisoning the plan.
     pub fn detach(&self) -> Tensor {
-        let t = Tensor::from_vec(pool::alloc_copy(&self.data()), self.shape());
-        let src = self.clone();
-        crate::plan::record_op(&t, &[self], move |buf| buf.copy_from_slice(&src.data()));
-        t
+        dispatch_dtype!(self.dtype(), E => {
+            let t = Tensor::leaf_from_buf(
+                Buf::from_pool(pool::alloc_copy::<E>(&self.data_of::<E>())),
+                self.shape(),
+            );
+            let src = self.clone();
+            crate::plan::record_op_t::<E>(&t, &[self], move |buf: &mut [E]| {
+                buf.copy_from_slice(&src.data_of::<E>());
+            });
+            t
+        })
     }
 
     // ------------------------------------------------------------------
@@ -448,7 +828,8 @@ impl Tensor {
     }
 
     /// Runs reverse-mode differentiation seeding the output gradient with
-    /// `grad_output` (same length as this tensor's buffer).
+    /// `grad_output` (same length as this tensor's buffer; rounded into
+    /// the output's dtype before propagation).
     ///
     /// # Panics
     ///
@@ -471,8 +852,8 @@ impl Tensor {
     /// for a fixed graph, so both callers walk the identical sequence
     /// and produce bit-identical gradients.
     pub(crate) fn backward_over(&self, topo: &[Tensor], grad_output: &[f64]) {
-        // Seed.
-        accumulate_grad(self, pool::alloc_copy(grad_output).into());
+        // Seed, in the output's own dtype.
+        accumulate_grad(self, Buf::from_f64_slice(grad_output, self.dtype()));
 
         // Walk in reverse topological order, propagating to parents.
         for node in topo.iter().rev() {
@@ -519,15 +900,29 @@ impl Tensor {
 
 /// Adds `g` into the node's gradient slot, taking ownership: an empty slot
 /// receives the buffer directly (no copy); an occupied slot element-adds
-/// and lets `g` drop back into the pool.
-fn accumulate_grad(t: &Tensor, g: PoolBuf) {
+/// (natively, in the slot's dtype) and lets `g` drop back into the pool.
+///
+/// # Panics
+///
+/// Panics if `g`'s dtype differs from an occupied slot's — backward
+/// closures return parent-dtype gradients by contract, so a mismatch is
+/// an engine bug, not a user error.
+fn accumulate_grad(t: &Tensor, g: Buf) {
     let mut slot = t.inner.grad.borrow_mut();
     match slot.as_mut() {
-        Some(acc) => {
-            for (a, b) in acc.iter_mut().zip(g.iter()) {
-                *a += b;
+        Some(acc) => match (acc, &g) {
+            (Buf::F64(a), Buf::F64(b)) => {
+                for (a, b) in a.iter_mut().zip(b.iter()) {
+                    *a += *b;
+                }
             }
-        }
+            (Buf::F32(a), Buf::F32(b)) => {
+                for (a, b) in a.iter_mut().zip(b.iter()) {
+                    *a += *b;
+                }
+            }
+            _ => panic!("accumulate_grad: gradient dtype mismatch"),
+        },
         None => *slot = Some(g),
     }
 }
@@ -619,5 +1014,72 @@ mod tests {
         let y = x.mul(&x);
         assert!(!y.requires_grad_enabled());
         assert!(y.inner.parents.is_empty());
+    }
+
+    #[test]
+    fn f32_storage_roundtrips_through_f64_accessors() {
+        let t = Tensor::from_vec_f32(vec![1.5, -2.25, 0.1], &[3]);
+        assert_eq!(t.dtype(), DType::F32);
+        assert_eq!(t.to_vec()[0], 1.5);
+        assert_eq!(t.at(&[1]), -2.25);
+        // 0.1f32 widened is NOT 0.1f64 — the accessor must expose the
+        // stored f32 value exactly.
+        assert_eq!(t.to_vec()[2], f64::from(0.1f32));
+        t.set_data(vec![0.25, 0.5, 0.75]);
+        assert_eq!(t.to_vec(), vec![0.25, 0.5, 0.75]);
+        assert_eq!(t.dtype(), DType::F32, "set_data must keep the dtype");
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 tensor")]
+    fn data_on_f32_panics() {
+        let t = Tensor::from_vec_f32(vec![1.0], &[1]);
+        let _ = t.data();
+    }
+
+    #[test]
+    fn cast_converts_and_backpropagates() {
+        let x = Tensor::from_vec(vec![0.1, 2.0], &[2]).requires_grad(true);
+        let y = x.cast(DType::F32);
+        assert_eq!(y.dtype(), DType::F32);
+        assert_eq!(y.to_vec()[0], f64::from(0.1f32));
+        let loss = y.mul(&y).sum();
+        assert_eq!(loss.dtype(), DType::F32);
+        loss.backward();
+        // d/dx (cast(x))^2 = 2·cast(x), widened back to f64 at the cast.
+        let g = x.grad().unwrap();
+        assert_eq!(g[0], f64::from(2.0f32 * 0.1f32));
+        assert_eq!(g[1], 4.0);
+        // Same-dtype cast is the identity node.
+        let z = x.cast(DType::F64);
+        assert_eq!(z.id(), x.id());
+    }
+
+    #[test]
+    fn convert_dtype_inplace_keeps_id() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad(true);
+        let id = x.id();
+        x.convert_dtype_inplace(DType::F32);
+        assert_eq!(x.id(), id);
+        assert_eq!(x.dtype(), DType::F32);
+        assert_eq!(x.to_vec(), vec![1.0, 2.0]);
+        x.convert_dtype_inplace(DType::F64);
+        assert_eq!(x.dtype(), DType::F64);
+    }
+
+    #[test]
+    fn randn_dtype_shares_the_stream() {
+        use tyxe_rand::SeedableRng;
+        let mut r1 = tyxe_rand::rngs::StdRng::seed_from_u64(7);
+        let mut r2 = tyxe_rand::rngs::StdRng::seed_from_u64(7);
+        let a = Tensor::randn(&[64], &mut r1);
+        let b = Tensor::randn_dtype(&[64], DType::F32, &mut r2);
+        for (x, y) in a.to_vec().iter().zip(b.to_vec()) {
+            assert_eq!(*x as f32, y as f32, "f32 draw must be the rounded f64 draw");
+        }
+        // And the streams stay in lockstep afterwards.
+        let a2 = Tensor::randn(&[8], &mut r1);
+        let b2 = Tensor::randn(&[8], &mut r2);
+        assert_eq!(a2.to_vec(), b2.to_vec());
     }
 }

@@ -20,6 +20,9 @@
 //!   JSON file of every span recorded during the fit.
 //! * `--metrics <path>` — enable `tyxe-obs` and write the final metrics
 //!   snapshot as JSON lines.
+//! * `--precision <f64|f32|mixed>` — the [`Precision`] policy to fit
+//!   under (default `f64`), so recovery and observability can be smoked
+//!   in every storage dtype (DESIGN.md §12).
 //!
 //! The supervisor detects each fault, rolls back to the last good state,
 //! retries with a backed-off learning rate, checkpoints periodically, and
@@ -31,19 +34,20 @@ use tyxe::fit::{Supervisor, SupervisorConfig};
 use tyxe::guides::AutoNormal;
 use tyxe::likelihoods::HomoskedasticGaussian;
 use tyxe::priors::IIDPrior;
-use tyxe::VariationalBnn;
+use tyxe::{Precision, VariationalBnn};
 use tyxe_prob::optim::Adam;
 use tyxe_rand::rngs::StdRng;
 use tyxe_rand::SeedableRng;
 
-/// `--trace` / `--metrics` output paths parsed from argv.
+/// `--trace` / `--metrics` / `--precision` options parsed from argv.
 struct Args {
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
+    precision: Precision,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { trace: None, metrics: None };
+    let mut args = Args { trace: None, metrics: None, precision: Precision::F64 };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -55,9 +59,24 @@ fn parse_args() -> Args {
                 let path = argv.next().expect("--metrics requires a path");
                 args.metrics = Some(path.into());
             }
+            "--precision" => {
+                let p = argv.next().expect("--precision requires f64, f32 or mixed");
+                args.precision = match p.as_str() {
+                    "f64" => Precision::F64,
+                    "f32" => Precision::F32,
+                    "mixed" => Precision::Mixed,
+                    other => {
+                        eprintln!("unknown precision: {other} (expected f64, f32 or mixed)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: fault_injection [--trace out.json] [--metrics out.jsonl]");
+                eprintln!(
+                    "usage: fault_injection [--trace out.json] [--metrics out.jsonl] \
+                     [--precision f64|f32|mixed]"
+                );
                 std::process::exit(2);
             }
         }
@@ -94,6 +113,7 @@ fn main() {
         HomoskedasticGaussian::new(n, 0.1),
         AutoNormal::new().init_scale(1e-3),
     );
+    bnn.set_precision(args.precision);
 
     let ckpt = std::env::temp_dir().join("tyxe-fault-injection-example.ckpt");
     let mut optim = Adam::new(vec![], 1e-2);
@@ -103,8 +123,9 @@ fn main() {
     );
 
     println!(
-        "training {} epochs with nan_prob={} panic_prob={} seed={}",
+        "training {} epochs ({:?} precision) with nan_prob={} panic_prob={} seed={}",
         epochs,
+        args.precision,
         tyxe_par::fault::nan_prob(),
         tyxe_par::fault::panic_prob(),
         tyxe_par::fault::fault_seed(),

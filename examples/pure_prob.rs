@@ -85,7 +85,7 @@ fn main() {
     let grid = Tensor::linspace(-2.0, 2.0, 9).reshape(&[9, 1]);
     let mut preds = Vec::new();
     for _ in 0..16 {
-        let (gtr, ()) = trace(&guide);
+        let (gtr, ()) = trace(guide);
         let pred = replay(&gtr, || {
             for info in &params {
                 let w = sample(&info.name, boxed(Normal::scalar(0.0, 1.0, &info.param.shape())));

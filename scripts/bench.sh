@@ -19,7 +19,19 @@
 #                              "pool_hit":…, "pool_miss":…, …}, … },
 #     "pool_on":  { … },
 #     "speedup":  { "<case>": <off_min / on_min>, … },
-#     "speedup_vs_prev_commit": { "<case>": <HEAD min / on_min>, … } }
+#     "speedup_vs_prev_commit": { "<case>": <HEAD min / on_min>, … },
+#     "per_dtype": { "f64": { "<case>": <steps_per_sec>, … },
+#                    "f32": { … }, "mixed": { … } },
+#     "f32_speedup_vs_f64":   { "<base case>": <f64_min / f32_min>, … },
+#     "mixed_speedup_vs_f64": { "<base case>": <f64_min / mixed_min>, … } }
+#
+# The per-dtype sections come from the benches' `_f32`/`_mixed` SVI-step
+# variants (grouped by the harness's "dtype" JSON tag); the dtype
+# speedups are same-run, same-commit ratios of the base (f64) case's
+# min_ns to the reduced-precision variant's. BENCH_TENSOR.json likewise
+# gains "f32_speedup_vs_f64" from every single-thread `<base>`/`<base>_f32`
+# case pair in the tensor_ops run (the gemm_256x256x256 pair and the
+# SVI-step cases).
 #
 # "speedup" isolates the allocator (both sides run this tree's fused
 # kernels); "speedup_vs_prev_commit" compares the pool-on run against the
@@ -77,6 +89,33 @@ jsonl_to_members() {
     ' "$1"
 }
 
+# Per-dtype speedup: for every case named "<base>_<suffix>" (e.g.
+# gemm_256x256x256_f32), the ratio of the base case's min_ns to the
+# suffixed case's — both measured in the same run, so the ratio is a
+# genuine same-commit, same-machine comparison.
+dtype_speedups() {
+    awk -v sfx="$2" '
+        /\/pool"/ { next }
+        /"min_ns":/ {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 8, RLENGTH - 9)
+            match($0, /"min_ns":[0-9]+/)
+            m[name] = substr($0, RSTART + 9, RLENGTH - 9) + 0
+        }
+        END {
+            sep = ""
+            for (name in m) {
+                if (substr(name, length(name) - length(sfx) + 1) != sfx) continue
+                base = substr(name, 1, length(name) - length(sfx))
+                if (!(base in m) || m[name] == 0) continue
+                printf "%s    \"%s\": %.3f", sep, base, m[base] / m[name]
+                sep = ",\n"
+            }
+            printf "\n"
+        }
+    ' "$1"
+}
+
 mkdir -p results
 {
     echo '{'
@@ -93,6 +132,9 @@ mkdir -p results
         printf '    }'
     done
     echo
+    echo '  },'
+    echo '  "f32_speedup_vs_f64": {'
+    dtype_speedups "$tmp/t1.jsonl" "_f32"
     echo '  }'
     echo '}'
 } > "$out"
@@ -113,6 +155,36 @@ for pool in 0 1; do
             cargo bench --offline -p tyxe-bench --bench "$bin"
     done
 done
+
+# Group the pool-on "<case>/pool" lines by their dtype tag into
+# per-dtype sections: { "f64": {"<case>": <steps_per_sec>, …}, "f32": …,
+# "mixed": … }. Lines without a tag (older binaries) count as f64.
+svi_per_dtype() {
+    awk '
+        /"name":"[^"]*\/pool"/ {
+            match($0, /"name":"[^"]*"/)
+            name = substr($0, RSTART + 8, RLENGTH - 9)
+            sub(/\/pool$/, "", name)
+            dt = "f64"
+            if (match($0, /"dtype":"[^"]*"/))
+                dt = substr($0, RSTART + 9, RLENGTH - 10)
+            if (!match($0, /"steps_per_sec":[0-9.]+/)) next
+            sps = substr($0, RSTART + 16, RLENGTH - 16)
+            if (!(dt in seen)) { seen[dt]; dts[++k] = dt }
+            cases[dt] = cases[dt] sprintf("%s      \"%s\": %s", \
+                (cases[dt] ? ",\n" : ""), name, sps)
+        }
+        END {
+            sep = ""
+            for (i = 1; i <= k; i++) {
+                dt = dts[i]
+                printf "%s    \"%s\": {\n%s\n    }", sep, dt, cases[dt]
+                sep = ",\n"
+            }
+            printf "\n"
+        }
+    ' "$1"
+}
 
 # Keep only the harness's "<case>/pool" report lines (steps/sec + pool
 # counters; see bench_with_pool_stats) and re-key them by bare case name.
@@ -247,6 +319,15 @@ svi_speedups() {
     echo '  },'
     echo '  "speedup_vs_prev_commit": {'
     svi_vs_prev "$tmp/pool1.jsonl"
+    echo '  },'
+    echo '  "per_dtype": {'
+    svi_per_dtype "$tmp/pool1.jsonl"
+    echo '  },'
+    echo '  "f32_speedup_vs_f64": {'
+    dtype_speedups "$tmp/pool1.jsonl" "_f32"
+    echo '  },'
+    echo '  "mixed_speedup_vs_f64": {'
+    dtype_speedups "$tmp/pool1.jsonl" "_mixed"
     echo '  }'
     echo '}'
 } > "$svi_out"

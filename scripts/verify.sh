@@ -25,11 +25,22 @@ CARGO_NET_OFFLINE=true cargo build --release --frozen
 # AND with compiled step plans on or off (DESIGN.md §11), so the whole
 # suite must pass across all three axes: single-threaded with recycling
 # and plans disabled (every allocation fresh, every graph rebuilt) and
-# 4 worker threads with both enabled (the defaults).
+# 4 worker threads with both enabled (the defaults). The suite itself
+# covers both storage dtypes — the f32/mixed determinism, kernel
+# identity and grad-check tests (DESIGN.md §12) run in both
+# configurations here alongside the historical f64 ones.
 echo "verify: test suite @ TYXE_NUM_THREADS=1 TYXE_POOL=0 TYXE_PLAN=0"
 TYXE_NUM_THREADS=1 TYXE_POOL=0 TYXE_PLAN=0 CARGO_NET_OFFLINE=true cargo test -q --frozen
 echo "verify: test suite @ TYXE_NUM_THREADS=4 TYXE_POOL=1 TYXE_PLAN=1"
 TYXE_NUM_THREADS=4 TYXE_POOL=1 TYXE_PLAN=1 CARGO_NET_OFFLINE=true cargo test -q --frozen
+
+# Per-dtype determinism, explicitly: the suites that pin f32 and mixed
+# results bit-for-bit (across threads x pool x fusion x plan, at fixed
+# dtype) re-run as a dedicated step so a dtype regression is named in
+# the verify log, not buried in the workspace run above.
+echo "verify: per-dtype determinism + kernel identity suites"
+TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true cargo test -q --frozen -p tyxe-tensor --test parallel_identity
+TYXE_NUM_THREADS=4 CARGO_NET_OFFLINE=true cargo test -q --frozen -p tyxe --test determinism
 
 # Fault-injection + observability smoke run: a short supervised fit with
 # 5% NaN-gradient injection (and pool panics, on a forced 4-thread pool)
@@ -52,6 +63,24 @@ if [[ -z "$recovered" || "$recovered" -eq 0 ]]; then
     exit 1
 fi
 
+# Same smoke fit under the mixed-precision policy (f64 masters, f32
+# compute under autocast — DESIGN.md §12): recovery must work across
+# the precision boundary, and this run's metrics snapshot must carry
+# the per-dtype pool counters for BOTH dtypes, which the validation
+# below requires.
+echo "verify: mixed-precision fault-injection smoke run"
+smoke32=$(TYXE_FAULT_NAN_PROB=0.05 TYXE_FAULT_PANIC_PROB=0.01 \
+        TYXE_FAULT_SEED=17 TYXE_NUM_THREADS=4 TYXE_OBS=1 CARGO_NET_OFFLINE=true \
+        cargo run --release --frozen --example fault_injection -- \
+        --precision mixed \
+        --trace "$obs_dir/trace-mixed.json" --metrics "$obs_dir/metrics-mixed.jsonl")
+echo "$smoke32" | sed 's/^/  /'
+recovered32=$(echo "$smoke32" | awk '/faults recovered:/ {print $3}')
+if [[ -z "$recovered32" || "$recovered32" -eq 0 ]]; then
+    echo "verify: mixed-precision smoke run reported no recovered faults" >&2
+    exit 1
+fi
+
 # Structurally validate the emitted chrome trace and metrics snapshot
 # with the in-tree validator (no jq): the supervised fit must decompose
 # into nested step → svi-phase → kernel spans across at least two pool
@@ -65,13 +94,25 @@ CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
     --require-threads 2 --require-depth 3 \
     --require-metrics par.pool.tasks_queued,par.worker.tasks,par.fault.injected_panics,prob.mcmc.divergences,core.supervisor.steps,core.site.sample_ns,tensor.gemm.flops,tensor.alloc.pool_hit,tensor.alloc.pool_miss,tensor.alloc.bytes_recycled,tensor.alloc.pool_size,plan.hit,plan.invalidated
 
+# The mixed-precision run's artifacts must additionally carry the
+# per-dtype pool accounting (free lists are byte-denominated, so f32
+# and f64 recycle each other's buffers, but hits/misses are tallied per
+# dtype — DESIGN.md §12): both dtypes' counters must be present, since
+# mixed steps allocate f32 activations AND f64 master/optimizer state.
+CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
+    --bin tyxe-obs-validate -- \
+    --trace "$obs_dir/trace-mixed.json" --metrics "$obs_dir/metrics-mixed.jsonl" \
+    --require-span-names core.supervisor.step,prob.svi.guide,prob.svi.model,core.svi.backward,prob.optim.step,tensor.gemm.block,par.task \
+    --require-threads 2 --require-depth 3 \
+    --require-metrics tensor.alloc.pool_hit.f32,tensor.alloc.pool_miss.f32,tensor.alloc.pool_hit.f64,tensor.alloc.pool_miss.f64,tensor.alloc.pool_hit,tensor.alloc.pool_miss,plan.hit,plan.invalidated
+
 # Lint the resilience-critical crates at deny-warnings strictness: the
 # unsafe-heavy pool (scope lifetime erasure), the buffer-recycling tensor
 # substrate, the serialization substrate and the supervisor should stay
 # free of even stylistic lint debt.
 if command -v cargo-clippy >/dev/null 2>&1; then
-    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-tensor -p tyxe-nn -p tyxe-prob -p tyxe \
-        --frozen -- -D warnings
+    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-tensor -p tyxe-nn -p tyxe-prob -p tyxe -p tyxe-bench \
+        --frozen --all-targets -- -D warnings
 else
     echo "verify: cargo-clippy unavailable, skipping lint step" >&2
 fi

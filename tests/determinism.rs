@@ -78,6 +78,14 @@ fn different_seeds_give_different_trajectories() {
 /// every matmul over the blocked-GEMM threshold, so the parallel kernel
 /// paths (not just the sequential references) are exercised end to end.
 fn run_svi_wide(seed: u64, steps: usize) -> SviTrace {
+    run_svi_wide_at(seed, steps, tyxe::Precision::F64)
+}
+
+/// [`run_svi_wide`] under an explicit precision policy. Site parameters
+/// are read back through the (exact) widening `to_vec`, so comparing
+/// their `f64` bit patterns is a faithful bitwise check at any storage
+/// dtype.
+fn run_svi_wide_at(seed: u64, steps: usize, precision: tyxe::Precision) -> SviTrace {
     tyxe_prob::rng::set_seed(seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let data = foong_regression(256, 0.1, 0);
@@ -87,7 +95,8 @@ fn run_svi_wide(seed: u64, steps: usize) -> SviTrace {
         &IIDPrior::standard_normal(),
         HomoskedasticGaussian::new(data.len(), 0.1),
         AutoNormal::new().init_scale(1e-2),
-    );
+    )
+    .with_precision(precision);
     let mut optim = Adam::new(vec![], 1e-2);
     let losses: Vec<f64> = (0..steps)
         .map(|_| bnn.svi_step(&data.x, &data.y, &mut optim))
@@ -261,6 +270,92 @@ fn svi_step_is_bit_identical_with_plan_on_and_off() {
     tyxe_par::set_num_threads(prev_threads);
     tyxe_tensor::pool::set_enabled(prev_pool);
     tyxe_tensor::plan::set_enabled(prev_plan);
+}
+
+/// The per-dtype determinism contract (DESIGN.md §12): determinism is
+/// pinned *at fixed dtype*. A full `f32`-storage SVI step — guide
+/// sampling, fused forward, ELBO, backward, Adam update — must be
+/// bit-identical across every execution-strategy axis: 1 vs 4 kernel
+/// threads × buffer pool off/on × compiled plan off/on, all compared
+/// against the sequential/no-pool/no-plan reference trajectory.
+#[test]
+fn f32_svi_step_is_bit_identical_across_threads_pool_and_plan() {
+    let prev_threads = tyxe_par::num_threads();
+    let prev_pool = tyxe_tensor::pool::enabled();
+    let prev_plan = tyxe_tensor::plan::enabled();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    tyxe_par::set_num_threads(1);
+    tyxe_tensor::pool::set_enabled(false);
+    tyxe_tensor::plan::set_enabled(false);
+    let (losses_ref, sites_ref) = run_svi_wide_at(53, 2, tyxe::Precision::F32);
+
+    for threads in [1usize, 4] {
+        for pool in [false, true] {
+            for plan in [false, true] {
+                tyxe_par::set_num_threads(threads);
+                tyxe_tensor::pool::set_enabled(pool);
+                tyxe_tensor::plan::set_enabled(plan);
+                let (losses, sites) = run_svi_wide_at(53, 2, tyxe::Precision::F32);
+                assert_eq!(
+                    bits(&losses_ref),
+                    bits(&losses),
+                    "f32 losses drifted ({threads} threads, pool {pool}, plan {plan})"
+                );
+                assert_eq!(sites_ref.len(), sites.len());
+                for ((name_r, loc_r, scale_r), (name_c, loc_c, scale_c)) in
+                    sites_ref.iter().zip(&sites)
+                {
+                    assert_eq!(name_r, name_c);
+                    assert_eq!(
+                        bits(loc_r),
+                        bits(loc_c),
+                        "f32 loc drifted at {name_r} ({threads} threads, pool {pool}, plan {plan})"
+                    );
+                    assert_eq!(
+                        bits(scale_r),
+                        bits(scale_c),
+                        "f32 scale drifted at {name_r} ({threads} threads, pool {pool}, plan {plan})"
+                    );
+                }
+            }
+        }
+    }
+    tyxe_par::set_num_threads(prev_threads);
+    tyxe_tensor::pool::set_enabled(prev_pool);
+    tyxe_tensor::plan::set_enabled(prev_plan);
+}
+
+/// Mixed precision is deterministic too: same sweep as the f32 pin,
+/// shortened to the diagonal configurations (all-off vs all-on), since
+/// the axes are already covered independently above.
+#[test]
+fn mixed_precision_svi_step_is_bit_reproducible() {
+    let prev_threads = tyxe_par::num_threads();
+    let prev_pool = tyxe_tensor::pool::enabled();
+    let prev_plan = tyxe_tensor::plan::enabled();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    tyxe_par::set_num_threads(1);
+    tyxe_tensor::pool::set_enabled(false);
+    tyxe_tensor::plan::set_enabled(false);
+    let (losses_ref, sites_ref) = run_svi_wide_at(59, 2, tyxe::Precision::Mixed);
+
+    tyxe_par::set_num_threads(4);
+    tyxe_tensor::pool::set_enabled(true);
+    tyxe_tensor::plan::set_enabled(true);
+    let (losses, sites) = run_svi_wide_at(59, 2, tyxe::Precision::Mixed);
+
+    tyxe_par::set_num_threads(prev_threads);
+    tyxe_tensor::pool::set_enabled(prev_pool);
+    tyxe_tensor::plan::set_enabled(prev_plan);
+
+    assert_eq!(bits(&losses_ref), bits(&losses), "mixed-precision losses drifted");
+    for ((name_r, loc_r, scale_r), (name_c, loc_c, scale_c)) in sites_ref.iter().zip(&sites) {
+        assert_eq!(name_r, name_c);
+        assert_eq!(bits(loc_r), bits(loc_c), "mixed loc drifted at {name_r}");
+        assert_eq!(bits(scale_r), bits(scale_c), "mixed scale drifted at {name_r}");
+    }
 }
 
 /// Plan invalidation must never change answers: switching to a batch of

@@ -91,8 +91,7 @@ fn replay_is_exact() {
         tyxe_prob::rng::set_seed(seed);
         let model = move || {
             let a = tyxe_prob::sample("a", boxed(Normal::standard(&[dim])));
-            let b = tyxe_prob::sample("b", boxed(Normal::new(a, Tensor::ones(&[dim]))));
-            b
+            tyxe_prob::sample("b", boxed(Normal::new(a, Tensor::ones(&[dim]))))
         };
         let (tr, b1) = trace(model);
         let (tr2, b2) = trace(|| replay(&tr, model));

@@ -100,6 +100,47 @@ fn mean_field_bnn_preserves_accuracy_and_separates_ood() {
     assert!(h_ood > h_test, "OOD entropy {h_ood} not above test entropy {h_test}");
 }
 
+/// Mixed precision (f64 masters, f32 compute — DESIGN.md §12) must
+/// reproduce the Table 1 mean-field metrics next to the f64 run:
+/// accuracy within 0.1, ECE within 0.05, OOD-AUROC within 0.05, and
+/// the OOD-entropy ordering intact. These are the documented parity
+/// tolerances for the Tab. 1 reproduction.
+#[test]
+fn mixed_precision_reproduces_tab1_mean_field_metrics() {
+    let fit_mf = |precision: tyxe::Precision| {
+        let s = pretrained_resnet();
+        let guide = AutoNormal::new()
+            .init_loc(InitLoc::Pretrained)
+            .init_scale(1e-4)
+            .max_scale(0.1);
+        let bnn =
+            VariationalBnn::new(s.net, &batchnorm_hidden_prior(), Categorical::new(300), guide)
+                .with_precision(precision);
+        let mut optim = Adam::new(vec![], 1e-3);
+        {
+            let _lr = tyxe::poutine::local_reparameterization();
+            bnn.fit(&s.train.batches(50), &mut optim, 8, None);
+        }
+        let probs = bnn.predict(&s.test.images, 8);
+        let probs_ood = bnn.predict(&s.ood.images, 8);
+        let acc = metrics::accuracy(&probs, &s.test.labels);
+        let ece = metrics::ece(&probs, &s.test.labels, 10);
+        let auroc = metrics::auroc(
+            &metrics::max_probability(&probs_ood),
+            &metrics::max_probability(&probs),
+        );
+        let h_test: f64 = metrics::predictive_entropy(&probs).iter().sum::<f64>() / 150.0;
+        let h_ood: f64 = metrics::predictive_entropy(&probs_ood).iter().sum::<f64>() / 150.0;
+        (acc, ece, auroc, h_test, h_ood)
+    };
+    let (acc64, ece64, auroc64, _, _) = fit_mf(tyxe::Precision::F64);
+    let (accm, ecem, aurocm, h_test, h_ood) = fit_mf(tyxe::Precision::Mixed);
+    assert!((accm - acc64).abs() < 0.1, "accuracy: mixed {accm} vs f64 {acc64}");
+    assert!((ecem - ece64).abs() < 0.05, "ECE: mixed {ecem} vs f64 {ece64}");
+    assert!((aurocm - auroc64).abs() < 0.05, "AUROC: mixed {aurocm} vs f64 {auroc64}");
+    assert!(h_ood > h_test, "mixed run lost the OOD entropy ordering: {h_ood} vs {h_test}");
+}
+
 #[test]
 fn sd_only_guide_never_moves_the_means() {
     let s = pretrained_resnet();
