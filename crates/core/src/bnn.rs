@@ -198,6 +198,27 @@ pub enum Precision {
 }
 
 impl Precision {
+    /// Stable numeric code for checkpoints and the distributed wire
+    /// protocol (`0 = F64`, `1 = F32`, `2 = Mixed`).
+    pub fn code(self) -> u32 {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+            Precision::Mixed => 2,
+        }
+    }
+
+    /// Inverse of [`Precision::code`]; `None` for unknown codes (from a
+    /// checkpoint written by a newer version).
+    pub fn from_code(code: u32) -> Option<Precision> {
+        match code {
+            0 => Some(Precision::F64),
+            1 => Some(Precision::F32),
+            2 => Some(Precision::Mixed),
+            _ => None,
+        }
+    }
+
     /// Storage dtype of the trainable parameters under this policy.
     pub fn storage_dtype(self) -> DType {
         match self {
@@ -217,7 +238,7 @@ impl Precision {
     /// The autocast scope a forward pass under this policy runs in, if
     /// any. Held as an RAII guard across graph construction; replayed
     /// cast nodes keep the demotion alive under compiled step plans.
-    fn autocast_guard(self) -> Option<tyxe_tensor::autocast::Guard> {
+    pub(crate) fn autocast_guard(self) -> Option<tyxe_tensor::autocast::Guard> {
         match self {
             Precision::F64 => None,
             Precision::F32 | Precision::Mixed => {
@@ -359,6 +380,11 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         &self.likelihood
     }
 
+    /// The ELBO estimator this BNN trains with.
+    pub fn estimator(&self) -> ElboEstimator {
+        self.estimator
+    }
+
     /// All tensors an optimizer should train: variational parameters plus
     /// the deterministic (hidden) network parameters.
     pub fn trainable_parameters(&self) -> Vec<Tensor> {
@@ -372,7 +398,7 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         self.module.update_prior(prior);
     }
 
-    fn register_params(&self, optim: &mut dyn Optimizer) {
+    pub(crate) fn register_params(&self, optim: &mut dyn Optimizer) {
         let existing: std::collections::HashSet<u64> =
             optim.params().iter().map(Tensor::id).collect();
         let fresh: Vec<Tensor> = self

@@ -40,9 +40,13 @@ use tyxe_prob::optim::{clip_grad_norm, grads_are_finite, Optimizer};
 use tyxe_prob::rng;
 use tyxe_tensor::Tensor;
 
-use crate::bnn::VariationalBnn;
+use crate::bnn::{Precision, VariationalBnn};
 use crate::guides::Guide;
 use crate::likelihoods::Likelihood;
+
+/// Payload key under which [`VariationalBnn::fit_supervised`] (and the
+/// distributed driver) checkpoint the active [`Precision`] policy code.
+pub const PAYLOAD_PRECISION: &str = "precision";
 
 /// What went wrong with one training-step attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -287,6 +291,7 @@ pub struct Supervisor {
     good: Option<Snapshot>,
     fault_stream: FaultStream,
     report: FitReport,
+    payload: std::collections::BTreeMap<String, Vec<f64>>,
 }
 
 /// Checkpoint container magic rides on the `StateDict` format; these
@@ -297,6 +302,9 @@ const KEY_FAULT: &str = "supervisor.fault_stream";
 const KEY_WINDOW: &str = "supervisor.loss_window";
 const KEY_LR: &str = "supervisor.lr";
 const OPTIM_PREFIX: &str = "optim.";
+/// Extra checkpoint payload entries ([`Supervisor::set_payload`]) ride
+/// under this buffer-name prefix.
+const PAYLOAD_PREFIX: &str = "supervisor.payload.";
 
 fn prev_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
@@ -323,7 +331,23 @@ impl Supervisor {
             good: None,
             fault_stream: FaultStream::new(),
             report: FitReport::default(),
+            payload: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Attaches an extra named state buffer to every future checkpoint
+    /// (and keeps it across [`Supervisor::resume`]). Carries state the
+    /// supervisor itself doesn't know about — the `Precision` policy,
+    /// distributed membership, the shard cursor — under the
+    /// `supervisor.payload.<key>` buffer namespace.
+    pub fn set_payload(&mut self, key: &str, data: Vec<f64>) {
+        self.payload.insert(key.to_string(), data);
+    }
+
+    /// Reads back a payload entry (present after [`Supervisor::resume`]
+    /// when the checkpoint carried it).
+    pub fn payload(&self, key: &str) -> Option<&[f64]> {
+        self.payload.get(key).map(Vec::as_slice)
     }
 
     /// Steps completed so far (monotone across resume).
@@ -576,6 +600,9 @@ impl Supervisor {
         sd.insert_buffer(KEY_FAULT, bits_to_f64(&self.fault_stream.state()));
         sd.insert_buffer(KEY_WINDOW, self.window.clone());
         sd.insert_buffer(KEY_LR, vec![optim.learning_rate()]);
+        for (key, data) in &self.payload {
+            sd.insert_buffer(format!("{PAYLOAD_PREFIX}{key}"), data.clone());
+        }
         sd
     }
 
@@ -666,6 +693,15 @@ impl Supervisor {
             .and_then(|b| b.first().copied())
             .ok_or(LoadError::Malformed("missing learning rate"))?;
         optim.set_learning_rate(lr);
+        // Payload entries are optional (older checkpoints have none);
+        // what the checkpoint carries replaces what was set in memory.
+        self.payload.clear();
+        for name in sd.buffer_names() {
+            if let Some(key) = name.strip_prefix(PAYLOAD_PREFIX) {
+                let data = sd.buffer(name).expect("named buffer exists").to_vec();
+                self.payload.insert(key.to_string(), data);
+            }
+        }
         // The restored state is, by construction, the last trusted one.
         self.good = Some(self.capture(optim));
         // Restoring params/RNG out-of-band invalidates any compiled step
@@ -717,6 +753,17 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
         I: std::any::Any,
     {
         assert!(!data.is_empty(), "fit_supervised: data must be non-empty");
+        // A resumed checkpoint's precision policy wins over whatever the
+        // Bnn currently carries: the run must re-enter the numerics it
+        // checkpointed under for the continuation to stay bit-exact.
+        if let Some(buf) = supervisor.payload(PAYLOAD_PRECISION) {
+            if buf.len() == 1 {
+                if let Some(p) = Precision::from_code(buf[0] as u32) {
+                    self.set_precision(p);
+                }
+            }
+        }
+        supervisor.set_payload(PAYLOAD_PRECISION, vec![f64::from(self.precision().code())]);
         let done = supervisor.steps_completed();
         let mut idx: u64 = 0;
         let mut history = Vec::new();

@@ -47,6 +47,7 @@
 //! `let _g = tyxe::poutine::local_reparameterization();` scope.
 
 pub mod bnn;
+pub mod distributed;
 pub mod fit;
 pub mod guides;
 pub mod guides_ktied;
@@ -57,7 +58,9 @@ pub mod priors;
 pub mod vcl;
 
 pub use bnn::{BayesianModule, BnnSite, Evaluation, McmcBnn, Precision, PytorchBnn, VariationalBnn};
+pub use distributed::{DistFit, SviShardCompute};
 pub use fit::{FitEvent, FitReport, Supervisor, SupervisorConfig};
+pub use tyxe_dist::{DistConfig, DistReport, SpawnMode};
 
 /// Re-exports of the probabilistic substrate most users need alongside the
 /// BNN classes.

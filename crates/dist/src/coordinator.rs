@@ -1,0 +1,504 @@
+//! Coordinator-side runtime: spawn, handshake, dispatch, repair.
+//!
+//! The coordinator owns the optimizer state and the canonical RNG; the
+//! workers own nothing. Each step it broadcasts `(step, rng state,
+//! params, shard assignment)` to every live worker, collects one `Grad`
+//! frame per logical shard, and hands the complete, shard-indexed set
+//! back to the caller for the fixed-order reduction.
+//!
+//! # Membership state machine
+//!
+//! ```text
+//!            spawn            Hello/Init             Step/Grad/Heartbeat
+//! (absent) ────────▶ PENDING ───────────▶ LIVE ◀─────────────────────┐
+//!                       │                   │                        │
+//!                       │ handshake         │ EOF / corrupt frame /  │
+//!                       │ timeout           │ exit / heartbeat silence
+//!                       ▼                   ▼                        │
+//!                     error          DEAD: discard partial step      │
+//!                                      │ restarts < max_restarts     │
+//!                                      ├──────────▶ respawn rank ────┘
+//!                                      │            (incarnation+1)
+//!                                      └ otherwise ▶ drop rank, re-shard
+//!                                                    over survivors
+//! ```
+//!
+//! Either repair path replays the interrupted step from the retained
+//! step inputs; parameters advance only on a complete collection, so
+//! the run's bits never depend on which deaths occurred.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tyxe_obs::metrics::{counter, counter_tagged, gauge, gauge_tagged, Counter};
+
+use crate::wire::{encode_frame, FrameReader, Msg};
+use crate::{assign_shards, DistConfig, ShardResult, SpawnMode};
+use crate::{ENV_ADDR, ENV_INCARNATION, ENV_RANK, ENV_ROLE, ENV_SESSION};
+
+/// Read timeout during the `Hello` handshake (the one phase where the
+/// stream is still in blocking mode).
+const POLL_TIMEOUT: Duration = Duration::from_millis(5);
+/// How long a spawned worker gets to connect and say `Hello`.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Collect-sweep back-off when no worker had bytes ready. Live worker
+/// streams are nonblocking so one sweep over N ranks costs microseconds,
+/// not N read timeouts; this bounds the spin while everyone computes.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// `write_all` against a nonblocking stream: a full send buffer is
+/// latency (short sleep, retry), not death. Any other error is the
+/// caller's signal that the peer is gone.
+fn write_frame(stream: &mut UnixStream, frame: &[u8]) -> io::Result<()> {
+    let mut off = 0;
+    while off < frame.len() {
+        match stream.write(&frame[off..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(IDLE_SLEEP),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// What the distributed run did, for reports and assertions.
+#[derive(Debug, Clone, Default)]
+pub struct DistReport {
+    /// Steps completed (complete collections + reductions).
+    pub steps: u64,
+    /// Worker respawns performed after a death.
+    pub worker_restarts: u64,
+    /// Ranks dropped after exhausting their respawn budget.
+    pub ranks_lost: u64,
+    /// Frames rejected for bad magic/CRC/decoding.
+    pub frames_rejected: u64,
+    /// Human-readable membership events, in order.
+    pub events: Vec<String>,
+}
+
+impl DistReport {
+    /// Multi-line summary; scripts assert on the `worker restarts:`
+    /// line, keep its shape stable.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "dist steps completed:    {}\nworker restarts:  {}\nranks lost:       {}\nframes rejected:  {}",
+            self.steps, self.worker_restarts, self.ranks_lost, self.frames_rejected
+        );
+        for e in &self.events {
+            s.push_str("\n  event: ");
+            s.push_str(e);
+        }
+        s
+    }
+}
+
+struct WorkerSlot {
+    child: Child,
+    conn: UnixStream,
+    reader: FrameReader,
+    last_seen: Instant,
+    frames: Counter,
+}
+
+/// Drives N worker processes through lockstep SVI steps.
+pub struct Coordinator {
+    cfg: DistConfig,
+    session: u64,
+    param_lens: Vec<u64>,
+    precision: u32,
+    sock_path: PathBuf,
+    listener: UnixListener,
+    workers: BTreeMap<u32, WorkerSlot>,
+    /// Ranks spawned but not yet through the `Hello`/`Init` handshake.
+    pending: Vec<(u32, u64, Child)>,
+    restarts: BTreeMap<u32, u64>,
+    report: DistReport,
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::other(msg)
+}
+
+impl Coordinator {
+    /// Binds the session socket, spawns `cfg.workers` workers and
+    /// completes their handshakes.
+    pub fn launch(
+        cfg: &DistConfig,
+        session: u64,
+        param_lens: Vec<u64>,
+        precision: u32,
+    ) -> io::Result<Coordinator> {
+        assert!(cfg.workers >= 1, "Coordinator::launch: at least one worker");
+        assert!(cfg.num_shards >= 1, "Coordinator::launch: at least one shard");
+        let sock_path = std::env::temp_dir()
+            .join(format!("tyxe-dist-{}-{}.sock", std::process::id(), session));
+        let _ = std::fs::remove_file(&sock_path);
+        let listener = UnixListener::bind(&sock_path)?;
+        listener.set_nonblocking(true)?;
+        let mut co = Coordinator {
+            cfg: cfg.clone(),
+            session,
+            param_lens,
+            precision,
+            sock_path,
+            listener,
+            workers: BTreeMap::new(),
+            pending: Vec::new(),
+            restarts: BTreeMap::new(),
+            report: DistReport::default(),
+        };
+        for rank in 0..cfg.workers as u32 {
+            co.restarts.insert(rank, 0);
+            co.spawn_worker(rank, 0)?;
+        }
+        co.accept_pending()?;
+        gauge("dist.workers_live").set(co.workers.len() as f64);
+        Ok(co)
+    }
+
+    /// The report so far (final after [`Coordinator::shutdown`]).
+    pub fn report(&self) -> &DistReport {
+        &self.report
+    }
+
+    /// Ranks currently live (connected and heartbeating), ascending.
+    /// A checkpointing caller can persist this membership snapshot.
+    pub fn live_ranks(&self) -> Vec<u32> {
+        self.workers.keys().copied().collect()
+    }
+
+    fn spawn_worker(&mut self, rank: u32, incarnation: u64) -> io::Result<()> {
+        let exe = std::env::current_exe()?;
+        let mut cmd = Command::new(exe);
+        match &self.cfg.spawn {
+            SpawnMode::SameArgs => {
+                cmd.args(std::env::args().skip(1));
+            }
+            SpawnMode::TestFunction(name) => {
+                cmd.args([name.as_str(), "--exact", "--nocapture", "--test-threads=1"]);
+            }
+        }
+        cmd.env(ENV_ROLE, "worker")
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_ADDR, &self.sock_path)
+            .env(ENV_SESSION, self.session.to_string())
+            .env(ENV_INCARNATION, incarnation.to_string());
+        // Forward the *resolved* fault knobs: tests arm them through the
+        // in-process `set_*` overrides, which children do not inherit.
+        match tyxe_par::fault::kill_step() {
+            Some(s) => cmd.env("TYXE_FAULT_KILL_STEP", s.to_string()),
+            None => cmd.env_remove("TYXE_FAULT_KILL_STEP"),
+        };
+        cmd.env("TYXE_FAULT_KILL_RANK", tyxe_par::fault::kill_rank().to_string())
+            .env("TYXE_FAULT_KILL_PROB", tyxe_par::fault::kill_prob().to_string())
+            .env("TYXE_FAULT_SEED", tyxe_par::fault::fault_seed().to_string());
+        cmd.stdin(Stdio::null());
+        // Worker stdout/stderr would interleave with the coordinator's
+        // (breaking script output parsing); silence unless debugging.
+        if std::env::var("TYXE_DIST_CHILD_OUTPUT").map_or(true, |v| v != "1") {
+            cmd.stdout(Stdio::null()).stderr(Stdio::null());
+        }
+        let child = cmd.spawn()?;
+        self.pending.push((rank, incarnation, child));
+        Ok(())
+    }
+
+    /// Accepts connections until every pending worker has completed the
+    /// `Hello` → `Init` handshake.
+    fn accept_pending(&mut self) -> io::Result<()> {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        while !self.pending.is_empty() {
+            if Instant::now() > deadline {
+                let waiting: Vec<u32> = self.pending.iter().map(|p| p.0).collect();
+                return Err(proto_err(format!("dist handshake timed out for ranks {waiting:?}")));
+            }
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if let Err(e) = self.handshake(stream, deadline) {
+                // A garbled or stray connection is dropped, not fatal:
+                // its worker (if any) will be declared dead later.
+                self.report.events.push(format!("handshake rejected: {e}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn handshake(&mut self, mut stream: UnixStream, deadline: Instant) -> io::Result<()> {
+        stream.set_read_timeout(Some(POLL_TIMEOUT))?;
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        let hello = loop {
+            match reader.next_msg() {
+                Ok(Some(msg)) => break msg,
+                Ok(None) => {}
+                Err(e) => return Err(proto_err(format!("bad hello frame: {e}"))),
+            }
+            if Instant::now() > deadline {
+                return Err(proto_err("hello timed out".into()));
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return Err(proto_err("peer closed before hello".into())),
+                Ok(n) => reader.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let (rank, incarnation) = match hello {
+            Msg::Hello { rank, incarnation } => (rank, incarnation),
+            other => return Err(proto_err(format!("expected hello, got {other:?}"))),
+        };
+        let idx = self
+            .pending
+            .iter()
+            .position(|(r, i, _)| *r == rank && *i == incarnation)
+            .ok_or_else(|| proto_err(format!("unexpected hello from rank {rank}")))?;
+        let (_, _, child) = self.pending.swap_remove(idx);
+        let init = Msg::Init {
+            num_shards: self.cfg.num_shards as u32,
+            precision: self.precision,
+            heartbeat_interval_ms: self.cfg.heartbeat_interval_ms,
+            param_lens: self.param_lens.clone(),
+        };
+        stream.write_all(&encode_frame(&init))?;
+        // Past the handshake the stream goes nonblocking: the collect
+        // sweep must poll N workers without paying a read timeout each.
+        stream.set_nonblocking(true)?;
+        let rank_tag = rank.to_string();
+        self.workers.insert(
+            rank,
+            WorkerSlot {
+                child,
+                conn: stream,
+                reader,
+                last_seen: Instant::now(),
+                frames: counter_tagged("dist.frames", &[("rank", rank_tag.as_str())], "count"),
+            },
+        );
+        self.report.events.push(format!("rank {rank} joined (incarnation {incarnation})"));
+        Ok(())
+    }
+
+    /// Runs one lockstep step: broadcast, collect one `Grad` per shard,
+    /// repairing membership and replaying on any worker death. Returns
+    /// the complete shard set, sorted ascending.
+    pub fn step(
+        &mut self,
+        step: u64,
+        rng_state: [u64; 4],
+        params: &[Vec<f64>],
+    ) -> io::Result<Vec<ShardResult>> {
+        let _span = tyxe_obs::span!("dist.step");
+        loop {
+            let live: Vec<u32> = self.workers.keys().copied().collect();
+            if live.is_empty() {
+                return Err(proto_err("all distributed workers lost".into()));
+            }
+            let assignment = assign_shards(self.cfg.num_shards as u32, &live);
+            let mut dead: Vec<u32> = Vec::new();
+            for (rank, shards) in &assignment {
+                let msg = Msg::Step {
+                    step,
+                    rng_state,
+                    shards: shards.clone(),
+                    params: params.to_vec(),
+                };
+                let slot = self.workers.get_mut(rank).expect("assigned rank is live");
+                if write_frame(&mut slot.conn, &encode_frame(&msg)).is_err() {
+                    dead.push(*rank);
+                }
+            }
+            if dead.is_empty() {
+                match self.collect(step)? {
+                    Ok(results) => {
+                        self.report.steps += 1;
+                        self.publish_liveness();
+                        return Ok(results);
+                    }
+                    Err(d) => dead = d,
+                }
+            }
+            self.repair(&dead)?;
+        }
+    }
+
+    /// Collects one `Grad` per shard, or the ranks that died trying.
+    #[allow(clippy::type_complexity)]
+    fn collect(&mut self, step: u64) -> io::Result<Result<Vec<ShardResult>, Vec<u32>>> {
+        let mut got: BTreeMap<u32, ShardResult> = BTreeMap::new();
+        let timeout = Duration::from_millis(self.cfg.heartbeat_timeout_ms.max(1));
+        let mut buf = vec![0u8; 256 * 1024];
+        loop {
+            let mut dead: Vec<u32> = Vec::new();
+            let mut progress = false;
+            for (&rank, slot) in self.workers.iter_mut() {
+                let mut slot_dead = false;
+                // Drain whatever the worker has written; the stream is
+                // nonblocking, so an empty socket costs one syscall.
+                loop {
+                    match slot.conn.read(&mut buf) {
+                        Ok(0) => {
+                            slot_dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            progress = true;
+                            slot.last_seen = Instant::now();
+                            slot.reader.push(&buf[..n]);
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            break
+                        }
+                        Err(_) => {
+                            slot_dead = true;
+                            break;
+                        }
+                    }
+                }
+                // Decode complete frames; a corrupt one is death.
+                loop {
+                    match slot.reader.next_msg() {
+                        Ok(Some(msg)) => {
+                            slot.frames.inc();
+                            match msg {
+                                Msg::Grad { step: s, shard, loss, grads } if s == step => {
+                                    got.insert(shard, ShardResult { shard, loss, grads });
+                                }
+                                // Stale grads (pre-repair broadcast) and
+                                // heartbeats only refresh liveness.
+                                _ => {}
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            counter("dist.frames_rejected").inc();
+                            self.report.frames_rejected += 1;
+                            self.report.events.push(format!("rank {rank}: {e}"));
+                            slot_dead = true;
+                            break;
+                        }
+                    }
+                }
+                if !slot_dead && slot.last_seen.elapsed() > timeout {
+                    self.report.events.push(format!("rank {rank}: heartbeat silence"));
+                    slot_dead = true;
+                }
+                if !slot_dead {
+                    if let Ok(Some(status)) = slot.child.try_wait() {
+                        // Already-drained socket + exited process: dead
+                        // (scheduled kills land here with code 113).
+                        self.report.events.push(format!("rank {rank}: exited ({status})"));
+                        slot_dead = true;
+                    }
+                }
+                if slot_dead {
+                    dead.push(rank);
+                }
+            }
+            if !dead.is_empty() {
+                return Ok(Err(dead));
+            }
+            if got.len() == self.cfg.num_shards {
+                return Ok(Ok(got.into_values().collect()));
+            }
+            if !progress {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+
+    /// Buries dead workers, then respawns (incarnation + 1) while the
+    /// rank's budget lasts, or drops the rank for re-sharding.
+    fn repair(&mut self, dead: &[u32]) -> io::Result<()> {
+        for &rank in dead {
+            let Some(mut slot) = self.workers.remove(&rank) else { continue };
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+            let used = self.restarts.get(&rank).copied().unwrap_or(0);
+            if used < self.cfg.max_restarts {
+                self.restarts.insert(rank, used + 1);
+                self.report.worker_restarts += 1;
+                counter("dist.worker_restarts").inc();
+                self.report
+                    .events
+                    .push(format!("rank {rank} died; respawning (incarnation {})", used + 1));
+                self.spawn_worker(rank, used + 1)?;
+            } else {
+                self.report.ranks_lost += 1;
+                self.report.events.push(format!(
+                    "rank {rank} died; restart budget exhausted, re-sharding over survivors"
+                ));
+            }
+        }
+        self.accept_pending()?;
+        self.publish_liveness();
+        Ok(())
+    }
+
+    fn publish_liveness(&self) {
+        gauge("dist.workers_live").set(self.workers.len() as f64);
+        for (rank, slot) in &self.workers {
+            let tag = rank.to_string();
+            gauge_tagged("dist.heartbeat_age_ms", &[("rank", tag.as_str())], "ms")
+                .set(slot.last_seen.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    /// Stops every worker and returns the final report.
+    pub fn shutdown(mut self) -> DistReport {
+        let shutdown = encode_frame(&Msg::Shutdown);
+        for slot in self.workers.values_mut() {
+            let _ = write_frame(&mut slot.conn, &shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for (_, mut slot) in std::mem::take(&mut self.workers) {
+            loop {
+                match slot.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(2))
+                    }
+                    _ => {
+                        let _ = slot.child.kill();
+                        let _ = slot.child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&self.sock_path);
+        std::mem::take(&mut self.report)
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        // Best-effort cleanup when dropped without a shutdown (panic
+        // paths): no orphaned children, no stray socket.
+        for (_, mut slot) in std::mem::take(&mut self.workers) {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+        for (_, _, mut child) in std::mem::take(&mut self.pending) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_file(&self.sock_path);
+    }
+}

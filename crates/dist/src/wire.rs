@@ -1,0 +1,452 @@
+//! Length-prefixed, CRC32-framed wire protocol.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! offset   size  field
+//! 0        4     magic b"TYXD"
+//! 4        8     payload length n, u64 LE (bounded by MAX_PAYLOAD_LEN)
+//! 12       n     payload bytes (one encoded Msg)
+//! 12+n     4     CRC32 (IEEE) over the payload, u32 LE
+//! ```
+//!
+//! The CRC is the same in-tree IEEE implementation that checkpoints use
+//! ([`tyxe_nn::serialize::crc32`]). A frame whose checksum, magic or
+//! framing is wrong is *rejected*, never partially delivered; the
+//! receiving side treats rejection as peer death. [`FrameReader`] is an
+//! incremental reassembler, so short reads from a non-blocking socket
+//! simply park bytes until the frame completes.
+//!
+//! Message payloads are encoded with the checkpoint byte substrate
+//! (`ByteWriter`/`ByteReader`), all integers LE, all floats exact IEEE
+//! bit patterns — losses and gradients cross the process boundary
+//! bit-identically.
+
+use tyxe_nn::serialize::{crc32, ByteReader, ByteWriter};
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"TYXD";
+/// Frame header length (magic + payload length).
+pub const HEADER_LEN: usize = 4 + 8;
+/// Upper bound on a frame payload; anything larger is corruption.
+pub const MAX_PAYLOAD_LEN: u64 = 1 << 30;
+
+/// Why an incoming byte stream was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame does not start with [`MAGIC`] (stream out of sync).
+    BadMagic,
+    /// Declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    Oversized(u64),
+    /// CRC32 trailer does not match the payload.
+    Corrupt {
+        /// Checksum carried by the frame.
+        stored: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// Payload did not decode to a known message.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::Oversized(n) => write!(f, "oversized frame payload ({n} bytes)"),
+            WireError::Corrupt { stored, computed } => {
+                write!(f, "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed message payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Coordinator↔worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → coordinator, first frame after connecting.
+    Hello {
+        /// The connecting worker's rank.
+        rank: u32,
+        /// Its spawn incarnation.
+        incarnation: u64,
+    },
+    /// Coordinator → worker, accepted-membership reply to `Hello`.
+    Init {
+        /// Logical shard count of the session.
+        num_shards: u32,
+        /// Precision policy code to apply before computing.
+        precision: u32,
+        /// Heartbeat emission interval.
+        heartbeat_interval_ms: u64,
+        /// Flat element count of each parameter, canonical order.
+        param_lens: Vec<u64>,
+    },
+    /// Coordinator → worker: compute these shards for this step.
+    Step {
+        /// Global step number.
+        step: u64,
+        /// Coordinator RNG state at step start (shared guide draw).
+        rng_state: [u64; 4],
+        /// Shard indices assigned to this worker (possibly empty).
+        shards: Vec<u32>,
+        /// Current parameter values, canonical order, exact f64.
+        params: Vec<Vec<f64>>,
+    },
+    /// Worker → coordinator: one shard's contribution.
+    Grad {
+        /// Step this contribution belongs to (stale ones are dropped).
+        step: u64,
+        /// Logical shard index.
+        shard: u32,
+        /// Shard loss term.
+        loss: f64,
+        /// Per-parameter gradients (`None` = parameter untouched).
+        grads: Vec<Option<Vec<f64>>>,
+    },
+    /// Worker → coordinator: liveness signal between collections.
+    Heartbeat {
+        /// Last step the worker has seen.
+        step: u64,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+}
+
+const TAG_HELLO: u32 = 1;
+const TAG_INIT: u32 = 2;
+const TAG_STEP: u32 = 3;
+const TAG_GRAD: u32 = 4;
+const TAG_HEARTBEAT: u32 = 5;
+const TAG_SHUTDOWN: u32 = 6;
+
+fn put_opt_grads(w: &mut ByteWriter, grads: &[Option<Vec<f64>>]) {
+    w.put_u64(grads.len() as u64);
+    for g in grads {
+        match g {
+            Some(v) => {
+                w.put_u32(1);
+                w.put_f64_slice(v);
+            }
+            None => w.put_u32(0),
+        }
+    }
+}
+
+fn get_opt_grads(r: &mut ByteReader<'_>) -> Result<Vec<Option<Vec<f64>>>, WireError> {
+    let n = r.get_u64().map_err(|_| WireError::Malformed("grads count"))? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let present = r.get_u32().map_err(|_| WireError::Malformed("grad presence"))?;
+        match present {
+            0 => out.push(None),
+            1 => out.push(Some(
+                r.get_f64_slice().map_err(|_| WireError::Malformed("grad values"))?,
+            )),
+            _ => return Err(WireError::Malformed("grad presence flag")),
+        }
+    }
+    Ok(out)
+}
+
+impl Msg {
+    /// Encodes the message body (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Msg::Hello { rank, incarnation } => {
+                w.put_u32(TAG_HELLO);
+                w.put_u32(*rank);
+                w.put_u64(*incarnation);
+            }
+            Msg::Init { num_shards, precision, heartbeat_interval_ms, param_lens } => {
+                w.put_u32(TAG_INIT);
+                w.put_u32(*num_shards);
+                w.put_u32(*precision);
+                w.put_u64(*heartbeat_interval_ms);
+                w.put_u64(param_lens.len() as u64);
+                for &l in param_lens {
+                    w.put_u64(l);
+                }
+            }
+            Msg::Step { step, rng_state, shards, params } => {
+                w.put_u32(TAG_STEP);
+                w.put_u64(*step);
+                for &s in rng_state {
+                    w.put_u64(s);
+                }
+                w.put_u64(shards.len() as u64);
+                for &s in shards {
+                    w.put_u32(s);
+                }
+                w.put_u64(params.len() as u64);
+                for p in params {
+                    w.put_f64_slice(p);
+                }
+            }
+            Msg::Grad { step, shard, loss, grads } => {
+                w.put_u32(TAG_GRAD);
+                w.put_u64(*step);
+                w.put_u32(*shard);
+                w.put_f64(*loss);
+                put_opt_grads(&mut w, grads);
+            }
+            Msg::Heartbeat { step } => {
+                w.put_u32(TAG_HEARTBEAT);
+                w.put_u64(*step);
+            }
+            Msg::Shutdown => w.put_u32(TAG_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a message body produced by [`Msg::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Msg, WireError> {
+        let mut r = ByteReader::new(payload);
+        let err = |what| move |_| WireError::Malformed(what);
+        let tag = r.get_u32().map_err(err("tag"))?;
+        let msg = match tag {
+            TAG_HELLO => Msg::Hello {
+                rank: r.get_u32().map_err(err("rank"))?,
+                incarnation: r.get_u64().map_err(err("incarnation"))?,
+            },
+            TAG_INIT => {
+                let num_shards = r.get_u32().map_err(err("num_shards"))?;
+                let precision = r.get_u32().map_err(err("precision"))?;
+                let heartbeat_interval_ms = r.get_u64().map_err(err("heartbeat interval"))?;
+                let n = r.get_u64().map_err(err("param count"))? as usize;
+                let mut param_lens = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    param_lens.push(r.get_u64().map_err(err("param len"))?);
+                }
+                Msg::Init { num_shards, precision, heartbeat_interval_ms, param_lens }
+            }
+            TAG_STEP => {
+                let step = r.get_u64().map_err(err("step"))?;
+                let mut rng_state = [0u64; 4];
+                for s in &mut rng_state {
+                    *s = r.get_u64().map_err(err("rng state"))?;
+                }
+                let ns = r.get_u64().map_err(err("shard count"))? as usize;
+                let mut shards = Vec::with_capacity(ns.min(65_536));
+                for _ in 0..ns {
+                    shards.push(r.get_u32().map_err(err("shard index"))?);
+                }
+                let np = r.get_u64().map_err(err("param count"))? as usize;
+                let mut params = Vec::with_capacity(np.min(65_536));
+                for _ in 0..np {
+                    params.push(r.get_f64_slice().map_err(err("param values"))?);
+                }
+                Msg::Step { step, rng_state, shards, params }
+            }
+            TAG_GRAD => Msg::Grad {
+                step: r.get_u64().map_err(err("step"))?,
+                shard: r.get_u32().map_err(err("shard"))?,
+                loss: r.get_f64().map_err(err("loss"))?,
+                grads: get_opt_grads(&mut r)?,
+            },
+            TAG_HEARTBEAT => Msg::Heartbeat { step: r.get_u64().map_err(err("step"))? },
+            TAG_SHUTDOWN => Msg::Shutdown,
+            _ => return Err(WireError::Malformed("unknown message tag")),
+        };
+        if !r.is_exhausted() {
+            return Err(WireError::Malformed("trailing bytes after message"));
+        }
+        Ok(msg)
+    }
+}
+
+/// Frames an encoded message for the wire.
+pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    let payload = msg.encode();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Incremental frame reassembler over an arbitrary byte stream.
+///
+/// Push whatever the socket produced with [`FrameReader::push`], then
+/// drain complete messages with [`FrameReader::next_msg`]. Incomplete
+/// frames wait for more bytes; invalid ones surface a [`WireError`]
+/// (after which the stream must be considered dead — framing cannot be
+/// resynchronised).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameReader {
+    /// Creates an empty reassembler.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so long sessions don't grow without bound.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 1 << 20 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete message, if one is buffered.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if avail[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let len = u64::from_le_bytes(avail[4..12].try_into().unwrap());
+        if len > MAX_PAYLOAD_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        let len = len as usize;
+        let total = HEADER_LEN + len + 4;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..HEADER_LEN + len];
+        let stored = u32::from_le_bytes(avail[HEADER_LEN + len..total].try_into().unwrap());
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(WireError::Corrupt { stored, computed });
+        }
+        let msg = Msg::decode(payload)?;
+        self.pos += total;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msgs() -> Vec<Msg> {
+        vec![
+            Msg::Hello { rank: 3, incarnation: 2 },
+            Msg::Init {
+                num_shards: 4,
+                precision: 2,
+                heartbeat_interval_ms: 25,
+                param_lens: vec![16, 1, 0],
+            },
+            Msg::Step {
+                step: 7,
+                rng_state: [1, u64::MAX, 0, 42],
+                shards: vec![0, 2],
+                params: vec![vec![1.5, -0.0, f64::MIN_POSITIVE], vec![]],
+            },
+            Msg::Grad {
+                step: 7,
+                shard: 2,
+                loss: -123.456,
+                grads: vec![Some(vec![0.1 + 0.2, f64::NEG_INFINITY]), None],
+            },
+            Msg::Heartbeat { step: 9 },
+            Msg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips_bitwise() {
+        for msg in sample_msgs() {
+            let decoded = Msg::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+            if let (Msg::Grad { loss: a, .. }, Msg::Grad { loss: b, .. }) = (&msg, &decoded) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn frames_reassemble_from_any_fragmentation() {
+        let msgs = sample_msgs();
+        let stream: Vec<u8> = msgs.iter().flat_map(encode_frame).collect();
+        for chunk in [1usize, 2, 3, 7, 13, stream.len()] {
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                reader.push(piece);
+                while let Some(msg) = reader.next_msg().unwrap() {
+                    got.push(msg);
+                }
+            }
+            assert_eq!(got, msgs, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_held_not_delivered() {
+        let frame = encode_frame(&Msg::Heartbeat { step: 1 });
+        let mut reader = FrameReader::new();
+        for len in 0..frame.len() {
+            let mut r = FrameReader::new();
+            r.push(&frame[..len]);
+            assert_eq!(r.next_msg().unwrap(), None, "prefix {len} delivered early");
+        }
+        reader.push(&frame);
+        assert_eq!(reader.next_msg().unwrap(), Some(Msg::Heartbeat { step: 1 }));
+        assert_eq!(reader.next_msg().unwrap(), None);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let frame = encode_frame(&Msg::Grad {
+            step: 3,
+            shard: 1,
+            loss: 2.5,
+            grads: vec![Some(vec![1.0, 2.0])],
+        });
+        for i in 0..frame.len() {
+            let mut corrupt = frame.clone();
+            corrupt[i] ^= 0x10;
+            let mut reader = FrameReader::new();
+            reader.push(&corrupt);
+            match reader.next_msg() {
+                // A flipped length byte can make the frame look longer
+                // than what arrived: held incomplete forever, which a
+                // real receiver converts to a heartbeat timeout.
+                Ok(None) | Err(_) => {}
+                Ok(Some(msg)) => panic!("flip at byte {i} delivered {msg:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_poisons_the_stream() {
+        let mut bad = encode_frame(&Msg::Heartbeat { step: 1 });
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF; // CRC trailer
+        let mut reader = FrameReader::new();
+        reader.push(&bad);
+        assert!(matches!(reader.next_msg(), Err(WireError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn oversized_and_desynced_frames_are_rejected() {
+        let mut reader = FrameReader::new();
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
+        reader.push(&bytes);
+        assert!(matches!(reader.next_msg(), Err(WireError::Oversized(_))));
+
+        let mut reader = FrameReader::new();
+        reader.push(b"GARBAGE-GARBAGE!");
+        assert!(matches!(reader.next_msg(), Err(WireError::BadMagic)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Worker-side runtime: connect, handshake, compute shards, die on
+//! request.
+//!
+//! A worker process is the *same executable* as the coordinator,
+//! re-entered with `TYXE_DIST_ROLE=worker` (see [`crate::worker_env`]).
+//! It connects to the coordinator's Unix socket, identifies itself with
+//! `Hello`, applies the broadcast `Init`, then serves `Step` requests
+//! until `Shutdown` — at which point it exits the process (it never
+//! returns into the surrounding program, whose remaining code already
+//! ran in the coordinator).
+//!
+//! Injected process faults live here: on receiving a `Step`, the worker
+//! consults `tyxe_par::fault::worker_killed(rank, step, incarnation)`
+//! and exits with [`crate::KILL_EXIT_CODE`] when the deterministic kill
+//! schedule says so.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::wire::{encode_frame, FrameReader, Msg};
+use crate::{ShardCompute, WorkerEnv, KILL_EXIT_CODE};
+
+/// Sends one frame under the shared write lock (heartbeats and grads
+/// come from different threads; whole-frame writes under the lock keep
+/// them from interleaving into torn frames).
+fn send(stream: &Mutex<UnixStream>, msg: &Msg) -> std::io::Result<()> {
+    let frame = encode_frame(msg);
+    let mut s = stream.lock().unwrap();
+    s.write_all(&frame)
+}
+
+/// Runs the worker loop to process exit; never returns.
+///
+/// Protocol errors and a vanished coordinator also exit (non-zero): an
+/// orphaned worker must die rather than linger as a zombie process.
+pub fn run_worker(compute: &mut dyn ShardCompute, env: &WorkerEnv) -> ! {
+    let code = serve(compute, env).err().map_or(0, |_| 1);
+    std::process::exit(code);
+}
+
+fn serve(compute: &mut dyn ShardCompute, env: &WorkerEnv) -> std::io::Result<()> {
+    let stream = UnixStream::connect(&env.addr)?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    send(&writer, &Msg::Hello { rank: env.rank, incarnation: env.incarnation })?;
+
+    let mut reader = FrameReader::new();
+    let mut conn = stream;
+    let init = loop {
+        match next_msg(&mut conn, &mut reader)? {
+            Msg::Init { num_shards, precision, heartbeat_interval_ms, param_lens } => {
+                break (num_shards, precision, heartbeat_interval_ms, param_lens)
+            }
+            Msg::Shutdown => std::process::exit(0),
+            _ => {}
+        }
+    };
+    let (num_shards, precision, heartbeat_interval_ms, param_lens) = init;
+    assert_eq!(
+        param_lens,
+        compute.param_lens(),
+        "dist worker rank {}: parameter layout disagrees with coordinator",
+        env.rank
+    );
+    compute.set_precision_code(precision);
+
+    // Heartbeat thread: liveness between collections. Tracks the last
+    // step seen so the coordinator's logs can localise a stall.
+    let last_step = Arc::new(AtomicU64::new(0));
+    {
+        let writer = Arc::clone(&writer);
+        let last_step = Arc::clone(&last_step);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(heartbeat_interval_ms.max(1)));
+            let msg = Msg::Heartbeat { step: last_step.load(Ordering::Relaxed) };
+            if send(&writer, &msg).is_err() {
+                return; // coordinator gone; main loop will exit too
+            }
+        });
+    }
+
+    loop {
+        match next_msg(&mut conn, &mut reader)? {
+            Msg::Step { step, rng_state, shards, params } => {
+                if tyxe_par::fault::worker_killed(env.rank as u64, step, env.incarnation) {
+                    // Injected process fault: die exactly like a crash
+                    // would, mid-protocol, without a goodbye.
+                    std::process::exit(KILL_EXIT_CODE);
+                }
+                last_step.store(step, Ordering::Relaxed);
+                let results = compute.run_step(step, rng_state, &params, &shards, num_shards);
+                for r in results {
+                    send(
+                        &writer,
+                        &Msg::Grad { step, shard: r.shard, loss: r.loss, grads: r.grads },
+                    )?;
+                }
+            }
+            Msg::Shutdown => std::process::exit(0),
+            _ => {}
+        }
+    }
+}
+
+/// Blocking read of the next message from the coordinator.
+fn next_msg(conn: &mut UnixStream, reader: &mut FrameReader) -> std::io::Result<Msg> {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match reader.next_msg() {
+            Ok(Some(msg)) => return Ok(msg),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+        let n = conn.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "coordinator closed the connection",
+            ));
+        }
+        reader.push(&buf[..n]);
+    }
+}

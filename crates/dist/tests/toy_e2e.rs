@@ -1,0 +1,209 @@
+//! End-to-end coordinator↔worker tests over a toy deterministic
+//! compute, with real spawned processes.
+//!
+//! Each test re-spawns *this test binary* filtered to itself
+//! ([`SpawnMode::TestFunction`]); in the children, [`worker_env`] is
+//! set, so the same call sequence routes into [`run_worker`] instead of
+//! launching coordinators. Session numbers are assigned locally per
+//! test, in call order, which is identical in parent and child.
+
+use tyxe_dist::{
+    reduce_results, run_worker, worker_env, Coordinator, DistConfig, ShardCompute, ShardResult,
+    SpawnMode,
+};
+
+/// Pure toy "model": loss and gradients are deterministic functions of
+/// `(step, rng_state, params, shard)`, so any layout of shards onto
+/// workers must reproduce the in-process reference bit for bit.
+struct ToyCompute;
+
+impl ShardCompute for ToyCompute {
+    fn num_params(&self) -> usize {
+        2
+    }
+
+    fn param_lens(&self) -> Vec<u64> {
+        vec![3, 2]
+    }
+
+    fn run_step(
+        &mut self,
+        step: u64,
+        rng_state: [u64; 4],
+        params: &[Vec<f64>],
+        shards: &[u32],
+        num_shards: u32,
+    ) -> Vec<ShardResult> {
+        shards
+            .iter()
+            .map(|&s| {
+                let salt = (rng_state[0] % 1000) as f64 * 1e-6 + s as f64 * 0.1;
+                let loss = params.iter().flatten().sum::<f64>() * (s as f64 + 1.0)
+                    / num_shards as f64
+                    + (step as f64 + 1.0) * 0.01
+                    + salt;
+                let grads = params
+                    .iter()
+                    .map(|p| {
+                        Some(
+                            p.iter()
+                                .enumerate()
+                                .map(|(i, v)| v * 0.5 + salt + i as f64 * 1e-3)
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                ShardResult { shard: s, loss, grads }
+            })
+            .collect()
+    }
+}
+
+fn apply(params: &mut [Vec<f64>], grads: &[Option<Vec<f64>>]) {
+    for (p, g) in params.iter_mut().zip(grads) {
+        let g = g.as_ref().expect("toy gradients are always present");
+        for (x, d) in p.iter_mut().zip(g) {
+            *x -= 0.05 * d;
+        }
+    }
+}
+
+/// Per-step `(loss bits, flattened param bits)` — the run's numerics.
+type StepBits = Vec<(u64, Vec<u64>)>;
+
+/// One training session: `workers == 0` is the in-process reference,
+/// otherwise a real coordinator over spawned processes. Returns `None`
+/// in worker-role children that skipped a non-target session.
+fn toy_run(
+    test_name: &str,
+    session: u64,
+    workers: usize,
+    shards: u32,
+    steps: u64,
+) -> Option<(StepBits, u64)> {
+    let mut compute = ToyCompute;
+    if let Some(env) = worker_env() {
+        if env.session == session {
+            run_worker(&mut compute, &env); // exits the process
+        }
+        return None;
+    }
+    let mut params = vec![vec![0.5, -0.25, 1.0], vec![2.0, -1.0]];
+    let mut trace: StepBits = Vec::new();
+    let mut restarts = 0;
+    let mut record = |loss: f64, params: &[Vec<f64>]| {
+        trace.push((
+            loss.to_bits(),
+            params.iter().flatten().map(|v| v.to_bits()).collect(),
+        ));
+    };
+    if workers == 0 {
+        let all: Vec<u32> = (0..shards).collect();
+        for step in 0..steps {
+            let rng = [step * 7 + 1, 3, 5, 9];
+            let results = compute.run_step(step, rng, &params, &all, shards);
+            let (loss, grads) = reduce_results(&results, shards);
+            apply(&mut params, &grads);
+            record(loss, &params);
+        }
+    } else {
+        let cfg = DistConfig {
+            workers,
+            num_shards: shards as usize,
+            spawn: SpawnMode::TestFunction(test_name.to_string()),
+            ..DistConfig::default()
+        };
+        let mut co =
+            Coordinator::launch(&cfg, session, compute.param_lens(), 0).expect("launch");
+        for step in 0..steps {
+            let rng = [step * 7 + 1, 3, 5, 9];
+            let results = co.step(step, rng, &params).expect("step");
+            let (loss, grads) = reduce_results(&results, shards);
+            apply(&mut params, &grads);
+            record(loss, &params);
+        }
+        let report = co.shutdown();
+        restarts = report.worker_restarts;
+    }
+    Some((trace, restarts))
+}
+
+#[test]
+fn worker_counts_are_bit_identical() {
+    const NAME: &str = "worker_counts_are_bit_identical";
+    // All sessions run unconditionally (and in this order) so a child
+    // spawned for any session replays the same numbering; assertions
+    // only after the last session (children never get here).
+    let reference = toy_run(NAME, 0, 0, 4, 6);
+    let one = toy_run(NAME, 1, 1, 4, 6);
+    let two = toy_run(NAME, 2, 2, 4, 6);
+    let idle = toy_run(NAME, 3, 4, 2, 6); // more workers than shards
+    let reference2 = toy_run(NAME, 4, 0, 2, 6);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    let reference = reference.unwrap();
+    assert_eq!(reference.0, one.unwrap().0, "1 worker != in-process reference");
+    assert_eq!(reference.0, two.unwrap().0, "2 workers != in-process reference");
+    assert_eq!(reference2.unwrap().0, idle.unwrap().0, "idle workers changed bits");
+}
+
+#[test]
+fn killed_worker_respawns_and_bits_do_not_change() {
+    const NAME: &str = "killed_worker_respawns_and_bits_do_not_change";
+    let reference = toy_run(NAME, 0, 0, 4, 6);
+    // Schedule rank 1's first incarnation to die when it sees step 2.
+    tyxe_par::fault::set_kill_step(Some(2));
+    tyxe_par::fault::set_kill_rank(1);
+    let killed = toy_run(NAME, 1, 2, 4, 6);
+    tyxe_par::fault::set_kill_step(None);
+    tyxe_par::fault::set_kill_rank(0);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    let (killed_trace, restarts) = killed.unwrap();
+    assert_eq!(restarts, 1, "expected exactly one respawn");
+    assert_eq!(reference.unwrap().0, killed_trace, "kill/respawn changed bits");
+}
+
+#[test]
+fn exhausted_restart_budget_re_shards_over_survivors() {
+    const NAME: &str = "exhausted_restart_budget_re_shards_over_survivors";
+    let reference = toy_run(NAME, 0, 0, 4, 6);
+    tyxe_par::fault::set_kill_step(Some(1));
+    tyxe_par::fault::set_kill_rank(1);
+    // Zero respawn budget: rank 1 dies once and its shards move to the
+    // survivor for the rest of the run.
+    let mut compute = ToyCompute;
+    let killed = if let Some(env) = worker_env() {
+        if env.session == 1 {
+            run_worker(&mut compute, &env);
+        }
+        None
+    } else {
+        let cfg = DistConfig {
+            workers: 2,
+            num_shards: 4,
+            max_restarts: 0,
+            spawn: SpawnMode::TestFunction(NAME.to_string()),
+            ..DistConfig::default()
+        };
+        let mut co = Coordinator::launch(&cfg, 1, compute.param_lens(), 0).expect("launch");
+        let mut params = vec![vec![0.5, -0.25, 1.0], vec![2.0, -1.0]];
+        let mut trace = Vec::new();
+        for step in 0..6u64 {
+            let rng = [step * 7 + 1, 3, 5, 9];
+            let results = co.step(step, rng, &params).expect("step");
+            let (loss, grads) = reduce_results(&results, 4);
+            apply(&mut params, &grads);
+            trace.push((
+                loss.to_bits(),
+                params.iter().flatten().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+            ));
+        }
+        let report = co.shutdown();
+        assert_eq!(report.ranks_lost, 1);
+        assert_eq!(report.worker_restarts, 0);
+        Some(trace)
+    };
+    tyxe_par::fault::set_kill_step(None);
+    tyxe_par::fault::set_kill_rank(0);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    assert_eq!(reference.unwrap().0, killed.unwrap(), "re-sharding changed bits");
+}

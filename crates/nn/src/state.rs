@@ -101,6 +101,13 @@ impl StateDict {
         names
     }
 
+    /// Buffer names in sorted (serialization) order.
+    pub fn buffer_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.buffers.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
     // -----------------------------------------------------------------
     // On-disk persistence
     // -----------------------------------------------------------------

@@ -17,9 +17,20 @@
 //!   supervisor via [`FaultStream`], that a step's gradients are
 //!   corrupted with a NaN after the backward pass.
 //! * `TYXE_FAULT_SEED` — base seed for both streams (default 0).
+//! * `TYXE_FAULT_KILL_STEP` / `TYXE_FAULT_KILL_RANK` — one-shot
+//!   process-level fault: the distributed worker with rank
+//!   `TYXE_FAULT_KILL_RANK` (default 0) calls `std::process::exit` when
+//!   it receives the step numbered `TYXE_FAULT_KILL_STEP`. The kill only
+//!   fires in a worker's first incarnation, so the respawned replacement
+//!   recovers instead of dying in a loop.
+//! * `TYXE_FAULT_KILL_PROB` — probabilistic process-level fault: each
+//!   `(rank, step, incarnation)` coordinate kills its worker with this
+//!   probability, decided by the same pure rank-hashed scheme as the
+//!   panic injection ([`worker_killed`]), so the kill schedule is
+//!   bit-reproducible and independent of timing.
 //!
-//! Injection is disabled (both probabilities 0) unless the environment
-//! sets it or a test calls the `set_*` overrides. Injected panics carry
+//! Injection is disabled (probabilities 0, kill step unset) unless the
+//! environment sets it or a test calls the `set_*` overrides. Injected panics carry
 //! the payload [`INJECTED_PANIC_PAYLOAD`] so supervisors can tell a
 //! simulated crash from a genuine bug when reporting.
 
@@ -40,6 +51,11 @@ const UNSET: u64 = u64::MAX;
 static PANIC_PROB: AtomicU64 = AtomicU64::new(UNSET);
 static NAN_PROB: AtomicU64 = AtomicU64::new(UNSET);
 static FAULT_SEED: AtomicU64 = AtomicU64::new(UNSET);
+static KILL_PROB: AtomicU64 = AtomicU64::new(UNSET);
+/// Stored as `step + 1` so 0 can mean "no scheduled kill" while `UNSET`
+/// still means "not yet initialised from the environment".
+static KILL_STEP: AtomicU64 = AtomicU64::new(UNSET);
+static KILL_RANK: AtomicU64 = AtomicU64::new(UNSET);
 /// Sequence number assigned to each parallel scope, the deterministic
 /// "time" coordinate of panic injection.
 static SCOPE_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -108,6 +124,46 @@ pub fn fault_seed() -> u64 {
     resolved
 }
 
+/// Probability that a distributed worker is killed at a given
+/// `(rank, step, incarnation)` coordinate (env `TYXE_FAULT_KILL_PROB`,
+/// default 0 = disabled). Consumed via [`worker_killed`].
+pub fn kill_prob() -> f64 {
+    load_prob(&KILL_PROB, "TYXE_FAULT_KILL_PROB")
+}
+
+/// The step at which the scheduled one-shot worker kill fires (env
+/// `TYXE_FAULT_KILL_STEP`; `None` = no scheduled kill).
+pub fn kill_step() -> Option<u64> {
+    let v = KILL_STEP.load(Ordering::Relaxed);
+    if v != UNSET {
+        return v.checked_sub(1);
+    }
+    let resolved = std::env::var("TYXE_FAULT_KILL_STEP")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        // Reserve both sentinels: encoded as step + 1, capped below UNSET.
+        .map(|s| s.saturating_add(1).min(UNSET - 1))
+        .unwrap_or(0);
+    KILL_STEP.store(resolved, Ordering::Relaxed);
+    resolved.checked_sub(1)
+}
+
+/// The worker rank targeted by the scheduled kill (env
+/// `TYXE_FAULT_KILL_RANK`, default 0).
+pub fn kill_rank() -> u64 {
+    let v = KILL_RANK.load(Ordering::Relaxed);
+    if v != UNSET {
+        return v;
+    }
+    let resolved = std::env::var("TYXE_FAULT_KILL_RANK")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(UNSET - 1);
+    KILL_RANK.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
 /// Overrides the panic-injection probability (tests; `0.0` disables).
 pub fn set_panic_prob(p: f64) {
     assert!((0.0..=1.0).contains(&p), "set_panic_prob: p={p} outside [0,1]");
@@ -123,6 +179,27 @@ pub fn set_nan_prob(p: f64) {
 /// Overrides the fault seed (tests).
 pub fn set_fault_seed(seed: u64) {
     FAULT_SEED.store(seed.min(UNSET - 1), Ordering::Relaxed);
+}
+
+/// Overrides the probabilistic worker-kill probability (tests; `0.0`
+/// disables).
+pub fn set_kill_prob(p: f64) {
+    assert!((0.0..=1.0).contains(&p), "set_kill_prob: p={p} outside [0,1]");
+    KILL_PROB.store(p.to_bits(), Ordering::Relaxed);
+}
+
+/// Overrides the scheduled kill step (tests; `None` disables).
+pub fn set_kill_step(step: Option<u64>) {
+    let encoded = match step {
+        Some(s) => s.saturating_add(1).min(UNSET - 1),
+        None => 0,
+    };
+    KILL_STEP.store(encoded, Ordering::Relaxed);
+}
+
+/// Overrides the rank targeted by the scheduled kill (tests).
+pub fn set_kill_rank(rank: u64) {
+    KILL_RANK.store(rank.min(UNSET - 1), Ordering::Relaxed);
 }
 
 /// Number of worker panics injected so far in this process. Thin
@@ -165,6 +242,35 @@ pub(crate) fn task_panics(scope_seq: u64, task_idx: usize) -> bool {
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(scope_seq.wrapping_mul(0xD1B5_4A32_D192_ED03))
         .wrapping_add((task_idx as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7));
+    StdRng::seed_from_u64(key).gen::<f64>() < p
+}
+
+/// Pure decision function for process-level faults: is the distributed
+/// worker at `(rank, step, incarnation)` killed? Combines the one-shot
+/// scheduled kill (`TYXE_FAULT_KILL_STEP` / `TYXE_FAULT_KILL_RANK`) with
+/// the probabilistic schedule (`TYXE_FAULT_KILL_PROB`), both gated to a
+/// worker's first incarnation so a respawned replacement always survives
+/// the coordinate that killed its predecessor. Rank-hashed exactly like
+/// [`task_panics`]: the decision is a pure function of
+/// `(fault seed, rank, step)`, independent of timing or worker count.
+pub fn worker_killed(rank: u64, step: u64, incarnation: u64) -> bool {
+    if incarnation != 0 {
+        return false;
+    }
+    if kill_step() == Some(step) && kill_rank() == rank {
+        return true;
+    }
+    let p = kill_prob();
+    if p <= 0.0 {
+        return false;
+    }
+    // Domain-separated from the panic-injection hash so arming both
+    // knobs never yields correlated schedules.
+    let key = fault_seed()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rank.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(step.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7))
+        .wrapping_add(0xA076_1D64_78BD_642F);
     StdRng::seed_from_u64(key).gen::<f64>() < p
 }
 
@@ -251,6 +357,46 @@ mod tests {
         assert!(!a.iter().all(|&x| x));
         set_panic_prob(0.0);
         assert!((0..64).all(|i| !task_panics(9, i)));
+    }
+
+    #[test]
+    fn scheduled_kill_fires_once_at_its_exact_coordinate() {
+        set_fault_seed(0);
+        set_kill_prob(0.0);
+        set_kill_step(Some(7));
+        set_kill_rank(2);
+        assert!(worker_killed(2, 7, 0));
+        // Wrong rank, wrong step, or a respawned incarnation: no kill.
+        assert!(!worker_killed(1, 7, 0));
+        assert!(!worker_killed(2, 6, 0));
+        assert!(!worker_killed(2, 8, 0));
+        assert!(!worker_killed(2, 7, 1));
+        set_kill_step(None);
+        assert!(!worker_killed(2, 7, 0));
+    }
+
+    #[test]
+    fn probabilistic_kill_is_a_pure_function_of_coordinates() {
+        set_fault_seed(3);
+        set_kill_step(None);
+        set_kill_prob(0.25);
+        let a: Vec<bool> =
+            (0..8).flat_map(|r| (0..16).map(move |s| worker_killed(r, s, 0))).collect();
+        let b: Vec<bool> =
+            (0..8).flat_map(|r| (0..16).map(move |s| worker_killed(r, s, 0))).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "p=0.25 over 128 coordinates should fire");
+        assert!(!a.iter().all(|&x| x));
+        // Respawned incarnations never re-fire.
+        assert!((0..8).all(|r| (0..16).all(|s| !worker_killed(r, s, 1))));
+        // Domain separation: the kill schedule differs from the panic
+        // schedule at the same seed and probability.
+        set_panic_prob(0.25);
+        let panics: Vec<bool> = (0..128).map(|i| task_panics(0, i)).collect();
+        assert_ne!(a, panics);
+        set_panic_prob(0.0);
+        set_kill_prob(0.0);
+        assert!((0..8).all(|r| (0..16).all(|s| !worker_killed(r, s, 0))));
     }
 
     #[test]

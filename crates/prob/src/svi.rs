@@ -34,9 +34,24 @@ pub fn negative_elbo(
         let _span = tyxe_obs::span!("prob.svi.guide");
         trace(guide)
     };
+    let (loss, model_trace) = negative_elbo_with_guide_trace(&guide_trace, model, estimator);
+    (loss, model_trace, guide_trace)
+}
+
+/// [`negative_elbo`] against an already-drawn guide trace: replays the
+/// model under `guide_trace` and builds the estimator loss from the two
+/// traces. Splitting the guide draw out lets data-parallel SVI draw the
+/// guide *once* per step and replay it against every data shard
+/// (tyxe-dist) while keeping the single-trace path bit-identical — this
+/// is the exact code [`negative_elbo`] runs.
+pub fn negative_elbo_with_guide_trace(
+    guide_trace: &Trace,
+    model: &dyn Fn(),
+    estimator: ElboEstimator,
+) -> (Tensor, Trace) {
     let (model_trace, ()) = {
         let _span = tyxe_obs::span!("prob.svi.model");
-        trace(|| replay(&guide_trace, model))
+        trace(|| replay(guide_trace, model))
     };
 
     let _span = tyxe_obs::span!("prob.svi.loss");
@@ -74,7 +89,7 @@ pub fn negative_elbo(
             loss
         }
     };
-    (loss, model_trace, guide_trace)
+    (loss, model_trace)
 }
 
 /// The SVI driver: pairs a model/guide with an optimizer and an ELBO

@@ -1,0 +1,211 @@
+//! Elastic, fault-tolerant data-parallel SVI over local worker
+//! processes (`tyxe-dist`), with optional observability export.
+//!
+//! Trains the small Bayesian regression net from the fault-injection
+//! example, but with each step's batch split into logical shards that
+//! are computed by spawned worker processes and reduced in fixed shard
+//! order — so the fit is bit-identical to the single-process run at any
+//! worker count, even when workers are killed and respawned mid-fit:
+//!
+//! ```text
+//! TYXE_OBS=1 TYXE_FAULT_KILL_STEP=5 TYXE_FAULT_KILL_RANK=1 \
+//!     cargo run --release --example distributed_svi -- \
+//!     --workers 4 --metrics /tmp/metrics.jsonl
+//! ```
+//!
+//! * `--workers N` — worker processes (0 = run the same sharded
+//!   estimator in-process; the bit-reference for every other count).
+//! * `--shards S` — logical shards per step (default 4). Part of the
+//!   numerics: the same `S` gives the same bits at any worker count.
+//! * `--steps K` — supervised SVI steps (default 40).
+//! * `--precision <f64|f32|mixed>` — the `Precision` policy, which also
+//!   rides to every worker in the `Init` handshake.
+//! * `--trace/--metrics <path>` — `tyxe-obs` export, as in the
+//!   fault-injection example; the metrics snapshot carries the `dist.*`
+//!   counters (per-rank `dist.frames`, `dist.reduce`,
+//!   `dist.worker_restarts`, liveness gauges).
+//! * `--bench` — print one JSON timing line (steps/sec) and skip the
+//!   evaluation pass; `scripts/bench.sh` collects these into
+//!   `results/BENCH_DIST.json`.
+//! * `TYXE_FAULT_KILL_STEP` / `TYXE_FAULT_KILL_RANK` /
+//!   `TYXE_FAULT_KILL_PROB` — process-kill injection: the selected
+//!   worker's first incarnation calls `exit(113)` mid-step and the
+//!   coordinator respawns it, replays the step, and continues on the
+//!   same trajectory.
+//!
+//! This binary is its own worker image: the coordinator respawns
+//! `current_exe()` with the same argv, and the child is routed into the
+//! worker serving loop inside `fit_distributed` (it never reaches the
+//! reporting below).
+
+use tyxe::fit::{Supervisor, SupervisorConfig};
+use tyxe::guides::AutoNormal;
+use tyxe::likelihoods::HomoskedasticGaussian;
+use tyxe::priors::IIDPrior;
+use tyxe::{DistConfig, Precision, SpawnMode, VariationalBnn};
+use tyxe_prob::optim::Adam;
+use tyxe_rand::rngs::StdRng;
+use tyxe_rand::SeedableRng;
+
+struct Args {
+    workers: usize,
+    shards: usize,
+    steps: u64,
+    precision: Precision,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    bench: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 2,
+        shards: 4,
+        steps: 40,
+        precision: Precision::F64,
+        trace: None,
+        metrics: None,
+        bench: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut num = |what: &str| -> u64 {
+            argv.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} requires a number"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = num("--workers") as usize,
+            "--shards" => args.shards = num("--shards") as usize,
+            "--steps" => args.steps = num("--steps"),
+            "--bench" => args.bench = true,
+            "--trace" => {
+                args.trace = Some(argv.next().expect("--trace requires a path").into());
+            }
+            "--metrics" => {
+                args.metrics = Some(argv.next().expect("--metrics requires a path").into());
+            }
+            "--precision" => {
+                let p = argv.next().expect("--precision requires f64, f32 or mixed");
+                args.precision = match p.as_str() {
+                    "f64" => Precision::F64,
+                    "f32" => Precision::F32,
+                    "mixed" => Precision::Mixed,
+                    other => {
+                        eprintln!("unknown precision: {other} (expected f64, f32 or mixed)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: distributed_svi [--workers N] [--shards S] [--steps K] \
+                     [--precision f64|f32|mixed] [--trace out.json] [--metrics out.jsonl] \
+                     [--bench]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if args.trace.is_some() || args.metrics.is_some() {
+        tyxe_obs::set_enabled(true);
+    }
+    // Pre-register the event-driven dist counters so the metrics snapshot
+    // carries them even on a run with no faults to count.
+    tyxe_obs::metrics::counter("dist.reduce");
+    tyxe_obs::metrics::counter("dist.worker_restarts");
+    tyxe_obs::metrics::counter("dist.frames_rejected");
+    tyxe_par::fault::injected_panics_counter();
+
+    let n = 256;
+    let hidden = 128;
+
+    tyxe_prob::rng::set_seed(100);
+    let x = tyxe_prob::rng::rand_uniform(&[n, 1], -1.0, 1.0);
+    let y = x.mul_scalar(2.0);
+
+    tyxe_prob::rng::set_seed(5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = tyxe_nn::layers::mlp(&[1, hidden, 1], false, &mut rng);
+    let bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(n, 0.1),
+        AutoNormal::new().init_scale(1e-3),
+    );
+    bnn.set_precision(args.precision);
+
+    let mut optim = Adam::new(vec![], 1e-2);
+    let mut sup = Supervisor::new(bnn.trainable_parameters(), SupervisorConfig::default());
+    let cfg = DistConfig {
+        workers: args.workers,
+        num_shards: args.shards,
+        spawn: SpawnMode::SameArgs,
+        ..DistConfig::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    // In a spawned worker this call serves shard work and exits.
+    let fit = bnn
+        .fit_distributed(&x, &y, &mut optim, args.steps, &mut sup, &cfg, None)
+        .expect("not in a worker process past fit_distributed");
+    let elapsed = t0.elapsed();
+
+    let steps_per_sec = args.steps as f64 / elapsed.as_secs_f64();
+    if args.bench {
+        println!(
+            "{{\"name\":\"dist_svi_step\",\"workers\":{},\"shards\":{},\"steps\":{},\
+             \"steps_per_sec\":{:.3},\"elapsed_ns\":{}}}",
+            args.workers,
+            args.shards,
+            args.steps,
+            steps_per_sec,
+            elapsed.as_nanos(),
+        );
+    } else {
+        println!(
+            "trained {} steps ({:?} precision) at {} workers x {} shards: {:.1} steps/sec",
+            args.steps, args.precision, args.workers, args.shards, steps_per_sec,
+        );
+        let first = fit.history.first().copied().unwrap_or(f64::NAN);
+        let last = fit.history.last().copied().unwrap_or(f64::NAN);
+        println!("first loss: {first:.4}  last loss: {last:.4}");
+    }
+    match &fit.dist {
+        Some(report) => println!("{}", report.summary()),
+        None => println!("in-process reference run (workers = 0): no dist report"),
+    }
+    println!("{}", sup.report().summary());
+
+    if !args.bench {
+        let eval = bnn.evaluate(&x, &y, 8);
+        println!("final fit error:         {:.4}", eval.error);
+    }
+
+    if let Some(path) = &args.trace {
+        match tyxe_obs::trace::write_chrome_trace(path) {
+            Ok(spans) => println!("trace written:           {} ({spans} spans)", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.metrics {
+        match tyxe_obs::metrics::write_snapshot_jsonl(path) {
+            Ok(records) => {
+                println!("metrics written:         {} ({records} records)", path.display())
+            }
+            Err(e) => {
+                eprintln!("failed to write metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

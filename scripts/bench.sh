@@ -333,3 +333,77 @@ svi_speedups() {
 } > "$svi_out"
 
 echo "bench: wrote $svi_out"
+
+# ---------------------------------------------------------------------------
+# Distributed-SVI scaling: the elastic data-parallel runtime's steps/sec
+# at 0 (in-process reference), 1, 2 and 4 worker processes, at a fixed
+# logical shard count. The fit is bit-identical across the whole row
+# (tests/determinism.rs), so the ratios measure pure transport and
+# scheduling cost/benefit, never numerics. Written to
+# results/BENCH_DIST.json:
+#
+#   { "date": …, "nproc": …, "steps": …,
+#     "workers": { "0": {"shards":…, "steps_per_sec":…, "elapsed_ns":…}, … },
+#     "speedup_vs_single_process": { "1": …, "2": …, "4": … } }
+
+dist_out="results/BENCH_DIST.json"
+dist_steps=80
+[[ -n "${TYXE_BENCH_FAST:-}" ]] && dist_steps=12
+dist_workers=(0 1 2 4)
+
+CARGO_NET_OFFLINE=true cargo build --release --offline -p tyxe --example distributed_svi
+
+for w in "${dist_workers[@]}"; do
+    echo "== distributed_svi --bench @ workers=$w =="
+    # One {"name":"dist_svi_step",…} timing line plus the run's report
+    # summaries; the assembly below keys on the JSON line only.
+    TYXE_NUM_THREADS=1 target/release/examples/distributed_svi \
+        --bench --workers "$w" --shards 4 --steps "$dist_steps" > "$tmp/dist$w.out"
+    sed 's/^/  /' "$tmp/dist$w.out"
+done
+
+{
+    echo '{'
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"nproc\": $(nproc),"
+    echo "  \"steps\": $dist_steps,"
+    echo '  "workers": {'
+    sep=''
+    for w in "${dist_workers[@]}"; do
+        printf '%s' "$sep"
+        sep=',
+'
+        awk -v w="$w" '
+            /^\{"name":"dist_svi_step"/ {
+                rest = $0
+                sub(/^\{"name":"dist_svi_step","workers":[0-9]+,/, "", rest)
+                sub(/\}[[:space:]]*$/, "", rest)
+                printf "    \"%s\": {%s}", w, rest
+            }
+        ' "$tmp/dist$w.out"
+    done
+    echo
+    echo '  },'
+    echo '  "speedup_vs_single_process": {'
+    awk '
+        /^\{"name":"dist_svi_step"/ {
+            match($0, /"workers":[0-9]+/)
+            w = substr($0, RSTART + 10, RLENGTH - 10) + 0
+            match($0, /"steps_per_sec":[0-9.]+/)
+            sps[w] = substr($0, RSTART + 16, RLENGTH - 16) + 0
+        }
+        END {
+            sep = ""
+            for (w = 1; w <= 4; w++) {
+                if (!(w in sps) || sps[0] == 0) continue
+                printf "%s    \"%d\": %.3f", sep, w, sps[w] / sps[0]
+                sep = ",\n"
+            }
+            printf "\n"
+        }
+    ' "$tmp"/dist*.out
+    echo '  }'
+    echo '}'
+} > "$dist_out"
+
+echo "bench: wrote $dist_out"

@@ -81,6 +81,43 @@ if [[ -z "$recovered32" || "$recovered32" -eq 0 ]]; then
     exit 1
 fi
 
+# Distributed-SVI smoke run: 4 worker processes computing 4 logical
+# shards, with a scheduled process kill (rank 1's first incarnation
+# exits hard at step 5). The coordinator must respawn the rank, replay
+# the interrupted step, finish all steps, and report exactly the
+# injected restart — while exporting the dist.* counters the validation
+# below requires (DESIGN.md §13).
+echo "verify: distributed SVI smoke run (4 workers, injected worker kill)"
+dist_smoke=$(TYXE_FAULT_KILL_STEP=5 TYXE_FAULT_KILL_RANK=1 \
+        TYXE_NUM_THREADS=1 TYXE_OBS=1 CARGO_NET_OFFLINE=true \
+        cargo run --release --frozen --example distributed_svi -- \
+        --workers 4 --shards 4 --steps 12 \
+        --metrics "$obs_dir/metrics-dist.jsonl")
+echo "$dist_smoke" | sed 's/^/  /'
+dist_steps=$(echo "$dist_smoke" | awk '/dist steps completed:/ {print $4}')
+dist_restarts=$(echo "$dist_smoke" | awk '/worker restarts:/ {print $3}')
+dist_lost=$(echo "$dist_smoke" | awk '/ranks lost:/ {print $3}')
+if [[ "$dist_steps" != "12" ]]; then
+    echo "verify: distributed smoke run did not complete its steps (got '$dist_steps')" >&2
+    exit 1
+fi
+if [[ -z "$dist_restarts" || "$dist_restarts" -eq 0 ]]; then
+    echo "verify: distributed smoke run recovered no worker kill" >&2
+    exit 1
+fi
+if [[ "$dist_lost" != "0" ]]; then
+    echo "verify: distributed smoke run lost a rank instead of respawning it" >&2
+    exit 1
+fi
+
+# The distributed run's metrics snapshot must carry the wire/recovery
+# counters (per-rank dist.frames, the shard-ordered reductions, the
+# respawn count) and the liveness gauges.
+CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
+    --bin tyxe-obs-validate -- \
+    --metrics "$obs_dir/metrics-dist.jsonl" \
+    --require-metrics dist.frames,dist.reduce,dist.worker_restarts,dist.frames_rejected,dist.workers_live,dist.heartbeat_age_ms,core.supervisor.steps
+
 # Structurally validate the emitted chrome trace and metrics snapshot
 # with the in-tree validator (no jq): the supervised fit must decompose
 # into nested step → svi-phase → kernel spans across at least two pool
@@ -111,7 +148,7 @@ CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
 # substrate, the serialization substrate and the supervisor should stay
 # free of even stylistic lint debt.
 if command -v cargo-clippy >/dev/null 2>&1; then
-    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-tensor -p tyxe-nn -p tyxe-prob -p tyxe -p tyxe-bench \
+    CARGO_NET_OFFLINE=true cargo clippy -p tyxe-obs -p tyxe-par -p tyxe-tensor -p tyxe-nn -p tyxe-prob -p tyxe-dist -p tyxe -p tyxe-bench \
         --frozen --all-targets -- -D warnings
 else
     echo "verify: cargo-clippy unavailable, skipping lint step" >&2

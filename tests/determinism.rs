@@ -505,6 +505,116 @@ fn supervised_resume_is_bit_identical() {
     cleanup();
 }
 
+/// One data-parallel SVI run (see `tyxe::distributed`): `workers == 0`
+/// is the in-process reference over the same sharded estimator, other
+/// counts spawn real worker processes. Children re-enter this test
+/// binary filtered to `test_name` and are routed to their session by
+/// number (assigned locally, in call order, identical in parent and
+/// child); they return `None` for the sessions that are not theirs.
+fn run_dist_svi(
+    test_name: &str,
+    session: u64,
+    workers: usize,
+    shards: u32,
+    steps: u64,
+    precision: tyxe::Precision,
+) -> Option<SviTrace> {
+    tyxe_prob::rng::set_seed(7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = foong_regression(32, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    bnn.set_precision(precision);
+    let mut optim = Adam::new(vec![], 1e-2);
+    let mut sup = tyxe::Supervisor::new(
+        bnn.trainable_parameters(),
+        tyxe::SupervisorConfig::default(),
+    );
+    let cfg = tyxe::DistConfig {
+        workers,
+        num_shards: shards as usize,
+        spawn: tyxe::SpawnMode::TestFunction(test_name.to_string()),
+        ..tyxe::DistConfig::default()
+    };
+    let fit = bnn.fit_distributed(
+        &data.x,
+        &data.y,
+        &mut optim,
+        steps,
+        &mut sup,
+        &cfg,
+        Some(session),
+    )?;
+    let mut sites: Vec<(String, Vec<f64>, Vec<f64>)> = bnn
+        .module()
+        .sites()
+        .iter()
+        .map(|site| {
+            let d = bnn.guide().distribution(&site.name).expect("site in guide");
+            (site.name.clone(), d.loc().to_vec(), d.scale().to_vec())
+        })
+        .collect();
+    sites.sort_by(|a, b| a.0.cmp(&b.0));
+    Some((fit.history, sites))
+}
+
+fn assert_traces_bit_equal(a: &SviTrace, b: &SviTrace, what: &str) {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&a.0), bits(&b.0), "{what}: losses drifted");
+    assert_eq!(a.1.len(), b.1.len(), "{what}: site count drifted");
+    for ((name_a, loc_a, scale_a), (name_b, loc_b, scale_b)) in a.1.iter().zip(&b.1) {
+        assert_eq!(name_a, name_b, "{what}: site order drifted");
+        assert_eq!(bits(loc_a), bits(loc_b), "{what}: loc drifted at {name_a}");
+        assert_eq!(bits(scale_a), bits(scale_b), "{what}: scale drifted at {name_a}");
+    }
+}
+
+#[test]
+fn distributed_svi_is_bit_identical_across_worker_counts() {
+    const NAME: &str = "distributed_svi_is_bit_identical_across_worker_counts";
+    // Every session runs unconditionally and in this order so a spawned
+    // child replays the same numbering; children exit inside their own
+    // session and never reach the assertions.
+    let reference = run_dist_svi(NAME, 0, 0, 4, 5, tyxe::Precision::F64);
+    let one = run_dist_svi(NAME, 1, 1, 4, 5, tyxe::Precision::F64);
+    let two = run_dist_svi(NAME, 2, 2, 4, 5, tyxe::Precision::F64);
+    let four = run_dist_svi(NAME, 3, 4, 4, 5, tyxe::Precision::F64);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    let reference = reference.unwrap();
+    assert_traces_bit_equal(&reference, &one.unwrap(), "1 worker vs in-process");
+    assert_traces_bit_equal(&reference, &two.unwrap(), "2 workers vs in-process");
+    assert_traces_bit_equal(&reference, &four.unwrap(), "4 workers vs in-process");
+}
+
+#[test]
+fn f32_distributed_svi_is_bit_identical_across_worker_counts() {
+    const NAME: &str = "f32_distributed_svi_is_bit_identical_across_worker_counts";
+    let reference = run_dist_svi(NAME, 0, 0, 4, 5, tyxe::Precision::F32);
+    let two = run_dist_svi(NAME, 1, 2, 4, 5, tyxe::Precision::F32);
+    let four = run_dist_svi(NAME, 2, 4, 4, 5, tyxe::Precision::F32);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    let reference = reference.unwrap();
+    assert_traces_bit_equal(&reference, &two.unwrap(), "f32, 2 workers vs in-process");
+    assert_traces_bit_equal(&reference, &four.unwrap(), "f32, 4 workers vs in-process");
+}
+
+#[test]
+fn single_shard_distributed_svi_matches_plain_svi_bitwise() {
+    const NAME: &str = "single_shard_distributed_svi_matches_plain_svi_bitwise";
+    // At one logical shard, shard 0 *is* the whole batch and the sharded
+    // estimator reduces to the plain SVI loss — so the distributed path
+    // must reproduce `run_svi` (which uses raw `svi_step`) bit for bit.
+    let dist = run_dist_svi(NAME, 0, 1, 1, 5, tyxe::Precision::F64);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    let plain = run_svi(7, 5);
+    assert_traces_bit_equal(&dist.unwrap(), &plain, "1-shard dist vs plain SVI");
+}
+
 #[test]
 fn global_rng_draws_are_bit_reproducible() {
     tyxe_prob::rng::set_seed(21);

@@ -47,6 +47,9 @@ impl Drop for FaultScope {
     fn drop(&mut self) {
         fault::set_nan_prob(0.0);
         fault::set_panic_prob(0.0);
+        fault::set_kill_prob(0.0);
+        fault::set_kill_step(None);
+        fault::set_kill_rank(0);
         tyxe_par::set_num_threads(self.prev_threads);
     }
 }
@@ -84,8 +87,11 @@ fn prev_of(path: &std::path::Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-fn site_params(bnn: &Bnn) -> Vec<(String, Vec<u64>, Vec<u64>)> {
-    let mut out: Vec<(String, Vec<u64>, Vec<u64>)> = bnn
+/// Per-site `(name, loc bits, scale bits)` — the fit's exact numerics.
+type SiteBits = Vec<(String, Vec<u64>, Vec<u64>)>;
+
+fn site_params(bnn: &Bnn) -> SiteBits {
+    let mut out: SiteBits = bnn
         .module()
         .sites()
         .iter()
@@ -216,6 +222,166 @@ fn kill_and_resume_is_bit_identical_under_faults() {
     assert_eq!(sup_b2.steps_completed(), 60);
 
     assert_eq!(reference, site_params(&b2), "resumed run drifted from reference");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+}
+
+/// One distributed SVI run over the toy regression problem. Children
+/// spawned by the coordinator re-enter this test binary filtered to
+/// `test_name` and are routed by session number (assigned in call
+/// order, identical in parent and child).
+fn run_dist(
+    test_name: &str,
+    session: u64,
+    workers: usize,
+    shards: usize,
+    steps: u64,
+) -> Option<(SiteBits, u64)> {
+    let (n, hidden) = (32, 8);
+    let (x, y) = toy_data(n);
+    tyxe_prob::rng::set_seed(9);
+    let bnn = build_bnn(9, hidden, n);
+    let mut optim = Adam::new(vec![], 1e-2);
+    let mut sup = Supervisor::new(bnn.trainable_parameters(), SupervisorConfig::default());
+    let cfg = tyxe::DistConfig {
+        workers,
+        num_shards: shards,
+        spawn: tyxe::SpawnMode::TestFunction(test_name.to_string()),
+        ..tyxe::DistConfig::default()
+    };
+    let fit = bnn.fit_distributed(&x, &y, &mut optim, steps, &mut sup, &cfg, Some(session))?;
+    Some((site_params(&bnn), fit.dist.map_or(0, |r| r.worker_restarts)))
+}
+
+/// Killing one worker mid-fit must be invisible in the numbers: the
+/// coordinator respawns the rank, replays the interrupted step, and the
+/// final variational parameters are bit-identical to a run where nobody
+/// died.
+#[test]
+fn killed_dist_worker_mid_fit_is_bit_identical() {
+    const NAME: &str = "killed_dist_worker_mid_fit_is_bit_identical";
+    let _scope = FaultScope::acquire();
+    fault::set_nan_prob(0.0);
+    fault::set_panic_prob(0.0);
+    let reference = run_dist(NAME, 0, 2, 4, 8);
+    // Rank 1's first incarnation exits hard when it sees step 3.
+    fault::set_kill_step(Some(3));
+    fault::set_kill_rank(1);
+    let killed = run_dist(NAME, 1, 2, 4, 8);
+    fault::set_kill_step(None);
+    fault::set_kill_rank(0);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    let (killed_sites, restarts) = killed.unwrap();
+    assert_eq!(restarts, 1, "expected exactly one worker respawn");
+    let (reference_sites, _) = reference.unwrap();
+    assert_eq!(reference_sites, killed_sites, "worker kill/respawn changed the bits");
+}
+
+/// Satellite: the `Precision` policy rides in the checkpoint payload.
+/// A resumed run whose BNN still carries the default `F64` policy must
+/// re-enter the checkpointed `Mixed` numerics and replay the remaining
+/// steps bit-identically.
+#[test]
+fn mixed_precision_resume_reenters_checkpointed_policy() {
+    let _scope = FaultScope::acquire();
+    fault::set_nan_prob(0.0);
+    fault::set_panic_prob(0.0);
+    let (n, hidden) = (32, 8);
+    let (x, y) = toy_data(n);
+    let data = vec![(x.clone(), y.clone())];
+    let path = tmp_ckpt("mixed-resume");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+    let config = || SupervisorConfig::default().with_checkpoint(&path, 20);
+
+    // Uninterrupted mixed-precision reference: 60 steps.
+    tyxe_prob::rng::set_seed(13);
+    let a = build_bnn(13, hidden, n);
+    a.set_precision(tyxe::Precision::Mixed);
+    let mut optim_a = Adam::new(vec![], 1e-2);
+    let mut sup_a = Supervisor::new(a.trainable_parameters(), config());
+    a.fit_supervised(&data, &mut optim_a, 60, &mut sup_a);
+    let reference = site_params(&a);
+
+    // Interrupted mixed-precision run: dies after 40 steps.
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+    tyxe_prob::rng::set_seed(13);
+    let b1 = build_bnn(13, hidden, n);
+    b1.set_precision(tyxe::Precision::Mixed);
+    let mut optim_b1 = Adam::new(vec![], 1e-2);
+    let mut sup_b1 = Supervisor::new(b1.trainable_parameters(), config());
+    b1.fit_supervised(&data, &mut optim_b1, 40, &mut sup_b1);
+    drop((b1, optim_b1, sup_b1));
+
+    // Fresh state at the *default* F64 policy; the checkpoint must win.
+    tyxe_prob::rng::set_seed(13);
+    let b2 = build_bnn(13, hidden, n);
+    assert_eq!(b2.precision(), tyxe::Precision::F64);
+    let mut optim_b2 = Adam::new(vec![], 1e-2);
+    let mut sup_b2 = Supervisor::new(b2.trainable_parameters(), config());
+    sup_b2.resume(&path, &mut optim_b2).unwrap();
+    assert_eq!(sup_b2.steps_completed(), 40);
+    b2.fit_supervised(&data, &mut optim_b2, 60, &mut sup_b2);
+    assert_eq!(
+        b2.precision(),
+        tyxe::Precision::Mixed,
+        "resume must re-enter the checkpointed precision policy"
+    );
+    assert_eq!(reference, site_params(&b2), "mixed-precision resume drifted");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+}
+
+/// The canonical shard count is part of the numerics, so it rides in
+/// the checkpoint payload: resuming a 4-shard run under a config that
+/// says 2 shards must silently re-enter 4 and stay on the reference
+/// trajectory.
+#[test]
+fn distributed_resume_restores_shard_count_from_payload() {
+    let _scope = FaultScope::acquire();
+    fault::set_nan_prob(0.0);
+    fault::set_panic_prob(0.0);
+    let (n, hidden) = (32, 8);
+    let (x, y) = toy_data(n);
+    let path = tmp_ckpt("dist-resume");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+    let config = || SupervisorConfig::default().with_checkpoint(&path, 10);
+    let cfg = |shards: usize| tyxe::DistConfig {
+        workers: 0, // in-process reference path; no processes needed here
+        num_shards: shards,
+        ..tyxe::DistConfig::default()
+    };
+
+    // Uninterrupted 4-shard reference: 30 steps.
+    tyxe_prob::rng::set_seed(9);
+    let a = build_bnn(9, hidden, n);
+    let mut optim_a = Adam::new(vec![], 1e-2);
+    let mut sup_a = Supervisor::new(a.trainable_parameters(), config());
+    a.fit_distributed(&x, &y, &mut optim_a, 30, &mut sup_a, &cfg(4), Some(0)).unwrap();
+    let reference = site_params(&a);
+
+    // Interrupted at 20, then resumed under a *2-shard* config.
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_of(&path));
+    tyxe_prob::rng::set_seed(9);
+    let b1 = build_bnn(9, hidden, n);
+    let mut optim_b1 = Adam::new(vec![], 1e-2);
+    let mut sup_b1 = Supervisor::new(b1.trainable_parameters(), config());
+    b1.fit_distributed(&x, &y, &mut optim_b1, 20, &mut sup_b1, &cfg(4), Some(1)).unwrap();
+    drop((b1, optim_b1, sup_b1));
+
+    tyxe_prob::rng::set_seed(9);
+    let b2 = build_bnn(9, hidden, n);
+    let mut optim_b2 = Adam::new(vec![], 1e-2);
+    let mut sup_b2 = Supervisor::new(b2.trainable_parameters(), config());
+    sup_b2.resume(&path, &mut optim_b2).unwrap();
+    assert_eq!(sup_b2.steps_completed(), 20);
+    b2.fit_distributed(&x, &y, &mut optim_b2, 30, &mut sup_b2, &cfg(2), Some(2)).unwrap();
+    assert_eq!(reference, site_params(&b2), "shard-count override broke the trajectory");
 
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(prev_of(&path));
