@@ -4,6 +4,14 @@
 //! kernels (GEMMs, normal draws, log-prob chains, Adam update).
 //!
 //! Usage: cargo run --release -p tyxe-bench --bin profile_svi
+//!
+//! `--percentiles` switches to a latency-distribution report: p50/p90/
+//! p99 duration per span name. By default it profiles a short in-process
+//! SVI run; with `--input <trace.json>` it reads an existing
+//! `chrome://tracing` file instead — including the *merged* multi-rank
+//! trace a `distributed_svi --trace` run writes, so cross-process span
+//! populations (`dist.step`, `dist.worker.step`, …) get tail statistics
+//! without re-running anything.
 
 use std::time::Instant;
 
@@ -33,7 +41,97 @@ fn time<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
     println!("{label:<44} {:>10.1} us", best * 1e6);
 }
 
+/// Exact percentile by rank over a sorted sample (the convention
+/// `Histogram::percentile` approximates bucket-wise): smallest value
+/// with at least `ceil(q*n)` samples at or below it.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `--percentiles` mode: p50/p90/p99 per span name, from `--input
+/// <trace.json>` (any chrome trace, merged multi-rank included) or from
+/// a short in-process profiling run.
+fn run_percentiles(input: Option<std::path::PathBuf>) {
+    let durations: Vec<(String, u64)> = match input {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            let durs = tyxe_obs::validate::span_durations_from_chrome_trace(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            println!("span percentiles from {} ({} spans)", path.display(), durs.len());
+            durs
+        }
+        None => {
+            tyxe_prob::rng::set_seed(5);
+            let mut rng = StdRng::seed_from_u64(5);
+            let data = tyxe_datasets::foong_regression(256, 0.1, 0);
+            let bnn: VariationalBnn<_, HomoskedasticGaussian, AutoNormal> = VariationalBnn::new(
+                tyxe_nn::layers::mlp(&[1, 128, 128, 1], false, &mut rng),
+                &IIDPrior::standard_normal(),
+                HomoskedasticGaussian::new(data.len(), 0.1),
+                AutoNormal::new().init_scale(1e-2),
+            );
+            let mut optim = Adam::new(vec![], 1e-2);
+            bnn.svi_step(&data.x, &data.y, &mut optim); // settle
+            tyxe_obs::set_enabled(true);
+            tyxe_obs::trace::clear();
+            for _ in 0..32 {
+                bnn.svi_step(&data.x, &data.y, &mut optim);
+            }
+            let spans = tyxe_obs::trace::drain();
+            tyxe_obs::set_enabled(false);
+            println!("span percentiles over 32 in-process SVI steps ({} spans)", spans.len());
+            spans.iter().map(|s| (s.name.to_string(), s.dur_ns)).collect()
+        }
+    };
+    let mut by_name: std::collections::BTreeMap<String, Vec<u64>> = Default::default();
+    for (name, dur) in durations {
+        by_name.entry(name).or_default().push(dur);
+    }
+    println!(
+        "{:<36} {:>7} {:>12} {:>12} {:>12}",
+        "span", "count", "p50 (us)", "p90 (us)", "p99 (us)"
+    );
+    let mut rows: Vec<_> = by_name.into_iter().collect();
+    for (_, durs) in rows.iter_mut() {
+        durs.sort_unstable();
+    }
+    // Heaviest tails first: the report exists to direct attention.
+    rows.sort_by_key(|(_, d)| std::cmp::Reverse(percentile(d, 0.99)));
+    for (name, durs) in rows {
+        println!(
+            "{name:<36} {:>7} {:>12.1} {:>12.1} {:>12.1}",
+            durs.len(),
+            percentile(&durs, 0.50) as f64 / 1e3,
+            percentile(&durs, 0.90) as f64 / 1e3,
+            percentile(&durs, 0.99) as f64 / 1e3,
+        );
+    }
+}
+
 fn main() {
+    let mut percentiles = false;
+    let mut input: Option<std::path::PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--percentiles" => percentiles = true,
+            "--input" => input = Some(argv.next().expect("--input requires a path").into()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: profile_svi [--percentiles [--input trace.json]]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if percentiles {
+        run_percentiles(input);
+        return;
+    }
     tyxe_prob::rng::set_seed(5);
     let mut rng = StdRng::seed_from_u64(5);
     let data = tyxe_datasets::foong_regression(256, 0.1, 0);

@@ -279,6 +279,18 @@ impl<M: Module, L: Likelihood, G: Guide> VariationalBnn<M, L, G> {
                     .expect("fit_distributed: coordinator launch failed"),
             )
         } else {
+            // The in-process reference path has no coordinator to arm
+            // the flight recorder; arm it here so `workers == 0` runs
+            // leave the same post-mortem artifacts.
+            if let Some(dir) = &cfg.telemetry_dir {
+                std::fs::create_dir_all(dir)
+                    .expect("fit_distributed: cannot create telemetry dir");
+                tyxe_obs::flight::configure(
+                    dir.join("flight-coordinator.jsonl"),
+                    tyxe_obs::merge::COORD_PID,
+                    0,
+                );
+            }
             None
         };
 

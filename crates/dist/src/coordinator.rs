@@ -34,11 +34,12 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use tyxe_obs::metrics::{counter, counter_tagged, gauge, gauge_tagged, Counter};
+use tyxe_obs::metrics::{counter, counter_tagged, gauge, gauge_tagged, histogram_tagged, Counter};
 
+use crate::telemetry::{DistTelemetry, RankTelemetry};
 use crate::wire::{encode_frame, FrameReader, Msg};
 use crate::{assign_shards, DistConfig, ShardResult, SpawnMode};
-use crate::{ENV_ADDR, ENV_INCARNATION, ENV_RANK, ENV_ROLE, ENV_SESSION};
+use crate::{ENV_ADDR, ENV_FLIGHT_DIR, ENV_INCARNATION, ENV_RANK, ENV_ROLE, ENV_SESSION};
 
 /// Read timeout during the `Hello` handshake (the one phase where the
 /// stream is still in blocking mode).
@@ -80,6 +81,10 @@ pub struct DistReport {
     pub frames_rejected: u64,
     /// Human-readable membership events, in order.
     pub events: Vec<String>,
+    /// Cross-process telemetry collected over the run (present after
+    /// shutdown when observability was enabled; see
+    /// [`DistTelemetry::merged_chrome_trace`]).
+    pub telemetry: Option<DistTelemetry>,
 }
 
 impl DistReport {
@@ -119,6 +124,14 @@ pub struct Coordinator {
     pending: Vec<(u32, u64, Child)>,
     restarts: BTreeMap<u32, u64>,
     report: DistReport,
+    /// Distributed trace id stamped into every `Step` (nonzero iff
+    /// observability was on at launch).
+    trace_id: u64,
+    /// UNIX ns of this process's trace epoch (the reference clock all
+    /// worker timestamps are normalized to).
+    coord_epoch_unix_ns: u64,
+    /// Telemetry accumulated per `(rank, incarnation)`.
+    telemetry: BTreeMap<(u32, u64), RankTelemetry>,
 }
 
 fn proto_err(msg: String) -> io::Error {
@@ -141,6 +154,23 @@ impl Coordinator {
         let _ = std::fs::remove_file(&sock_path);
         let listener = UnixListener::bind(&sock_path)?;
         listener.set_nonblocking(true)?;
+        if let Some(dir) = &cfg.telemetry_dir {
+            std::fs::create_dir_all(dir)?;
+            tyxe_obs::flight::configure(
+                dir.join("flight-coordinator.jsonl"),
+                tyxe_obs::merge::COORD_PID,
+                0,
+            );
+        }
+        // One trace id per session, derived from the wall clock and
+        // session number: nonzero whenever tracing is on, never fed
+        // back into numerics.
+        let coord_epoch_unix_ns = tyxe_obs::trace::epoch_unix_ns();
+        let trace_id = if tyxe_obs::enabled() {
+            (coord_epoch_unix_ns ^ (session.wrapping_add(1) << 1)) | 1
+        } else {
+            0
+        };
         let mut co = Coordinator {
             cfg: cfg.clone(),
             session,
@@ -152,6 +182,9 @@ impl Coordinator {
             pending: Vec::new(),
             restarts: BTreeMap::new(),
             report: DistReport::default(),
+            trace_id,
+            coord_epoch_unix_ns,
+            telemetry: BTreeMap::new(),
         };
         for rank in 0..cfg.workers as u32 {
             co.restarts.insert(rank, 0);
@@ -198,6 +231,14 @@ impl Coordinator {
         cmd.env("TYXE_FAULT_KILL_RANK", tyxe_par::fault::kill_rank().to_string())
             .env("TYXE_FAULT_KILL_PROB", tyxe_par::fault::kill_prob().to_string())
             .env("TYXE_FAULT_SEED", tyxe_par::fault::fault_seed().to_string());
+        // Forward the *resolved* observability state the same way:
+        // tests and `--trace` flags arm it via `set_enabled`, which
+        // children would otherwise not inherit.
+        cmd.env("TYXE_OBS", if tyxe_obs::enabled() { "1" } else { "0" });
+        match &self.cfg.telemetry_dir {
+            Some(dir) => cmd.env(ENV_FLIGHT_DIR, dir),
+            None => cmd.env_remove(ENV_FLIGHT_DIR),
+        };
         cmd.stdin(Stdio::null());
         // Worker stdout/stderr would interleave with the coordinator's
         // (breaking script output parsing); silence unless debugging.
@@ -257,8 +298,8 @@ impl Coordinator {
                 Err(e) => return Err(e),
             }
         };
-        let (rank, incarnation) = match hello {
-            Msg::Hello { rank, incarnation } => (rank, incarnation),
+        let (rank, incarnation, worker_epoch) = match hello {
+            Msg::Hello { rank, incarnation, epoch_unix_ns } => (rank, incarnation, epoch_unix_ns),
             other => return Err(proto_err(format!("expected hello, got {other:?}"))),
         };
         let idx = self
@@ -288,6 +329,17 @@ impl Coordinator {
                 frames: counter_tagged("dist.frames", &[("rank", rank_tag.as_str())], "count"),
             },
         );
+        if tyxe_obs::enabled() {
+            let entry = self.telemetry.entry((rank, incarnation)).or_default();
+            entry.rank = rank;
+            entry.incarnation = incarnation;
+            // 0 = the worker didn't report an epoch (legacy frame):
+            // leave its clock unshifted rather than warping to 1970.
+            if worker_epoch != 0 {
+                entry.clock_offset_ns =
+                    worker_epoch as i64 - self.coord_epoch_unix_ns as i64;
+            }
+        }
         self.report.events.push(format!("rank {rank} joined (incarnation {incarnation})"));
         Ok(())
     }
@@ -301,13 +353,19 @@ impl Coordinator {
         rng_state: [u64; 4],
         params: &[Vec<f64>],
     ) -> io::Result<Vec<ShardResult>> {
-        let _span = tyxe_obs::span!("dist.step");
+        let t_step = Instant::now();
+        // The step span's id goes out in every broadcast frame so
+        // worker-side step spans parent under it in the merged trace.
+        let span =
+            tyxe_obs::trace::SpanGuard::enter_with_arg("dist.step", format!("step={step}"));
+        let span_id = span.span_id();
         loop {
             let live: Vec<u32> = self.workers.keys().copied().collect();
             if live.is_empty() {
                 return Err(proto_err("all distributed workers lost".into()));
             }
             let assignment = assign_shards(self.cfg.num_shards as u32, &live);
+            let t_broadcast = Instant::now();
             let mut dead: Vec<u32> = Vec::new();
             for (rank, shards) in &assignment {
                 let msg = Msg::Step {
@@ -315,6 +373,8 @@ impl Coordinator {
                     rng_state,
                     shards: shards.clone(),
                     params: params.to_vec(),
+                    trace_id: self.trace_id,
+                    span_id,
                 };
                 let slot = self.workers.get_mut(rank).expect("assigned rank is live");
                 if write_frame(&mut slot.conn, &encode_frame(&msg)).is_err() {
@@ -322,10 +382,18 @@ impl Coordinator {
                 }
             }
             if dead.is_empty() {
+                histogram_tagged("dist.phase_us", &[("phase", "broadcast")], "us")
+                    .record(t_broadcast.elapsed().as_micros() as u64);
+                let t_collect = Instant::now();
                 match self.collect(step)? {
                     Ok(results) => {
+                        histogram_tagged("dist.phase_us", &[("phase", "collect")], "us")
+                            .record(t_collect.elapsed().as_micros() as u64);
+                        histogram_tagged("dist.step_latency_ms", &[], "ms")
+                            .record(t_step.elapsed().as_millis() as u64);
                         self.report.steps += 1;
                         self.publish_liveness();
+                        tyxe_obs::flight::flush_if_stale();
                         return Ok(results);
                     }
                     Err(d) => dead = d,
@@ -379,6 +447,26 @@ impl Coordinator {
                             match msg {
                                 Msg::Grad { step: s, shard, loss, grads } if s == step => {
                                     got.insert(shard, ShardResult { shard, loss, grads });
+                                }
+                                Msg::Telemetry {
+                                    rank: r,
+                                    incarnation,
+                                    step: _,
+                                    dropped,
+                                    spans_jsonl,
+                                    metrics_jsonl,
+                                } if tyxe_obs::enabled() => {
+                                    // Sent before the step's Grad frames,
+                                    // so per-stream FIFO guarantees it
+                                    // lands before collection completes.
+                                    record_rank_telemetry(
+                                        &mut self.telemetry,
+                                        r,
+                                        incarnation,
+                                        dropped,
+                                        &spans_jsonl,
+                                        metrics_jsonl,
+                                    );
                                 }
                                 // Stale grads (pre-repair broadcast) and
                                 // heartbeats only refresh liveness.
@@ -467,6 +555,7 @@ impl Coordinator {
             let _ = write_frame(&mut slot.conn, &shutdown);
         }
         let deadline = Instant::now() + Duration::from_secs(5);
+        let mut buf = vec![0u8; 256 * 1024];
         for (_, mut slot) in std::mem::take(&mut self.workers) {
             loop {
                 match slot.child.try_wait() {
@@ -481,9 +570,111 @@ impl Coordinator {
                     }
                 }
             }
+            // The worker's goodbye — its remaining spans plus the
+            // authoritative final metrics snapshot — was written just
+            // before it exited; the socket buffer outlives the process,
+            // so drain it here. Anything unreadable is simply skipped:
+            // shutdown telemetry is best-effort by design.
+            loop {
+                match slot.conn.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => slot.reader.push(&buf[..n]),
+                }
+            }
+            while let Ok(Some(msg)) = slot.reader.next_msg() {
+                if let Msg::Telemetry {
+                    rank: r,
+                    incarnation,
+                    step: _,
+                    dropped,
+                    spans_jsonl,
+                    metrics_jsonl,
+                } = msg
+                {
+                    if tyxe_obs::enabled() {
+                        record_rank_telemetry(
+                            &mut self.telemetry,
+                            r,
+                            incarnation,
+                            dropped,
+                            &spans_jsonl,
+                            metrics_jsonl,
+                        );
+                    }
+                }
+            }
         }
         let _ = std::fs::remove_file(&self.sock_path);
+        self.collect_flight_dumps();
+        if tyxe_obs::enabled() {
+            self.report.telemetry = Some(DistTelemetry {
+                coord_epoch_unix_ns: self.coord_epoch_unix_ns,
+                ranks: std::mem::take(&mut self.telemetry).into_values().collect(),
+                flight_dir: self.cfg.telemetry_dir.clone(),
+            });
+        }
         std::mem::take(&mut self.report)
+    }
+
+    /// Scans the flight directory for worker dumps (including those left
+    /// by incarnations that died mid-run) and attaches each to its
+    /// `(rank, incarnation)` telemetry entry. Runs after every worker
+    /// has exited, so live workers' shutdown flushes are on disk.
+    fn collect_flight_dumps(&mut self) {
+        let _ = tyxe_obs::flight::flush("shutdown");
+        let Some(dir) = &self.cfg.telemetry_dir else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with("flight-")
+                || !name.ends_with(".jsonl")
+                || name == "flight-coordinator.jsonl"
+            {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(entry.path()) else { continue };
+            let dump = match tyxe_obs::flight::parse_flight(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.report.events.push(format!("flight dump `{name}` unparseable: {e}"));
+                    continue;
+                }
+            };
+            let e = self.telemetry.entry((dump.rank as u32, dump.incarnation)).or_default();
+            e.rank = dump.rank as u32;
+            e.incarnation = dump.incarnation;
+            // An incarnation known only from its dump (killed before
+            // shipping telemetry) still gets clock normalization, from
+            // the epoch recorded in the dump header.
+            if e.clock_offset_ns == 0 && dump.epoch_unix_ns != 0 {
+                e.clock_offset_ns =
+                    dump.epoch_unix_ns as i64 - self.coord_epoch_unix_ns as i64;
+            }
+            e.flight_jsonl = Some(text);
+        }
+    }
+}
+
+/// Folds one `Telemetry` frame into the per-(rank, incarnation)
+/// accumulation. Spans are appended (they arrive as drained
+/// increments); drop totals and the metrics snapshot are cumulative,
+/// so the latest one wins — but a frame that rode without a snapshot
+/// (the worker throttles them) must not clobber a real one.
+fn record_rank_telemetry(
+    telemetry: &mut BTreeMap<(u32, u64), RankTelemetry>,
+    rank: u32,
+    incarnation: u64,
+    dropped: Vec<(u64, u64)>,
+    spans_jsonl: &str,
+    metrics_jsonl: String,
+) {
+    let e = telemetry.entry((rank, incarnation)).or_default();
+    e.rank = rank;
+    e.incarnation = incarnation;
+    e.append_spans(spans_jsonl);
+    e.dropped = dropped;
+    if !metrics_jsonl.is_empty() {
+        e.metrics_jsonl = metrics_jsonl;
     }
 }
 

@@ -37,10 +37,12 @@
 //! (`tyxe_par::fault::worker_killed`).
 
 pub mod coordinator;
+pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
 pub use coordinator::{Coordinator, DistReport};
+pub use telemetry::{DistTelemetry, RankTelemetry};
 pub use worker::run_worker;
 
 use std::ops::Range;
@@ -57,6 +59,10 @@ pub const ENV_SESSION: &str = "TYXE_DIST_SESSION";
 /// Environment variable carrying the worker incarnation (0 = first
 /// spawn, bumped on every respawn of the same rank).
 pub const ENV_INCARNATION: &str = "TYXE_DIST_INCARNATION";
+/// Environment variable carrying the flight-recorder directory; when
+/// set, a worker arms `tyxe_obs::flight` writing to
+/// `<dir>/flight-<rank>-<incarnation>.jsonl`.
+pub const ENV_FLIGHT_DIR: &str = "TYXE_DIST_FLIGHT_DIR";
 
 /// Exit code used by injected worker kills (`TYXE_FAULT_KILL_*`), so a
 /// scheduled kill is distinguishable from a crash in process tables.
@@ -95,6 +101,13 @@ pub struct DistConfig {
     pub max_restarts: u64,
     /// How replacement workers re-enter the program.
     pub spawn: SpawnMode,
+    /// Directory for crash flight-recorder dumps. When set, every
+    /// process in the session (coordinator and workers, forwarded via
+    /// [`ENV_FLIGHT_DIR`]) arms `tyxe_obs::flight` writing
+    /// `flight-<rank>-<incarnation>.jsonl` there; the coordinator
+    /// collects the dumps at shutdown and folds them into the merged
+    /// telemetry ([`DistTelemetry`]).
+    pub telemetry_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DistConfig {
@@ -106,6 +119,7 @@ impl Default for DistConfig {
             heartbeat_timeout_ms: 10_000,
             max_restarts: 3,
             spawn: SpawnMode::SameArgs,
+            telemetry_dir: None,
         }
     }
 }
@@ -122,6 +136,9 @@ pub struct WorkerEnv {
     pub session: u64,
     /// Spawn incarnation of this rank (0 = first).
     pub incarnation: u64,
+    /// Flight-recorder directory forwarded by the coordinator
+    /// ([`ENV_FLIGHT_DIR`]; `None` = flight recording off).
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 /// Whether this process was spawned as a distributed worker.
@@ -141,6 +158,7 @@ pub fn worker_env() -> Option<WorkerEnv> {
         addr: get(ENV_ADDR)?.into(),
         session: get(ENV_SESSION)?.parse().ok()?,
         incarnation: get(ENV_INCARNATION)?.parse().ok()?,
+        flight_dir: get(ENV_FLIGHT_DIR).map(Into::into),
     })
 }
 
@@ -240,6 +258,7 @@ pub fn assign_shards(num_shards: u32, live_ranks: &[u32]) -> Vec<(u32, Vec<u32>)
 /// that shard's own backward output.
 pub fn reduce_results(results: &[ShardResult], num_shards: u32) -> (f64, Vec<Option<Vec<f64>>>) {
     assert_eq!(results.len(), num_shards as usize, "reduce_results: incomplete shard set");
+    let t0 = std::time::Instant::now();
     tyxe_obs::metrics::counter("dist.reduce").inc();
     let mut sorted: Vec<&ShardResult> = results.iter().collect();
     sorted.sort_by_key(|r| r.shard);
@@ -265,6 +284,8 @@ pub fn reduce_results(results: &[ShardResult], num_shards: u32) -> (f64, Vec<Opt
             }
         }
     }
+    tyxe_obs::metrics::histogram_tagged("dist.phase_us", &[("phase", "reduce")], "us")
+        .record(t0.elapsed().as_micros() as u64);
     (loss, grads)
 }
 

@@ -64,6 +64,12 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Version of the optional telemetry extension appended to `Hello`
+/// and `Step` payloads. Decoders accept payloads without the section
+/// (fields default to 0) and reject versions they don't know, so the
+/// section can grow without breaking older frames.
+pub const TELEMETRY_EXT_VERSION: u32 = 1;
+
 /// Coordinator↔worker messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
@@ -73,6 +79,10 @@ pub enum Msg {
         rank: u32,
         /// Its spawn incarnation.
         incarnation: u64,
+        /// UNIX ns of the worker's trace epoch (telemetry ext; 0 = not
+        /// reported). The coordinator derives this worker's clock
+        /// offset from it for merged-trace normalization.
+        epoch_unix_ns: u64,
     },
     /// Coordinator → worker, accepted-membership reply to `Hello`.
     Init {
@@ -95,6 +105,13 @@ pub enum Msg {
         shards: Vec<u32>,
         /// Current parameter values, canonical order, exact f64.
         params: Vec<Vec<f64>>,
+        /// Distributed trace id of the fit this step belongs to
+        /// (telemetry ext; 0 = tracing off).
+        trace_id: u64,
+        /// Span id of the coordinator's `dist.step` span (telemetry
+        /// ext; 0 = tracing off) — workers parent their step spans
+        /// under it.
+        span_id: u64,
     },
     /// Worker → coordinator: one shard's contribution.
     Grad {
@@ -114,6 +131,26 @@ pub enum Msg {
     },
     /// Coordinator → worker: exit cleanly.
     Shutdown,
+    /// Worker → coordinator: this step's telemetry, sent *before* the
+    /// step's `Grad` frames so per-stream FIFO guarantees it has
+    /// arrived once the grads have.
+    Telemetry {
+        /// Sending worker's rank.
+        rank: u32,
+        /// Its spawn incarnation.
+        incarnation: u64,
+        /// Step the shipment covers.
+        step: u64,
+        /// Per-thread `(tid, count)` dropped-span totals so far.
+        dropped: Vec<(u64, u64)>,
+        /// Spans drained since the last shipment, in
+        /// `tyxe_obs::trace::spans_to_jsonl` format (the coordinator
+        /// defers parsing to merge time).
+        spans_jsonl: String,
+        /// Current metrics snapshot, in
+        /// `tyxe_obs::metrics::snapshot_jsonl` format.
+        metrics_jsonl: String,
+    },
 }
 
 const TAG_HELLO: u32 = 1;
@@ -122,6 +159,7 @@ const TAG_STEP: u32 = 3;
 const TAG_GRAD: u32 = 4;
 const TAG_HEARTBEAT: u32 = 5;
 const TAG_SHUTDOWN: u32 = 6;
+const TAG_TELEMETRY: u32 = 7;
 
 fn put_opt_grads(w: &mut ByteWriter, grads: &[Option<Vec<f64>>]) {
     w.put_u64(grads.len() as u64);
@@ -152,15 +190,31 @@ fn get_opt_grads(r: &mut ByteReader<'_>) -> Result<Vec<Option<Vec<f64>>>, WireEr
     Ok(out)
 }
 
+/// Reads the optional telemetry extension header: `None` when the
+/// payload ends (legacy frame), the version otherwise. Unknown
+/// versions are an error — the frame was written by a newer protocol.
+fn get_ext_version(r: &mut ByteReader<'_>) -> Result<Option<u32>, WireError> {
+    if r.is_exhausted() {
+        return Ok(None);
+    }
+    let v = r.get_u32().map_err(|_| WireError::Malformed("telemetry ext version"))?;
+    if v == 0 || v > TELEMETRY_EXT_VERSION {
+        return Err(WireError::Malformed("unknown telemetry ext version"));
+    }
+    Ok(Some(v))
+}
+
 impl Msg {
     /// Encodes the message body (no framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         match self {
-            Msg::Hello { rank, incarnation } => {
+            Msg::Hello { rank, incarnation, epoch_unix_ns } => {
                 w.put_u32(TAG_HELLO);
                 w.put_u32(*rank);
                 w.put_u64(*incarnation);
+                w.put_u32(TELEMETRY_EXT_VERSION);
+                w.put_u64(*epoch_unix_ns);
             }
             Msg::Init { num_shards, precision, heartbeat_interval_ms, param_lens } => {
                 w.put_u32(TAG_INIT);
@@ -172,7 +226,7 @@ impl Msg {
                     w.put_u64(l);
                 }
             }
-            Msg::Step { step, rng_state, shards, params } => {
+            Msg::Step { step, rng_state, shards, params, trace_id, span_id } => {
                 w.put_u32(TAG_STEP);
                 w.put_u64(*step);
                 for &s in rng_state {
@@ -186,6 +240,9 @@ impl Msg {
                 for p in params {
                     w.put_f64_slice(p);
                 }
+                w.put_u32(TELEMETRY_EXT_VERSION);
+                w.put_u64(*trace_id);
+                w.put_u64(*span_id);
             }
             Msg::Grad { step, shard, loss, grads } => {
                 w.put_u32(TAG_GRAD);
@@ -199,6 +256,19 @@ impl Msg {
                 w.put_u64(*step);
             }
             Msg::Shutdown => w.put_u32(TAG_SHUTDOWN),
+            Msg::Telemetry { rank, incarnation, step, dropped, spans_jsonl, metrics_jsonl } => {
+                w.put_u32(TAG_TELEMETRY);
+                w.put_u32(*rank);
+                w.put_u64(*incarnation);
+                w.put_u64(*step);
+                w.put_u64(dropped.len() as u64);
+                for &(tid, count) in dropped {
+                    w.put_u64(tid);
+                    w.put_u64(count);
+                }
+                w.put_str(spans_jsonl);
+                w.put_str(metrics_jsonl);
+            }
         }
         w.into_bytes()
     }
@@ -209,10 +279,15 @@ impl Msg {
         let err = |what| move |_| WireError::Malformed(what);
         let tag = r.get_u32().map_err(err("tag"))?;
         let msg = match tag {
-            TAG_HELLO => Msg::Hello {
-                rank: r.get_u32().map_err(err("rank"))?,
-                incarnation: r.get_u64().map_err(err("incarnation"))?,
-            },
+            TAG_HELLO => {
+                let rank = r.get_u32().map_err(err("rank"))?;
+                let incarnation = r.get_u64().map_err(err("incarnation"))?;
+                let epoch_unix_ns = match get_ext_version(&mut r)? {
+                    Some(_) => r.get_u64().map_err(err("epoch_unix_ns"))?,
+                    None => 0,
+                };
+                Msg::Hello { rank, incarnation, epoch_unix_ns }
+            }
             TAG_INIT => {
                 let num_shards = r.get_u32().map_err(err("num_shards"))?;
                 let precision = r.get_u32().map_err(err("precision"))?;
@@ -240,7 +315,14 @@ impl Msg {
                 for _ in 0..np {
                     params.push(r.get_f64_slice().map_err(err("param values"))?);
                 }
-                Msg::Step { step, rng_state, shards, params }
+                let (trace_id, span_id) = match get_ext_version(&mut r)? {
+                    Some(_) => (
+                        r.get_u64().map_err(err("trace_id"))?,
+                        r.get_u64().map_err(err("span_id"))?,
+                    ),
+                    None => (0, 0),
+                };
+                Msg::Step { step, rng_state, shards, params, trace_id, span_id }
             }
             TAG_GRAD => Msg::Grad {
                 step: r.get_u64().map_err(err("step"))?,
@@ -250,6 +332,22 @@ impl Msg {
             },
             TAG_HEARTBEAT => Msg::Heartbeat { step: r.get_u64().map_err(err("step"))? },
             TAG_SHUTDOWN => Msg::Shutdown,
+            TAG_TELEMETRY => {
+                let rank = r.get_u32().map_err(err("rank"))?;
+                let incarnation = r.get_u64().map_err(err("incarnation"))?;
+                let step = r.get_u64().map_err(err("step"))?;
+                let nd = r.get_u64().map_err(err("dropped count"))? as usize;
+                let mut dropped = Vec::with_capacity(nd.min(65_536));
+                for _ in 0..nd {
+                    dropped.push((
+                        r.get_u64().map_err(err("dropped tid"))?,
+                        r.get_u64().map_err(err("dropped total"))?,
+                    ));
+                }
+                let spans_jsonl = r.get_str().map_err(err("spans jsonl"))?;
+                let metrics_jsonl = r.get_str().map_err(err("metrics jsonl"))?;
+                Msg::Telemetry { rank, incarnation, step, dropped, spans_jsonl, metrics_jsonl }
+            }
             _ => return Err(WireError::Malformed("unknown message tag")),
         };
         if !r.is_exhausted() {
@@ -338,7 +436,7 @@ mod tests {
 
     fn sample_msgs() -> Vec<Msg> {
         vec![
-            Msg::Hello { rank: 3, incarnation: 2 },
+            Msg::Hello { rank: 3, incarnation: 2, epoch_unix_ns: 1_700_000_000_000_000_000 },
             Msg::Init {
                 num_shards: 4,
                 precision: 2,
@@ -350,6 +448,8 @@ mod tests {
                 rng_state: [1, u64::MAX, 0, 42],
                 shards: vec![0, 2],
                 params: vec![vec![1.5, -0.0, f64::MIN_POSITIVE], vec![]],
+                trace_id: 0xDEAD_BEEF,
+                span_id: 12,
             },
             Msg::Grad {
                 step: 7,
@@ -359,6 +459,16 @@ mod tests {
             },
             Msg::Heartbeat { step: 9 },
             Msg::Shutdown,
+            Msg::Telemetry {
+                rank: 1,
+                incarnation: 3,
+                step: 7,
+                dropped: vec![(0, 5), (2, 1)],
+                spans_jsonl: "{\"name\":\"dist.worker.step\",\"tid\":0,\"depth\":0,\
+                              \"start_ns\":1,\"dur_ns\":2,\"span_id\":4}\n"
+                    .to_string(),
+                metrics_jsonl: String::new(),
+            },
         ]
     }
 
@@ -425,6 +535,52 @@ mod tests {
                 Ok(Some(msg)) => panic!("flip at byte {i} delivered {msg:?}"),
             }
         }
+    }
+
+    #[test]
+    fn legacy_frames_without_telemetry_ext_decode_to_zeroed_fields() {
+        // Hand-encode a pre-telemetry Hello: tag + rank + incarnation,
+        // no extension section.
+        let mut w = ByteWriter::new();
+        w.put_u32(TAG_HELLO);
+        w.put_u32(5);
+        w.put_u64(1);
+        assert_eq!(
+            Msg::decode(&w.into_bytes()).unwrap(),
+            Msg::Hello { rank: 5, incarnation: 1, epoch_unix_ns: 0 }
+        );
+
+        // Pre-telemetry Step: no trailing (trace_id, span_id).
+        let mut w = ByteWriter::new();
+        w.put_u32(TAG_STEP);
+        w.put_u64(3);
+        for s in [9u64, 8, 7, 6] {
+            w.put_u64(s);
+        }
+        w.put_u64(1); // one shard
+        w.put_u32(2);
+        w.put_u64(0); // zero params
+        assert_eq!(
+            Msg::decode(&w.into_bytes()).unwrap(),
+            Msg::Step {
+                step: 3,
+                rng_state: [9, 8, 7, 6],
+                shards: vec![2],
+                params: vec![],
+                trace_id: 0,
+                span_id: 0,
+            }
+        );
+
+        // An unknown (future) extension version is rejected, not
+        // misread as field data.
+        let mut w = ByteWriter::new();
+        w.put_u32(TAG_HELLO);
+        w.put_u32(5);
+        w.put_u64(1);
+        w.put_u32(TELEMETRY_EXT_VERSION + 1);
+        w.put_u64(42);
+        assert!(matches!(Msg::decode(&w.into_bytes()), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -22,6 +22,17 @@ use std::sync::{Arc, Mutex};
 use crate::wire::{encode_frame, FrameReader, Msg};
 use crate::{ShardCompute, WorkerEnv, KILL_EXIT_CODE};
 
+/// How often a worker ships its accumulated telemetry (drained spans
+/// plus a cumulative metrics snapshot) back to the coordinator. Spans
+/// are drained into a local pending buffer every step (a lock and a
+/// swap); formatting them to JSONL, serializing the whole metrics
+/// registry (~100µs) and the send syscall happen only on this cadence —
+/// per-step they would tax every millisecond-scale step. The first step
+/// always ships (so even an incarnation killed moments later is
+/// represented in the merged trace), and the authoritative final
+/// shipment happens at shutdown.
+const TELEMETRY_SHIP_INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
+
 /// Sends one frame under the shared write lock (heartbeats and grads
 /// come from different threads; whole-frame writes under the lock keep
 /// them from interleaving into torn frames).
@@ -36,14 +47,39 @@ fn send(stream: &Mutex<UnixStream>, msg: &Msg) -> std::io::Result<()> {
 /// Protocol errors and a vanished coordinator also exit (non-zero): an
 /// orphaned worker must die rather than linger as a zombie process.
 pub fn run_worker(compute: &mut dyn ShardCompute, env: &WorkerEnv) -> ! {
-    let code = serve(compute, env).err().map_or(0, |_| 1);
+    let code = match serve(compute, env) {
+        Ok(()) => 0,
+        Err(e) => {
+            // A fatal frame error or vanished coordinator still leaves a
+            // post-mortem: exit() runs no hooks, flush explicitly.
+            tyxe_obs::flight::note("fatal", &e.to_string());
+            let _ = tyxe_obs::flight::flush("fatal");
+            1
+        }
+    };
     std::process::exit(code);
 }
 
 fn serve(compute: &mut dyn ShardCompute, env: &WorkerEnv) -> std::io::Result<()> {
+    if let Some(dir) = &env.flight_dir {
+        // Incarnation in the filename so a respawn can never clobber the
+        // dump its predecessor died leaving behind.
+        tyxe_obs::flight::configure(
+            dir.join(format!("flight-{}-{}.jsonl", env.rank, env.incarnation)),
+            env.rank as u64,
+            env.incarnation,
+        );
+    }
     let stream = UnixStream::connect(&env.addr)?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
-    send(&writer, &Msg::Hello { rank: env.rank, incarnation: env.incarnation })?;
+    send(
+        &writer,
+        &Msg::Hello {
+            rank: env.rank,
+            incarnation: env.incarnation,
+            epoch_unix_ns: tyxe_obs::trace::epoch_unix_ns(),
+        },
+    )?;
 
     let mut reader = FrameReader::new();
     let mut conn = stream;
@@ -52,7 +88,10 @@ fn serve(compute: &mut dyn ShardCompute, env: &WorkerEnv) -> std::io::Result<()>
             Msg::Init { num_shards, precision, heartbeat_interval_ms, param_lens } => {
                 break (num_shards, precision, heartbeat_interval_ms, param_lens)
             }
-            Msg::Shutdown => std::process::exit(0),
+            Msg::Shutdown => {
+                let _ = tyxe_obs::flight::flush("shutdown");
+                std::process::exit(0);
+            }
             _ => {}
         }
     };
@@ -80,24 +119,90 @@ fn serve(compute: &mut dyn ShardCompute, env: &WorkerEnv) -> std::io::Result<()>
         });
     }
 
+    let mut telemetry_last_ship: Option<std::time::Instant> = None;
+    let mut pending_spans: Vec<tyxe_obs::trace::SpanRecord> = Vec::new();
     loop {
         match next_msg(&mut conn, &mut reader)? {
-            Msg::Step { step, rng_state, shards, params } => {
+            Msg::Step { step, rng_state, shards, params, trace_id, span_id } => {
                 if tyxe_par::fault::worker_killed(env.rank as u64, step, env.incarnation) {
                     // Injected process fault: die exactly like a crash
-                    // would, mid-protocol, without a goodbye.
+                    // would, mid-protocol, without a goodbye — except the
+                    // flight ring, which exit() would otherwise discard.
+                    tyxe_obs::flight::note("fault.kill", &format!("step={step}"));
+                    let _ = tyxe_obs::flight::flush("fault.kill");
                     std::process::exit(KILL_EXIT_CODE);
                 }
                 last_step.store(step, Ordering::Relaxed);
-                let results = compute.run_step(step, rng_state, &params, &shards, num_shards);
+                let results = {
+                    // Parent this span under the coordinator's step span
+                    // so the merged trace stitches across processes.
+                    let _span = tyxe_obs::trace::SpanGuard::enter_remote_child(
+                        "dist.worker.step",
+                        trace_id,
+                        span_id,
+                        format!("step={step}"),
+                    );
+                    compute.run_step(step, rng_state, &params, &shards, num_shards)
+                };
                 for r in results {
                     send(
                         &writer,
                         &Msg::Grad { step, shard: r.shard, loss: r.loss, grads: r.grads },
                     )?;
                 }
+                if tyxe_obs::enabled() {
+                    // Drain this step's spans locally (cheap), but only
+                    // format and ship them on the interval — and always
+                    // *after* the step's Grad frames: the grads sit on
+                    // the coordinator's collection barrier, so nothing
+                    // may delay them; telemetry is read on a later sweep
+                    // (per-stream FIFO still orders it before the next
+                    // step's grads), and the shutdown drain picks up
+                    // whatever the final interval left in flight.
+                    pending_spans.extend(tyxe_obs::trace::drain());
+                    if telemetry_last_ship
+                        .is_none_or(|t| t.elapsed() >= TELEMETRY_SHIP_INTERVAL)
+                    {
+                        telemetry_last_ship = Some(std::time::Instant::now());
+                        send(
+                            &writer,
+                            &Msg::Telemetry {
+                                rank: env.rank,
+                                incarnation: env.incarnation,
+                                step,
+                                dropped: tyxe_obs::trace::dropped_by_thread(),
+                                spans_jsonl: tyxe_obs::trace::spans_to_jsonl(&pending_spans),
+                                metrics_jsonl: tyxe_obs::metrics::snapshot_jsonl(),
+                            },
+                        )?;
+                        pending_spans.clear();
+                    }
+                    tyxe_obs::flight::flush_if_stale();
+                }
             }
-            Msg::Shutdown => std::process::exit(0),
+            Msg::Shutdown => {
+                if tyxe_obs::enabled() {
+                    // The authoritative final telemetry: everything still
+                    // pending from the ship interval plus any spans since,
+                    // and the complete metrics snapshot. The coordinator
+                    // drains it from the socket buffer after this process
+                    // exits.
+                    pending_spans.extend(tyxe_obs::trace::drain());
+                    let _ = send(
+                        &writer,
+                        &Msg::Telemetry {
+                            rank: env.rank,
+                            incarnation: env.incarnation,
+                            step: last_step.load(Ordering::Relaxed),
+                            dropped: tyxe_obs::trace::dropped_by_thread(),
+                            spans_jsonl: tyxe_obs::trace::spans_to_jsonl(&pending_spans),
+                            metrics_jsonl: tyxe_obs::metrics::snapshot_jsonl(),
+                        },
+                    );
+                }
+                let _ = tyxe_obs::flight::flush("shutdown");
+                std::process::exit(0);
+            }
             _ => {}
         }
     }

@@ -30,7 +30,9 @@
 //! [`set_enabled`]`(true)` programmatically. Numerical behaviour is
 //! identical either way: probes never touch RNG streams or values.
 
+pub mod flight;
 pub mod json;
+pub mod merge;
 pub mod metrics;
 pub mod trace;
 pub mod validate;
@@ -89,12 +91,23 @@ macro_rules! span {
     };
 }
 
+/// Crate-wide test serializer: the enable gate, trace buffers and
+/// flight state are process globals, so every test that toggles them
+/// must hold this guard (a module-local lock would still race across
+/// modules).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn set_enabled_overrides_and_gates() {
+        let _g = crate::test_guard();
         set_enabled(false);
         assert!(!enabled());
         set_enabled(true);

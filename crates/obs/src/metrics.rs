@@ -111,6 +111,28 @@ impl Histogram {
     pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
         std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the inclusive upper
+    /// bound of the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`, clamped to [`max`](Self::max) so the tail
+    /// quantile never overshoots the largest observation. Resolution
+    /// is the power-of-two bucket width; 0 if empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets().iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max());
+            }
+        }
+        self.max()
+    }
 }
 
 enum Entry {
@@ -320,10 +342,56 @@ pub fn snapshot() -> Vec<MetricRecord> {
                     unit: slot.unit.to_string(),
                     tags: with_stat("mean"),
                 });
+                for (stat, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                    out.push(MetricRecord {
+                        name: name.clone(),
+                        value: h.percentile(q) as f64,
+                        unit: slot.unit.to_string(),
+                        tags: with_stat(stat),
+                    });
+                }
             }
         }
     }
     out
+}
+
+/// Parse a metrics JSONL text (the [`snapshot_jsonl`] format) back
+/// into records. Blank lines are skipped; malformed lines are errors.
+pub fn records_from_jsonl(text: &str) -> Result<Vec<MetricRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = |what: &str| format!("metric line {}: {what}", lineno + 1);
+        let rec = crate::json::parse(line).map_err(|e| ctx(&format!("invalid JSON: {e}")))?;
+        let name = rec
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| ctx("missing string `name`"))?
+            .to_string();
+        // `value` may be JSON null (non-finite f64); map it back to NaN.
+        let value = match rec.get("value") {
+            Some(v) => v.as_num().unwrap_or(f64::NAN),
+            None => return Err(ctx("missing `value`")),
+        };
+        let unit = rec
+            .get("unit")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| ctx("missing string `unit`"))?
+            .to_string();
+        let mut tags = Vec::new();
+        if let Some(obj) = rec.get("tags").and_then(|v| v.as_obj()) {
+            for (k, v) in obj {
+                let v = v.as_str().ok_or_else(|| ctx("non-string tag value"))?;
+                tags.push((k.clone(), v.to_string()));
+            }
+        }
+        tags.sort();
+        out.push(MetricRecord { name, value, unit, tags });
+    }
+    Ok(out)
 }
 
 /// Serialize [`snapshot`] as JSONL (one record per line).
@@ -423,6 +491,58 @@ mod tests {
         };
         assert!(find("0") >= 3.0);
         assert!(find("1") >= 7.0);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let h = histogram("test.metrics.pctl");
+        // 100 observations: 1..=100. Power-of-two buckets give upper
+        // bounds 63 for p50 (values 32..=63 land in bucket 5) and 127
+        // (clamped to max=100) for p90/p99.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Smallest value 1 lands in bucket 1 (upper bound 3).
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(0.50), 63);
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(1.0), 100);
+        let snap = snapshot();
+        let stat = |s: &str| {
+            snap.iter()
+                .find(|r| {
+                    r.name == "test.metrics.pctl"
+                        && r.tags.contains(&("stat".to_string(), s.to_string()))
+                })
+                .unwrap()
+                .value
+        };
+        assert_eq!(stat("p50"), 63.0);
+        assert_eq!(stat("p99"), 100.0);
+        assert!(stat("p50") <= stat("p90") && stat("p90") <= stat("p99"));
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let h = histogram("test.metrics.pctl_empty");
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_records() {
+        let c = counter_tagged("test.metrics.rt", &[("rank", "2"), ("phase", "collect")], "count");
+        c.add(11);
+        let text = snapshot_jsonl();
+        let parsed = records_from_jsonl(&text).unwrap();
+        let snap = snapshot();
+        assert_eq!(parsed.len(), snap.len());
+        let rec = parsed.iter().find(|r| r.name == "test.metrics.rt").unwrap();
+        assert_eq!(rec.tags, vec![
+            ("phase".to_string(), "collect".to_string()),
+            ("rank".to_string(), "2".to_string()),
+        ]);
+        assert!(rec.value >= 11.0);
+        assert!(records_from_jsonl("{\"nope\":1}\n").is_err());
     }
 
     #[test]

@@ -20,10 +20,15 @@
 //! * `--steps K` — supervised SVI steps (default 40).
 //! * `--precision <f64|f32|mixed>` — the `Precision` policy, which also
 //!   rides to every worker in the `Init` handshake.
-//! * `--trace/--metrics <path>` — `tyxe-obs` export, as in the
-//!   fault-injection example; the metrics snapshot carries the `dist.*`
-//!   counters (per-rank `dist.frames`, `dist.reduce`,
-//!   `dist.worker_restarts`, liveness gauges).
+//! * `--trace/--metrics <path>` — `tyxe-obs` export. On a multi-process
+//!   run these are the *merged* cross-process artifacts: one
+//!   `chrome://tracing` file with the coordinator plus every rank (and
+//!   every respawned incarnation) as separate processes on a normalized
+//!   clock, and one metrics snapshot with per-rank tags plus the
+//!   `dist.*` counters and `dist.step_latency_ms`/`dist.phase_us`
+//!   percentile stats.
+//! * `--telemetry-dir <dir>` — session directory for worker flight
+//!   dumps (defaults to `<trace path>.telemetry` when tracing).
 //! * `--bench` — print one JSON timing line (steps/sec) and skip the
 //!   evaluation pass; `scripts/bench.sh` collects these into
 //!   `results/BENCH_DIST.json`.
@@ -54,6 +59,7 @@ struct Args {
     precision: Precision,
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
+    telemetry_dir: Option<std::path::PathBuf>,
     bench: bool,
 }
 
@@ -65,6 +71,7 @@ fn parse_args() -> Args {
         precision: Precision::F64,
         trace: None,
         metrics: None,
+        telemetry_dir: None,
         bench: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -85,6 +92,10 @@ fn parse_args() -> Args {
             "--metrics" => {
                 args.metrics = Some(argv.next().expect("--metrics requires a path").into());
             }
+            "--telemetry-dir" => {
+                args.telemetry_dir =
+                    Some(argv.next().expect("--telemetry-dir requires a path").into());
+            }
             "--precision" => {
                 let p = argv.next().expect("--precision requires f64, f32 or mixed");
                 args.precision = match p.as_str() {
@@ -102,7 +113,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: distributed_svi [--workers N] [--shards S] [--steps K] \
                      [--precision f64|f32|mixed] [--trace out.json] [--metrics out.jsonl] \
-                     [--bench]"
+                     [--telemetry-dir dir] [--bench]"
                 );
                 std::process::exit(2);
             }
@@ -143,10 +154,20 @@ fn main() {
 
     let mut optim = Adam::new(vec![], 1e-2);
     let mut sup = Supervisor::new(bnn.trainable_parameters(), SupervisorConfig::default());
+    // Tracing a multi-process run needs a session directory for worker
+    // telemetry + flight dumps; derive one from the trace path unless
+    // the caller picked it (so verify.sh can inspect the dumps).
+    let telemetry_dir = args.telemetry_dir.clone().or_else(|| {
+        args.trace
+            .as_ref()
+            .filter(|_| tyxe_obs::enabled())
+            .map(|p| p.with_extension("telemetry"))
+    });
     let cfg = DistConfig {
         workers: args.workers,
         num_shards: args.shards,
         spawn: SpawnMode::SameArgs,
+        telemetry_dir,
         ..DistConfig::default()
     };
 
@@ -188,24 +209,57 @@ fn main() {
         println!("final fit error:         {:.4}", eval.error);
     }
 
+    // With a multi-process run the dist report carries the cross-process
+    // telemetry: write ONE merged trace (coordinator + every rank and
+    // incarnation, clock-normalized) and rank-tagged merged metrics.
+    // Without it (workers = 0, or obs off at launch) fall back to the
+    // single-process export.
+    let telemetry = fit.dist.as_ref().and_then(|r| r.telemetry.as_ref());
     if let Some(path) = &args.trace {
-        match tyxe_obs::trace::write_chrome_trace(path) {
-            Ok(spans) => println!("trace written:           {} ({spans} spans)", path.display()),
-            Err(e) => {
-                eprintln!("failed to write trace to {}: {e}", path.display());
-                std::process::exit(1);
-            }
+        let result = match telemetry {
+            Some(tel) => tel.merged_chrome_trace().map_err(std::io::Error::other).and_then(
+                |doc| {
+                    std::fs::write(path, &doc)?;
+                    let stats = tyxe_obs::validate::validate_chrome_trace(&doc)
+                        .map_err(std::io::Error::other)?;
+                    println!(
+                        "merged trace written:    {} ({} spans over {} processes)",
+                        path.display(),
+                        stats.spans,
+                        stats.spans_by_pid.len(),
+                    );
+                    Ok(())
+                },
+            ),
+            None => tyxe_obs::trace::write_chrome_trace(path).map(|spans| {
+                println!("trace written:           {} ({spans} spans)", path.display());
+            }),
+        };
+        if let Err(e) = result {
+            eprintln!("failed to write trace to {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
     if let Some(path) = &args.metrics {
-        match tyxe_obs::metrics::write_snapshot_jsonl(path) {
-            Ok(records) => {
-                println!("metrics written:         {} ({records} records)", path.display())
-            }
-            Err(e) => {
-                eprintln!("failed to write metrics to {}: {e}", path.display());
-                std::process::exit(1);
-            }
+        let result = match telemetry {
+            Some(tel) => tel.merged_metrics_jsonl().map_err(std::io::Error::other).and_then(
+                |jsonl| {
+                    std::fs::write(path, &jsonl)?;
+                    println!(
+                        "merged metrics written:  {} ({} records)",
+                        path.display(),
+                        jsonl.lines().count(),
+                    );
+                    Ok(())
+                },
+            ),
+            None => tyxe_obs::metrics::write_snapshot_jsonl(path).map(|records| {
+                println!("metrics written:         {} ({records} records)", path.display());
+            }),
+        };
+        if let Err(e) = result {
+            eprintln!("failed to write metrics to {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
 }

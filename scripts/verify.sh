@@ -86,12 +86,15 @@ fi
 # exits hard at step 5). The coordinator must respawn the rank, replay
 # the interrupted step, finish all steps, and report exactly the
 # injected restart — while exporting the dist.* counters the validation
-# below requires (DESIGN.md §13).
+# below requires (DESIGN.md §13) and the merged cross-process telemetry
+# artifacts (DESIGN.md §14): one chrome trace covering the coordinator
+# and every rank, and the killed incarnation's flight-recorder dump.
 echo "verify: distributed SVI smoke run (4 workers, injected worker kill)"
 dist_smoke=$(TYXE_FAULT_KILL_STEP=5 TYXE_FAULT_KILL_RANK=1 \
         TYXE_NUM_THREADS=1 TYXE_OBS=1 CARGO_NET_OFFLINE=true \
         cargo run --release --frozen --example distributed_svi -- \
         --workers 4 --shards 4 --steps 12 \
+        --trace "$obs_dir/trace-dist.json" \
         --metrics "$obs_dir/metrics-dist.jsonl")
 echo "$dist_smoke" | sed 's/^/  /'
 dist_steps=$(echo "$dist_smoke" | awk '/dist steps completed:/ {print $4}')
@@ -110,13 +113,34 @@ if [[ "$dist_lost" != "0" ]]; then
     exit 1
 fi
 
-# The distributed run's metrics snapshot must carry the wire/recovery
-# counters (per-rank dist.frames, the shard-ordered reductions, the
-# respawn count) and the liveness gauges.
+# The distributed run's artifacts: the merged metrics snapshot must
+# carry the wire/recovery counters (per-rank dist.frames, the
+# shard-ordered reductions, the respawn count), the liveness gauges and
+# the new step-latency/phase histograms; the merged chrome trace must
+# hold ≥1 span from the coordinator (pid 1000) and every live rank
+# (pids 0-3), with process entries for rank 1's pre-kill incarnation
+# AND its respawn; and the killed incarnation's flight dump must exist
+# and parse.
 CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-obs \
     --bin tyxe-obs-validate -- \
+    --trace "$obs_dir/trace-dist.json" \
     --metrics "$obs_dir/metrics-dist.jsonl" \
-    --require-metrics dist.frames,dist.reduce,dist.worker_restarts,dist.frames_rejected,dist.workers_live,dist.heartbeat_age_ms,core.supervisor.steps
+    --require-metrics dist.frames,dist.reduce,dist.worker_restarts,dist.frames_rejected,dist.workers_live,dist.heartbeat_age_ms,dist.step_latency_ms,dist.phase_us,core.supervisor.steps \
+    --require-span-names dist.step,dist.worker.step \
+    --require-pids 0,1,2,3,1000 \
+    --require-process-names coordinator,rank1-inc0,rank1-inc1 \
+    --flight "$obs_dir/trace-dist.telemetry/flight-1-0.jsonl"
+
+# The merged multi-rank trace also feeds the percentile reporter: span
+# tail latencies (p50/p90/p99 per name) straight from the artifact.
+echo "verify: span percentiles from the merged distributed trace"
+pct=$(CARGO_NET_OFFLINE=true cargo run --release --frozen -q -p tyxe-bench \
+    --bin profile_svi -- --percentiles --input "$obs_dir/trace-dist.json")
+echo "$pct" | head -8 | sed 's/^/  /'
+if ! echo "$pct" | grep -q "dist.worker.step"; then
+    echo "verify: percentile report is missing cross-process span populations" >&2
+    exit 1
+fi
 
 # Structurally validate the emitted chrome trace and metrics snapshot
 # with the in-tree validator (no jq): the supervised fit must decompose

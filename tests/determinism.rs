@@ -603,6 +603,91 @@ fn f32_distributed_svi_is_bit_identical_across_worker_counts() {
     assert_traces_bit_equal(&reference, &four.unwrap(), "f32, 4 workers vs in-process");
 }
 
+/// [`run_dist_svi`] with a telemetry session directory, for the
+/// observability half of the distributed determinism contract.
+fn run_dist_svi_traced(
+    test_name: &str,
+    session: u64,
+    workers: usize,
+    telemetry_dir: Option<std::path::PathBuf>,
+) -> Option<SviTrace> {
+    tyxe_prob::rng::set_seed(7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = foong_regression(32, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+    let mut sup = tyxe::Supervisor::new(
+        bnn.trainable_parameters(),
+        tyxe::SupervisorConfig::default(),
+    );
+    let cfg = tyxe::DistConfig {
+        workers,
+        num_shards: 4,
+        spawn: tyxe::SpawnMode::TestFunction(test_name.to_string()),
+        telemetry_dir,
+        ..tyxe::DistConfig::default()
+    };
+    let fit =
+        bnn.fit_distributed(&data.x, &data.y, &mut optim, 5, &mut sup, &cfg, Some(session))?;
+    let mut sites: Vec<(String, Vec<f64>, Vec<f64>)> = bnn
+        .module()
+        .sites()
+        .iter()
+        .map(|site| {
+            let d = bnn.guide().distribution(&site.name).expect("site in guide");
+            (site.name.clone(), d.loc().to_vec(), d.scale().to_vec())
+        })
+        .collect();
+    sites.sort_by(|a, b| a.0.cmp(&b.0));
+    Some((fit.history, sites))
+}
+
+/// The distributed half of the observability determinism contract
+/// (DESIGN.md §14): full telemetry — spans on, per-step worker span
+/// shipping, flight recorders armed in every process — must not perturb
+/// a single bit of a distributed fit, at the in-process reference and
+/// at 2 and 4 workers.
+#[test]
+fn distributed_svi_bits_are_unchanged_by_telemetry() {
+    const NAME: &str = "distributed_svi_bits_are_unchanged_by_telemetry";
+    let dir = std::env::temp_dir()
+        .join(format!("tyxe-determinism-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Every session runs unconditionally and in this order so a spawned
+    // child replays the same numbering (children of the telemetry
+    // sessions inherit the resolved TYXE_OBS=1 from the coordinator).
+    let run = |session: u64, workers: usize, telemetry: bool| -> Option<SviTrace> {
+        tyxe_obs::set_enabled(telemetry);
+        let result =
+            run_dist_svi_traced(NAME, session, workers, telemetry.then(|| dir.clone()));
+        tyxe_obs::set_enabled(false);
+        tyxe_obs::flight::deconfigure();
+        tyxe_obs::trace::clear();
+        result
+    };
+    let plain_0 = run(0, 0, false);
+    let plain_2 = run(1, 2, false);
+    let plain_4 = run(2, 4, false);
+    let traced_0 = run(3, 0, true);
+    let traced_2 = run(4, 2, true);
+    let traced_4 = run(5, 4, true);
+    assert!(!tyxe_dist::worker_role(), "worker escaped its session");
+    assert_traces_bit_equal(
+        &plain_0.unwrap(),
+        &traced_0.unwrap(),
+        "telemetry on vs off, in-process",
+    );
+    assert_traces_bit_equal(&plain_2.unwrap(), &traced_2.unwrap(), "telemetry on vs off, 2 workers");
+    assert_traces_bit_equal(&plain_4.unwrap(), &traced_4.unwrap(), "telemetry on vs off, 4 workers");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn single_shard_distributed_svi_matches_plain_svi_bitwise() {
     const NAME: &str = "single_shard_distributed_svi_matches_plain_svi_bitwise";
