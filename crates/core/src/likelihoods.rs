@@ -56,7 +56,97 @@ pub trait Likelihood {
 
     /// Average predictive log likelihood of the targets under the
     /// aggregated prediction.
+    ///
+    /// This scores the *collapsed* predictive and is only an
+    /// approximation of the posterior predictive likelihood; prefer
+    /// [`Likelihood::log_likelihood_samples`], which `evaluate` reports.
     fn log_likelihood(&self, aggregated: &Tensor, targets: &Tensor) -> f64;
+
+    /// The paper's predictive log likelihood from **per-sample**
+    /// predictions: `mean_n log (1/S) Σ_s p(y_n | θ_s)`, computed with a
+    /// streaming per-point `logaddexp` in ascending sample order (so the
+    /// result is independent of how the samples were produced).
+    ///
+    /// Unlike [`Likelihood::log_likelihood`] on the aggregate — which
+    /// collapses between-sample disagreement before scoring and so
+    /// misstates the likelihood whenever the weight samples disagree —
+    /// this is the Monte Carlo estimate of
+    /// `log E_{θ~q}[p(y | x, θ)]` the paper's experiments report.
+    fn log_likelihood_samples(&self, sampled: &[Tensor], targets: &Tensor) -> f64 {
+        assert!(!sampled.is_empty(), "log_likelihood_samples: empty sample set");
+        let ln_s = (sampled.len() as f64).ln();
+        let mut acc: Vec<f64> = Vec::new();
+        for pred in sampled {
+            let lp = self.predictive_distribution(pred).log_prob(targets).to_vec();
+            if acc.is_empty() {
+                acc = lp;
+            } else {
+                assert_eq!(acc.len(), lp.len(), "log_likelihood_samples: ragged log-probs");
+                for (a, l) in acc.iter_mut().zip(lp) {
+                    *a = logaddexp(*a, l);
+                }
+            }
+        }
+        acc.iter().map(|a| a - ln_s).sum::<f64>() / acc.len() as f64
+    }
+
+    /// Streaming aggregation state for the predictive engine, if this
+    /// likelihood's [`Likelihood::aggregate_predictions`] is a pure
+    /// per-sample fold. `None` (the default) means aggregation needs all
+    /// samples at once (e.g. the Gaussian spread terms).
+    fn fold_begin(&self) -> Option<Box<dyn PredictiveFold>> {
+        None
+    }
+}
+
+/// Numerically stable `ln(e^a + e^b)`.
+fn logaddexp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Streaming one-sample-at-a-time aggregation for the predictive
+/// engine. Fed in ascending sample order, `finish` must reproduce
+/// [`Likelihood::aggregate_predictions`] bit for bit.
+pub trait PredictiveFold {
+    /// Folds in the next per-sample prediction.
+    fn accumulate(&mut self, sample: &Tensor);
+
+    /// The final aggregate over the `count` accumulated samples.
+    fn finish(self: Box<Self>, count: usize) -> Tensor;
+}
+
+/// Shared fold for the "map each sample, sum, divide by S" aggregations
+/// (Categorical / Bernoulli / Poisson). Accumulates left-to-right in the
+/// exact association order of the batch implementations.
+struct ProbSumFold {
+    acc: Option<Tensor>,
+    map: fn(&Tensor) -> Tensor,
+}
+
+impl ProbSumFold {
+    fn boxed(map: fn(&Tensor) -> Tensor) -> Option<Box<dyn PredictiveFold>> {
+        Some(Box::new(ProbSumFold { acc: None, map }))
+    }
+}
+
+impl PredictiveFold for ProbSumFold {
+    fn accumulate(&mut self, sample: &Tensor) {
+        let mapped = (self.map)(sample);
+        self.acc = Some(match self.acc.take() {
+            None => mapped,
+            Some(acc) => acc.add(&mapped),
+        });
+    }
+
+    fn finish(self: Box<Self>, count: usize) -> Tensor {
+        self.acc
+            .expect("PredictiveFold::finish: no samples accumulated")
+            .div_scalar(count as f64)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -271,6 +361,10 @@ impl Likelihood for Categorical {
             .mean()
             .item()
     }
+
+    fn fold_begin(&self) -> Option<Box<dyn PredictiveFold>> {
+        ProbSumFold::boxed(|t| t.softmax(1))
+    }
 }
 
 /// Bernoulli likelihood over logits `[n]`
@@ -329,6 +423,10 @@ impl Likelihood for Bernoulli {
             .mean()
             .item()
     }
+
+    fn fold_begin(&self) -> Option<Box<dyn PredictiveFold>> {
+        ProbSumFold::boxed(|t| t.sigmoid())
+    }
 }
 
 /// Poisson likelihood over predicted log-rates `[n]` — the "easy to add"
@@ -377,6 +475,10 @@ impl Likelihood for Poisson {
             .log_prob(targets)
             .mean()
             .item()
+    }
+
+    fn fold_begin(&self) -> Option<Box<dyn PredictiveFold>> {
+        ProbSumFold::boxed(|t| t.exp())
     }
 }
 

@@ -98,25 +98,73 @@ impl<M: Module, L: Likelihood> McDropout<M, L> {
     }
 
     /// Draws `num_predictions` stochastic forward passes (dropout active).
+    ///
+    /// Routed through the predictive engine's grad-free layer
+    /// (`TYXE_PREDICT`): no tape is built for the detached outputs. The
+    /// passes stay sequential — each forward consumes RNG for its
+    /// dropout masks, so sample s must draw after sample s-1 to match
+    /// the engine-off stream — and the sample cache / compiled plan do
+    /// not apply (there are no posterior weight draws to cache, and the
+    /// masks make every forward a different program).
     pub fn predict_samples<I>(&self, input: &I, num_predictions: usize) -> Vec<Tensor>
     where
         M: Forward<I, Output = Tensor>,
     {
-        self.net.set_training(true);
-        let out = (0..num_predictions)
-            .map(|_| self.net.forward(input).detach())
-            .collect();
-        self.net.set_training(false);
+        let mut out = Vec::with_capacity(num_predictions);
+        self.predict_each(input, num_predictions, &mut |t| out.push(t));
         out
     }
 
-    /// Aggregated MC-dropout predictive (likelihood-specific).
+    /// Streams the stochastic passes to `sink` in sample order.
+    fn predict_each<I>(&self, input: &I, num_predictions: usize, sink: &mut dyn FnMut(Tensor))
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        crate::predictive::note_samples(num_predictions as u64);
+        let guard = crate::predictive::enabled()
+            .then(tyxe_tensor::inference::inference_mode);
+        self.net.set_training(true);
+        for _ in 0..num_predictions {
+            sink(self.net.forward(input).detach());
+        }
+        self.net.set_training(false);
+        drop(guard);
+    }
+
+    /// Aggregated MC-dropout predictive (likelihood-specific); streams
+    /// through [`Likelihood::fold_begin`] when available so the samples
+    /// are never all materialized.
     pub fn predict<I>(&self, input: &I, num_predictions: usize) -> Tensor
     where
         M: Forward<I, Output = Tensor>,
     {
+        if crate::predictive::enabled() {
+            if let Some(mut fold) = self.likelihood.fold_begin() {
+                let mut count = 0usize;
+                self.predict_each(input, num_predictions, &mut |t| {
+                    fold.accumulate(&t);
+                    count += 1;
+                });
+                return fold.finish(count);
+            }
+        }
         let samples = self.predict_samples(input, num_predictions);
         self.likelihood.aggregate_predictions(&samples)
+    }
+
+    /// Predictive log likelihood (per-sample definition, as in
+    /// [`crate::VariationalBnn::evaluate`]) and error on held-out data.
+    pub fn evaluate<I>(&self, input: &I, targets: &Tensor, num_predictions: usize) -> crate::bnn::Evaluation
+    where
+        M: Forward<I, Output = Tensor>,
+    {
+        let samples = self.predict_samples(input, num_predictions);
+        crate::bnn::Evaluation {
+            log_likelihood: self.likelihood.log_likelihood_samples(&samples, targets),
+            error: self
+                .likelihood
+                .error(&self.likelihood.aggregate_predictions(&samples), targets),
+        }
     }
 
     /// Predictions with one **fixed** dropout mask shared across the batch

@@ -28,7 +28,7 @@
 //! the run's bits never depend on which deaths occurred.
 
 use std::collections::BTreeMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 use tyxe_obs::metrics::{counter, counter_tagged, gauge, gauge_tagged, histogram_tagged, Counter};
 
 use crate::telemetry::{DistTelemetry, RankTelemetry};
-use crate::wire::{encode_frame, FrameReader, Msg};
+use crate::wire::{encode_frame_parts, write_frame_vectored, FrameParts, FrameReader, Msg};
 use crate::{assign_shards, DistConfig, ShardResult, SpawnMode};
 use crate::{ENV_ADDR, ENV_FLIGHT_DIR, ENV_INCARNATION, ENV_RANK, ENV_ROLE, ENV_SESSION};
 
@@ -51,21 +51,13 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 /// not N read timeouts; this bounds the spin while everyone computes.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
 
-/// `write_all` against a nonblocking stream: a full send buffer is
-/// latency (short sleep, retry), not death. Any other error is the
-/// caller's signal that the peer is gone.
-fn write_frame(stream: &mut UnixStream, frame: &[u8]) -> io::Result<()> {
-    let mut off = 0;
-    while off < frame.len() {
-        match stream.write(&frame[off..]) {
-            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => off += n,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(IDLE_SLEEP),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
+/// Full-frame send against a nonblocking stream, one `writev` per
+/// attempt (header + payload + CRC gathered in a single syscall, no
+/// concatenating copy of megabyte-scale `Step` params). A full send
+/// buffer is latency (short sleep, retry), not death; any other error
+/// is the caller's signal that the peer is gone.
+fn write_frame(stream: &mut UnixStream, parts: &FrameParts) -> io::Result<()> {
+    write_frame_vectored(stream, parts, || std::thread::sleep(IDLE_SLEEP))
 }
 
 /// What the distributed run did, for reports and assertions.
@@ -314,7 +306,9 @@ impl Coordinator {
             heartbeat_interval_ms: self.cfg.heartbeat_interval_ms,
             param_lens: self.param_lens.clone(),
         };
-        stream.write_all(&encode_frame(&init))?;
+        // Still in blocking mode during the handshake: vectored write
+        // with no back-off (a blocking stream never reports WouldBlock).
+        write_frame_vectored(&mut stream, &encode_frame_parts(&init), || {})?;
         // Past the handshake the stream goes nonblocking: the collect
         // sweep must poll N workers without paying a read timeout each.
         stream.set_nonblocking(true)?;
@@ -377,7 +371,7 @@ impl Coordinator {
                     span_id,
                 };
                 let slot = self.workers.get_mut(rank).expect("assigned rank is live");
-                if write_frame(&mut slot.conn, &encode_frame(&msg)).is_err() {
+                if write_frame(&mut slot.conn, &encode_frame_parts(&msg)).is_err() {
                     dead.push(*rank);
                 }
             }
@@ -550,7 +544,7 @@ impl Coordinator {
 
     /// Stops every worker and returns the final report.
     pub fn shutdown(mut self) -> DistReport {
-        let shutdown = encode_frame(&Msg::Shutdown);
+        let shutdown = encode_frame_parts(&Msg::Shutdown);
         for slot in self.workers.values_mut() {
             let _ = write_frame(&mut slot.conn, &shutdown);
         }

@@ -22,6 +22,8 @@
 //! bit patterns — losses and gradients cross the process boundary
 //! bit-identically.
 
+use std::io;
+
 use tyxe_nn::serialize::{crc32, ByteReader, ByteWriter};
 
 /// Frame magic.
@@ -359,13 +361,92 @@ impl Msg {
 
 /// Frames an encoded message for the wire.
 pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    encode_frame_parts(msg).to_bytes()
+}
+
+/// An encoded frame kept as its three wire sections — header (magic +
+/// length), payload, CRC trailer — so senders can hand all three to one
+/// vectored `writev` syscall instead of concatenating them into a fresh
+/// allocation first. For a multi-megabyte `Step` payload that copy is
+/// the dominant cost of sending.
+#[derive(Debug, Clone)]
+pub struct FrameParts {
+    /// Magic + LE payload length.
+    pub header: [u8; HEADER_LEN],
+    /// Encoded message body.
+    pub payload: Vec<u8>,
+    /// LE CRC32 over the payload.
+    pub crc: [u8; 4],
+}
+
+impl FrameParts {
+    /// Total frame size on the wire.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + 4
+    }
+
+    /// Concatenated frame bytes, identical to [`encode_frame`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.crc);
+        out
+    }
+
+    /// The sections still to send, as `IoSlice`s starting `skip` bytes
+    /// into the frame — how a partial vectored write resumes.
+    fn io_slices_from(&self, skip: usize) -> Vec<io::IoSlice<'_>> {
+        let sections: [&[u8]; 3] = [&self.header, &self.payload, &self.crc];
+        let mut slices = Vec::with_capacity(3);
+        let mut skip = skip;
+        for sec in sections {
+            if skip >= sec.len() {
+                skip -= sec.len();
+            } else {
+                slices.push(io::IoSlice::new(&sec[skip..]));
+                skip = 0;
+            }
+        }
+        slices
+    }
+}
+
+/// Encodes a message into its framed wire sections (see [`FrameParts`]).
+pub fn encode_frame_parts(msg: &Msg) -> FrameParts {
     let payload = msg.encode();
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32(&payload).to_le_bytes();
+    FrameParts { header, payload, crc }
+}
+
+/// Sends a frame with vectored I/O: header, payload and CRC reach the
+/// kernel in a single `writev` per attempt — one syscall for the whole
+/// frame in the common case — with no concatenating copy. Partial
+/// writes resume by rebuilding the slice array from the byte offset.
+/// `WouldBlock` is reported to `on_block` so callers pick their own
+/// back-off (sleep for nonblocking streams, nothing for blocking ones);
+/// `Interrupted` retries silently; any other error is fatal.
+pub fn write_frame_vectored(
+    w: &mut impl io::Write,
+    parts: &FrameParts,
+    mut on_block: impl FnMut(),
+) -> io::Result<()> {
+    let total = parts.wire_len();
+    let mut off = 0;
+    while off < total {
+        let slices = parts.io_slices_from(off);
+        match w.write_vectored(&slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => on_block(),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Incremental frame reassembler over an arbitrary byte stream.
@@ -581,6 +662,119 @@ mod tests {
         w.put_u32(TELEMETRY_EXT_VERSION + 1);
         w.put_u64(42);
         assert!(matches!(Msg::decode(&w.into_bytes()), Err(WireError::Malformed(_))));
+    }
+
+    /// `Write` impl that accepts at most `cap` bytes per call — worst-case
+    /// short writes — and counts syscall-equivalent attempts.
+    struct ChokedWriter {
+        out: Vec<u8>,
+        cap: usize,
+        calls: usize,
+    }
+
+    impl io::Write for ChokedWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        // Default write_vectored forwards to write (first non-empty
+        // slice only) — exactly the partial-progress case the resume
+        // logic must survive. Also exercise true multi-slice gathering.
+        fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+            self.calls += 1;
+            let mut budget = self.cap;
+            let mut written = 0;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                budget -= n;
+                written += n;
+            }
+            Ok(written)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_frames_match_encode_frame_bytes() {
+        for msg in sample_msgs() {
+            let parts = encode_frame_parts(&msg);
+            assert_eq!(parts.to_bytes(), encode_frame(&msg));
+            assert_eq!(parts.wire_len(), encode_frame(&msg).len());
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_every_chunk_cap_across_frame_sizes() {
+        // Frame-size sweep: payloads from empty (Shutdown) through
+        // multi-kilobyte Step params, each pushed through writers that
+        // accept 1, 2, 3, 7, 13, ... bytes per syscall, then reassembled.
+        let mut msgs = sample_msgs();
+        msgs.push(Msg::Step {
+            step: 1,
+            rng_state: [4, 3, 2, 1],
+            shards: (0..32).collect(),
+            params: vec![vec![0.25; 1024], vec![-1.5; 513], vec![]],
+            trace_id: 9,
+            span_id: 10,
+        });
+        for msg in &msgs {
+            let parts = encode_frame_parts(msg);
+            for cap in [1usize, 2, 3, 7, 13, 64, 4096, usize::MAX] {
+                let mut w = ChokedWriter { out: Vec::new(), cap, calls: 0 };
+                write_frame_vectored(&mut w, &parts, || {}).unwrap();
+                assert_eq!(w.out, encode_frame(msg), "cap {cap}");
+                let mut reader = FrameReader::new();
+                reader.push(&w.out);
+                assert_eq!(reader.next_msg().unwrap(), Some(msg.clone()), "cap {cap}");
+                assert_eq!(reader.next_msg().unwrap(), None);
+                // An unchoked writer needs exactly one gather call.
+                if cap == usize::MAX {
+                    assert_eq!(w.calls, 1, "whole frame should be one writev");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectored_write_reports_would_block_and_resumes() {
+        struct BlockOnce {
+            inner: ChokedWriter,
+            blocked: bool,
+        }
+        impl io::Write for BlockOnce {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.inner.write(buf)
+            }
+            fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+                if !self.blocked {
+                    self.blocked = true;
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                self.inner.write_vectored(bufs)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let msg = Msg::Heartbeat { step: 77 };
+        let mut w = BlockOnce {
+            inner: ChokedWriter { out: Vec::new(), cap: 5, calls: 0 },
+            blocked: false,
+        };
+        let mut blocks = 0;
+        write_frame_vectored(&mut w, &encode_frame_parts(&msg), || blocks += 1).unwrap();
+        assert_eq!(blocks, 1);
+        assert_eq!(w.inner.out, encode_frame(&msg));
     }
 
     #[test]

@@ -14,12 +14,12 @@
 //! and exits with [`crate::KILL_EXIT_CODE`] when the deterministic kill
 //! schedule says so.
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::wire::{encode_frame, FrameReader, Msg};
+use crate::wire::{encode_frame_parts, write_frame_vectored, FrameReader, Msg};
 use crate::{ShardCompute, WorkerEnv, KILL_EXIT_CODE};
 
 /// How often a worker ships its accumulated telemetry (drained spans
@@ -35,11 +35,14 @@ const TELEMETRY_SHIP_INTERVAL: std::time::Duration = std::time::Duration::from_m
 
 /// Sends one frame under the shared write lock (heartbeats and grads
 /// come from different threads; whole-frame writes under the lock keep
-/// them from interleaving into torn frames).
+/// them from interleaving into torn frames). Vectored: header, payload
+/// and CRC go down in one `writev` instead of a concatenating copy —
+/// `Grad` frames carry full parameter-shard gradients, so the copy is
+/// not small. The worker stream is blocking, so no back-off is needed.
 fn send(stream: &Mutex<UnixStream>, msg: &Msg) -> std::io::Result<()> {
-    let frame = encode_frame(msg);
+    let parts = encode_frame_parts(msg);
     let mut s = stream.lock().unwrap();
-    s.write_all(&frame)
+    write_frame_vectored(&mut *s, &parts, || {})
 }
 
 /// Runs the worker loop to process exit; never returns.

@@ -81,6 +81,7 @@
 pub mod autocast;
 pub mod element;
 pub mod grad_check;
+pub mod inference;
 pub mod ops;
 pub mod plan;
 pub mod pool;
@@ -89,7 +90,7 @@ mod tensor;
 
 pub use element::{DType, Element};
 pub use grad_check::{check_gradient, GradCheckReport};
-pub use tensor::Tensor;
+pub use tensor::{RawData, Tensor};
 
 #[cfg(test)]
 mod integration_tests {

@@ -165,6 +165,77 @@ impl From<Vec<f64>> for Buf {
     }
 }
 
+/// Plain, `Send + Sync` tensor data detached from the graph: a dtype-tagged
+/// flat buffer. This is the hand-off format between the single-threaded
+/// tensor world and worker threads (forward-plan replay, the posterior
+/// weight-sample cache in `tyxe`): [`Tensor`] is `Rc`-based and cannot
+/// cross threads, but its bits can.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawData {
+    /// `f32` storage, bit-exact.
+    F32(Vec<f32>),
+    /// `f64` storage, bit-exact.
+    F64(Vec<f64>),
+}
+
+impl RawData {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            RawData::F32(v) => v.len(),
+            RawData::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The storage dtype.
+    pub fn dtype(&self) -> DType {
+        match self {
+            RawData::F32(_) => DType::F32,
+            RawData::F64(_) => DType::F64,
+        }
+    }
+
+    /// The typed element view (panics on dtype mismatch, like
+    /// [`Buf::as_slice`]).
+    pub(crate) fn as_slice<E: Element>(&self) -> &[E] {
+        match self {
+            RawData::F64(v) => crate::element::same_slice::<f64, E>(v),
+            RawData::F32(v) => crate::element::same_slice::<f32, E>(v),
+        }
+    }
+}
+
+impl Tensor {
+    /// Copies this tensor's storage out as dtype-preserving, `Send`-able
+    /// [`RawData`] — bit-exact at either dtype.
+    pub fn raw_data(&self) -> RawData {
+        match &*self.inner.data.borrow() {
+            Buf::F64(v) => RawData::F64(v.to_vec()),
+            Buf::F32(v) => RawData::F32(v.to_vec()),
+        }
+    }
+
+    /// Builds a non-tracking leaf over [`RawData`], preserving dtype and
+    /// bits — the inverse of [`Tensor::raw_data`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `shape`.
+    pub fn from_raw(data: RawData, shape: &[usize]) -> Tensor {
+        assert_eq!(data.len(), numel(shape), "from_raw: data length mismatch");
+        let buf = match data {
+            RawData::F64(v) => Buf::F64(pool::alloc_copy(&v)),
+            RawData::F32(v) => Buf::F32(pool::alloc_copy(&v)),
+        };
+        Tensor::leaf_from_buf(buf, shape)
+    }
+}
+
 /// Backward closure: given the output node and the gradient with respect to
 /// it, produce one pool-managed gradient buffer per parent (aligned with
 /// `parents`). Returned buffers transfer **ownership**: the engine moves
@@ -275,8 +346,10 @@ impl Tensor {
     }
 
     /// Builds a differentiable op node over `E`-typed storage. Gradient
-    /// tracking is enabled iff any parent requires it; otherwise the
-    /// parents and closure are dropped so inference-time graphs stay flat.
+    /// tracking is enabled iff any parent requires it and the thread is
+    /// not inside an [`crate::inference::inference_mode`] scope;
+    /// otherwise the parents and closure are dropped so inference-time
+    /// graphs stay flat.
     /// The typed backward closure is erased into [`BackwardFn`] here —
     /// its `&[E]` incoming gradient and `PoolBuf<E>` outputs all carry
     /// the node's own dtype.
@@ -286,7 +359,8 @@ impl Tensor {
         parents: Vec<Tensor>,
         backward: impl Fn(&Tensor, &[E]) -> Vec<Option<PoolBuf<E>>> + 'static,
     ) -> Tensor {
-        let rg = parents.iter().any(Tensor::requires_grad_enabled);
+        let rg = !crate::inference::active()
+            && parents.iter().any(Tensor::requires_grad_enabled);
         if rg {
             let bw: BackwardFn = Box::new(move |out, grad| {
                 backward(out, grad.as_slice::<E>())
@@ -557,7 +631,7 @@ impl Tensor {
             return self.clone();
         }
         let data = self.inner.data.borrow().cast_to(dt);
-        let t = if self.requires_grad_enabled() {
+        let t = if !crate::inference::active() && self.requires_grad_enabled() {
             let bw: BackwardFn =
                 Box::new(move |_out, grad| vec![Some(grad.cast_to(src_dt))]);
             Tensor::new_node_buf(
@@ -588,6 +662,7 @@ impl Tensor {
                 }
             });
         });
+        crate::plan::fwd_record_cast(&t, self);
         t
     }
 

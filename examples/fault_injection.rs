@@ -143,6 +143,13 @@ fn main() {
     let eval = bnn.evaluate(&x, &y, 8);
     println!("final fit error:         {:.4}", eval.error);
 
+    // A second predictive pass at the same sample count reuses the
+    // engine's posterior-sample cache and compiled forward plan, so the
+    // metrics snapshot below carries predict.cache_hit / predict.plan_hit
+    // alongside predict.samples (DESIGN.md §15).
+    let samples = bnn.predict_samples(&x, 8);
+    println!("predictive samples:      {}", samples.len());
+
     if let Some(path) = &args.trace {
         match tyxe_obs::trace::write_chrome_trace(path) {
             Ok(spans) => println!("trace written:           {} ({spans} spans)", path.display()),

@@ -711,3 +711,181 @@ fn global_rng_draws_are_bit_reproducible() {
     assert_eq!(a, b);
     assert_eq!(u_a, u_b);
 }
+
+// ---------------------------------------------------------------------------
+// Predictive engine (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Trains the small regression BNN for two steps under a fixed seed,
+/// then draws `s` posterior-predictive samples on a held-out batch and
+/// returns every output element's f64 bit pattern in sample order.
+///
+/// Exactly one predict call per fresh model: the engine draws its guide
+/// samples up front (cache fill) where the legacy path interleaves them
+/// with the forwards, and those consume the identical RNG stream only
+/// from a cold cache. `to_vec` widens exactly, so the bit comparison is
+/// faithful at f32 storage too.
+fn run_predict_at(seed: u64, s: usize, precision: tyxe::Precision) -> Vec<u64> {
+    tyxe_prob::rng::set_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = foong_regression(64, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 32, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    )
+    .with_precision(precision);
+    let mut optim = Adam::new(vec![], 1e-2);
+    for _ in 0..2 {
+        bnn.svi_step(&data.x, &data.y, &mut optim);
+    }
+    let test = foong_regression(16, 0.1, 1);
+    bnn.predict_samples(&test.x, s)
+        .iter()
+        .flat_map(|t| t.to_vec().into_iter().map(f64::to_bits))
+        .collect()
+}
+
+/// The predictive-engine bit-identity contract (DESIGN.md §15): engine
+/// on must equal engine off bit for bit at every execution configuration
+/// — 1 vs 4 kernel threads × sample cache off/on × compiled forward plan
+/// off/on — at f64 and f32 storage, all against the sequential
+/// engine-off reference.
+#[test]
+fn predictive_engine_is_bit_identical_to_legacy_path() {
+    let prev_threads = tyxe_par::num_threads();
+    let prev_engine = tyxe::predictive::enabled();
+    let prev_cache = tyxe::predictive::cache_enabled();
+    let prev_plan = tyxe::predictive::plan_enabled();
+    for (seed, precision, label) in [
+        (61u64, tyxe::Precision::F64, "f64"),
+        (67u64, tyxe::Precision::F32, "f32"),
+    ] {
+        tyxe_par::set_num_threads(1);
+        tyxe::predictive::set_enabled(false);
+        let reference = run_predict_at(seed, 8, precision);
+
+        // The legacy path itself must not care about the thread count.
+        tyxe_par::set_num_threads(4);
+        let legacy_par = run_predict_at(seed, 8, precision);
+        assert_eq!(reference, legacy_par, "{label}: legacy path drifted with threads");
+
+        for threads in [1usize, 4] {
+            for cache in [false, true] {
+                for plan in [false, true] {
+                    tyxe_par::set_num_threads(threads);
+                    tyxe::predictive::set_enabled(true);
+                    tyxe::predictive::set_cache_enabled(cache);
+                    tyxe::predictive::set_plan_enabled(plan);
+                    let engine = run_predict_at(seed, 8, precision);
+                    assert_eq!(
+                        reference, engine,
+                        "{label}: engine drifted from legacy ({threads} threads, \
+                         cache {cache}, plan {plan})"
+                    );
+                }
+            }
+        }
+    }
+    tyxe_par::set_num_threads(prev_threads);
+    tyxe::predictive::set_enabled(prev_engine);
+    tyxe::predictive::set_cache_enabled(prev_cache);
+    tyxe::predictive::set_plan_enabled(prev_plan);
+}
+
+/// The streaming aggregation half of the engine contract: for
+/// likelihoods with a [`tyxe::likelihoods::PredictiveFold`] (Categorical
+/// here), `predict` folds samples one at a time instead of materializing
+/// them all, and the fold must associate exactly like the legacy
+/// `aggregate_predictions` — same bits out.
+#[test]
+fn predictive_fold_matches_legacy_aggregate_bitwise() {
+    use tyxe::likelihoods::Categorical;
+    use tyxe_tensor::Tensor;
+
+    let prev_engine = tyxe::predictive::enabled();
+    let run = |engine: bool| -> Vec<u64> {
+        tyxe::predictive::set_enabled(engine);
+        tyxe_prob::rng::set_seed(71);
+        let mut rng = StdRng::seed_from_u64(71);
+        let net = tyxe_nn::layers::mlp(&[4, 16, 3], false, &mut rng);
+        let bnn: VariationalBnn<tyxe_nn::layers::Sequential, Categorical, AutoNormal> =
+            VariationalBnn::new(
+                net,
+                &IIDPrior::standard_normal(),
+                Categorical::new(32),
+                AutoNormal::new().init_scale(1e-2),
+            );
+        let x = Tensor::ones(&[5, 4]);
+        bnn.predict(&x, 16).to_vec().iter().map(|v| v.to_bits()).collect()
+    };
+    let legacy = run(false);
+    let folded = run(true);
+    tyxe::predictive::set_enabled(prev_engine);
+    assert_eq!(legacy, folded, "streamed fold drifted from legacy aggregate");
+}
+
+/// Cache semantics: a second predict at the same sample count replays
+/// the cached posterior draws (bit-identical outputs, `predict.cache_hit`
+/// advances), one SVI step invalidates the cache (subsequent predictions
+/// change), and `set_predict_refresh(1)` forces a redraw on every call.
+#[test]
+fn predictive_cache_hits_and_invalidates_on_svi_step() {
+    let prev_engine = tyxe::predictive::enabled();
+    let prev_cache = tyxe::predictive::cache_enabled();
+    tyxe::predictive::set_enabled(true);
+    tyxe::predictive::set_cache_enabled(true);
+
+    tyxe_prob::rng::set_seed(73);
+    let mut rng = StdRng::seed_from_u64(73);
+    let data = foong_regression(32, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+    let bnn: Bnn = VariationalBnn::new(
+        net,
+        &IIDPrior::standard_normal(),
+        HomoskedasticGaussian::new(data.len(), 0.1),
+        AutoNormal::new().init_scale(1e-2),
+    );
+    let mut optim = Adam::new(vec![], 1e-2);
+    bnn.svi_step(&data.x, &data.y, &mut optim);
+
+    let bits = |samples: Vec<tyxe_tensor::Tensor>| -> Vec<u64> {
+        samples
+            .iter()
+            .flat_map(|t| t.to_vec().into_iter().map(f64::to_bits))
+            .collect()
+    };
+    let hits_before = tyxe_obs::metrics::counter("predict.cache_hit").get();
+    let first = bits(bnn.predict_samples(&data.x, 6)); // cold: fills the cache
+    let second = bits(bnn.predict_samples(&data.x, 6)); // warm: replays cached draws
+    assert_eq!(first, second, "cached posterior draws must replay bit-identically");
+    let hits_after = tyxe_obs::metrics::counter("predict.cache_hit").get();
+    assert!(
+        hits_after > hits_before,
+        "warm predict did not register a predict.cache_hit"
+    );
+
+    // One SVI step updates the guide parameters; the stale draws must
+    // not survive it.
+    bnn.svi_step(&data.x, &data.y, &mut optim);
+    let after_step = bits(bnn.predict_samples(&data.x, 6));
+    assert_ne!(
+        first, after_step,
+        "an SVI step must invalidate cached predictions"
+    );
+
+    // Manual invalidation and per-call refresh both force fresh draws
+    // (the thread RNG has advanced, so fresh draws give fresh outputs).
+    bnn.invalidate_predictive_cache();
+    let refilled = bits(bnn.predict_samples(&data.x, 6));
+    assert_ne!(after_step, refilled, "invalidate_predictive_cache kept stale draws");
+    bnn.set_predict_refresh(1);
+    let r1 = bits(bnn.predict_samples(&data.x, 6));
+    let r2 = bits(bnn.predict_samples(&data.x, 6));
+    assert_ne!(r1, r2, "refresh limit 1 must redraw on every call");
+
+    tyxe::predictive::set_enabled(prev_engine);
+    tyxe::predictive::set_cache_enabled(prev_cache);
+}

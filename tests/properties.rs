@@ -217,3 +217,97 @@ fn metric_bounds() {
         assert!((0.0..=1.0).contains(&roc), "AUROC {roc}");
     });
 }
+
+// ---------------------------------------------------------------------------
+// Predictive log likelihood: per-sample mixture, not collapsed aggregate
+// ---------------------------------------------------------------------------
+
+/// `log_likelihood_samples` is the paper's per-sample predictive
+/// definition — `mean_n log (1/S) Σ_s p(y_n | θ_s)` — pinned against a
+/// hand-computed two-sample mixture, and shown to disagree with the
+/// moment-matched collapsed formula `evaluate` used to report.
+#[test]
+fn predictive_log_likelihood_is_the_per_sample_mixture() {
+    use tyxe::likelihoods::HomoskedasticGaussian;
+
+    let lik = HomoskedasticGaussian::new(4, 1.0);
+    // Two posterior draws predicting 0 and 2 for every point; targets sit
+    // exactly between, so both mixture components score identically.
+    let sampled = [Tensor::zeros(&[4, 1]), Tensor::full(&[4, 1], 2.0)];
+    let targets = Tensor::ones(&[4, 1]);
+
+    // Each component: log N(1 | μ=0 or 2, σ=1) = -1/2 - ln(2π)/2, and a
+    // two-component logaddexp of equal values minus ln 2 collapses back
+    // to the component value.
+    let tau = 2.0 * std::f64::consts::PI;
+    let mixture = -0.5 - 0.5 * tau.ln();
+    let got = lik.log_likelihood_samples(&sampled, &targets);
+    assert!(
+        (got - mixture).abs() < 1e-12,
+        "per-sample predictive NLL drifted: got {got}, want {mixture}"
+    );
+
+    // The old collapsed path moment-matches the draws to a single
+    // Gaussian N(mean=1, spread²+σ² = 2): log N(1 | 1, √2) = -ln(4π)/2.
+    // That overstates the likelihood of disagreeing draws by
+    // 1/2 - ln(2)/2 nats per point and must NOT be what we report.
+    let collapsed = lik.log_likelihood(&lik.aggregate_predictions(&sampled), &targets);
+    assert!(
+        (collapsed - (-0.5 * (2.0 * tau).ln())).abs() < 1e-12,
+        "collapsed formula drifted: got {collapsed}"
+    );
+    assert!(
+        (collapsed - got - (0.5 - 0.5 * 2f64.ln())).abs() < 1e-12,
+        "mixture vs collapsed gap drifted: {got} vs {collapsed}"
+    );
+}
+
+/// `evaluate` reports exactly `log_likelihood_samples` over the same
+/// posterior draws `predict_samples` returns — bit for bit — and not the
+/// collapsed-aggregate approximation.
+#[test]
+fn evaluate_reports_per_sample_predictive_likelihood() {
+    use tyxe::likelihoods::HomoskedasticGaussian as Gauss;
+    use tyxe_prob::optim::Adam;
+
+    tyxe_prob::rng::set_seed(41);
+    let mut rng = StdRng::seed_from_u64(41);
+    let data = tyxe_datasets::foong_regression(32, 0.1, 0);
+    let net = tyxe_nn::layers::mlp(&[1, 16, 1], false, &mut rng);
+    let lik = Gauss::new(data.len(), 0.1);
+    let bnn: tyxe::VariationalBnn<tyxe_nn::layers::Sequential, Gauss, AutoNormal> =
+        tyxe::VariationalBnn::new(
+            net,
+            &IIDPrior::standard_normal(),
+            lik.clone(),
+            AutoNormal::new().init_scale(1e-2),
+        );
+    let mut optim = Adam::new(vec![], 1e-2);
+    for _ in 0..2 {
+        bnn.svi_step(&data.x, &data.y, &mut optim);
+    }
+
+    let test = tyxe_datasets::foong_regression(16, 0.1, 1);
+    tyxe_prob::rng::set_seed(43);
+    let eval = bnn.evaluate(&test.x, &test.y, 8);
+    // Same seed → same draw stream (or a cache hit replays the same
+    // draws), so recomputing from predict_samples must agree bitwise.
+    tyxe_prob::rng::set_seed(43);
+    let samples = bnn.predict_samples(&test.x, 8);
+    let want = lik.log_likelihood_samples(&samples, &test.y);
+    assert_eq!(
+        eval.log_likelihood.to_bits(),
+        want.to_bits(),
+        "evaluate diverged from log_likelihood_samples: {} vs {want}",
+        eval.log_likelihood
+    );
+
+    // And it is NOT the collapsed-aggregate number whenever the draws
+    // disagree (they do: the guide has nonzero scale).
+    let collapsed = lik.log_likelihood(&lik.aggregate_predictions(&samples), &test.y);
+    assert_ne!(
+        eval.log_likelihood.to_bits(),
+        collapsed.to_bits(),
+        "evaluate still reports the collapsed aggregate likelihood"
+    );
+}
